@@ -1,0 +1,21 @@
+"""Reporting helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def print_header(exp_id: str, title: str) -> None:
+    print()
+    print("=" * 74)
+    print(f"[{exp_id}] {title}")
+    print("=" * 74)
+
+
+def print_table(headers: list[str], rows: list[list]) -> None:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,104 @@
+"""Experiment C3 — the transparency claim: dispatch overhead.
+
+§3.5: "All the modules in the interface have exactly the same behavior,
+with or without customization, while in conventional interfaces the
+customization involves the modification of the interface code."
+
+Three configurations open the same Class-set window:
+
+1. generic dispatcher, **no rules** registered;
+2. generic dispatcher, the Figure 6 customization active;
+3. the **hardwired baseline** with the same customization compiled in.
+
+The claim holds if (1) and (2) run the same code path (the dispatcher
+never branches on customization) and the rule machinery adds only a
+bounded per-event overhead compared with (3).
+"""
+
+import time
+
+from repro.baselines import HardwiredDispatcher, install_pole_manager_variants
+from repro.core import Context, GISSession
+from repro.lang import FIGURE_6_PROGRAM
+
+from _support import print_header, print_table
+
+JULIANO = Context(user="juliano", application="pole_manager")
+
+
+def time_loop(fn, rounds=200):
+    start = time.perf_counter()
+    for __ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) / rounds
+
+
+def test_c3_overhead_comparison(paper_db, capsys, benchmark):
+    # 1. generic dispatcher, no rules
+    bare = GISSession(paper_db, user="juliano", application="pole_manager")
+    # 2. generic dispatcher + Figure 6 rules
+    ruled = GISSession(paper_db, user="juliano", application="pole_manager")
+    ruled.install_program(FIGURE_6_PROGRAM, persist=False)
+    # 3. hardwired baseline
+    hardwired = HardwiredDispatcher(paper_db)
+    install_pole_manager_variants(hardwired)
+
+    t_bare = time_loop(
+        lambda: bare.dispatcher.open_class("phone_net", "Pole", JULIANO))
+    t_ruled = time_loop(
+        lambda: ruled.dispatcher.open_class("phone_net", "Pole", JULIANO))
+    t_hard = time_loop(
+        lambda: hardwired.open_class("phone_net", "Pole", JULIANO))
+
+    with capsys.disabled():
+        print_header("C3", "dispatch overhead: generic vs rules vs hardwired")
+        print_table(
+            ["configuration", "per open_class", "relative"],
+            [
+                ["generic dispatcher, 0 rules", f"{t_bare * 1e6:.0f} us",
+                 "1.00x"],
+                ["generic dispatcher + Fig-6 rules",
+                 f"{t_ruled * 1e6:.0f} us", f"{t_ruled / t_bare:.2f}x"],
+                ["hardwired baseline (customized)",
+                 f"{t_hard * 1e6:.0f} us", f"{t_hard / t_bare:.2f}x"],
+            ],
+        )
+
+    # The rule machinery must not blow up the interaction cost: the paper's
+    # transparency claim is qualitative; we bound the overhead generously.
+    assert t_ruled < t_bare * 5
+
+    bare.engine.manager.detach()
+    benchmark(lambda: ruled.dispatcher.open_class("phone_net", "Pole",
+                                                  JULIANO))
+    ruled.engine.manager.detach()
+
+
+def test_c3_rule_count_does_not_leak_into_unrelated_events(paper_db, capsys,
+                                                           benchmark):
+    """Rules for other classes/contexts must not slow unrelated opens."""
+    session = GISSession(paper_db, user="nobody", application="none")
+    t_before = time_loop(
+        lambda: session.dispatcher.open_class(
+            "phone_net", "Duct", session.context), rounds=100)
+
+    loaded = GISSession(paper_db, user="nobody", application="none")
+    for i in range(100):
+        loaded.install_program(
+            FIGURE_6_PROGRAM.replace("user juliano", f"user clone_{i}"),
+            persist=False)
+    t_after = time_loop(
+        lambda: loaded.dispatcher.open_class(
+            "phone_net", "Duct", loaded.context), rounds=100)
+
+    with capsys.disabled():
+        print_header("C3b", "unrelated-event isolation (100 extra directives)")
+        print_table(["configuration", "per open_class(Duct)"],
+                    [["0 directives", f"{t_before * 1e6:.0f} us"],
+                     ["100 directives (other users/classes)",
+                      f"{t_after * 1e6:.0f} us"]])
+
+    session.engine.manager.detach()
+    benchmark(lambda: loaded.dispatcher.open_class(
+        "phone_net", "Duct", loaded.context))
+    loaded.engine.manager.detach()

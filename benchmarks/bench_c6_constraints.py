@@ -1,0 +1,156 @@
+"""Experiment C6 — topological constraint maintenance by active rules.
+
+§5/[11]: "A prototype has been developed to associate a gis with an
+active dbms, and it has been used for maintaining topological constraints
+in the gis." The same rule engine that customizes the interface here
+guards updates.
+
+Reported: violations caught under randomized updates, and the per-commit
+overhead the integrity rules add.
+"""
+
+import random
+import time
+
+from repro.active import ConstraintGuard, ProximityConstraint, RelationConstraint
+from repro.errors import ConstraintViolationError
+from repro.geodb import (
+    Attribute,
+    GeoClass,
+    GeographicDatabase,
+    GeometryType,
+)
+from repro.spatial import BBox, LineString, Point, Polygon
+
+from _support import print_header, print_table
+
+
+def make_db():
+    db = GeographicDatabase("C6")
+    schema = db.create_schema("net")
+    schema.add_class(GeoClass("District", [
+        Attribute("boundary", GeometryType("polygon"), required=True)]))
+    schema.add_class(GeoClass("Street", [
+        Attribute("axis", GeometryType("linestring"), required=True)]))
+    schema.add_class(GeoClass("Pole", [
+        Attribute("loc", GeometryType("point"), required=True)]))
+    db.insert("net", "District",
+              {"boundary": Polygon.from_bbox(BBox(0, 0, 1000, 1000))})
+    for i in range(10):
+        y = 100.0 * i + 50.0
+        db.insert("net", "Street", {"axis": LineString([(0, y), (1000, y)])})
+    return db
+
+
+def install_guard(db):
+    guard = ConstraintGuard(db, "net")
+    guard.add(RelationConstraint("Pole", "loc", "within",
+                                 "District", "boundary"))
+    guard.add(ProximityConstraint("Pole", "loc", "Street", "axis", 25.0))
+    return guard
+
+
+def randomized_inserts(db, count, seed):
+    """Mixed workload: some legal positions, some violating ones."""
+    rng = random.Random(seed)
+    accepted = rejected = 0
+    for __ in range(count):
+        roll = rng.random()
+        if roll < 0.5:           # legal: near a street, inside the district
+            street_y = 100.0 * rng.randrange(10) + 50.0
+            point = Point(rng.uniform(0, 1000),
+                          street_y + rng.uniform(-20, 20))
+        elif roll < 0.75:        # violates proximity (mid-block)
+            point = Point(rng.uniform(0, 1000),
+                          100.0 * rng.randrange(10) + rng.uniform(30, 70))
+        else:                    # violates containment (outside district)
+            point = Point(rng.uniform(1200, 2000), rng.uniform(0, 1000))
+        try:
+            db.insert("net", "Pole", {"loc": point})
+            accepted += 1
+        except ConstraintViolationError:
+            rejected += 1
+    return accepted, rejected
+
+
+def test_c6_violations_caught(capsys, benchmark):
+    db = make_db()
+    guard = install_guard(db)
+    accepted, rejected = randomized_inserts(db, 200, seed=6)
+
+    # every surviving pole satisfies both constraints
+    assert guard.sweep() == []
+    assert accepted + rejected == 200
+    assert rejected > 0
+    assert db.count("net", "Pole") == accepted
+
+    with capsys.disabled():
+        print_header("C6", "constraint maintenance under randomized updates")
+        print_table(
+            ["metric", "value"],
+            [["attempted inserts", 200],
+             ["accepted (constraint-satisfying)", accepted],
+             ["vetoed by active rules", rejected],
+             ["post-hoc sweep violations", 0]])
+
+    benchmark(lambda: guard.sweep())
+    guard.manager.detach()
+
+
+def test_c6_guard_overhead(capsys, benchmark):
+    """Per-commit cost of integrity rules vs. an unguarded database."""
+
+    def insert_run(db, count=100, seed=7):
+        rng = random.Random(seed)
+        start = time.perf_counter()
+        for __ in range(count):
+            street_y = 100.0 * rng.randrange(10) + 50.0
+            db.insert("net", "Pole",
+                      {"loc": Point(rng.uniform(0, 1000),
+                                    street_y + rng.uniform(-20, 20))})
+        return (time.perf_counter() - start) / count
+
+    unguarded = make_db()
+    t_plain = insert_run(unguarded)
+    guarded = make_db()
+    guard = install_guard(guarded)
+    t_guarded = insert_run(guarded)
+
+    with capsys.disabled():
+        print_header("C6b", "per-insert overhead of integrity rules")
+        print_table(["configuration", "per insert", "relative"],
+                    [["no constraints", f"{t_plain * 1e6:.0f} us", "1.00x"],
+                     ["2 topological constraints",
+                      f"{t_guarded * 1e6:.0f} us",
+                      f"{t_guarded / t_plain:.2f}x"]])
+
+    benchmark(lambda: guarded.insert(
+        "net", "Pole", {"loc": Point(500.0, 150.0 + random.random())}))
+    guard.manager.detach()
+
+
+def test_c6_sweep_scaling(capsys, benchmark):
+    """Post-hoc audit cost as the extension grows."""
+    rows = []
+    for poles in (50, 200, 800):
+        db = make_db()
+        rng = random.Random(poles)
+        for __ in range(poles):
+            street_y = 100.0 * rng.randrange(10) + 50.0
+            db.insert("net", "Pole",
+                      {"loc": Point(rng.uniform(0, 1000),
+                                    street_y + rng.uniform(-20, 20))})
+        guard = install_guard(db)
+        start = time.perf_counter()
+        violations = guard.sweep()
+        elapsed = time.perf_counter() - start
+        rows.append([poles, len(violations), f"{elapsed * 1e3:.1f} ms"])
+        guard.manager.detach()
+    with capsys.disabled():
+        print_header("C6c", "full-database audit (sweep) scaling")
+        print_table(["poles", "violations", "sweep time"], rows)
+
+    db = make_db()
+    guard = install_guard(db)
+    benchmark(lambda: guard.sweep())
+    guard.manager.detach()

@@ -1,0 +1,129 @@
+"""Experiment E1 — costs of the reproduction's extension features.
+
+The §2.2 interaction modes beyond exploration (analysis, simulation) and
+the HTML renderer are extensions of the paper's prototype; this bench
+records what they cost so EXPERIMENTS.md can state them:
+
+* E1a — textual query parse + execution throughput vs. the equivalent
+  hand-built predicate objects (the language layer's overhead);
+* E1b — simulation scenarios: hypothetical ops + commit vs. direct
+  transactions (the sandbox's overhead);
+* E1c — renderer throughput: ASCII vs. HTML for the customized screen.
+"""
+
+import time
+
+from repro.core import GISSession
+from repro.geodb import Comparison, Query, QueryEngine, parse_query, run_query
+from repro.lang import FIGURE_6_PROGRAM
+from repro.spatial import Point
+from repro.uilib import render_screen_html
+from repro.workloads import build_phone_net_database
+
+from _support import print_header, print_table
+
+
+def test_e1a_query_language_overhead(paper_db, capsys, benchmark):
+    engine = QueryEngine(paper_db)
+    text = "select * from Pole where pole_type = 1"
+    built = Query("Pole", where=Comparison("pole_type", "=", 1))
+
+    rounds = 300
+    start = time.perf_counter()
+    for __ in range(rounds):
+        engine.execute("phone_net", built)
+    t_built = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for __ in range(rounds):
+        run_query(paper_db, "phone_net", text)
+    t_text = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for __ in range(rounds):
+        parse_query(text)
+    t_parse = (time.perf_counter() - start) / rounds
+
+    with capsys.disabled():
+        print_header("E1a", "analysis language: parse overhead per query")
+        print_table(
+            ["path", "per query"],
+            [["pre-built Query object", f"{t_built * 1e6:.0f} us"],
+             ["textual (parse + execute)", f"{t_text * 1e6:.0f} us"],
+             ["parse alone", f"{t_parse * 1e6:.0f} us"]])
+    # parsing adds bounded overhead (at this demo scale execution itself
+    # is only ~15 us, so the parse share looks its absolute worst here)
+    assert t_text < t_built * 5
+
+    benchmark(lambda: run_query(paper_db, "phone_net", text))
+
+
+def test_e1b_scenario_overhead(capsys, benchmark):
+    def direct(db, count=30):
+        start = time.perf_counter()
+        for i in range(count):
+            db.insert("phone_net", "Pole",
+                      {"pole_location": Point(float(i), 0.0)})
+        return (time.perf_counter() - start) / count
+
+    def sandboxed(db, count=30):
+        start = time.perf_counter()
+        scenario = db.scenario("phone_net")
+        for i in range(count):
+            scenario.insert("Pole",
+                            {"pole_location": Point(float(i), 50.0)})
+        scenario.commit()
+        return (time.perf_counter() - start) / count
+
+    db_direct = build_phone_net_database(name="E1B1")
+    db_scenario = build_phone_net_database(name="E1B2")
+    t_direct = direct(db_direct)
+    t_scenario = sandboxed(db_scenario)
+
+    with capsys.disabled():
+        print_header("E1b", "simulation mode: scenario commit overhead")
+        print_table(
+            ["path", "per insert", "relative"],
+            [["direct transactions", f"{t_direct * 1e6:.0f} us", "1.00x"],
+             ["scenario stage + commit", f"{t_scenario * 1e6:.0f} us",
+              f"{t_scenario / t_direct:.2f}x"]])
+
+    db_bench = build_phone_net_database(name="E1B3")
+
+    def one_discarded_scenario():
+        with db_bench.scenario("phone_net") as what_if:
+            what_if.insert("Pole", {"pole_location": Point(1.0, 1.0)})
+            what_if.run_query("select count(*) from Pole")
+        return True
+
+    assert benchmark(one_discarded_scenario)
+
+
+def test_e1c_renderer_throughput(paper_db, capsys, benchmark):
+    session = GISSession(paper_db, user="juliano",
+                         application="pole_manager")
+    session.install_program(FIGURE_6_PROGRAM, persist=False)
+    session.connect("phone_net")
+    pole_oid = paper_db.extent("phone_net", "Pole").oids()[0]
+    session.select_instance(pole_oid)
+    windows = session.screen.windows()
+
+    rounds = 100
+    start = time.perf_counter()
+    for __ in range(rounds):
+        session.render()
+    t_ascii = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for __ in range(rounds):
+        render_screen_html(windows)
+    t_html = (time.perf_counter() - start) / rounds
+
+    page = render_screen_html(windows)
+    with capsys.disabled():
+        print_header("E1c", "renderer throughput (customized 3-window screen)")
+        print_table(
+            ["backend", "per render", "output size"],
+            [["ASCII", f"{t_ascii * 1e6:.0f} us",
+              f"{len(session.render())} chars"],
+             ["HTML", f"{t_html * 1e6:.0f} us", f"{len(page)} chars"]])
+
+    session.engine.manager.detach()
+    benchmark(lambda: render_screen_html(windows))

@@ -1,0 +1,94 @@
+"""Experiment F2 — paper Figure 2: the kernel classes of interface objects.
+
+Verifies by reflection that the library's kernel is exactly the OMT
+diagram of Figure 2 (eight classes, Window◇Panel composition, recursive
+Panel, Menu◇MenuItem), then times widget-tree composition at increasing
+depth (the cost model behind "dialog components ... inserted, updated and
+removed dynamically").
+"""
+
+from repro.uilib import (
+    KERNEL_CLASSES,
+    InterfaceObjectLibrary,
+    Panel,
+    Window,
+)
+from repro.uilib.widgets import PANEL_CHILDREN
+
+from _support import print_header, print_table
+
+#: The aggregation edges drawn in Figure 2.
+FIGURE_2_EDGES = {
+    ("window", "panel"),
+    ("panel", "panel"),          # the recursive relationship
+    ("panel", "text"),
+    ("panel", "drawing_area"),
+    ("panel", "list"),
+    ("panel", "button"),
+    ("panel", "menu"),
+    ("menu", "menu_item"),
+}
+
+
+def test_fig2_kernel_matches_omt_diagram(capsys, benchmark):
+    # the eight classes
+    assert set(KERNEL_CLASSES) == {
+        "window", "panel", "text", "drawing_area", "list", "button",
+        "menu", "menu_item",
+    }
+    # the aggregation edges
+    edges = set()
+    for name, cls in KERNEL_CLASSES.items():
+        for child in (cls.allowed_children or ()):
+            if child in KERNEL_CLASSES:
+                edges.add((name, child))
+    # slider is a registered extension, not a kernel member
+    assert edges == FIGURE_2_EDGES
+    assert "slider" in PANEL_CHILDREN   # extensibility hook (§3.2)
+
+    with capsys.disabled():
+        print_header("F2", "Figure 2 kernel classes and aggregations")
+        rows = [[parent, "◇--", child] for parent, child in sorted(edges)]
+        print_table(["container", "", "aggregates"], rows)
+
+    library = InterfaceObjectLibrary()
+    benchmark(lambda: library.create("window", title="t"))
+
+
+def build_tree(depth: int, fanout: int) -> Window:
+    """A window with `depth` nested panel levels, `fanout` leaves each."""
+    window = Window("w")
+    level = Panel("p0")
+    window.add_child(level)
+    for d in range(1, depth):
+        nxt = Panel(f"p{d}")
+        level.add_child(nxt)
+        for i in range(fanout):
+            from repro.uilib import Button
+
+            level.add_child(Button(f"b{d}_{i}", label="x"))
+        level = nxt
+    return window
+
+
+def test_fig2_composition_scaling(capsys, benchmark):
+    rows = []
+    for depth in (2, 8, 32):
+        import time
+
+        start = time.perf_counter()
+        window = build_tree(depth, fanout=4)
+        built = time.perf_counter() - start
+        count = sum(1 for __ in window.walk())
+        rows.append([depth, count, f"{built * 1e6:.0f} us"])
+    with capsys.disabled():
+        print_header("F2b", "widget-tree composition scaling")
+        print_table(["panel depth", "widgets", "build time"], rows)
+
+    benchmark(lambda: build_tree(16, 4))
+
+
+def test_fig2_describe_cost(benchmark):
+    window = build_tree(16, 4)
+    node = benchmark(window.describe)
+    assert node["type"] == "window"

@@ -1,0 +1,123 @@
+"""Experiment F3 — paper Figure 3: the customization language constructs.
+
+Parses a corpus exercising every grammar production of Figure 3 (plus the
+reproduction's extensions), reports construct coverage, and times the
+parse + semantic-check + compile pipeline.
+"""
+
+from repro.lang import FIGURE_6_PROGRAM, compile_program, parse_program
+from repro.uilib import (
+    InterfaceObjectLibrary,
+    PresentationRegistry,
+    install_standard_composites,
+)
+
+from _support import print_header, print_table
+
+#: construct name -> exercising snippet (all against the phone_net schema)
+CORPUS = {
+    "For user": "for user juliano",
+    "For category": "for category field_eng",
+    "For application": "for application pole_manager",
+    "For user+category+application": "for user j category c application a",
+    "For scale (extension)": "for application a scale 1000..25000",
+    "For time (extension)": "for application a time planning",
+    "schema display default": None,
+    "schema display hierarchy": None,
+    "schema display user-defined": None,
+    "schema display Null": None,
+    "class control as": None,
+    "class presentation as": None,
+    "instances display attribute as widget": None,
+    "display attribute as Null": None,
+    "from (attribute paths)": None,
+    "from (method call)": None,
+    "using (behavior binding)": None,
+    "on update display (extension)": None,
+}
+
+BODY = {
+    "schema display default": "schema phone_net display as default",
+    "schema display hierarchy": "schema phone_net display as hierarchy",
+    "schema display user-defined": "schema phone_net display as user-defined",
+    "schema display Null": "schema phone_net display as Null",
+}
+
+CLASS_BODIES = {
+    "class control as": "class Pole display control as poleWidget",
+    "class presentation as": "class Pole display presentation as pointFormat",
+    "instances display attribute as widget":
+        "class Pole display instances\n"
+        "  display attribute pole_composition as composed_text\n"
+        "    from pole.material pole.diameter",
+    "display attribute as Null":
+        "class Pole display instances\n"
+        "  display attribute pole_location as Null",
+    "from (attribute paths)":
+        "class Pole display instances\n"
+        "  display attribute pole_composition as composed_text\n"
+        "    from pole_composition.pole_material pole_composition.pole_height",
+    "from (method call)":
+        "class Pole display instances\n"
+        "  display attribute pole_supplier as text\n"
+        "    from get_supplier_name(pole_supplier)",
+    "using (behavior binding)":
+        "class Pole display instances\n"
+        "  display attribute pole_composition as composed_text\n"
+        "    from pole.material using composed_text.notify()",
+    "on update display (extension)":
+        "class Pole display on update display as text",
+}
+
+
+def program_for(construct: str) -> str:
+    context = CORPUS.get(construct) or "for user juliano"
+    schema = BODY.get(construct, "schema phone_net display as default")
+    body = CLASS_BODIES.get(construct, "class Pole display")
+    return f"{context}\n{schema}\n{body}\n"
+
+
+def test_fig3_construct_coverage(paper_db, capsys, benchmark):
+    library = InterfaceObjectLibrary()
+    install_standard_composites(library, persist=False)
+    presentations = PresentationRegistry()
+
+    rows = []
+    for construct in CORPUS:
+        source = program_for(construct)
+        directives = compile_program(source, paper_db, library, presentations)
+        rows.append([construct, "OK", len(directives)])
+    with capsys.disabled():
+        print_header("F3", "Figure 3 grammar construct coverage")
+        print_table(["construct", "compiles", "directives"], rows)
+    assert len(rows) == len(CORPUS)
+
+    benchmark(lambda: parse_program(FIGURE_6_PROGRAM))
+
+
+def test_fig3_compile_throughput(paper_db, benchmark):
+    library = InterfaceObjectLibrary()
+    install_standard_composites(library, persist=False)
+    presentations = PresentationRegistry()
+    directives = benchmark(
+        lambda: compile_program(FIGURE_6_PROGRAM, paper_db, library,
+                                presentations))
+    assert len(directives) == 1
+
+
+def test_fig3_large_program_compile(paper_db, benchmark, capsys):
+    """Compile a 40-directive program (one per user) in one pass."""
+    library = InterfaceObjectLibrary()
+    install_standard_composites(library, persist=False)
+    presentations = PresentationRegistry()
+    program = "\n".join(
+        FIGURE_6_PROGRAM.replace("user juliano", f"user engineer_{i}")
+        for i in range(40)
+    )
+    directives = benchmark(
+        lambda: compile_program(program, paper_db, library, presentations))
+    assert len(directives) == 40
+    with capsys.disabled():
+        print_header("F3b", "large-program compilation")
+        print_table(["directives", "rules generated (5 per directive)"],
+                    [[len(directives), len(directives) * 5]])

@@ -1,0 +1,61 @@
+"""Experiment F4 — paper Figure 4: the default interface windows.
+
+Rebuilds the three generic windows of the §4 browsing loop for the
+phone-net database, prints their renderings (the reproduction of the
+Figure 4 screenshots), asserts their documented structure, and times the
+generic build path.
+"""
+
+from repro.core import GISSession
+from repro.ui import class_window_areas, displayed_attribute_names
+
+from _support import print_header
+
+
+def test_fig4_default_windows(paper_db, generic_session, capsys, benchmark):
+    session = generic_session
+    session.connect("phone_net")
+    session.select_class("Pole")
+    pole_oid = paper_db.extent("phone_net", "Pole").oids()[0]
+    session.select_instance(pole_oid)
+
+    schema_window = session.screen.window("schema_phone_net")
+    class_window = session.screen.window("classset_Pole")
+    instance_window = session.screen.window(f"instance_{pole_oid}")
+
+    # Figure 4 left: Schema window shows "the complete schema"
+    keys = [k for k, __ in schema_window.find("classes").items]
+    assert set(keys) == {"Supplier", "District", "Street", "NetworkElement",
+                         "Pole", "Duct", "Cable"}
+    # Figure 4 center: Class-set window with control + presentation areas
+    control, presentation = class_window_areas(class_window)
+    assert control.find("operations") is not None       # menu buttons
+    assert control.find("instances") is not None        # class widgets area
+    area = presentation.find("map")
+    assert len(area.features) == paper_db.count("phone_net", "Pole")
+    assert {s for __, __g, s in area.features} == {"*"}  # generic symbol
+    # Figure 4 right: Instance window, a panel per attribute
+    assert len(displayed_attribute_names(instance_window)) == 8
+
+    with capsys.disabled():
+        print_header("F4", "Figure 4 — default interface windows")
+        print(session.render("schema_phone_net"))
+        print()
+        print(session.render("classset_Pole"))
+        print()
+        print(session.render(f"instance_{pole_oid}"))
+
+    benchmark(lambda: session.render("classset_Pole"))
+
+
+def test_fig4_default_build_latency(paper_db, benchmark):
+    """Cost of building the full default window set (no customization)."""
+
+    def loop():
+        session = GISSession(paper_db, user="maria", application="browser")
+        session.connect("phone_net")
+        session.select_class("Pole")
+        session.engine.manager.detach()
+        return len(session.screen)
+
+    assert benchmark(loop) == 2

@@ -1,0 +1,80 @@
+"""Experiment F5 — paper Figure 5: the database schema for class Pole.
+
+Declares the exact class of Figure 5, verifies every attribute type and
+the method signature, round-trips the definition through the catalog
+(persistence), and times schema definition + instance validation.
+"""
+
+from repro.geodb import (
+    BitmapType,
+    GeoObject,
+    GeographicDatabase,
+    GeometryType,
+    IntegerType,
+    MetadataCatalog,
+    ReferenceType,
+    TextType,
+    TupleType,
+)
+from repro.spatial import Point
+from repro.workloads import build_phone_net_schema
+
+from _support import print_header, print_table
+
+
+def test_fig5_pole_class_definition(capsys, benchmark):
+    schema = benchmark(build_phone_net_schema)
+    pole = schema.get_class("Pole")
+
+    expected = [
+        ("pole_type", IntegerType),
+        ("pole_composition", TupleType),
+        ("pole_supplier", ReferenceType),
+        ("pole_location", GeometryType),
+        ("pole_picture", BitmapType),
+        ("pole_historic", TextType),
+    ]
+    assert [(a.name, type(a.type)) for a in pole.attributes] == expected
+    comp = pole.attribute("pole_composition").type
+    assert [(n, type(t).tag) for n, t in comp.fields.items()] == [
+        ("pole_material", "text"),
+        ("pole_diameter", "float"),
+        ("pole_height", "float"),
+    ]
+    assert pole.attribute("pole_supplier").type.class_name == "Supplier"
+    assert pole.attribute("pole_location").type.subtype == "point"
+    assert pole.methods["get_supplier_name"].signature() == \
+        "get_supplier_name(Supplier)"
+
+    with capsys.disabled():
+        print_header("F5", "Figure 5 — Class Pole as declared")
+        rows = [[a.name, a.type.spec()] for a in pole.attributes]
+        rows.append(["Methods:", pole.methods["get_supplier_name"].signature()])
+        print_table(["attribute", "type"], rows)
+
+
+def test_fig5_catalog_roundtrip(benchmark):
+    db = GeographicDatabase("F5")
+    db.register_schema(build_phone_net_schema())
+    catalog = MetadataCatalog(db)
+    catalog.save_schema(db.get_schema_object("phone_net"))
+
+    loaded = benchmark(lambda: catalog.load_schema("phone_net"))
+    original = db.get_schema_object("phone_net")
+    assert loaded.describe() == original.describe()
+
+
+def test_fig5_instance_validation_cost(benchmark):
+    schema = build_phone_net_schema()
+    values = {
+        "pole_type": 1,
+        "pole_composition": {"pole_material": "wood",
+                             "pole_diameter": 0.3, "pole_height": 9.0},
+        "pole_location": Point(10.0, 20.0),
+        "pole_picture": b"\x00" * 64,
+        "pole_historic": "installed 1990",
+        "install_year": 1990,
+        "status": "ok",
+    }
+    obj = benchmark(lambda: GeoObject.create(schema, "Pole", values))
+    assert obj.class_name == "Pole"

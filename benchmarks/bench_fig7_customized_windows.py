@@ -1,0 +1,104 @@
+"""Experiment F7 — paper Figure 7: the customized interface windows.
+
+Runs the complete §4 session under the compiled Figure 6 rules, prints
+the customized Class-set and Instance windows (the reproduction of the
+Figure 7 screenshots), diffs them against the Figure 4 defaults, and
+times the customized interaction path.
+"""
+
+from repro.core import GISSession
+from repro.lang import FIGURE_6_PROGRAM
+from repro.ui import displayed_attribute_names, map_symbols, summarize_window
+
+from _support import print_header, print_table
+
+
+def test_fig7_customized_windows(paper_db, juliano_session, capsys,
+                                 benchmark):
+    session = juliano_session
+    session.connect("phone_net")
+    pole_oid = paper_db.extent("phone_net", "Pole").oids()[0]
+    session.select_instance(pole_oid)
+
+    class_window = session.screen.window("classset_Pole")
+    instance_window = session.screen.window(f"instance_{pole_oid}")
+
+    # Figure 7 left: customized Class-set window
+    assert not session.screen.window("schema_phone_net").visible
+    assert class_window.find("class_widget_Pole").widget_type == "slider"
+    assert map_symbols(class_window) == {"o"}
+    # Figure 7 right: customized Instance window
+    shown = displayed_attribute_names(instance_window)
+    assert "pole_location" not in shown
+    assert "pole_composition" in shown and "pole_supplier" in shown
+
+    with capsys.disabled():
+        print_header("F7", "Figure 7 — customized interface windows")
+        print(session.render("classset_Pole"))
+        print()
+        print(session.render(f"instance_{pole_oid}"))
+
+    benchmark(lambda: session.render(f"instance_{pole_oid}"))
+
+
+def test_fig7_default_vs_customized_diff(paper_db, capsys, benchmark):
+    """The exact structural delta the customization bought."""
+    pole_oid = paper_db.extent("phone_net", "Pole").oids()[0]
+
+    generic = GISSession(paper_db, user="maria", application="browser")
+    generic.connect("phone_net")
+    generic.select_class("Pole")
+    generic.select_instance(pole_oid)
+
+    custom = GISSession(paper_db, user="juliano",
+                        application="pole_manager")
+    custom.install_program(FIGURE_6_PROGRAM, persist=False)
+    custom.connect("phone_net")
+    custom.select_instance(pole_oid)
+
+    g_class = summarize_window(generic.screen.window("classset_Pole"))
+    c_class = summarize_window(custom.screen.window("classset_Pole"))
+    g_inst = summarize_window(generic.screen.window(f"instance_{pole_oid}"))
+    c_inst = summarize_window(custom.screen.window(f"instance_{pole_oid}"))
+
+    rows = [
+        ["schema window visible", "yes", "no (NULL)"],
+        ["class control widget", "button", "poleWidget (slider)"],
+        ["class presentation", g_class.presentation_format,
+         c_class.presentation_format],
+        ["map symbol", "*", "o"],
+        ["map features", g_class.feature_count, c_class.feature_count],
+        ["instance attribute panels",
+         len(displayed_attribute_names(
+             generic.screen.window(f"instance_{pole_oid}"))),
+         len(displayed_attribute_names(
+             custom.screen.window(f"instance_{pole_oid}")))],
+        ["instance widgets", g_inst.widget_count, c_inst.widget_count],
+    ]
+    with capsys.disabled():
+        print_header("F7b", "default (Fig 4) vs customized (Fig 7)")
+        print_table(["aspect", "default", "customized"], rows)
+
+    assert c_class.presentation_format == "pointFormat"
+    assert g_class.feature_count == c_class.feature_count
+
+    custom.engine.manager.detach()
+    generic.engine.manager.detach()
+    benchmark(lambda: summarize_window(
+        custom.screen.window("classset_Pole")))
+
+
+def test_fig7_customized_session_latency(paper_db, benchmark):
+    """Cost of the full customized §4 loop (compare with F4's default)."""
+    pole_oid = paper_db.extent("phone_net", "Pole").oids()[0]
+
+    def loop():
+        session = GISSession(paper_db, user="juliano",
+                             application="pole_manager")
+        session.install_program(FIGURE_6_PROGRAM, persist=False)
+        session.connect("phone_net")
+        session.select_instance(pole_oid)
+        session.engine.manager.detach()
+        return len(session.screen)
+
+    assert benchmark(loop) == 3

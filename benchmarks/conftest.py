@@ -1,0 +1,47 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every experiment of DESIGN.md §4 has one ``bench_*.py`` file here. Each
+file both (a) times its kernel with pytest-benchmark and (b) prints the
+rows/series the corresponding paper figure or claim describes, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates the full experimental record (EXPERIMENTS.md quotes it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GISSession
+from repro.lang import FIGURE_6_PROGRAM
+from repro.workloads import PhoneNetParams, build_phone_net_database
+
+
+@pytest.fixture(scope="module")
+def paper_db():
+    """The §4 phone-net database at the paper's demo scale."""
+    return build_phone_net_database()
+
+
+@pytest.fixture(scope="module")
+def big_db():
+    """A larger network for latency benchmarks."""
+    return build_phone_net_database(
+        PhoneNetParams(blocks_x=8, blocks_y=6, poles_per_street=6,
+                       duct_count=20, seed=2024),
+        name="GEO_BIG",
+    )
+
+
+@pytest.fixture()
+def juliano_session(paper_db):
+    session = GISSession(paper_db, user="juliano",
+                         application="pole_manager")
+    session.install_program(FIGURE_6_PROGRAM, persist=False)
+    return session
+
+
+@pytest.fixture()
+def generic_session(paper_db):
+    return GISSession(paper_db, user="maria", application="browser")

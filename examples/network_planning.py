@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Network planning: the analysis and simulation interaction modes (§2.2).
+
+The paper's exploratory mode is what the Schema/Class-set/Instance
+windows serve; §2.2 also names the *analysis* mode ("evaluate conditions,
+usually via query predicates") and the *simulation* mode ("users build
+scenarios to test their hypotheses"). This example exercises both on the
+telephone network:
+
+1. analysis — textual spatial queries over the live database;
+2. simulation — a what-if scenario that relocates poles and adds a new
+   duct, evaluated hypothetically, then discarded;
+3. a second scenario that passes review and is committed, with the
+   topological integrity rules (paper [11]) guarding the commit.
+
+Usage: ``python examples/network_planning.py``
+"""
+
+from repro.active import ConstraintGuard, ProximityConstraint, RelationConstraint
+from repro.errors import ConstraintViolationError
+from repro.geodb import run_query
+from repro.spatial import LineString, Point
+from repro.workloads import build_phone_net_database
+
+
+def main() -> None:
+    db = build_phone_net_database()
+    guard = ConstraintGuard(db, "phone_net")
+    guard.add(RelationConstraint("Pole", "pole_location", "within",
+                                 "District", "boundary"))
+    guard.add(ProximityConstraint("Pole", "pole_location",
+                                  "Street", "axis", 15.0))
+
+    # ------------------------------------------------------------------
+    print("=" * 72)
+    print("ANALYSIS MODE — query predicates over the network")
+    print("=" * 72)
+    queries = [
+        ("wooden poles, newest first",
+         "select pole_composition.pole_material, install_year from Pole "
+         "where pole_composition.pole_material = 'wood' "
+         "order by desc install_year limit 5"),
+        ("poles needing maintenance near the depot (0,0)",
+         "select * from Pole where status = 'maintenance' and "
+         "distance(pole_location, point(0, 0)) <= 300"),
+        ("every network element in the north-east block",
+         "select * from NetworkElement including subclasses"),
+    ]
+    for label, text in queries:
+        result = run_query(db, "phone_net", text)
+        print(f"\n-- {label}")
+        print(result.explain())
+        for row in (result.rows or [])[:5]:
+            print("   ", row)
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 72)
+    print("SIMULATION MODE — hypothesis A: move poles off Rua 1 (rejected)")
+    print("=" * 72)
+    with db.scenario("phone_net") as what_if:
+        victims = what_if.run_query(
+            "select * from Pole where "
+            "distance(pole_location, line(0 0, 0 360)) <= 5 limit 3")
+        print(f"poles on the corridor: {victims.oids()}")
+        for oid in victims.oids():
+            what_if.update(oid, {"pole_location": Point(55.0, 55.0)})
+        crowded = what_if.run_query(
+            "select * from Pole where "
+            "distance(pole_location, point(55, 55)) <= 2")
+        print(f"hypothetical crowding at (55, 55): {len(crowded)} poles "
+              f"-> plan rejected, discarding scenario")
+        what_if.discard()
+    print(f"database untouched: "
+          f"{db.count('phone_net', 'Pole')} poles, as before")
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 72)
+    print("SIMULATION MODE — hypothesis B: new duct + service poles "
+          "(committed)")
+    print("=" * 72)
+    scenario = db.scenario("phone_net")
+    scenario.insert("Duct", {
+        "duct_path": LineString([(10.0, 100.0), (200.0, 100.0)]),
+        "duct_depth": 1.1,
+        "duct_material": "pvc",
+        "status": "planned",
+    })
+    for x in (60.0, 120.0, 180.0):
+        scenario.insert("Pole", {
+            "pole_location": Point(x, 118.0),   # within 15 m of Travessa 2
+            "pole_type": 2,
+            "status": "planned",
+        })
+    planned = scenario.run_query(
+        "select * from Pole where status = 'planned'")
+    print(f"hypothetical new poles: {len(planned)}")
+    try:
+        applied = scenario.commit()
+        print(f"review passed; committed {applied} operations "
+              f"(integrity rules checked each one)")
+    except ConstraintViolationError as exc:
+        print(f"commit vetoed: {exc}")
+    print(f"database now: {db.count('phone_net', 'Pole')} poles, "
+          f"{db.count('phone_net', 'Duct')} ducts")
+    committed = run_query(db, "phone_net",
+                          "select * from Pole where status = 'planned'")
+    print(f"committed planned poles visible to analysis queries: "
+          f"{len(committed)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: browse a geographic database, then customize the interface.
+
+Runs the paper's §4 walkthrough twice:
+
+1. as a *generic* user — the default Schema / Class-set / Instance windows
+   of paper Figure 4;
+2. as ``<user juliano, application pole_manager>`` with the paper's
+   Figure 6 customization program installed — the customized windows of
+   paper Figure 7 (hidden schema, poleWidget slider, pointFormat map,
+   composed pole_composition, dereferenced supplier, hidden location).
+
+Usage: ``python examples/quickstart.py``
+"""
+
+from repro.core import GISSession
+from repro.lang import FIGURE_6_PROGRAM, render_rules
+from repro.workloads import build_phone_net_database
+
+
+def main() -> None:
+    db = build_phone_net_database()
+    pole_oid = db.extent("phone_net", "Pole").oids()[0]
+
+    print("=" * 72)
+    print("PART 1 — generic interface (paper Figure 4)")
+    print("=" * 72)
+    generic = GISSession(db, user="maria", application="network_browser")
+    generic.connect("phone_net")
+    generic.select_class("Pole")
+    generic.select_instance(pole_oid)
+    print(generic.render("schema_phone_net"))
+    print()
+    print(generic.render("classset_Pole"))
+    print()
+    print(generic.render(f"instance_{pole_oid}"))
+
+    print()
+    print("=" * 72)
+    print("PART 2 — customized interface (paper Figures 6 and 7)")
+    print("=" * 72)
+    custom = GISSession(db, user="juliano", application="pole_manager")
+    directives = custom.install_program(FIGURE_6_PROGRAM, persist=False)
+    print("The directive compiled to these active rules:")
+    for directive in directives:
+        for rule in render_rules(directive):
+            print(rule)
+    print()
+
+    custom.connect("phone_net")   # rule R1 hides the schema, opens Pole
+    print("open windows:", custom.screen.names())
+    print("schema window visible:",
+          custom.screen.window("schema_phone_net").visible)
+    print()
+    print(custom.render("classset_Pole"))
+    print()
+    custom.select_instance(pole_oid)
+    print(custom.render(f"instance_{pole_oid}"))
+    print()
+    print("Why does the instance window look like this? (explanation mode)")
+    print(custom.explain_window(f"instance_{pole_oid}"))
+
+
+if __name__ == "__main__":
+    main()

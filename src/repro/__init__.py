@@ -1,0 +1,51 @@
+"""repro — reproduction of "Active Customization of GIS User Interfaces".
+
+Medeiros, Oliveira & Cilia, ICDE 1997.
+
+The public API is organized in subpackages:
+
+* :mod:`repro.spatial`   — geometry, topology, spatial indexes, map scale;
+* :mod:`repro.geodb`     — the object-oriented geographic DBMS substrate;
+* :mod:`repro.active`    — the generic ECA rule engine and constraints;
+* :mod:`repro.uilib`     — the interface objects library and renderers;
+* :mod:`repro.lang`      — the declarative customization language;
+* :mod:`repro.core`      — contexts, customization rules, builder,
+  dispatcher, and the :class:`~repro.core.session.GISSession` façade;
+* :mod:`repro.ui`        — MVC plumbing and the interaction driver;
+* :mod:`repro.workloads` — synthetic data generators;
+* :mod:`repro.baselines` — conventional comparators for the benchmarks.
+
+Quickstart::
+
+    from repro.core import GISSession
+    from repro.workloads import build_phone_net_database
+    from repro.lang import FIGURE_6_PROGRAM
+
+    db = build_phone_net_database()
+    session = GISSession(db, user="juliano", application="pole_manager")
+    session.install_program(FIGURE_6_PROGRAM, persist=False)
+    session.connect("phone_net")
+    print(session.render())
+"""
+
+from .core.session import GISSession
+from .core.context import Context, ContextPattern
+from .core.customization import (
+    AttributeCustomization,
+    ClassCustomization,
+    CustomizationDirective,
+)
+from .geodb.database import GeographicDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GISSession",
+    "Context",
+    "ContextPattern",
+    "CustomizationDirective",
+    "ClassCustomization",
+    "AttributeCustomization",
+    "GeographicDatabase",
+    "__version__",
+]

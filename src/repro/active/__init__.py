@@ -1,0 +1,33 @@
+"""Active database mechanism: events, ECA rules, integrity constraints."""
+
+from .event_bus import (
+    EXPLORATORY_KINDS,
+    MUTATION_KINDS,
+    Event,
+    EventBus,
+    EventKind,
+)
+from .rule_manager import (
+    Action,
+    Condition,
+    Coupling,
+    Firing,
+    Rule,
+    RuleManager,
+    SelectionPolicy,
+)
+from .constraints import (
+    Constraint,
+    ConstraintGuard,
+    ProximityConstraint,
+    RelationConstraint,
+    Violation,
+)
+
+__all__ = [
+    "Event", "EventBus", "EventKind", "EXPLORATORY_KINDS", "MUTATION_KINDS",
+    "Rule", "RuleManager", "Coupling", "SelectionPolicy", "Firing",
+    "Condition", "Action",
+    "Constraint", "RelationConstraint", "ProximityConstraint",
+    "ConstraintGuard", "Violation",
+]

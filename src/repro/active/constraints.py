@@ -1,0 +1,269 @@
+"""Topological integrity constraints maintained by active rules.
+
+The paper's §5 reports: "A prototype has been developed to associate a gis
+with an active dbms, and it has been used for maintaining topological
+constraints in the gis" (reference [11], Medeiros & Cilia 1995). This
+module reproduces that companion capability on the same generic rule
+engine the customization rules use — demonstrating the §3.3 claim that
+one active mechanism serves both rule families.
+
+A constraint declares a binary topological requirement between classes::
+
+    # every Pole must lie within the service District
+    RelationConstraint("Pole", "pole_location", "within", "District",
+                       "boundary", quantifier="some")
+
+    # no two Ducts may cross
+    RelationConstraint("Duct", "duct_path", "crosses", "Duct", "duct_path",
+                       quantifier="none")
+
+A :class:`ConstraintGuard` compiles each constraint into an ECA rule on
+the mutation events' *validate* phase; a violating transaction is aborted
+by raising :class:`~repro.errors.ConstraintViolationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ConstraintViolationError, RuleError
+from ..spatial.geometry import Geometry
+from ..spatial.algorithms import geometry_distance
+from ..spatial.topology import PREDICATES
+from .event_bus import Event, EventKind, MUTATION_KINDS
+from .rule_manager import Rule, RuleManager
+
+_QUANTIFIERS = ("some", "all", "none")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected constraint violation."""
+
+    constraint: str
+    subject_oid: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.constraint}] {self.subject_oid}: {self.detail}"
+
+
+class Constraint:
+    """Base class: checks a staged object, returns violations."""
+
+    name: str = "constraint"
+    subject_class: str = ""
+
+    def check(self, database, schema_name: str, oid: str,
+              staged: dict[str, Any]) -> list[Violation]:
+        raise NotImplementedError
+
+
+class RelationConstraint(Constraint):
+    """``<subject>.<attr> <relation> <target>.<attr>`` with a quantifier.
+
+    quantifier:
+        * ``"some"`` — the relation must hold against at least one target;
+        * ``"all"``  — against every target;
+        * ``"none"`` — against no target (a prohibition).
+
+    The subject object itself is excluded from the target set when subject
+    and target classes coincide.
+    """
+
+    def __init__(self, subject_class: str, subject_attr: str, relation: str,
+                 target_class: str, target_attr: str,
+                 quantifier: str = "some", name: str | None = None):
+        if relation not in PREDICATES:
+            raise RuleError(f"unknown topological relation {relation!r}")
+        if quantifier not in _QUANTIFIERS:
+            raise RuleError(
+                f"quantifier must be one of {_QUANTIFIERS}, got {quantifier!r}"
+            )
+        self.subject_class = subject_class
+        self.subject_attr = subject_attr
+        self.relation = relation
+        self.target_class = target_class
+        self.target_attr = target_attr
+        self.quantifier = quantifier
+        self.name = name or (
+            f"{subject_class}.{subject_attr} {relation} "
+            f"[{quantifier}] {target_class}.{target_attr}"
+        )
+
+    def check(self, database, schema_name: str, oid: str,
+              staged: dict[str, Any]) -> list[Violation]:
+        geom = staged.get(self.subject_attr)
+        if not isinstance(geom, Geometry):
+            return []  # nothing spatial staged; nothing to check
+        predicate = PREDICATES[self.relation]
+        targets = [
+            obj
+            for obj in database.extent(schema_name, self.target_class)
+            if obj.oid != oid
+        ]
+        holds = []
+        for target in targets:
+            target_geom = target.geometry(self.target_attr)
+            if target_geom is None:
+                continue
+            if predicate(geom, target_geom):
+                holds.append(target.oid)
+        if self.quantifier == "some" and not holds:
+            if not targets:
+                return []  # vacuously satisfied: no targets exist yet
+            return [
+                Violation(
+                    self.name,
+                    oid,
+                    f"{self.relation} holds against no {self.target_class}",
+                )
+            ]
+        if self.quantifier == "all":
+            checked = [
+                t.oid for t in targets if t.geometry(self.target_attr) is not None
+            ]
+            missing = sorted(set(checked) - set(holds))
+            if missing:
+                return [
+                    Violation(
+                        self.name,
+                        oid,
+                        f"{self.relation} fails against {missing}",
+                    )
+                ]
+        if self.quantifier == "none" and holds:
+            return [
+                Violation(
+                    self.name,
+                    oid,
+                    f"{self.relation} holds against {sorted(holds)} "
+                    f"but is prohibited",
+                )
+            ]
+        return []
+
+
+class ProximityConstraint(Constraint):
+    """Subject geometry must lie within ``max_distance`` of some target.
+
+    E.g. a pole must stand within 30 m of a street segment.
+    """
+
+    def __init__(self, subject_class: str, subject_attr: str,
+                 target_class: str, target_attr: str, max_distance: float,
+                 name: str | None = None):
+        if max_distance < 0:
+            raise RuleError("max_distance must be non-negative")
+        self.subject_class = subject_class
+        self.subject_attr = subject_attr
+        self.target_class = target_class
+        self.target_attr = target_attr
+        self.max_distance = float(max_distance)
+        self.name = name or (
+            f"{subject_class}.{subject_attr} near({max_distance}) "
+            f"{target_class}.{target_attr}"
+        )
+
+    def check(self, database, schema_name: str, oid: str,
+              staged: dict[str, Any]) -> list[Violation]:
+        geom = staged.get(self.subject_attr)
+        if not isinstance(geom, Geometry):
+            return []
+        best = None
+        for target in database.extent(schema_name, self.target_class):
+            if target.oid == oid:
+                continue
+            target_geom = target.geometry(self.target_attr)
+            if target_geom is None:
+                continue
+            dist = geometry_distance(geom, target_geom)
+            best = dist if best is None else min(best, dist)
+            if dist <= self.max_distance:
+                return []
+        if best is None:
+            return []  # no targets: vacuously satisfied
+        return [
+            Violation(
+                self.name,
+                oid,
+                f"nearest {self.target_class} is {best:.2f} away "
+                f"(limit {self.max_distance})",
+            )
+        ]
+
+
+class ConstraintGuard:
+    """Wires constraints into a database's event bus as active rules.
+
+    One ECA rule per constraint, in rule group ``"integrity"``, listening
+    to the *validate* phase of insert/update events. Delete events are not
+    guarded (the paper's constraints concern spatial configurations of
+    existing objects; referential integrity already guards deletes).
+    """
+
+    GROUP = "integrity"
+
+    def __init__(self, database, schema_name: str,
+                 manager: RuleManager | None = None):
+        self.database = database
+        self.schema_name = schema_name
+        self.manager = manager or RuleManager(database.bus)
+        self._constraints: list[Constraint] = []
+        #: violations found by check-only sweeps (not aborted transactions)
+        self.audit_log: list[Violation] = []
+
+    def add(self, constraint: Constraint) -> Constraint:
+        self._constraints.append(constraint)
+        subject = constraint.subject_class
+        name = f"integrity::{constraint.name}"
+
+        def condition(event: Event, _subject=subject) -> bool:
+            return (
+                event.payload.get("phase") == "validate"
+                and event.payload.get("schema") == self.schema_name
+                and event.payload.get("class") == _subject
+            )
+
+        def action(event: Event, _manager, _constraint=constraint) -> None:
+            staged = event.payload.get("staged") or {}
+            violations = _constraint.check(
+                self.database, self.schema_name, event.subject, staged
+            )
+            if violations:
+                raise ConstraintViolationError(
+                    "; ".join(v.describe() for v in violations),
+                    violations=violations,
+                )
+
+        self.manager.define(
+            name,
+            events=MUTATION_KINDS - {EventKind.DELETE},
+            condition=condition,
+            action=action,
+            group=self.GROUP,
+            doc=f"topological integrity: {constraint.name}",
+        )
+        return constraint
+
+    def constraints(self) -> list[Constraint]:
+        return list(self._constraints)
+
+    def sweep(self) -> list[Violation]:
+        """Audit the whole database against every constraint.
+
+        Unlike the event path this never raises; it reports. Useful after
+        bulk loads or after enabling a new constraint on existing data.
+        """
+        found: list[Violation] = []
+        for constraint in self._constraints:
+            for obj in self.database.extent(self.schema_name,
+                                            constraint.subject_class):
+                found.extend(
+                    constraint.check(
+                        self.database, self.schema_name, obj.oid, obj.values()
+                    )
+                )
+        self.audit_log.extend(found)
+        return found

@@ -1,0 +1,170 @@
+"""Event definitions and the synchronous event bus.
+
+The paper's active mechanism "responds to events generated internally or
+externally to the system itself" (§3.3). Events may be *internal* to the
+database (queries, updates) or *external* (application and interface
+events). Interface interactions are split in two: an interface event
+``IE_i`` handled by widget callbacks, and a database event ``DBE_i``
+captured by the active mechanism.
+
+This module defines the shared :class:`Event` value object and a small
+synchronous :class:`EventBus`. The geographic DBMS publishes its primitive
+events (``get_schema``, ``get_class``, ``get_value``, ``insert``,
+``update``, ``delete``) here; the rule managers in
+:mod:`repro.active.rule_manager` and :mod:`repro.core.rule_engine`
+subscribe to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable
+
+from ..errors import RuleError
+
+
+class EventKind(Enum):
+    """Primitive event vocabulary shared by the database and the interface.
+
+    The three ``GET_*`` kinds are the exploratory-mode primitives of §3.3;
+    the three mutation kinds extend the paper toward its stated future work
+    (customization and constraint checking of update requests).
+    """
+
+    GET_SCHEMA = "get_schema"
+    GET_CLASS = "get_class"
+    GET_VALUE = "get_value"
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    # External/application events (hardware interrupts, timers, app signals).
+    EXTERNAL = "external"
+
+    @classmethod
+    def from_name(cls, name: str) -> "EventKind":
+        for kind in cls:
+            if kind.value == name:
+                return kind
+        raise RuleError(f"unknown event kind {name!r}")
+
+
+#: Event kinds the exploratory interaction mode is restricted to (§3.3).
+EXPLORATORY_KINDS = frozenset(
+    {EventKind.GET_SCHEMA, EventKind.GET_CLASS, EventKind.GET_VALUE}
+)
+
+#: Mutation kinds, used by the constraint rules and the update extension.
+MUTATION_KINDS = frozenset({EventKind.INSERT, EventKind.UPDATE, EventKind.DELETE})
+
+_event_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One occurrence of a primitive event.
+
+    Attributes
+    ----------
+    kind:
+        The primitive vocabulary entry (:class:`EventKind`).
+    subject:
+        What the event is about: a schema name for ``GET_SCHEMA``, a class
+        name for ``GET_CLASS``/mutations, an object id for ``GET_VALUE``.
+    payload:
+        Kind-specific data (e.g. the updated attribute values, the query
+        parameters). Stored as an immutable-by-convention mapping.
+    context:
+        The interaction context in which the event occurred — the paper's
+        ``<user class, application domain>`` tuple, carried as an opaque
+        object understood by the rule condition layer.
+    depth:
+        Cascade depth: 0 for primary events, incremented for events raised
+        by rule actions. The rule managers bound this.
+    """
+
+    kind: EventKind
+    subject: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    context: Any = None
+    depth: int = 0
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    def derived(self, kind: EventKind, subject: str, payload: dict | None = None) -> "Event":
+        """A follow-up event raised by a rule action (depth + 1)."""
+        return Event(
+            kind=kind,
+            subject=subject,
+            payload=dict(payload or {}),
+            context=self.context,
+            depth=self.depth + 1,
+        )
+
+    def describe(self) -> str:
+        return f"{self.kind.value}({self.subject})@depth={self.depth}"
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """A synchronous publish/subscribe hub for :class:`Event` objects.
+
+    Subscribers are invoked in registration order, immediately, on the
+    publisher's call stack (the paper's *immediate* coupling mode). A
+    subscriber may be registered for specific kinds or for all events.
+    """
+
+    def __init__(self) -> None:
+        self._by_kind: dict[EventKind, list[Subscriber]] = {}
+        self._all: list[Subscriber] = []
+        self._published = 0
+        self._log: list[Event] = []
+        self.keep_log = False
+        #: the most recently published event — lets a caller that triggered
+        #: a primitive (and thus its event) correlate with rule decisions
+        self.last_event: Event | None = None
+
+    def subscribe(self, subscriber: Subscriber,
+                  kinds: Iterable[EventKind] | None = None) -> None:
+        """Register ``subscriber`` for ``kinds`` (or every kind when None)."""
+        if kinds is None:
+            self._all.append(subscriber)
+            return
+        for kind in kinds:
+            self._by_kind.setdefault(kind, []).append(subscriber)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove a subscriber from every registration point.
+
+        Uses ``==`` rather than ``is``: bound methods (e.g. ``seen.append``)
+        produce a fresh object on every attribute access, but compare equal.
+        """
+        self._all = [s for s in self._all if s != subscriber]
+        for kind in list(self._by_kind):
+            self._by_kind[kind] = [
+                s for s in self._by_kind[kind] if s != subscriber
+            ]
+            if not self._by_kind[kind]:
+                del self._by_kind[kind]
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to every matching subscriber, synchronously."""
+        self._published += 1
+        self.last_event = event
+        if self.keep_log:
+            self._log.append(event)
+        for subscriber in list(self._by_kind.get(event.kind, ())):
+            subscriber(event)
+        for subscriber in list(self._all):
+            subscriber(event)
+
+    @property
+    def published_count(self) -> int:
+        return self._published
+
+    def drain_log(self) -> list[Event]:
+        """Return and clear the retained event log (requires ``keep_log``)."""
+        log, self._log = self._log, []
+        return log

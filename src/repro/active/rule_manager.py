@@ -1,0 +1,253 @@
+"""Generic ECA (Event-Condition-Action) rule engine.
+
+§3.3: "Active databases are systems which respond to events generated
+internally or externally to the system itself without user intervention.
+The active dimension is supported by production rule mechanisms ... rules
+are usually defined using three components: Event, Condition, Action."
+
+This module is the *generic* engine the paper says it does not need to
+specialize ("we do not require a special purpose active mechanism, but
+have only introduced a new type of rules and events to be handled"):
+
+* rules subscribe to event kinds, carry a condition predicate and an
+  action callable;
+* the rule set is **partitioned** (§3.3: "the rule set may be partitioned
+  into (at least) two subsets: rules for interface customization, and
+  other rules") by a free-form ``group`` tag;
+* per-group **selection policies**: ``ALL_MATCHING`` runs every matching
+  rule in priority order (integrity rules), ``HIGHEST_PRIORITY`` runs only
+  the single most specific rule (the paper's customization policy);
+* **coupling modes**: immediate (action runs on the publisher's stack) or
+  deferred (queued until :meth:`RuleManager.flush_deferred`);
+* **cascade control**: actions may raise derived events; depth is bounded;
+* an **execution trace** records which rule fired on which event and why —
+  the hook for the §2.2 *explanation* interaction mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable
+
+from ..errors import CascadeLimitError, RuleError
+from .event_bus import Event, EventBus, EventKind
+
+Condition = Callable[[Event], bool]
+Action = Callable[[Event, "RuleManager"], Any]
+
+_rule_ids = itertools.count(1)
+
+
+class Coupling(Enum):
+    """When an action runs relative to its triggering event."""
+
+    IMMEDIATE = "immediate"
+    DEFERRED = "deferred"
+
+
+class SelectionPolicy(Enum):
+    """How many of the matching rules in a group execute per event."""
+
+    ALL_MATCHING = "all"
+    HIGHEST_PRIORITY = "highest"
+
+
+@dataclass
+class Rule:
+    """One ECA rule.
+
+    ``priority`` orders execution (higher first). For customization rules
+    the priority encodes context specificity — see
+    :mod:`repro.core.priority`.
+    """
+
+    name: str
+    events: frozenset[EventKind]
+    condition: Condition
+    action: Action
+    priority: int = 0
+    group: str = "default"
+    coupling: Coupling = Coupling.IMMEDIATE
+    enabled: bool = True
+    doc: str = ""
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+
+    def matches(self, event: Event) -> bool:
+        if not self.enabled or event.kind not in self.events:
+            return False
+        try:
+            return bool(self.condition(event))
+        except Exception as exc:
+            raise RuleError(
+                f"condition of rule {self.name!r} raised {exc!r}"
+            ) from exc
+
+
+@dataclass
+class Firing:
+    """Trace entry: one rule execution."""
+
+    rule_name: str
+    group: str
+    event: Event
+    result: Any = None
+    error: str | None = None
+
+    def describe(self) -> str:
+        status = f"error={self.error}" if self.error else "ok"
+        return f"{self.rule_name} on {self.event.describe()} [{status}]"
+
+
+class RuleManager:
+    """Holds the rule set and reacts to events on a bus."""
+
+    def __init__(self, bus: EventBus, max_cascade_depth: int = 8,
+                 trace_limit: int = 1000):
+        self.bus = bus
+        self.max_cascade_depth = max_cascade_depth
+        self._rules: dict[str, Rule] = {}
+        self._policies: dict[str, SelectionPolicy] = {}
+        self._deferred: list[tuple[Rule, Event]] = []
+        self.trace: list[Firing] = []
+        self.trace_limit = trace_limit
+        self._handler = self._on_event
+        bus.subscribe(self._handler)
+
+    def detach(self) -> None:
+        """Stop reacting to the bus (used when swapping engines)."""
+        self.bus.unsubscribe(self._handler)
+
+    # -- rule set management ----------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> Rule:
+        if rule.name in self._rules:
+            raise RuleError(f"a rule named {rule.name!r} already exists")
+        self._rules[rule.name] = rule
+        return rule
+
+    def define(self, name: str, events: Iterable[EventKind], condition: Condition,
+               action: Action, priority: int = 0, group: str = "default",
+               coupling: Coupling = Coupling.IMMEDIATE, doc: str = "") -> Rule:
+        """Convenience builder + :meth:`add_rule`."""
+        return self.add_rule(
+            Rule(
+                name=name,
+                events=frozenset(events),
+                condition=condition,
+                action=action,
+                priority=priority,
+                group=group,
+                coupling=coupling,
+                doc=doc,
+            )
+        )
+
+    def remove_rule(self, name: str) -> None:
+        if name not in self._rules:
+            raise RuleError(f"no rule named {name!r}")
+        del self._rules[name]
+
+    def get_rule(self, name: str) -> Rule:
+        if name not in self._rules:
+            raise RuleError(f"no rule named {name!r}")
+        return self._rules[name]
+
+    def rules(self, group: str | None = None) -> list[Rule]:
+        out = list(self._rules.values())
+        if group is not None:
+            out = [r for r in out if r.group == group]
+        return out
+
+    def set_policy(self, group: str, policy: SelectionPolicy) -> None:
+        self._policies[group] = policy
+
+    def policy(self, group: str) -> SelectionPolicy:
+        return self._policies.get(group, SelectionPolicy.ALL_MATCHING)
+
+    # -- event handling ------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if event.depth > self.max_cascade_depth:
+            raise CascadeLimitError(
+                f"event {event.describe()} exceeds cascade depth "
+                f"{self.max_cascade_depth}"
+            )
+        selected = self.select_rules(event)
+        for rule in selected:
+            if rule.coupling is Coupling.DEFERRED:
+                self._deferred.append((rule, event))
+            else:
+                self._execute(rule, event)
+
+    def select_rules(self, event: Event) -> list[Rule]:
+        """Matching rules after applying each group's selection policy.
+
+        Rules are grouped, each group is ordered by (priority desc,
+        rule_id asc), and groups with ``HIGHEST_PRIORITY`` policy are cut
+        to their single top rule. Ties at the top of such a group raise
+        :class:`RuleError` — the paper's execution model requires a single
+        most-specific rule.
+        """
+        by_group: dict[str, list[Rule]] = {}
+        for rule in self._rules.values():
+            if rule.matches(event):
+                by_group.setdefault(rule.group, []).append(rule)
+        selected: list[Rule] = []
+        for group, rules in sorted(by_group.items()):
+            rules.sort(key=lambda r: (-r.priority, r.rule_id))
+            if self.policy(group) is SelectionPolicy.HIGHEST_PRIORITY:
+                if len(rules) > 1 and rules[0].priority == rules[1].priority:
+                    raise RuleError(
+                        f"ambiguous rule selection in group {group!r}: "
+                        f"{rules[0].name!r} and {rules[1].name!r} share "
+                        f"priority {rules[0].priority} for {event.describe()}"
+                    )
+                rules = rules[:1]
+            selected.extend(rules)
+        return selected
+
+    def _execute(self, rule: Rule, event: Event) -> None:
+        firing = Firing(rule_name=rule.name, group=rule.group, event=event)
+        try:
+            firing.result = rule.action(event, self)
+        except Exception as exc:
+            firing.error = repr(exc)
+            self._record(firing)
+            raise
+        self._record(firing)
+
+    def _record(self, firing: Firing) -> None:
+        self.trace.append(firing)
+        if len(self.trace) > self.trace_limit:
+            del self.trace[: len(self.trace) - self.trace_limit]
+
+    # -- action helpers ----------------------------------------------------------
+
+    def raise_event(self, event: Event) -> None:
+        """Publish a derived event from inside an action (cascade)."""
+        self.bus.publish(event)
+
+    def flush_deferred(self) -> int:
+        """Run every queued deferred action; returns the count executed."""
+        executed = 0
+        while self._deferred:
+            rule, event = self._deferred.pop(0)
+            self._execute(rule, event)
+            executed += 1
+        return executed
+
+    @property
+    def deferred_count(self) -> int:
+        return len(self._deferred)
+
+    def firings_for(self, event_id: int) -> list[Firing]:
+        return [f for f in self.trace if f.event.event_id == event_id]
+
+    def explain_last(self, n: int = 5) -> str:
+        """The last ``n`` firings, for the explanation interaction mode."""
+        tail = self.trace[-n:]
+        if not tail:
+            return "(no rule has fired yet)"
+        return "\n".join(f.describe() for f in tail)

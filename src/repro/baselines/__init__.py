@@ -1,0 +1,5 @@
+"""Conventional comparators the paper argues against (benchmark baselines)."""
+
+from .hardwired import HardwiredDispatcher, install_pole_manager_variants
+
+__all__ = ["HardwiredDispatcher", "install_pole_manager_variants"]

@@ -1,0 +1,284 @@
+"""The conventional "hardwired" interface — the paper's comparator.
+
+§1: "In commercial systems, each application interface is 'hardwired'
+into this gis interface." §3.5 claims two advantages over such designs:
+one generic window-building model (vs. "a specific code to generate each
+kind of window") and transparent customization (vs. "the customization
+involves the modification of the interface code").
+
+To measure those claims (experiments C3 and C7), this module implements
+the conventional design honestly:
+
+* :class:`HardwiredDispatcher` has a *separate, duplicated code path per
+  window kind*, with customizations compiled in as literal ``if user ==
+  ... and application == ...`` branches;
+* adding a customization means *editing this source file* (simulated by
+  :meth:`add_hardwired_variant`, which registers another Python branch) —
+  there is no rule engine, no library lookup, no declarative layer.
+
+The windows it produces are structurally equivalent to the generic
+dispatcher's output for the cases it supports, so latency comparisons are
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.context import Context
+from ..core.dispatcher import Screen
+from ..errors import DispatchError
+from ..geodb.database import GeographicDatabase
+from ..uilib.widgets import (
+    Button,
+    DrawingArea,
+    ListWidget,
+    Menu,
+    Panel,
+    Slider,
+    Text,
+    Window,
+)
+
+#: A hardwired variant: predicate over (user, application) plus a builder
+#: override keyed by window kind.
+Variant = tuple[Callable[[Context | None], bool], str, Callable]
+
+
+class HardwiredDispatcher:
+    """Per-window-type code paths with compiled-in customizations."""
+
+    def __init__(self, database: GeographicDatabase,
+                 screen: Screen | None = None):
+        self.database = database
+        self.screen = screen if screen is not None else Screen()
+        self.interactions = 0
+        self._variants: list[Variant] = []
+
+    # ------------------------------------------------------------------
+    # "Editing the interface code": registering another if-branch
+    # ------------------------------------------------------------------
+
+    def add_hardwired_variant(self, matcher: Callable[[Context | None], bool],
+                              window_kind: str,
+                              builder: Callable) -> None:
+        """Simulates a programmer adding a special case to the source."""
+        if window_kind not in ("schema", "class_set", "instance"):
+            raise DispatchError(f"unknown window kind {window_kind!r}")
+        self._variants.append((matcher, window_kind, builder))
+
+    def _variant_for(self, kind: str, context: Context | None):
+        for matcher, variant_kind, builder in self._variants:
+            if variant_kind == kind and matcher(context):
+                return builder
+        return None
+
+    # ------------------------------------------------------------------
+    # Window kind 1: schema windows (dedicated code path)
+    # ------------------------------------------------------------------
+
+    def open_schema(self, schema_name: str,
+                    context: Context | None = None) -> Window:
+        self.interactions += 1
+        variant = self._variant_for("schema", context)
+        if variant is not None:
+            window = variant(self, schema_name, context)
+        else:
+            window = self._build_schema_window_hardwired(schema_name)
+        self.screen.show(window)
+        return window
+
+    def _build_schema_window_hardwired(self, schema_name: str) -> Window:
+        schema = self.database.get_schema_object(schema_name)
+        window = Window(f"schema_{schema_name}", title=f"Schema: {schema_name}")
+        window.set_property("window_kind", "schema")
+        control = Panel("control")
+        window.add_child(control)
+        menu = Menu("schema_menu", label="Schema")
+        menu.add_item("open", "Open")
+        menu.add_item("refresh", "Refresh")
+        menu.add_item("close", "Close")
+        control.add_child(menu)
+        class_list = ListWidget("classes", label="Classes")
+        for cls in schema.classes():
+            count = len(self.database.extent(schema_name, cls.name))
+            class_list.add_item(cls.name, f"{cls.name} ({count})")
+        control.add_child(class_list)
+        return window
+
+    # ------------------------------------------------------------------
+    # Window kind 2: class-set windows (separate, duplicated path)
+    # ------------------------------------------------------------------
+
+    def open_class(self, schema_name: str, class_name: str,
+                   context: Context | None = None) -> Window:
+        self.interactions += 1
+        variant = self._variant_for("class_set", context)
+        if variant is not None:
+            window = variant(self, schema_name, class_name, context)
+        else:
+            window = self._build_class_window_hardwired(
+                schema_name, class_name
+            )
+        self.screen.show(window)
+        return window
+
+    def _build_class_window_hardwired(self, schema_name: str,
+                                      class_name: str) -> Window:
+        schema = self.database.get_schema_object(schema_name)
+        attributes = schema.effective_attributes(class_name)
+        objects = list(self.database.extent(schema_name, class_name))
+        window = Window(f"classset_{class_name}",
+                        title=f"Class set: {class_name}")
+        window.set_property("window_kind", "class_set")
+        control = Panel("control")
+        window.add_child(control)
+        menu = Menu("operations", label="Operations")
+        for op in ("zoom", "pan", "select", "close"):
+            menu.add_item(op, op.capitalize())
+        control.add_child(menu)
+        spec = "; ".join(f"{a.name}: {a.type.spec()}" for a in attributes)
+        control.add_child(Text("class_schema", label="Class schema", value=spec))
+        control.add_child(
+            Button(f"class_widget_{class_name}", label=class_name)
+        )
+        instance_list = ListWidget("instances", label="Instances")
+        for obj in objects:
+            instance_list.add_item(obj.oid, obj.oid)
+        control.add_child(instance_list)
+        presentation = Panel("presentation")
+        window.add_child(presentation)
+        area = DrawingArea("map", width=48, height=12)
+        presentation.add_child(area)
+        spatial = [a for a in attributes if a.is_spatial()]
+        if spatial:
+            for obj in objects:
+                geom = obj.geometry(spatial[0].name)
+                if geom is not None:
+                    area.add_feature(obj.oid, geom, "*")
+        return window
+
+    # ------------------------------------------------------------------
+    # Window kind 3: instance windows (third duplicated path)
+    # ------------------------------------------------------------------
+
+    def open_instance(self, oid: str,
+                      context: Context | None = None) -> Window:
+        self.interactions += 1
+        variant = self._variant_for("instance", context)
+        if variant is not None:
+            window = variant(self, oid, context)
+        else:
+            window = self._build_instance_window_hardwired(oid)
+        self.screen.show(window)
+        return window
+
+    def _build_instance_window_hardwired(self, oid: str) -> Window:
+        obj = self.database.get_object(oid)
+        schema_name, class_name = self.database.locate_object(oid)
+        schema = self.database.get_schema_object(schema_name)
+        geo_class = schema.get_class(class_name)
+        attributes = schema.effective_attributes(class_name)
+        window = Window(f"instance_{oid}", title=f"Instance: {oid}")
+        window.set_property("window_kind", "instance")
+        body = Panel("attributes")
+        window.add_child(body)
+        for attribute in attributes:
+            value = obj.get(attribute.name, geo_class)
+            if isinstance(value, bytes):
+                shown = f"[bitmap, {len(value)} bytes]"
+            elif isinstance(value, dict):
+                shown = "; ".join(f"{k}={v}" for k, v in value.items())
+            elif value is None:
+                shown = "(unset)"
+            elif hasattr(value, "wkt"):
+                shown = value.wkt()
+            else:
+                shown = str(value)
+            panel = Panel(f"panel_{attribute.name}")
+            panel.add_child(
+                Text(f"attr_{attribute.name}", label=attribute.name,
+                     value=shown)
+            )
+            body.add_child(panel)
+        return window
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "interactions": self.interactions,
+            "variants": len(self._variants),
+            "open_windows": len(self.screen),
+        }
+
+
+def install_pole_manager_variants(dispatcher: HardwiredDispatcher) -> int:
+    """The §4 customization, hardwired the conventional way.
+
+    Three literal special cases for ``<juliano, pole_manager>``. The size
+    and shape of this function is itself a data point for experiment C7:
+    what the declarative directive says in ~12 lines takes this much
+    imperative widget code.
+    """
+
+    def is_pole_manager(context: Context | None) -> bool:
+        return (
+            context is not None
+            and context.user == "juliano"
+            and context.application == "pole_manager"
+        )
+
+    def schema_variant(dsp: HardwiredDispatcher, schema_name: str,
+                       context: Context | None) -> Window:
+        window = dsp._build_schema_window_hardwired(schema_name)
+        window.set_property("visible", False)
+        # The cascade must also be hardwired.
+        dsp.open_class(schema_name, "Pole", context)
+        return window
+
+    def class_variant(dsp: HardwiredDispatcher, schema_name: str,
+                      class_name: str, context: Context | None) -> Window:
+        if class_name != "Pole":
+            return dsp._build_class_window_hardwired(schema_name, class_name)
+        window = dsp._build_class_window_hardwired(schema_name, class_name)
+        control = window.child("control")
+        control.remove_child("class_widget_Pole")
+        slider = Slider("class_widget_Pole", minimum=0.0, maximum=30.0,
+                        label="pole height (m)")
+        control.add_child(slider)
+        area = window.find("map")
+        features = area.features
+        area.clear_features()
+        for oid, geom, __ in features:
+            area.add_feature(oid, geom, "o")
+        window.set_property("presentation_format", "pointFormat")
+        return window
+
+    def instance_variant(dsp: HardwiredDispatcher, oid: str,
+                         context: Context | None) -> Window:
+        window = dsp._build_instance_window_hardwired(oid)
+        if not oid.startswith("Pole#"):
+            return window
+        body = window.child("attributes")
+        # Hide pole_location; compose pole_composition; dereference supplier.
+        obj = dsp.database.get_object(oid)
+        try:
+            body.remove_child("panel_pole_location")
+        except Exception:
+            pass
+        composition = obj.get("pole_composition") or {}
+        panel = body.find("panel_pole_composition")
+        if panel is not None and composition:
+            text: Text = panel.child("attr_pole_composition")
+            text.set_value(" / ".join(str(v) for v in composition.values()))
+        supplier_panel = body.find("panel_pole_supplier")
+        if supplier_panel is not None:
+            supplier = dsp.database.find_object(obj.get("pole_supplier"))
+            name = supplier.get("name") if supplier else "(missing)"
+            supplier_panel.child("attr_pole_supplier").set_value(name)
+        return window
+
+    dispatcher.add_hardwired_variant(is_pole_manager, "schema", schema_variant)
+    dispatcher.add_hardwired_variant(is_pole_manager, "class_set", class_variant)
+    dispatcher.add_hardwired_variant(is_pole_manager, "instance",
+                                     instance_variant)
+    return 3

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: active customization of GIS UIs.
+
+Contexts, customization directives, the customization rule engine, the
+generic interface builder, the dispatcher, and the session façade.
+"""
+
+from .context import Context, ContextPattern
+from .customization import (
+    AttributeCustomization,
+    ClassCustomization,
+    CustomizationDecision,
+    CustomizationDirective,
+)
+from .rule_engine import CustomizationEngine, GROUP_PREFIX
+from .builder import (
+    GenericInterfaceBuilder,
+    apply_using_binding,
+    resolve_source,
+)
+from .dispatcher import Dispatcher, Screen
+from .session import GISSession
+
+__all__ = [
+    "Context", "ContextPattern",
+    "CustomizationDirective", "ClassCustomization", "AttributeCustomization",
+    "CustomizationDecision",
+    "CustomizationEngine", "GROUP_PREFIX",
+    "GenericInterfaceBuilder", "resolve_source", "apply_using_binding",
+    "Dispatcher", "Screen",
+    "GISSession",
+]

@@ -1,0 +1,161 @@
+"""Interaction contexts and context patterns.
+
+§3.3: "we restrict context definition to the tuple
+``<user class, application domain>``, where user class and application
+domain belong to well defined partitions created by the application
+designer. This context information can conceivably be extended to other
+contextual data (e.g., geographic scale, time framework)."
+
+Two types live here:
+
+* :class:`Context` — the *concrete* working environment of a session:
+  which user, which user category, which application, plus the optional
+  extension dimensions (current map scale, current time).
+* :class:`ContextPattern` — the *condition* side of a customization rule:
+  a partial description that matches a family of contexts. ``None``
+  fields are wildcards. Patterns have a **specificity** score implementing
+  the paper's priority policy: "the rule whose condition (context) part is
+  more restrictive" wins, with the worked ordering "a rule for generic
+  users, for a particular category of users, and for a particular user
+  within the category".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CustomizationError
+
+#: Specificity weights. A named user outranks any category+application
+#: combination; a category outranks application-only; the extension
+#: dimensions (scale/time) are tie-breakers below all of those.
+WEIGHT_USER = 16
+WEIGHT_CATEGORY = 8
+WEIGHT_APPLICATION = 4
+WEIGHT_SCALE = 2
+WEIGHT_TIME = 1
+
+
+@dataclass(frozen=True)
+class Context:
+    """A concrete user working environment.
+
+    Attributes
+    ----------
+    user:
+        Login of the interacting user (``"juliano"`` in §4).
+    category:
+        The user class/partition the designer assigned (e.g.
+        ``"field_engineer"``). Optional — a user may be uncategorized.
+    application:
+        The application domain (``"pole_manager"`` in §4).
+    scale_denominator:
+        Current map scale denominator (extension dimension, §3.3).
+    time_tag:
+        Current time frame label, e.g. ``"planning"`` vs ``"as_built"``
+        (extension dimension, §3.3).
+    """
+
+    user: str | None = None
+    category: str | None = None
+    application: str | None = None
+    scale_denominator: float | None = None
+    time_tag: str | None = None
+
+    def describe(self) -> str:
+        parts = []
+        if self.user:
+            parts.append(f"user={self.user}")
+        if self.category:
+            parts.append(f"category={self.category}")
+        if self.application:
+            parts.append(f"application={self.application}")
+        if self.scale_denominator:
+            parts.append(f"scale=1:{self.scale_denominator:g}")
+        if self.time_tag:
+            parts.append(f"time={self.time_tag}")
+        return "<" + ", ".join(parts) + ">" if parts else "<anonymous>"
+
+
+@dataclass(frozen=True)
+class ContextPattern:
+    """A partial context used as a rule condition.
+
+    Every non-``None`` field must match the concrete context exactly,
+    except ``scale_range`` which brackets the context's scale denominator
+    (inclusive).
+    """
+
+    user: str | None = None
+    category: str | None = None
+    application: str | None = None
+    scale_range: tuple[float, float] | None = None
+    time_tag: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale_range is not None:
+            low, high = self.scale_range
+            if low > high or low <= 0:
+                raise CustomizationError(
+                    f"invalid scale range {self.scale_range!r}"
+                )
+
+    def matches(self, context: Context | None) -> bool:
+        """Does this pattern accept the concrete context?
+
+        A fully wildcard pattern matches anything, including ``None``
+        (events raised outside any user session).
+        """
+        if context is None:
+            return self.is_generic()
+        if self.user is not None and context.user != self.user:
+            return False
+        if self.category is not None and context.category != self.category:
+            return False
+        if self.application is not None and context.application != self.application:
+            return False
+        if self.scale_range is not None:
+            if context.scale_denominator is None:
+                return False
+            low, high = self.scale_range
+            if not low <= context.scale_denominator <= high:
+                return False
+        if self.time_tag is not None and context.time_tag != self.time_tag:
+            return False
+        return True
+
+    def is_generic(self) -> bool:
+        return self.specificity() == 0
+
+    def specificity(self) -> int:
+        """The priority score: more restrictive patterns score higher."""
+        score = 0
+        if self.user is not None:
+            score += WEIGHT_USER
+        if self.category is not None:
+            score += WEIGHT_CATEGORY
+        if self.application is not None:
+            score += WEIGHT_APPLICATION
+        if self.scale_range is not None:
+            score += WEIGHT_SCALE
+        if self.time_tag is not None:
+            score += WEIGHT_TIME
+        return score
+
+    def describe(self) -> str:
+        parts = []
+        if self.user:
+            parts.append(f"user {self.user}")
+        if self.category:
+            parts.append(f"category {self.category}")
+        if self.application:
+            parts.append(f"application {self.application}")
+        if self.scale_range:
+            parts.append(f"scale 1:{self.scale_range[0]:g}..1:{self.scale_range[1]:g}")
+        if self.time_tag:
+            parts.append(f"time {self.time_tag}")
+        return "for " + " ".join(parts) if parts else "for any context"
+
+    @classmethod
+    def generic(cls) -> "ContextPattern":
+        return cls()

@@ -1,0 +1,217 @@
+"""The customization model: what a directive *means*.
+
+A customization directive (paper Figure 3 / Figure 6) declares, for one
+context, how each of the three window levels departs from the generic
+presentation:
+
+* the **schema** level — display mode and which classes open;
+* the **class** level — a control widget and a presentation format;
+* the **instance** level — per-attribute display formats, with optional
+  source fields (``from``) and behavior bindings (``using``).
+
+These dataclasses are the compiled form shared between the language
+front-end (:mod:`repro.lang`), the rule engine
+(:mod:`repro.core.rule_engine`) and the builder
+(:mod:`repro.core.builder`). They serialize to plain dicts so directives
+can live in the database catalog ("customization rules stored in the
+database", §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import CustomizationError
+from ..uilib.presentation import SCHEMA_DISPLAY_MODES
+from .context import ContextPattern
+
+
+@dataclass(frozen=True)
+class AttributeCustomization:
+    """``display attribute <name> as <format> [from <fields>] [using <binding>]``.
+
+    ``format_name`` of ``"null"`` hides the attribute (§4 line (12)).
+    ``sources`` lists the value providers of a composite display — either
+    dotted attribute paths or ``method(args)`` call expressions (§4 lines
+    (8) and (11)).
+    ``using`` names a widget behavior binding like
+    ``composed_text.notify()`` (§4 line (9)).
+    ``options`` passes extra parameters to the widget factory.
+    """
+
+    attr_name: str
+    format_name: str = "default"
+    sources: tuple[str, ...] = ()
+    using: str | None = None
+    options: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "attr": self.attr_name,
+            "format": self.format_name,
+            "sources": list(self.sources),
+            "using": self.using,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict[str, Any]) -> "AttributeCustomization":
+        return cls(
+            attr_name=desc["attr"],
+            format_name=desc.get("format", "default"),
+            sources=tuple(desc.get("sources", ())),
+            using=desc.get("using"),
+            options=dict(desc.get("options", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ClassCustomization:
+    """``class <name> display [control as W] [presentation as F]`` plus the
+    instance-level attribute customizations nested under it.
+
+    ``on_update_display`` is this reproduction's extension toward the
+    paper's §5 future work (customization of update requests): when a
+    committed update refreshes an open Instance window, the *changed*
+    attributes are displayed with this format instead of their usual one,
+    making the update visible.
+    """
+
+    class_name: str
+    control_widget: str | None = None
+    presentation_format: str | None = None
+    attributes: tuple[AttributeCustomization, ...] = ()
+    on_update_display: str | None = None
+
+    def attribute(self, name: str) -> AttributeCustomization | None:
+        for attr in self.attributes:
+            if attr.attr_name == name:
+                return attr
+        return None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "class": self.class_name,
+            "control": self.control_widget,
+            "presentation": self.presentation_format,
+            "attributes": [a.describe() for a in self.attributes],
+            "on_update": self.on_update_display,
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict[str, Any]) -> "ClassCustomization":
+        return cls(
+            class_name=desc["class"],
+            control_widget=desc.get("control"),
+            presentation_format=desc.get("presentation"),
+            attributes=tuple(
+                AttributeCustomization.from_description(a)
+                for a in desc.get("attributes", ())
+            ),
+            on_update_display=desc.get("on_update"),
+        )
+
+
+@dataclass(frozen=True)
+class CustomizationDirective:
+    """One compiled directive: context + schema display + class clauses.
+
+    ``schema_display`` is one of :data:`SCHEMA_DISPLAY_MODES`
+    (``"null"`` hides the Schema window and auto-opens the directive's
+    classes, as the §4 R1 rule does).
+    """
+
+    name: str
+    pattern: ContextPattern
+    schema_name: str
+    schema_display: str = "default"
+    classes: tuple[ClassCustomization, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.schema_display not in SCHEMA_DISPLAY_MODES:
+            raise CustomizationError(
+                f"unknown schema display mode {self.schema_display!r}; "
+                f"known: {SCHEMA_DISPLAY_MODES}"
+            )
+        seen: set[str] = set()
+        for clause in self.classes:
+            if clause.class_name in seen:
+                raise CustomizationError(
+                    f"directive {self.name!r} customizes class "
+                    f"{clause.class_name!r} twice"
+                )
+            seen.add(clause.class_name)
+
+    def class_clause(self, class_name: str) -> ClassCustomization | None:
+        for clause in self.classes:
+            if clause.class_name == class_name:
+                return clause
+        return None
+
+    def class_names(self) -> list[str]:
+        return [c.class_name for c in self.classes]
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "pattern": {
+                "user": self.pattern.user,
+                "category": self.pattern.category,
+                "application": self.pattern.application,
+                "scale_range": list(self.pattern.scale_range)
+                if self.pattern.scale_range else None,
+                "time_tag": self.pattern.time_tag,
+            },
+            "schema": self.schema_name,
+            "schema_display": self.schema_display,
+            "classes": [c.describe() for c in self.classes],
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict[str, Any]) -> "CustomizationDirective":
+        pat = desc.get("pattern", {})
+        return cls(
+            name=desc["name"],
+            pattern=ContextPattern(
+                user=pat.get("user"),
+                category=pat.get("category"),
+                application=pat.get("application"),
+                scale_range=tuple(pat["scale_range"])
+                if pat.get("scale_range") else None,
+                time_tag=pat.get("time_tag"),
+            ),
+            schema_name=desc["schema"],
+            schema_display=desc.get("schema_display", "default"),
+            classes=tuple(
+                ClassCustomization.from_description(c)
+                for c in desc.get("classes", ())
+            ),
+        )
+
+
+@dataclass
+class CustomizationDecision:
+    """What the rule engine decided for one database event.
+
+    The builder consumes this; ``rule_name`` feeds the explanation mode
+    ("why does my window look like this?").
+    """
+
+    kind: str  # "schema" | "class" | "instance"
+    rule_name: str
+    directive_name: str
+    schema_display: str | None = None
+    #: classes to auto-open when the schema window is hidden (R1 cascade)
+    cascade_classes: tuple[str, ...] = ()
+    class_clause: ClassCustomization | None = None
+
+    def describe(self) -> str:
+        bits = [f"{self.kind} decision by rule {self.rule_name!r}"]
+        if self.schema_display:
+            bits.append(f"schema display={self.schema_display}")
+        if self.cascade_classes:
+            bits.append(f"cascade={list(self.cascade_classes)}")
+        if self.class_clause:
+            bits.append(f"class={self.class_clause.class_name}")
+        return "; ".join(bits)

@@ -1,0 +1,226 @@
+"""The user-facing session façade.
+
+A :class:`GISSession` ties one interaction context (user, category,
+application — §3.3) to a database and the full customization stack
+(library, rule engine, builder, dispatcher, screen). It is the public
+entry point a downstream application uses::
+
+    session = GISSession(db, user="juliano", application="pole_manager")
+    session.connect("phone_net")      # Get_Schema (rule R1 may hide it)
+    session.select_class("Pole")      # Get_Class  (rule R2 customizes it)
+    session.select_instance(oid)      # Get_Value  (attribute rules fire)
+    print(session.render())
+
+The §4 browsing loop ("iterates through browsing (Schema, {Class,
+{Instance}}) windows, in this order") maps exactly onto those calls, and
+``select_class`` / ``select_instance`` go through the *widget callbacks*
+of the open windows, exercising the paper's full
+``interaction → interface event → callback → database event → rules``
+pipeline rather than shortcutting to the dispatcher.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SessionError
+from ..geodb.catalog import MetadataCatalog
+from ..geodb.database import GeographicDatabase
+from ..uilib.composite import install_standard_composites
+from ..uilib.library import InterfaceObjectLibrary
+from ..uilib.presentation import PresentationRegistry
+from ..uilib.rendering import TextRenderer
+from ..uilib.widgets import ListWidget, Window
+from .builder import GenericInterfaceBuilder
+from .context import Context
+from .customization import CustomizationDirective
+from .dispatcher import Dispatcher, Screen
+from .rule_engine import CustomizationEngine
+
+
+class GISSession:
+    """One user's exploratory session against a geographic database."""
+
+    def __init__(
+        self,
+        database: GeographicDatabase,
+        user: str | None = None,
+        category: str | None = None,
+        application: str | None = None,
+        scale_denominator: float | None = None,
+        time_tag: str | None = None,
+        library: InterfaceObjectLibrary | None = None,
+        engine: CustomizationEngine | None = None,
+        presentations: PresentationRegistry | None = None,
+        catalog: MetadataCatalog | None = None,
+        auto_refresh: bool = False,
+    ):
+        self.database = database
+        self.context = Context(
+            user=user,
+            category=category,
+            application=application,
+            scale_denominator=scale_denominator,
+            time_tag=time_tag,
+        )
+        self.catalog = catalog
+        if library is None:
+            library = InterfaceObjectLibrary(catalog)
+            install_standard_composites(library, persist=catalog is not None)
+        self.library = library
+        self.engine = engine if engine is not None else CustomizationEngine(
+            database.bus, catalog=catalog
+        )
+        self.presentations = presentations or PresentationRegistry()
+        self.builder = GenericInterfaceBuilder(library, self.presentations)
+        self.screen = Screen()
+        self.dispatcher = Dispatcher(
+            database, self.builder, self.engine, self.screen,
+            auto_refresh=auto_refresh,
+        )
+        self._schema_name: str | None = None
+        self.renderer = TextRenderer()
+        self._owns_engine = engine is None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Customization installation
+    # ------------------------------------------------------------------
+
+    def install_directive(self, directive: CustomizationDirective,
+                          persist: bool | None = None) -> None:
+        """Register a compiled customization directive for this database."""
+        if persist is None:
+            persist = self.catalog is not None
+        self.engine.register_directive(directive, persist=persist)
+
+    def install_program(self, source: str, persist: bool | None = None
+                        ) -> list[CustomizationDirective]:
+        """Compile customization-language source and register the result."""
+        from ..lang.compiler import compile_program
+
+        directives = compile_program(
+            source, self.database, self.library, self.presentations
+        )
+        for directive in directives:
+            self.install_directive(directive, persist=persist)
+        return directives
+
+    # ------------------------------------------------------------------
+    # The §4 browsing protocol
+    # ------------------------------------------------------------------
+
+    def connect(self, schema_name: str) -> Window:
+        """Step 1: "The user first activates the generic interface, giving
+        a db schema name as a parameter." Generates ``Get_Schema``."""
+        self.database.get_schema_object(schema_name)  # fail fast
+        self._schema_name = schema_name
+        return self.dispatcher.open_schema(schema_name, self.context)
+
+    def select_class(self, class_name: str) -> Window:
+        """Step 2: select a class in the Schema window's class list.
+
+        Goes through the list widget's ``select`` callback, so the full
+        interface-event path runs. Requires :meth:`connect` first; when
+        the Schema window was hidden by a ``Null`` customization the class
+        may already be open — it is then brought forward directly.
+        """
+        if self._schema_name is None:
+            raise SessionError("connect(schema) before selecting a class")
+        window_name = f"schema_{self._schema_name}"
+        schema_window = self.screen.window(window_name)
+        class_list = schema_window.find("classes")
+        if not isinstance(class_list, ListWidget):
+            raise SessionError("schema window has no class list")
+        class_list.select(class_name)
+        return self.screen.window(f"classset_{class_name}")
+
+    def select_instance(self, oid: str, class_name: str | None = None
+                        ) -> Window:
+        """Step 3: select an instance in a Class-set window (control list).
+
+        ``class_name`` defaults to the class encoded in the oid prefix.
+        """
+        if class_name is None:
+            class_name = oid.split("#", 1)[0]
+        class_window = self.screen.window(f"classset_{class_name}")
+        instance_list = class_window.find("instances")
+        if not isinstance(instance_list, ListWidget):
+            raise SessionError("class window has no instance list")
+        instance_list.select(oid)
+        return self.screen.window(f"instance_{oid}")
+
+    def pick_on_map(self, class_name: str, col: int, row: int) -> str | None:
+        """Select an instance by clicking the map (graphical area, §4)."""
+        class_window = self.screen.window(f"classset_{class_name}")
+        area = class_window.find("map")
+        if area is None:
+            raise SessionError("class window has no map area")
+        return area.pick_at(col, row)
+
+    def close(self, window_name: str) -> None:
+        self.screen.close(window_name)
+
+    # ------------------------------------------------------------------
+    # Output & explanation
+    # ------------------------------------------------------------------
+
+    def render(self, window_name: str | None = None) -> str:
+        """Render one window (or the whole screen) as text."""
+        if window_name is not None:
+            return self.renderer.render(self.screen.window(window_name))
+        visible = [w for w in self.screen.windows() if w.visible]
+        return "\n\n".join(self.renderer.render(w) for w in visible)
+
+    def scene(self) -> list[dict[str, Any]]:
+        """Structured description of every open window (tests use this)."""
+        return [w.describe() for w in self.screen.windows()]
+
+    def explain_window(self, window_name: str) -> str:
+        """Explanation mode (§2.2): why a window looks the way it does."""
+        window = self.screen.window(window_name)
+        event_id = window.get_property("event_id")
+        if event_id is None:
+            return "window was built outside an event context"
+        return self.engine.explain(event_id)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "context": self.context.describe(),
+            "dispatcher": self.dispatcher.stats(),
+            "engine": self.engine.stats(),
+            "database": self.database.name,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """End the session: close windows, detach from the database bus.
+
+        Sessions subscribe rule managers (and, with ``auto_refresh``, the
+        dispatcher) to the shared event bus; a long-running embedding must
+        shut sessions down or those subscriptions outlive them. An engine
+        that was *passed in* (shared across sessions) is left attached —
+        its owner shuts it down. Idempotent; also runs via the context
+        manager protocol::
+
+            with GISSession(db, user="u", application="a") as session:
+                ...
+        """
+        if self._closed:
+            return
+        for name in list(self.screen.names()):
+            self.screen.close(name)
+        if self._owns_engine:
+            self.engine.manager.detach()
+        if self.dispatcher.auto_refresh:
+            self.database.bus.unsubscribe(self.dispatcher._on_mutation)
+        self._closed = True
+
+    def __enter__(self) -> "GISSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError`, so callers embedding the
+library can catch a single base class. Each subsystem raises the most specific
+subclass that applies; error messages always name the offending entity.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GeometryError(ReproError):
+    """An operation was applied to an invalid or incompatible geometry."""
+
+
+class IndexError_(ReproError):
+    """A spatial index invariant was violated or an entry was not found.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError` while staying greppable next to it.
+    """
+
+
+class SchemaError(ReproError):
+    """A schema, class or attribute definition is invalid or unknown."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to its declared attribute type."""
+
+
+class ObjectNotFoundError(ReproError):
+    """A database object (by oid or name) does not exist."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references unknown schema elements."""
+
+
+class TransactionError(ReproError):
+    """A transaction was used outside its legal life cycle."""
+
+
+class StorageError(ReproError):
+    """The page store or serializer could not complete an operation."""
+
+
+class BufferError_(ReproError):
+    """The buffer manager could not satisfy a pin/unpin request."""
+
+
+class RuleError(ReproError):
+    """An ECA rule definition or execution failed."""
+
+
+class RuleConflictError(RuleError):
+    """Two rules with identical specificity match the same event."""
+
+
+class CascadeLimitError(RuleError):
+    """Rule execution exceeded the configured cascade depth."""
+
+
+class ConstraintViolationError(ReproError):
+    """An integrity constraint rejected an update."""
+
+    def __init__(self, message: str, violations: list | None = None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class WidgetError(ReproError):
+    """An interface object was composed or used incorrectly."""
+
+
+class UnknownWidgetError(WidgetError):
+    """A named widget class is not present in the interface library."""
+
+
+class RenderError(ReproError):
+    """A window could not be rendered."""
+
+
+class CustomizationError(ReproError):
+    """A customization directive could not be applied."""
+
+
+class LanguageError(ReproError):
+    """Base class for customization-language front-end errors."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class LexError(LanguageError):
+    """The lexer met a character sequence that is not a token."""
+
+
+class ParseError(LanguageError):
+    """The token stream does not match the customization grammar."""
+
+
+class SemanticError(LanguageError):
+    """A directive is grammatical but inconsistent with the database
+    schema or the interface objects library."""
+
+
+class DispatchError(ReproError):
+    """The dispatcher received an interaction it cannot route."""
+
+
+class SessionError(ReproError):
+    """A GIS session was driven outside its legal protocol."""

@@ -1,0 +1,73 @@
+"""Object-oriented geographic DBMS substrate.
+
+Provides the storage, schema, query, transaction and event surfaces the
+paper's architecture assumes of its "geographic database".
+"""
+
+from .types import (
+    BITMAP,
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    AttributeType,
+    BitmapType,
+    BooleanType,
+    FloatType,
+    GeometryType,
+    IntegerType,
+    ListType,
+    ReferenceType,
+    TextType,
+    TupleType,
+    scalar,
+    type_from_description,
+)
+from .schema import Attribute, GeoClass, Method, Schema
+from .instances import Extent, GeoObject, fresh_oid
+from .storage import FilePager, HeapFile, MemoryPager, RecordId, PAGE_SIZE
+from .buffer import BufferManager, BufferStats
+from .database import GeographicDatabase
+from .transactions import Transaction, TxnState
+from .query import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    RelateMask,
+    SpatialPredicate,
+    TruePredicate,
+    WithinDistance,
+)
+from .query_engine import QueryEngine, QueryResult
+from .attr_index import HashIndex
+from .query_language import parse_query, run_query
+from .scenario import Scenario
+from .catalog import (
+    KIND_CUSTOMIZATION,
+    KIND_PRESENTATION,
+    KIND_RULE,
+    KIND_SCHEMA,
+    KIND_WIDGET,
+    MetadataCatalog,
+)
+
+__all__ = [
+    "AttributeType", "IntegerType", "FloatType", "TextType", "BooleanType",
+    "BitmapType", "GeometryType", "ReferenceType", "TupleType", "ListType",
+    "INTEGER", "FLOAT", "TEXT", "BOOLEAN", "BITMAP",
+    "scalar", "type_from_description",
+    "Attribute", "Method", "GeoClass", "Schema",
+    "GeoObject", "Extent", "fresh_oid",
+    "MemoryPager", "FilePager", "HeapFile", "RecordId", "PAGE_SIZE",
+    "BufferManager", "BufferStats",
+    "GeographicDatabase", "Transaction", "TxnState",
+    "Predicate", "Comparison", "SpatialPredicate", "WithinDistance",
+    "And", "Or", "Not", "TruePredicate", "Query", "RelateMask",
+    "QueryEngine", "QueryResult",
+    "parse_query", "run_query", "Scenario", "HashIndex",
+    "MetadataCatalog", "KIND_SCHEMA", "KIND_WIDGET", "KIND_CUSTOMIZATION",
+    "KIND_RULE", "KIND_PRESENTATION",
+]

@@ -1,0 +1,172 @@
+"""LRU buffer manager over a pager.
+
+§2.1: "the volume of data manipulated in gis is usually very high and the
+interface has to provide large buffers to temporarily store and manipulate
+the data retrieved from the spatial dbms ... Efficient management of
+buffers is thus a typical dbms problem that the gis interface must deal
+with." The paper's architecture moves that burden into the DBMS; this is
+the component that carries it. Benchmark C4 drives it with map-browsing
+(pan/zoom) page access patterns.
+
+The manager caches page images with an LRU eviction policy, pin counts
+(pinned pages are never evicted), write-back of dirty frames, and full
+hit/miss/eviction accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..errors import BufferError_
+from .storage import Pager
+
+
+@dataclass
+class BufferStats:
+    """Counters exposed for monitoring and for benchmark C4."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    write_backs: int = 0
+    pin_denials: int = 0
+    peak_pinned: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "write_backs": self.write_backs,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+class _Frame:
+    __slots__ = ("data", "dirty", "pins")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.dirty = False
+        self.pins = 0
+
+
+class BufferManager:
+    """A fixed-capacity LRU page cache in front of a :class:`Pager`.
+
+    ``read_page`` / ``write_page`` mirror the pager interface so a
+    :class:`repro.geodb.storage.HeapFile` can route its IO through the
+    buffer transparently (``heap.attach_buffer(manager)``).
+    """
+
+    def __init__(self, pager: Pager, capacity: int = 64):
+        if capacity < 1:
+            raise BufferError_("buffer capacity must be at least 1 frame")
+        self.pager = pager
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.stats = BufferStats()
+
+    # -- pager-compatible interface -------------------------------------------
+
+    def read_page(self, page_no: int) -> bytes:
+        frame = self._get_frame(page_no)
+        return frame.data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        frame = self._get_frame(page_no, load=False)
+        frame.data = data.ljust(self.pager.page_size, b"\x00")
+        frame.dirty = True
+
+    # -- pinning ---------------------------------------------------------------
+
+    def pin(self, page_no: int) -> bytes:
+        """Pin a page in memory and return its contents.
+
+        Pinned pages survive eviction; every :meth:`pin` must be paired
+        with an :meth:`unpin`.
+        """
+        frame = self._get_frame(page_no)
+        frame.pins += 1
+        pinned = sum(1 for f in self._frames.values() if f.pins > 0)
+        self.stats.peak_pinned = max(self.stats.peak_pinned, pinned)
+        return frame.data
+
+    def unpin(self, page_no: int, dirty: bool = False) -> None:
+        frame = self._frames.get(page_no)
+        if frame is None or frame.pins == 0:
+            raise BufferError_(f"page {page_no} is not pinned")
+        frame.pins -= 1
+        if dirty:
+            frame.dirty = True
+
+    # -- internals -------------------------------------------------------------
+
+    def _get_frame(self, page_no: int, load: bool = True) -> _Frame:
+        if page_no in self._frames:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_no)
+            return self._frames[page_no]
+        self.stats.misses += 1
+        self._make_room()
+        data = self.pager.read_page(page_no) if load else b"\x00" * self.pager.page_size
+        frame = _Frame(data)
+        self._frames[page_no] = frame
+        return frame
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_no = None
+            for page_no, frame in self._frames.items():  # LRU order
+                if frame.pins == 0:
+                    victim_no = page_no
+                    break
+            if victim_no is None:
+                self.stats.pin_denials += 1
+                raise BufferError_(
+                    f"all {self.capacity} buffer frames are pinned; cannot evict"
+                )
+            self._evict(victim_no)
+
+    def _evict(self, page_no: int) -> None:
+        frame = self._frames.pop(page_no)
+        self.stats.evictions += 1
+        if frame.dirty:
+            self.pager.write_page(page_no, frame.data)
+            self.stats.write_backs += 1
+
+    # -- maintenance -------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write every dirty frame back to the pager; returns the count."""
+        flushed = 0
+        for page_no, frame in self._frames.items():
+            if frame.dirty:
+                self.pager.write_page(page_no, frame.data)
+                frame.dirty = False
+                flushed += 1
+                self.stats.write_backs += 1
+        return flushed
+
+    def clear(self) -> None:
+        """Flush and drop every unpinned frame."""
+        self.flush()
+        pinned = {no: f for no, f in self._frames.items() if f.pins > 0}
+        self._frames = OrderedDict(pinned)
+
+    def resident_pages(self) -> list[int]:
+        """Page numbers currently cached, LRU-first."""
+        return list(self._frames)
+
+    def __len__(self) -> int:
+        return len(self._frames)

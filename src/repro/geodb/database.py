@@ -1,0 +1,645 @@
+"""The geographic database: schemas, extents, indexes, events, primitives.
+
+This is the substrate everything else plugs into. It owns:
+
+* the **schema catalog** (multiple named schemas of classes),
+* the **extents** (live objects per class), persisted through the page
+  store + buffer manager,
+* **spatial indexes** (one R-tree per geometry attribute per class),
+* a **reverse-reference index** for referential integrity,
+* the **event bus** on which the exploratory primitives of §3.3
+  (``Get_Schema``, ``Get_Class``, ``Get_Value``) and the mutation events
+  are published — the hook the active mechanism listens on,
+* **method implementations** callable from instance displays.
+
+The three ``get_*`` primitives both publish their database event *and*
+return the requested data; the paper's R1/R2 split (query rule +
+customization rule per event) is realized by the rule engines subscribed
+to the bus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..active.event_bus import Event, EventBus, EventKind
+from ..errors import (
+    ObjectNotFoundError,
+    SchemaError,
+    TransactionError,
+)
+from ..spatial.geometry import BBox
+from ..spatial.rtree import RTree
+from .attr_index import HashIndex
+from .buffer import BufferManager
+from .instances import Extent, GeoObject
+from .schema import GeoClass, Schema
+from .storage import HeapFile, MemoryPager, Pager, RecordId
+from .transactions import Transaction
+
+
+class GeographicDatabase:
+    """An object-oriented geographic DBMS instance.
+
+    Parameters
+    ----------
+    name:
+        Database name (e.g. ``"GEO"`` in the paper's §3.3 example).
+    pager:
+        Page backend; defaults to an in-memory pager.
+    buffer_capacity:
+        Number of buffer frames in front of the pager.
+    """
+
+    def __init__(self, name: str, pager: Pager | None = None,
+                 buffer_capacity: int = 64):
+        self.name = name
+        self.bus = EventBus()
+        self.pager = pager or MemoryPager()
+        self.buffer = BufferManager(self.pager, capacity=buffer_capacity)
+        self.heap = HeapFile(self.pager)
+        self.heap.attach_buffer(self.buffer)
+
+        self._schemas: dict[str, Schema] = {}
+        #: (schema, class) -> Extent
+        self._extents: dict[tuple[str, str], Extent] = {}
+        #: oid -> (schema, class)
+        self._locations: dict[str, tuple[str, str]] = {}
+        #: oid -> RecordId in the heap
+        self._rids: dict[str, RecordId] = {}
+        #: (schema, class, attr) -> RTree over oids
+        self._spatial: dict[tuple[str, str, str], RTree] = {}
+        #: (schema, class, attr) -> HashIndex over scalar values
+        self._attr_indexes: dict[tuple[str, str, str], "HashIndex"] = {}
+        #: target oid -> {(source oid, attr path)}
+        self._incoming_refs: dict[str, set[tuple[str, str]]] = {}
+        #: (schema, class, method) -> callable(db, obj, *args)
+        self._methods: dict[tuple[str, str, str], Callable] = {}
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+
+    def create_schema(self, name: str, doc: str = "") -> Schema:
+        if name in self._schemas:
+            raise SchemaError(f"schema {name!r} already exists")
+        schema = Schema(name, doc=doc)
+        self._schemas[name] = schema
+        return schema
+
+    def register_schema(self, schema: Schema) -> Schema:
+        """Adopt an externally built :class:`Schema` object."""
+        if schema.name in self._schemas:
+            raise SchemaError(f"schema {schema.name!r} already exists")
+        self._schemas[schema.name] = schema
+        return schema
+
+    def get_schema_object(self, name: str) -> Schema:
+        if name not in self._schemas:
+            raise SchemaError(f"database {self.name!r} has no schema {name!r}")
+        return self._schemas[name]
+
+    def schema_names(self) -> list[str]:
+        return list(self._schemas)
+
+    def register_method(self, schema_name: str, class_name: str,
+                        method_name: str, impl: Callable) -> None:
+        """Attach a Python implementation to a declared class method."""
+        schema = self.get_schema_object(schema_name)
+        methods = schema.effective_methods(class_name)
+        if method_name not in methods:
+            raise SchemaError(
+                f"class {class_name!r} declares no method {method_name!r}"
+            )
+        self._methods[(schema_name, class_name, method_name)] = impl
+
+    def call_method(self, obj: GeoObject, method_name: str, *args) -> Any:
+        """Invoke a registered method implementation on an instance."""
+        location = self.locate_object(obj.oid)
+        if location is None:
+            raise ObjectNotFoundError(f"object {obj.oid} is not in the database")
+        schema_name, class_name = location
+        schema = self.get_schema_object(schema_name)
+        for cls in schema.ancestry(class_name):
+            impl = self._methods.get((schema_name, cls.name, method_name))
+            if impl is not None:
+                return impl(self, obj, *args)
+        raise SchemaError(
+            f"no implementation registered for {class_name}.{method_name}"
+        )
+
+    # ------------------------------------------------------------------
+    # Object access
+    # ------------------------------------------------------------------
+
+    def extent(self, schema_name: str, class_name: str) -> Extent:
+        self.get_schema_object(schema_name).get_class(class_name)
+        key = (schema_name, class_name)
+        if key not in self._extents:
+            self._extents[key] = Extent(class_name)
+        return self._extents[key]
+
+    def extent_with_subclasses(self, schema_name: str,
+                               class_name: str) -> Iterator[GeoObject]:
+        """Objects of the class and of all its (transitive) subclasses."""
+        schema = self.get_schema_object(schema_name)
+        pending = [class_name]
+        while pending:
+            current = pending.pop()
+            yield from self.extent(schema_name, current)
+            pending.extend(schema.subclasses(current))
+
+    def find_object(self, oid: str) -> GeoObject | None:
+        location = self._locations.get(oid)
+        if location is None:
+            return None
+        return self._extents[location].get(oid)
+
+    def get_object(self, oid: str) -> GeoObject:
+        obj = self.find_object(oid)
+        if obj is None:
+            raise ObjectNotFoundError(f"object {oid} does not exist")
+        return obj
+
+    def locate_object(self, oid: str) -> tuple[str, str] | None:
+        return self._locations.get(oid)
+
+    def count(self, schema_name: str, class_name: str) -> int:
+        return len(self.extent(schema_name, class_name))
+
+    # ------------------------------------------------------------------
+    # Spatial index access
+    # ------------------------------------------------------------------
+
+    def spatial_index(self, schema_name: str, class_name: str,
+                      attr: str) -> RTree:
+        schema = self.get_schema_object(schema_name)
+        attrs = {a.name: a for a in schema.effective_attributes(class_name)}
+        if attr not in attrs or not attrs[attr].is_spatial():
+            raise SchemaError(
+                f"{class_name}.{attr} is not a geometry attribute"
+            )
+        key = (schema_name, class_name, attr)
+        if key not in self._spatial:
+            self._spatial[key] = RTree(max_entries=16)
+        return self._spatial[key]
+
+    # -- attribute (hash) indexes -----------------------------------------
+
+    def create_attribute_index(self, schema_name: str, class_name: str,
+                               attr: str) -> HashIndex:
+        """Build (or return) a hash index over a scalar attribute.
+
+        Existing extent members are indexed immediately; subsequent
+        commits maintain the index. Equality (`=`, `in`) predicates on the
+        attribute are then answered through it by the query engine.
+        """
+        schema = self.get_schema_object(schema_name)
+        attrs = {a.name: a for a in schema.effective_attributes(class_name)}
+        if attr not in attrs:
+            raise SchemaError(f"{class_name!r} has no attribute {attr!r}")
+        if attrs[attr].is_spatial():
+            raise SchemaError(
+                f"{class_name}.{attr} is spatial; use the R-tree instead"
+            )
+        key = (schema_name, class_name, attr)
+        if key in self._attr_indexes:
+            return self._attr_indexes[key]
+        index = HashIndex(attr)
+        for obj in self.extent(schema_name, class_name):
+            index.insert(obj.get(attr), obj.oid)
+        self._attr_indexes[key] = index
+        return index
+
+    def attribute_index(self, schema_name: str, class_name: str,
+                        attr: str) -> HashIndex | None:
+        """The hash index for an attribute, or None when not created."""
+        return self._attr_indexes.get((schema_name, class_name, attr))
+
+    def drop_attribute_index(self, schema_name: str, class_name: str,
+                             attr: str) -> None:
+        key = (schema_name, class_name, attr)
+        if key not in self._attr_indexes:
+            raise SchemaError(f"no attribute index on {class_name}.{attr}")
+        del self._attr_indexes[key]
+
+    def window_query(self, schema_name: str, class_name: str, attr: str,
+                     window: BBox) -> list[GeoObject]:
+        """Objects whose ``attr`` geometry bbox intersects ``window``."""
+        index = self.spatial_index(schema_name, class_name, attr)
+        out = []
+        for oid in index.search(window):
+            obj = self.find_object(oid)
+            if obj is not None:
+                out.append(obj)
+        return out
+
+    # ------------------------------------------------------------------
+    # Exploratory primitives (§3.3): Get_Schema, Get_Class, Get_Value
+    # ------------------------------------------------------------------
+
+    def get_schema(self, schema_name: str, context: Any = None) -> dict[str, Any]:
+        """The ``Get_Schema`` primitive: schema metadata for browsing.
+
+        Publishes a :class:`EventKind.GET_SCHEMA` event, then returns the
+        schema description (class names, docs, hierarchy).
+        """
+        schema = self.get_schema_object(schema_name)
+        self.bus.publish(Event(EventKind.GET_SCHEMA, schema_name, context=context))
+        return {
+            "name": schema.name,
+            "doc": schema.doc,
+            "classes": [
+                {
+                    "name": cls.name,
+                    "doc": cls.doc,
+                    "superclass": cls.superclass,
+                    "instance_count": len(self.extent(schema_name, cls.name)),
+                }
+                for cls in schema.classes()
+            ],
+            "hierarchy": schema.hierarchy(),
+        }
+
+    def get_class(self, schema_name: str, class_name: str,
+                  context: Any = None) -> tuple[GeoClass, list[GeoObject]]:
+        """The ``Get_Class`` primitive: a class definition plus extension."""
+        schema = self.get_schema_object(schema_name)
+        geo_class = schema.get_class(class_name)
+        self.bus.publish(
+            Event(
+                EventKind.GET_CLASS,
+                class_name,
+                payload={"schema": schema_name},
+                context=context,
+            )
+        )
+        return geo_class, list(self.extent(schema_name, class_name))
+
+    def get_value(self, oid: str, context: Any = None) -> GeoObject:
+        """The ``Get_Value`` primitive: one instance for display."""
+        obj = self.get_object(oid)
+        schema_name, class_name = self._locations[oid]
+        self.bus.publish(
+            Event(
+                EventKind.GET_VALUE,
+                oid,
+                payload={"schema": schema_name, "class": class_name},
+                context=context,
+            )
+        )
+        return obj
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        return Transaction(self)
+
+    def scenario(self, schema_name: str):
+        """Open a simulation-mode sandbox over one schema (§2.2)."""
+        from .scenario import Scenario
+
+        return Scenario(self, schema_name)
+
+    def checkpoint(self) -> int:
+        """Flush dirty buffer frames and sync a file-backed pager.
+
+        Returns the number of frames written back. Call before closing a
+        file-backed database (or at any durability point).
+        """
+        flushed = self.buffer.flush()
+        sync = getattr(self.pager, "sync", None)
+        if callable(sync):
+            sync()
+        return flushed
+
+    def insert(self, schema_name: str, class_name: str, values: dict[str, Any],
+               oid: str | None = None, context: Any = None) -> str:
+        """Single-statement insert (auto-commit)."""
+        with self.transaction() as txn:
+            new_oid = txn.insert(schema_name, class_name, values, oid=oid)
+        return new_oid
+
+    def update(self, oid: str, changes: dict[str, Any], context: Any = None) -> None:
+        with self.transaction() as txn:
+            txn.update(oid, changes)
+
+    def delete(self, oid: str, context: Any = None) -> None:
+        with self.transaction() as txn:
+            txn.delete(oid)
+
+    # -- commit machinery (called by Transaction) --------------------------
+
+    def _commit_transaction(self, txn: Transaction) -> None:
+        intents = txn.intents
+        # Phase 1: referential integrity over the staged end state.
+        self._check_references(txn)
+        # Phase 2: pre-commit events let integrity rules veto the commit.
+        for intent in intents:
+            self.bus.publish(
+                Event(
+                    EventKind(intent.op),
+                    intent.oid,
+                    payload={
+                        "schema": intent.schema_name,
+                        "class": intent.class_name,
+                        "values": intent.values,
+                        "phase": "validate",
+                        "txn": txn.txn_id,
+                        "staged": txn.staged_value(intent.oid),
+                    },
+                )
+            )
+        # Phase 3: apply.
+        for intent in intents:
+            if intent.op == "insert":
+                self._apply_insert(intent)
+            elif intent.op == "update":
+                self._apply_update(intent)
+            else:
+                self._apply_delete(intent)
+        # Phase 4: post-commit events for customization/refresh rules.
+        for intent in intents:
+            self.bus.publish(
+                Event(
+                    EventKind(intent.op),
+                    intent.oid,
+                    payload={
+                        "schema": intent.schema_name,
+                        "class": intent.class_name,
+                        "values": intent.values,
+                        "phase": "commit",
+                        "txn": txn.txn_id,
+                    },
+                )
+            )
+
+    def _check_references(self, txn: Transaction) -> None:
+        for intent in txn.intents:
+            if intent.op == "delete":
+                incoming = {
+                    (src, attr)
+                    for (src, attr) in self._incoming_refs.get(intent.oid, set())
+                    if txn.staged_exists(src)
+                }
+                if incoming:
+                    raise TransactionError(
+                        f"cannot delete {intent.oid}: referenced by "
+                        f"{sorted(src for src, __ in incoming)}"
+                    )
+                continue
+            schema = self.get_schema_object(intent.schema_name)
+            attrs = schema.effective_attributes(intent.class_name)
+            for attr in attrs:
+                if not attr.is_reference() or not intent.values:
+                    continue
+                target = intent.values.get(attr.name)
+                if target is None:
+                    continue
+                if not txn.staged_exists(target):
+                    raise TransactionError(
+                        f"{intent.oid}.{attr.name} references missing object "
+                        f"{target!r}"
+                    )
+                expected = attr.type.class_name  # type: ignore[union-attr]
+                location = None
+                for other in txn.intents:
+                    if other.oid == target and other.op == "insert":
+                        location = (other.schema_name, other.class_name)
+                location = location or self.locate_object(target)
+                if location is not None and not self._class_is_a(
+                    location[0], location[1], expected
+                ):
+                    raise TransactionError(
+                        f"{intent.oid}.{attr.name} must reference {expected}, "
+                        f"got {location[1]} ({target})"
+                    )
+
+    def _class_is_a(self, schema_name: str, class_name: str, expected: str) -> bool:
+        schema = self.get_schema_object(schema_name)
+        return any(cls.name == expected for cls in schema.ancestry(class_name))
+
+    # -- apply helpers -------------------------------------------------------
+
+    def _apply_insert(self, intent) -> None:
+        schema = self.get_schema_object(intent.schema_name)
+        obj = GeoObject.create(
+            schema, intent.class_name, intent.values or {}, oid=intent.oid
+        )
+        self.extent(intent.schema_name, intent.class_name).add(obj)
+        self._locations[obj.oid] = (intent.schema_name, intent.class_name)
+        self._rids[obj.oid] = self.heap.insert(self._record_for(obj))
+        self._index_insert(obj)
+        self._refs_add(obj)
+
+    def _apply_update(self, intent) -> None:
+        obj = self.get_object(intent.oid)
+        schema = self.get_schema_object(intent.schema_name)
+        self._index_delete(obj)
+        self._refs_remove(obj)
+        obj.update(schema, intent.values or {})
+        self._index_insert(obj)
+        self._refs_add(obj)
+        self._rids[obj.oid] = self.heap.overwrite(
+            self._rids[obj.oid], self._record_for(obj)
+        )
+
+    def _apply_delete(self, intent) -> None:
+        obj = self.get_object(intent.oid)
+        self._index_delete(obj)
+        self._refs_remove(obj)
+        self.extent(intent.schema_name, intent.class_name).remove(intent.oid)
+        del self._locations[intent.oid]
+        self.heap.delete(self._rids.pop(intent.oid))
+        self._incoming_refs.pop(intent.oid, None)
+
+    # -- maintenance of derived structures ------------------------------------
+
+    def _record_for(self, obj: GeoObject) -> dict[str, Any]:
+        schema_name, class_name = self._locations.get(
+            obj.oid, (None, obj.class_name)
+        )
+        schema_name = schema_name or next(
+            s for s in self._schemas if self._schemas[s].has_class(obj.class_name)
+        )
+        schema = self.get_schema_object(schema_name)
+        attrs = {a.name: a for a in schema.effective_attributes(obj.class_name)}
+        encoded = {
+            name: attrs[name].type.encode(value)
+            for name, value in obj.values().items()
+        }
+        return {
+            "oid": obj.oid,
+            "schema": schema_name,
+            "class": obj.class_name,
+            "values": encoded,
+        }
+
+    def _spatial_attrs(self, obj: GeoObject) -> list[str]:
+        schema_name, class_name = self._locations[obj.oid]
+        schema = self.get_schema_object(schema_name)
+        return [
+            a.name
+            for a in schema.effective_attributes(class_name)
+            if a.is_spatial()
+        ]
+
+    def _index_insert(self, obj: GeoObject) -> None:
+        schema_name, class_name = self._locations[obj.oid]
+        for attr in self._spatial_attrs(obj):
+            geom = obj.geometry(attr)
+            if geom is not None:
+                self.spatial_index(schema_name, class_name, attr).insert(
+                    geom.bbox(), obj.oid
+                )
+        for (s, c, attr), index in self._attr_indexes.items():
+            if (s, c) == (schema_name, class_name):
+                index.insert(obj.get(attr), obj.oid)
+
+    def _index_delete(self, obj: GeoObject) -> None:
+        schema_name, class_name = self._locations[obj.oid]
+        for attr in self._spatial_attrs(obj):
+            geom = obj.geometry(attr)
+            if geom is not None:
+                self.spatial_index(schema_name, class_name, attr).delete(
+                    geom.bbox(), obj.oid
+                )
+        for (s, c, attr), index in self._attr_indexes.items():
+            if (s, c) == (schema_name, class_name):
+                index.delete(obj.get(attr), obj.oid)
+
+    def _reference_values(self, obj: GeoObject) -> list[tuple[str, str]]:
+        schema_name, class_name = self._locations[obj.oid]
+        schema = self.get_schema_object(schema_name)
+        out = []
+        for attr in schema.effective_attributes(class_name):
+            if attr.is_reference():
+                target = obj.get(attr.name)
+                if target:
+                    out.append((attr.name, target))
+        return out
+
+    def _refs_add(self, obj: GeoObject) -> None:
+        for attr_name, target in self._reference_values(obj):
+            self._incoming_refs.setdefault(target, set()).add((obj.oid, attr_name))
+
+    def _refs_remove(self, obj: GeoObject) -> None:
+        for attr_name, target in self._reference_values(obj):
+            refs = self._incoming_refs.get(target)
+            if refs:
+                refs.discard((obj.oid, attr_name))
+                if not refs:
+                    del self._incoming_refs[target]
+
+    # ------------------------------------------------------------------
+    # Recovery / introspection
+    # ------------------------------------------------------------------
+
+    def load_from_storage(self) -> int:
+        """Rebuild extents, indexes and references from existing heap pages.
+
+        Call after re-opening a file-backed database and registering its
+        schemas (e.g. via :meth:`MetadataCatalog.load_schema`). Records are
+        *adopted* — not re-inserted — so the heap is untouched and every
+        restored object keeps its record id. Returns the number of objects
+        restored. Catalog documents are skipped.
+        """
+        from ..spatial.rtree import bulk_load
+        from .instances import ensure_oid_counter_above
+
+        loaded = 0
+        max_suffix = 0
+        #: (schema, class, attr) -> [(bbox, oid)] batched for STR loading
+        spatial_batches: dict[tuple[str, str, str], list] = {}
+        for rid, record in list(self.heap.scan()):
+            if record.get("_catalog"):
+                continue
+            oid = record["oid"]
+            if oid in self._locations:
+                continue  # already live (idempotent reload)
+            schema = self.get_schema_object(record["schema"])
+            attrs = {
+                a.name: a
+                for a in schema.effective_attributes(record["class"])
+            }
+            values = {
+                name: attrs[name].type.decode(value)
+                for name, value in record["values"].items()
+            }
+            obj = GeoObject.create(schema, record["class"], values, oid=oid)
+            self.extent(record["schema"], record["class"]).add(obj)
+            self._locations[oid] = (record["schema"], record["class"])
+            self._rids[oid] = rid
+            # spatial entries are batched and STR-bulk-loaded below, which
+            # packs better and builds faster than one-by-one insertion
+            for attr in self._spatial_attrs(obj):
+                geom = obj.geometry(attr)
+                if geom is not None:
+                    key = (record["schema"], record["class"], attr)
+                    spatial_batches.setdefault(key, []).append(
+                        (geom.bbox(), oid)
+                    )
+            for (s, c, attr), index in self._attr_indexes.items():
+                if (s, c) == (record["schema"], record["class"]):
+                    index.insert(obj.get(attr), oid)
+            self._refs_add(obj)
+            loaded += 1
+            __, __, suffix = oid.rpartition("#")
+            if suffix.isdigit():
+                max_suffix = max(max_suffix, int(suffix))
+        for key, entries in spatial_batches.items():
+            existing = list(self._spatial[key].items()) \
+                if key in self._spatial else []
+            self._spatial[key] = bulk_load(existing + entries,
+                                           max_entries=16)
+        if max_suffix:
+            ensure_oid_counter_above(max_suffix)
+        return loaded
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "schemas": len(self._schemas),
+            "objects": len(self._locations),
+            "extents": {
+                f"{s}.{c}": len(ext) for (s, c), ext in self._extents.items()
+            },
+            "spatial_indexes": len(self._spatial),
+            "buffer": self.stats_buffer(),
+            "heap": self.heap.stats(),
+        }
+
+    def stats_buffer(self) -> dict[str, Any]:
+        return self.buffer.stats.snapshot()
+
+    def verify_storage(self) -> int:
+        """Re-read every object from the heap and compare with memory.
+
+        Returns the number of verified objects; raises on any divergence.
+        Used by tests to prove the page store actually holds the data.
+        """
+        verified = 0
+        for oid, rid in self._rids.items():
+            record = self.heap.read(rid)
+            obj = self.get_object(oid)
+            schema = self.get_schema_object(record["schema"])
+            attrs = {
+                a.name: a for a in schema.effective_attributes(record["class"])
+            }
+            decoded = {
+                name: attrs[name].type.decode(value)
+                for name, value in record["values"].items()
+            }
+            if decoded != obj.values():
+                raise ObjectNotFoundError(
+                    f"stored record for {oid} diverges from the live object"
+                )
+            verified += 1
+        return verified
+
+    def __repr__(self) -> str:
+        return (
+            f"GeographicDatabase({self.name!r}, schemas={self.schema_names()}, "
+            f"objects={len(self._locations)})"
+        )

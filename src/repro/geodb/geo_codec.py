@@ -1,0 +1,74 @@
+"""Geometry <-> JSON-safe structure codec for the page store.
+
+A tiny GeoJSON-like encoding: ``{"t": <geom_type>, "c": <coords>}``.
+Kept separate from the geometry classes so the spatial package stays free
+of storage concerns.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import StorageError
+from ..spatial.geometry import (
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    Ring,
+)
+
+
+def encode_geometry(geom: Geometry) -> dict[str, Any]:
+    """Encode a geometry into a JSON-safe dict."""
+    if isinstance(geom, Point):
+        return {"t": "point", "c": [geom.x, geom.y]}
+    if isinstance(geom, LineString):
+        return {"t": "linestring", "c": [list(p) for p in geom.coords]}
+    if isinstance(geom, Polygon):
+        return {
+            "t": "polygon",
+            "c": [
+                [list(p) for p in ring.coords] for ring in geom.rings()
+            ],
+        }
+    if isinstance(geom, MultiPoint):
+        return {"t": "multipoint", "c": [[m.x, m.y] for m in geom]}
+    if isinstance(geom, MultiLineString):
+        return {
+            "t": "multilinestring",
+            "c": [[list(p) for p in m.coords] for m in geom],
+        }
+    if isinstance(geom, MultiPolygon):
+        return {
+            "t": "multipolygon",
+            "c": [
+                [[list(p) for p in ring.coords] for ring in m.rings()] for m in geom
+            ],
+        }
+    raise StorageError(f"cannot encode geometry type {type(geom).__name__}")
+
+
+def decode_geometry(raw: Any) -> Geometry:
+    """Inverse of :func:`encode_geometry`."""
+    if not isinstance(raw, dict) or "t" not in raw or "c" not in raw:
+        raise StorageError(f"malformed geometry encoding: {raw!r}")
+    tag, coords = raw["t"], raw["c"]
+    if tag == "point":
+        return Point(coords[0], coords[1])
+    if tag == "linestring":
+        return LineString(coords)
+    if tag == "polygon":
+        return Polygon(Ring(coords[0]), [Ring(r) for r in coords[1:]])
+    if tag == "multipoint":
+        return MultiPoint([Point(x, y) for x, y in coords])
+    if tag == "multilinestring":
+        return MultiLineString([LineString(c) for c in coords])
+    if tag == "multipolygon":
+        return MultiPolygon(
+            [Polygon(Ring(rings[0]), [Ring(r) for r in rings[1:]]) for rings in coords]
+        )
+    raise StorageError(f"unknown geometry tag {tag!r}")

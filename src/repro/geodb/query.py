@@ -1,0 +1,373 @@
+"""Query model: declarative predicates over class extents.
+
+§2.1: "Database queries may be standard or return data on spatial
+properties and relationships." The model mirrors that split:
+
+* :class:`Comparison` — standard attribute predicates (``=``, ``<``,
+  ``like`` ...), including dotted paths into tuple attributes
+  (``pole_composition.pole_material = 'wood'``).
+* :class:`SpatialPredicate` — a named topological relation against a probe
+  geometry (``touches``, ``within`` ...), and :class:`WithinDistance` for
+  metric proximity.
+* :class:`And` / :class:`Or` / :class:`Not` — boolean combinators.
+
+Predicates are pure descriptions; execution (and index selection) lives in
+:mod:`repro.geodb.query_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..errors import QueryError
+from ..spatial.geometry import BBox, Geometry
+from ..spatial.topology import PREDICATES
+from ..spatial.algorithms import geometry_distance
+from .instances import GeoObject
+from .schema import GeoClass
+
+
+class Predicate:
+    """Base class for all predicate nodes."""
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        raise NotImplementedError
+
+    def spatial_prefilter(self) -> "tuple[str, BBox] | None":
+        """``(attr_name, bbox)`` usable as an index prefilter, or None.
+
+        A conjunction returns the first prefilter of any branch; other
+        combinators return None (they cannot guarantee the filter is
+        necessary).
+        """
+        return None
+
+    def equality_prefilter(self) -> "tuple[str, list] | None":
+        """``(attr_name, candidate_values)`` for a hash-index lookup.
+
+        Only exposed by ``=`` / ``in`` comparisons on plain (non-dotted)
+        attribute names, and propagated through conjunctions.
+        """
+        return None
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def _resolve_path(obj: GeoObject, geo_class: GeoClass, path: str) -> Any:
+    """Value of a possibly dotted attribute path on ``obj``."""
+    head, __, rest = path.partition(".")
+    value = obj.get(head, geo_class)
+    if not rest:
+        return value
+    if not isinstance(value, dict):
+        raise QueryError(
+            f"path {path!r}: attribute {head!r} is not a tuple value"
+        )
+    for field in rest.split("."):
+        if not isinstance(value, dict) or field not in value:
+            raise QueryError(f"path {path!r}: no field {field!r}")
+        value = value[field]
+    return value
+
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and a < b,
+    "<=": lambda a, b: a is not None and a <= b,
+    ">": lambda a, b: a is not None and a > b,
+    ">=": lambda a, b: a is not None and a >= b,
+    "in": lambda a, b: a in b,
+    "like": lambda a, b: isinstance(a, str) and isinstance(b, str) and b.lower() in a.lower(),
+}
+
+
+class Comparison(Predicate):
+    """``<attr path> <op> <literal>`` over conventional attributes."""
+
+    def __init__(self, path: str, op: str, value: Any):
+        if op not in _OPS:
+            raise QueryError(f"unknown comparison operator {op!r}; known: {sorted(_OPS)}")
+        if not path:
+            raise QueryError("comparison needs an attribute path")
+        self.path = path
+        self.op = op
+        self.value = value
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        try:
+            actual = _resolve_path(obj, geo_class, self.path)
+        except QueryError:
+            return False
+        try:
+            return _OPS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+    def equality_prefilter(self) -> tuple[str, list] | None:
+        if "." in self.path:
+            return None
+        if self.op == "=":
+            return (self.path, [self.value])
+        if self.op == "in" and isinstance(self.value, (list, tuple, set)):
+            return (self.path, list(self.value))
+        return None
+
+    def describe(self) -> str:
+        return f"{self.path} {self.op} {self.value!r}"
+
+
+class SpatialPredicate(Predicate):
+    """``<relation>(<geometry attr>, <probe geometry>)``.
+
+    ``relation`` is one of the names in
+    :data:`repro.spatial.topology.PREDICATES`.
+    """
+
+    def __init__(self, attr: str, relation: str, probe: Geometry):
+        if relation not in PREDICATES:
+            raise QueryError(
+                f"unknown spatial relation {relation!r}; known: {sorted(PREDICATES)}"
+            )
+        if not isinstance(probe, Geometry):
+            raise QueryError("spatial predicate needs a probe Geometry")
+        self.attr = attr
+        self.relation = relation
+        self.probe = probe
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        geom = obj.geometry(self.attr)
+        if geom is None:
+            return False
+        return PREDICATES[self.relation](geom, self.probe)
+
+    def spatial_prefilter(self) -> tuple[str, BBox] | None:
+        # Everything but 'disjoint' implies bbox interaction with the probe.
+        if self.relation == "disjoint":
+            return None
+        return (self.attr, self.probe.bbox())
+
+    def describe(self) -> str:
+        return f"{self.relation}({self.attr}, {self.probe.wkt()})"
+
+
+class RelateMask(Predicate):
+    """``relate(<geometry attr>, <probe>, '<DE-9IM mask>')``.
+
+    Matches when the boolean DE-9IM pattern between the attribute
+    geometry and the probe satisfies the mask (``T``/``F``/``*`` per
+    cell) — the escape hatch for relations the named predicates do not
+    cover.
+    """
+
+    def __init__(self, attr: str, probe: Geometry, mask: str):
+        from ..spatial.de9im import matches as _matches  # validates masks
+
+        if not isinstance(probe, Geometry):
+            raise QueryError("relate predicate needs a probe Geometry")
+        try:
+            _matches("F" * 9, mask)
+        except Exception as exc:
+            raise QueryError(f"invalid DE-9IM mask {mask!r}: {exc}") from exc
+        self.attr = attr
+        self.probe = probe
+        self.mask = mask
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        from ..spatial.de9im import relate_with_mask
+
+        geom = obj.geometry(self.attr)
+        if geom is None:
+            return False
+        return relate_with_mask(geom, self.probe, self.mask)
+
+    def spatial_prefilter(self) -> tuple[str, BBox] | None:
+        # A mask requiring any interior/boundary intersection implies the
+        # bboxes interact; masks that *permit* disjointness cannot be
+        # prefiltered safely.
+        requires_contact = any(c == "T" for c in self.mask[:2] + self.mask[3:5])
+        if requires_contact:
+            return (self.attr, self.probe.bbox())
+        return None
+
+    def describe(self) -> str:
+        return f"relate({self.attr}, {self.probe.wkt()}, '{self.mask}')"
+
+
+class WithinDistance(Predicate):
+    """``distance(<geometry attr>, <probe>) <= radius``."""
+
+    def __init__(self, attr: str, probe: Geometry, radius: float):
+        if radius < 0:
+            raise QueryError("distance radius must be non-negative")
+        if not isinstance(probe, Geometry):
+            raise QueryError("distance predicate needs a probe Geometry")
+        self.attr = attr
+        self.probe = probe
+        self.radius = float(radius)
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        geom = obj.geometry(self.attr)
+        if geom is None:
+            return False
+        return geometry_distance(geom, self.probe) <= self.radius
+
+    def spatial_prefilter(self) -> tuple[str, BBox] | None:
+        return (self.attr, self.probe.bbox().expanded(self.radius))
+
+    def describe(self) -> str:
+        return f"distance({self.attr}, {self.probe.wkt()}) <= {self.radius}"
+
+
+class And(Predicate):
+    def __init__(self, parts: Iterable[Predicate]):
+        self.parts = list(parts)
+        if len(self.parts) < 2:
+            raise QueryError("And needs at least two operands")
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        return all(p.matches(obj, geo_class) for p in self.parts)
+
+    def spatial_prefilter(self) -> tuple[str, BBox] | None:
+        for part in self.parts:
+            pre = part.spatial_prefilter()
+            if pre is not None:
+                return pre
+        return None
+
+    def equality_prefilter(self) -> tuple[str, list] | None:
+        for part in self.parts:
+            pre = part.equality_prefilter()
+            if pre is not None:
+                return pre
+        return None
+
+    def describe(self) -> str:
+        return "(" + " and ".join(p.describe() for p in self.parts) + ")"
+
+
+class Or(Predicate):
+    def __init__(self, parts: Iterable[Predicate]):
+        self.parts = list(parts)
+        if len(self.parts) < 2:
+            raise QueryError("Or needs at least two operands")
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        return any(p.matches(obj, geo_class) for p in self.parts)
+
+    def describe(self) -> str:
+        return "(" + " or ".join(p.describe() for p in self.parts) + ")"
+
+
+class Not(Predicate):
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        return not self.inner.matches(obj, geo_class)
+
+    def describe(self) -> str:
+        return f"not {self.inner.describe()}"
+
+
+class TruePredicate(Predicate):
+    """Matches everything — the default ``where`` of a browse query."""
+
+    def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "true"
+
+
+#: Aggregate operators usable in projections: op -> reducer over values.
+AGGREGATE_OPS = ("count", "min", "max", "sum", "avg")
+
+
+class Query:
+    """A declarative query over one class extent.
+
+    Parameters
+    ----------
+    class_name:
+        Target class.
+    where:
+        Root predicate (defaults to :class:`TruePredicate`).
+    projection:
+        Attribute paths to keep in result rows; ``None`` keeps whole objects.
+    aggregates:
+        ``(op, path)`` pairs (op in :data:`AGGREGATE_OPS`; path ``None``
+        for ``count(*)``). When given, the result is a single row of
+        aggregate values over the matching set; mutually exclusive with
+        ``projection``.
+    order_by:
+        Attribute path to sort by (ascending; prefix with ``-`` for
+        descending).
+    limit:
+        Maximum number of results.
+    include_subclasses:
+        When True the extents of subclasses are searched too (OO semantics).
+    """
+
+    def __init__(
+        self,
+        class_name: str,
+        where: Predicate | None = None,
+        projection: list[str] | None = None,
+        aggregates: list[tuple[str, str | None]] | None = None,
+        order_by: str | None = None,
+        limit: int | None = None,
+        include_subclasses: bool = False,
+    ):
+        if not class_name:
+            raise QueryError("query needs a class name")
+        if limit is not None and limit < 0:
+            raise QueryError("limit must be non-negative")
+        if aggregates:
+            if projection is not None:
+                raise QueryError(
+                    "a query selects either aggregates or attribute paths, "
+                    "not both")
+            for op, path in aggregates:
+                if op not in AGGREGATE_OPS:
+                    raise QueryError(
+                        f"unknown aggregate {op!r}; known: {AGGREGATE_OPS}")
+                if path is None and op != "count":
+                    raise QueryError(f"{op}(*) is not defined; give a path")
+        self.class_name = class_name
+        self.where = where if where is not None else TruePredicate()
+        self.projection = list(projection) if projection is not None else None
+        self.aggregates = list(aggregates) if aggregates else None
+        self.order_by = order_by
+        self.limit = limit
+        self.include_subclasses = include_subclasses
+
+    def describe(self) -> str:
+        text = f"from {self.class_name} where {self.where.describe()}"
+        if self.aggregates is not None:
+            rendered = ", ".join(
+                f"{op}({path or '*'})" for op, path in self.aggregates)
+            text = f"select {rendered} " + text
+        elif self.projection is not None:
+            text = f"select {', '.join(self.projection)} " + text
+        if self.order_by:
+            text += f" order by {self.order_by}"
+        if self.limit is not None:
+            text += f" limit {self.limit}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"<Query {self.describe()}>"

@@ -1,0 +1,237 @@
+"""Query execution with spatial index pushdown.
+
+The engine evaluates a :class:`repro.geodb.query.Query` against a
+:class:`repro.geodb.database.GeographicDatabase`:
+
+1. **Plan** — if the predicate tree exposes a spatial prefilter
+   (``SpatialPredicate`` / ``WithinDistance`` at top level or inside a
+   conjunction), the candidate set is fetched from the class's R-tree by
+   bounding box; otherwise the full extent is scanned.
+2. **Refine** — every candidate is checked against the full predicate
+   (exact geometry tests run only on index survivors).
+3. **Shape** — ordering, limiting and projection.
+
+The returned :class:`QueryResult` carries the rows plus an execution
+report (plan chosen, candidates examined) used by the explanation
+interaction mode and by benchmark C5.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import QueryError
+from .database import GeographicDatabase
+from .instances import GeoObject
+from .query import Query, _resolve_path
+from .schema import GeoClass
+
+
+class QueryResult:
+    """Rows plus the execution report."""
+
+    def __init__(self, query: Query, objects: list[GeoObject],
+                 rows: list[dict[str, Any]] | None, report: dict[str, Any]):
+        self.query = query
+        self.objects = objects
+        #: projected rows when the query had a projection, else None
+        self.rows = rows
+        self.report = report
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self):
+        return iter(self.rows if self.rows is not None else self.objects)
+
+    def oids(self) -> list[str]:
+        return [obj.oid for obj in self.objects]
+
+    def explain(self) -> str:
+        """Human-readable plan summary (explanation mode, §2.2)."""
+        r = self.report
+        lines = [
+            f"query: {self.query.describe()}",
+            f"plan: {r['plan']}",
+            f"candidates examined: {r['candidates']}",
+            f"matches: {r['matches']}",
+        ]
+        if r.get("index"):
+            lines.insert(2, f"index: {r['index']}")
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Executes queries against one database."""
+
+    def __init__(self, database: GeographicDatabase):
+        self.database = database
+
+    def execute(self, schema_name: str, query: Query) -> QueryResult:
+        schema = self.database.get_schema_object(schema_name)
+        geo_class = schema.get_class(query.class_name)
+        candidates, plan, index_name = self._candidates(schema_name, query)
+
+        matches = [
+            obj for obj in candidates if query.where.matches(obj, geo_class)
+        ]
+        if query.aggregates:
+            # aggregates reduce the full matching set; limit is moot
+            rows = [self._aggregate(matches, geo_class, query)]
+            report = {
+                "plan": plan,
+                "index": index_name,
+                "candidates": len(candidates),
+                "matches": len(matches),
+            }
+            return QueryResult(query, matches, rows, report)
+        matches = self._order(matches, geo_class, query)
+        if query.limit is not None:
+            matches = matches[: query.limit]
+        rows = self._project(matches, geo_class, query)
+        report = {
+            "plan": plan,
+            "index": index_name,
+            "candidates": len(candidates),
+            "matches": len(matches),
+        }
+        return QueryResult(query, matches, rows, report)
+
+    # -- planning -------------------------------------------------------------
+
+    def _candidates(
+        self, schema_name: str, query: Query
+    ) -> tuple[list[GeoObject], str, str | None]:
+        prefilter = query.where.spatial_prefilter()
+        class_names = [query.class_name]
+        if query.include_subclasses:
+            schema = self.database.get_schema_object(schema_name)
+            pending = [query.class_name]
+            class_names = []
+            while pending:
+                current = pending.pop()
+                class_names.append(current)
+                pending.extend(schema.subclasses(current))
+
+        if prefilter is not None:
+            attr, box = prefilter
+            if not box.is_empty():
+                out: list[GeoObject] = []
+                used_index = None
+                for cname in class_names:
+                    try:
+                        index = self.database.spatial_index(schema_name, cname, attr)
+                    except Exception:
+                        # attribute not spatial on this class: fall back
+                        out.extend(self.database.extent(schema_name, cname))
+                        continue
+                    used_index = f"rtree({cname}.{attr})"
+                    for oid in index.search(box):
+                        obj = self.database.find_object(oid)
+                        if obj is not None:
+                            out.append(obj)
+                return out, "index-scan", used_index
+
+        equality = query.where.equality_prefilter()
+        if equality is not None:
+            attr, values = equality
+            hash_indexes = [
+                (cname, self.database.attribute_index(schema_name, cname,
+                                                      attr))
+                for cname in class_names
+            ]
+            # Only use the hash path when every touched class is indexed;
+            # a partial answer would silently drop candidates.
+            if all(index is not None for __, index in hash_indexes):
+                out = []
+                for cname, index in hash_indexes:
+                    for oid in sorted(index.lookup_many(values)):
+                        obj = self.database.find_object(oid)
+                        if obj is not None:
+                            out.append(obj)
+                used_index = ", ".join(
+                    f"hash({cname}.{attr})" for cname, __ in hash_indexes)
+                return out, "hash-scan", used_index
+
+        out = []
+        for cname in class_names:
+            out.extend(self.database.extent(schema_name, cname))
+        return out, "full-scan", None
+
+    # -- shaping ---------------------------------------------------------------
+
+    def _order(self, matches: list[GeoObject], geo_class: GeoClass,
+               query: Query) -> list[GeoObject]:
+        if not query.order_by:
+            return matches
+        path = query.order_by
+        descending = path.startswith("-")
+        if descending:
+            path = path[1:]
+
+        def key(obj: GeoObject):
+            try:
+                value = _resolve_path(obj, geo_class, path)
+            except QueryError:
+                value = None
+            # None sorts last regardless of direction.
+            return (value is None, value)
+
+        try:
+            ordered = sorted(matches, key=key, reverse=descending)
+        except TypeError as exc:
+            raise QueryError(
+                f"order by {query.order_by!r}: values are not comparable ({exc})"
+            ) from exc
+        return ordered
+
+    def _aggregate(self, matches: list[GeoObject], geo_class: GeoClass,
+                   query: Query) -> dict[str, Any]:
+        """One row of aggregate values over the matching set.
+
+        Non-numeric / absent values are skipped by min/max/sum/avg;
+        ``count(path)`` counts objects where the path resolves non-None.
+        Empty inputs yield ``None`` (0 for counts), SQL-style.
+        """
+        row: dict[str, Any] = {}
+        for op, path in query.aggregates or ():
+            label = f"{op}({path or '*'})"
+            if op == "count" and path is None:
+                row[label] = len(matches)
+                continue
+            values = []
+            for obj in matches:
+                try:
+                    value = _resolve_path(obj, geo_class, path)
+                except QueryError:
+                    continue
+                if value is not None:
+                    values.append(value)
+            if op == "count":
+                row[label] = len(values)
+            elif not values:
+                row[label] = None
+            elif op == "min":
+                row[label] = min(values)
+            elif op == "max":
+                row[label] = max(values)
+            elif op == "sum":
+                row[label] = sum(values)
+            else:  # avg
+                row[label] = sum(values) / len(values)
+        return row
+
+    def _project(self, matches: list[GeoObject], geo_class: GeoClass,
+                 query: Query) -> list[dict[str, Any]] | None:
+        if query.projection is None:
+            return None
+        rows = []
+        for obj in matches:
+            row: dict[str, Any] = {"oid": obj.oid}
+            for path in query.projection:
+                try:
+                    row[path] = _resolve_path(obj, geo_class, path)
+                except QueryError:
+                    row[path] = None
+            rows.append(row)
+        return rows

@@ -1,0 +1,377 @@
+"""A textual query language for the *analysis* interaction mode.
+
+§2.2: "In the analysis mode, the goal is to evaluate conditions, usually
+via query predicates." The paper's related work cites Egenhofer's Spatial
+SQL [4] as the style of language such a mode needs. This module provides
+a small query language over the declarative predicate model::
+
+    select * from Pole
+        where pole_type = 1 and within(pole_location, bbox(0, 0, 200, 40))
+        order by pole_type limit 10
+
+    select pole_composition.pole_material from Pole
+        where distance(pole_location, point(10, 20)) <= 50
+
+Grammar (case-insensitive keywords)::
+
+    query      := "select" ("*" | path ("," path)*) "from" NAME
+                  ("where" or_expr)? ("order" "by" ("-")? path)?
+                  ("limit" INT)? ("including" "subclasses")?
+    or_expr    := and_expr ("or" and_expr)*
+    and_expr   := unary ("and" unary)*
+    unary      := "not" unary | "(" or_expr ")" | condition
+    condition  := comparison | spatial | proximity
+    comparison := path OP literal        OP in = != < <= > >= like in
+    spatial    := REL "(" path "," probe ")"
+                  REL in equals disjoint intersects touches overlaps
+                         crosses within contains covers covered_by
+    proximity  := "distance" "(" path "," probe ")" "<=" NUMBER
+    probe      := "bbox" "(" N "," N "," N "," N ")"
+                | "point" "(" N "," N ")"
+                | "line" "(" N N ("," N N)+ ")"
+                | "polygon" "(" N N ("," N N)+ ")"
+    literal    := NUMBER | STRING | "true" | "false" | "null"
+                | "[" literal ("," literal)* "]"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..errors import QueryError
+from ..spatial.geometry import BBox, Geometry, LineString, Point, Polygon
+from ..spatial.topology import PREDICATES
+from .query import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    SpatialPredicate,
+    WithinDistance,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),*\[\]])
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+_COMPARE_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryError(
+                f"query syntax error near {text[pos:pos + 12]!r}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind == "ws":
+            continue
+        if kind == "string":
+            value = value[1:-1]
+        tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _next(self) -> tuple[str, str]:
+        token = self._tokens[self._pos]
+        if token[0] != "eof":
+            self._pos += 1
+        return token
+
+    def _accept_word(self, *words: str) -> bool:
+        kind, value = self._peek()
+        if kind == "word" and value.lower() in words:
+            self._next()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise QueryError(f"expected {word!r}, found {self._peek()[1]!r}")
+
+    def _expect_punct(self, punct: str) -> None:
+        kind, value = self._peek()
+        if kind == "punct" and value == punct:
+            self._next()
+            return
+        raise QueryError(f"expected {punct!r}, found {value!r}")
+
+    def _expect_number(self) -> float:
+        kind, value = self._next()
+        if kind != "number":
+            raise QueryError(f"expected a number, found {value!r}")
+        return float(value)
+
+    def _expect_path(self) -> str:
+        kind, value = self._next()
+        if kind != "word":
+            raise QueryError(f"expected an attribute path, found {value!r}")
+        return value
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        from .query import AGGREGATE_OPS
+
+        self._expect_word("select")
+        projection: list[str] | None = None
+        aggregates: list[tuple[str, str | None]] = []
+        if self._peek() == ("punct", "*"):
+            self._next()
+        else:
+            items: list[str] = []
+            while True:
+                kind, value = self._peek()
+                if (kind == "word" and value.lower() in AGGREGATE_OPS
+                        and self._tokens[self._pos + 1] == ("punct", "(")):
+                    self._next()
+                    self._expect_punct("(")
+                    if self._peek() == ("punct", "*"):
+                        self._next()
+                        arg: str | None = None
+                    else:
+                        arg = self._expect_path()
+                    self._expect_punct(")")
+                    aggregates.append((value.lower(), arg))
+                else:
+                    items.append(self._expect_path())
+                if self._peek() == ("punct", ","):
+                    self._next()
+                    continue
+                break
+            if items and aggregates:
+                raise QueryError(
+                    "select either aggregates or attribute paths, not both")
+            projection = items or None
+        self._expect_word("from")
+        class_name = self._expect_path()
+
+        where: Predicate | None = None
+        if self._accept_word("where"):
+            where = self._parse_or()
+
+        order_by = None
+        if self._accept_word("order"):
+            self._expect_word("by")
+            descending = False
+            if self._peek() == ("op", "-") or (
+                self._peek()[0] == "number"
+                and self._peek()[1].startswith("-")
+            ):
+                raise QueryError("use 'order by desc <path>' for descending")
+            if self._accept_word("desc"):
+                descending = True
+            order_by = self._expect_path()
+            if descending:
+                order_by = "-" + order_by
+
+        limit = None
+        if self._accept_word("limit"):
+            limit = int(self._expect_number())
+
+        include_subclasses = False
+        if self._accept_word("including"):
+            self._expect_word("subclasses")
+            include_subclasses = True
+
+        if self._peek()[0] != "eof":
+            raise QueryError(
+                f"unexpected trailing input: {self._peek()[1]!r}"
+            )
+        return Query(
+            class_name,
+            where=where,
+            projection=projection,
+            aggregates=aggregates or None,
+            order_by=order_by,
+            limit=limit,
+            include_subclasses=include_subclasses,
+        )
+
+    def _parse_or(self) -> Predicate:
+        parts = [self._parse_and()]
+        while self._accept_word("or"):
+            parts.append(self._parse_and())
+        return parts[0] if len(parts) == 1 else Or(parts)
+
+    def _parse_and(self) -> Predicate:
+        parts = [self._parse_unary()]
+        while self._accept_word("and"):
+            parts.append(self._parse_unary())
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    def _parse_unary(self) -> Predicate:
+        if self._accept_word("not"):
+            return Not(self._parse_unary())
+        if self._peek() == ("punct", "("):
+            self._next()
+            inner = self._parse_or()
+            self._expect_punct(")")
+            return inner
+        return self._parse_condition()
+
+    def _parse_condition(self) -> Predicate:
+        kind, value = self._peek()
+        if kind != "word":
+            raise QueryError(f"expected a condition, found {value!r}")
+        lowered = value.lower()
+        if lowered == "distance":
+            return self._parse_proximity()
+        if lowered == "relate":
+            return self._parse_relate()
+        if lowered in PREDICATES:
+            return self._parse_spatial()
+        return self._parse_comparison()
+
+    def _parse_relate(self) -> Predicate:
+        from .query import RelateMask
+
+        self._next()  # relate
+        self._expect_punct("(")
+        attr = self._expect_path()
+        self._expect_punct(",")
+        probe = self._parse_probe()
+        self._expect_punct(",")
+        kind, mask = self._next()
+        if kind != "string":
+            raise QueryError("relate(...) needs a quoted DE-9IM mask")
+        self._expect_punct(")")
+        return RelateMask(attr, probe, mask)
+
+    def _parse_proximity(self) -> Predicate:
+        self._next()  # distance
+        self._expect_punct("(")
+        attr = self._expect_path()
+        self._expect_punct(",")
+        probe = self._parse_probe()
+        self._expect_punct(")")
+        kind, op = self._next()
+        if (kind, op) != ("op", "<="):
+            raise QueryError("distance(...) must be compared with <=")
+        radius = self._expect_number()
+        return WithinDistance(attr, probe, radius)
+
+    def _parse_spatial(self) -> Predicate:
+        __, relation = self._next()
+        self._expect_punct("(")
+        attr = self._expect_path()
+        self._expect_punct(",")
+        probe = self._parse_probe()
+        self._expect_punct(")")
+        return SpatialPredicate(attr, relation.lower(), probe)
+
+    def _parse_probe(self) -> Geometry:
+        kind, value = self._next()
+        if kind != "word":
+            raise QueryError(f"expected a geometry probe, found {value!r}")
+        shape = value.lower()
+        self._expect_punct("(")
+        if shape == "bbox":
+            numbers = [self._expect_number()]
+            for __ in range(3):
+                self._expect_punct(",")
+                numbers.append(self._expect_number())
+            self._expect_punct(")")
+            return Polygon.from_bbox(BBox(*numbers))
+        if shape == "point":
+            x = self._expect_number()
+            self._expect_punct(",")
+            y = self._expect_number()
+            self._expect_punct(")")
+            return Point(x, y)
+        if shape in ("line", "polygon"):
+            coords = [(self._expect_number(), self._expect_number())]
+            while self._peek() == ("punct", ","):
+                self._next()
+                coords.append((self._expect_number(), self._expect_number()))
+            self._expect_punct(")")
+            if shape == "line":
+                return LineString(coords)
+            return Polygon(coords)
+        raise QueryError(
+            f"unknown probe shape {shape!r}; use bbox/point/line/polygon"
+        )
+
+    def _parse_comparison(self) -> Predicate:
+        path = self._expect_path()
+        kind, op = self._next()
+        word_op = op.lower() if kind == "word" else op
+        if kind == "word" and word_op == "like":
+            literal = self._parse_literal()
+            return Comparison(path, "like", literal)
+        if kind == "word" and word_op == "in":
+            literal = self._parse_literal()
+            if not isinstance(literal, list):
+                raise QueryError("'in' needs a [list, of, literals]")
+            return Comparison(path, "in", literal)
+        if kind == "op" and op in _COMPARE_OPS:
+            literal = self._parse_literal()
+            return Comparison(path, op, literal)
+        raise QueryError(f"unknown comparison operator {op!r}")
+
+    def _parse_literal(self) -> Any:
+        kind, value = self._next()
+        if kind == "number":
+            number = float(value)
+            return int(number) if number.is_integer() else number
+        if kind == "string":
+            return value
+        if kind == "word":
+            lowered = value.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            if lowered == "null":
+                return None
+            raise QueryError(
+                f"bare word {value!r} is not a literal (quote strings)"
+            )
+        if kind == "punct" and value == "[":
+            items = []
+            if self._peek() != ("punct", "]"):
+                items.append(self._parse_literal())
+                while self._peek() == ("punct", ","):
+                    self._next()
+                    items.append(self._parse_literal())
+            self._expect_punct("]")
+            return items
+        raise QueryError(f"expected a literal, found {value!r}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse a textual analysis-mode query into a :class:`Query`."""
+    return _QueryParser(text).parse_query()
+
+
+def run_query(database, schema_name: str, text: str):
+    """Parse and execute in one call; returns a
+    :class:`~repro.geodb.query_engine.QueryResult`."""
+    from .query_engine import QueryEngine
+
+    return QueryEngine(database).execute(schema_name, parse_query(text))

@@ -1,0 +1,332 @@
+"""Schema catalog: attributes, methods, classes and schemas.
+
+The geographic database is object-oriented (§3.4: "schemata, classes, and
+instances ... are the most important concepts in an (object-oriented)
+geographic database"). Classes support single inheritance, typed
+attributes (including tuple, reference, geometry and bitmap attributes),
+and named methods — class ``Pole`` of paper Figure 5 declares
+``get_supplier_name(Supplier)``.
+
+Schema objects are plain descriptive values; the live database
+(:mod:`repro.geodb.database`) owns extents and indexes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterator
+
+from ..errors import SchemaError
+from .types import AttributeType, GeometryType, ReferenceType, type_from_description
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _check_name(name: str, what: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise SchemaError(f"invalid {what} name {name!r}")
+    return name
+
+
+class Attribute:
+    """A named, typed attribute of a class."""
+
+    __slots__ = ("name", "type", "required", "doc")
+
+    def __init__(self, name: str, attr_type: AttributeType,
+                 required: bool = False, doc: str = ""):
+        self.name = _check_name(name, "attribute")
+        if not isinstance(attr_type, AttributeType):
+            raise SchemaError(f"attribute {name!r} needs an AttributeType")
+        self.type = attr_type
+        self.required = bool(required)
+        self.doc = doc
+
+    def is_spatial(self) -> bool:
+        return isinstance(self.type, GeometryType)
+
+    def is_reference(self) -> bool:
+        return isinstance(self.type, ReferenceType)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "type": self.type.describe(),
+            "required": self.required,
+            "doc": self.doc,
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict[str, Any]) -> "Attribute":
+        return cls(
+            desc["name"],
+            type_from_description(desc["type"]),
+            required=desc.get("required", False),
+            doc=desc.get("doc", ""),
+        )
+
+    def __repr__(self) -> str:
+        req = ", required" if self.required else ""
+        return f"Attribute({self.name}: {self.type.spec()}{req})"
+
+
+class Method:
+    """A named method with a parameter signature and optional implementation.
+
+    Implementations are plain Python callables taking
+    ``(database, instance, *args)``; the Instance window's ``using`` clause
+    of the customization language can bind them as value producers
+    (``display attribute pole_supplier as text from
+    get_supplier_name(pole_supplier)``).
+    """
+
+    __slots__ = ("name", "params", "impl", "doc")
+
+    def __init__(self, name: str, params: list[str] | None = None,
+                 impl: Callable | None = None, doc: str = ""):
+        self.name = _check_name(name, "method")
+        self.params = list(params or [])
+        self.impl = impl
+        self.doc = doc
+
+    def signature(self) -> str:
+        return f"{self.name}({', '.join(self.params)})"
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "params": list(self.params), "doc": self.doc}
+
+    def __repr__(self) -> str:
+        return f"Method({self.signature()})"
+
+
+class GeoClass:
+    """A class of georeferenced phenomena (poles, ducts, districts ...).
+
+    Parameters
+    ----------
+    name:
+        Class name, unique within its schema.
+    attributes:
+        Ordered attribute list (order matters: the generic Instance window
+        shows one panel per attribute in declaration order).
+    methods:
+        Named methods.
+    superclass:
+        Optional name of a superclass in the same schema; effective
+        attributes/methods are resolved by :meth:`Schema.effective_attributes`.
+    doc:
+        Free-text description shown by metadata browsing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: list[Attribute] | None = None,
+        methods: list[Method] | None = None,
+        superclass: str | None = None,
+        doc: str = "",
+    ):
+        self.name = _check_name(name, "class")
+        self.attributes: list[Attribute] = []
+        self._attr_index: dict[str, Attribute] = {}
+        for attr in attributes or []:
+            self.add_attribute(attr)
+        self.methods: dict[str, Method] = {}
+        for method in methods or []:
+            self.add_method(method)
+        self.superclass = superclass
+        self.doc = doc
+
+    # -- construction -------------------------------------------------------
+
+    def add_attribute(self, attr: Attribute) -> None:
+        if attr.name in self._attr_index:
+            raise SchemaError(f"duplicate attribute {attr.name!r} in class {self.name!r}")
+        self.attributes.append(attr)
+        self._attr_index[attr.name] = attr
+
+    def add_method(self, method: Method) -> None:
+        if method.name in self.methods:
+            raise SchemaError(f"duplicate method {method.name!r} in class {self.name!r}")
+        self.methods[method.name] = method
+
+    # -- lookup ---------------------------------------------------------------
+
+    def attribute(self, name: str) -> Attribute:
+        if name not in self._attr_index:
+            raise SchemaError(f"class {self.name!r} has no attribute {name!r}")
+        return self._attr_index[name]
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._attr_index
+
+    def attribute_names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    def spatial_attributes(self) -> list[Attribute]:
+        return [a for a in self.attributes if a.is_spatial()]
+
+    def reference_attributes(self) -> list[Attribute]:
+        return [a for a in self.attributes if a.is_reference()]
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "superclass": self.superclass,
+            "doc": self.doc,
+            "attributes": [a.describe() for a in self.attributes],
+            "methods": [m.describe() for m in self.methods.values()],
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict[str, Any]) -> "GeoClass":
+        return cls(
+            desc["name"],
+            attributes=[Attribute.from_description(a) for a in desc["attributes"]],
+            methods=[Method(m["name"], m.get("params"), doc=m.get("doc", ""))
+                     for m in desc.get("methods", [])],
+            superclass=desc.get("superclass"),
+            doc=desc.get("doc", ""),
+        )
+
+    def __repr__(self) -> str:
+        return f"GeoClass({self.name}, {len(self.attributes)} attrs)"
+
+
+class Schema:
+    """A named collection of classes — the unit the Schema window browses."""
+
+    def __init__(self, name: str, doc: str = ""):
+        self.name = _check_name(name, "schema")
+        self.doc = doc
+        self._classes: dict[str, GeoClass] = {}
+
+    def add_class(self, geo_class: GeoClass) -> GeoClass:
+        if geo_class.name in self._classes:
+            raise SchemaError(f"duplicate class {geo_class.name!r} in schema {self.name!r}")
+        if geo_class.superclass is not None and geo_class.superclass not in self._classes:
+            raise SchemaError(
+                f"class {geo_class.name!r} extends unknown class "
+                f"{geo_class.superclass!r} (define the superclass first)"
+            )
+        self._validate_references(geo_class)
+        self._classes[geo_class.name] = geo_class
+        return geo_class
+
+    def _validate_references(self, geo_class: GeoClass) -> None:
+        """Reference attributes may point at classes defined before or at
+        the class itself (self-references are legal: network elements link
+        to network elements)."""
+        known = set(self._classes) | {geo_class.name}
+        for attr in geo_class.reference_attributes():
+            target = attr.type.class_name  # type: ignore[union-attr]
+            if target not in known:
+                raise SchemaError(
+                    f"class {geo_class.name!r} attribute {attr.name!r} references "
+                    f"unknown class {target!r}"
+                )
+
+    def remove_class(self, name: str) -> None:
+        if name not in self._classes:
+            raise SchemaError(f"schema {self.name!r} has no class {name!r}")
+        dependants = [
+            c.name
+            for c in self._classes.values()
+            if c.superclass == name
+            or any(a.type.class_name == name  # type: ignore[union-attr]
+                   for a in c.reference_attributes())
+        ]
+        dependants = [d for d in dependants if d != name]
+        if dependants:
+            raise SchemaError(
+                f"cannot remove class {name!r}: referenced by {sorted(dependants)}"
+            )
+        del self._classes[name]
+
+    def get_class(self, name: str) -> GeoClass:
+        if name not in self._classes:
+            raise SchemaError(f"schema {self.name!r} has no class {name!r}")
+        return self._classes[name]
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def class_names(self) -> list[str]:
+        return list(self._classes)
+
+    def classes(self) -> Iterator[GeoClass]:
+        return iter(self._classes.values())
+
+    # -- inheritance resolution ----------------------------------------------
+
+    def ancestry(self, class_name: str) -> list[GeoClass]:
+        """The class and its superclasses, most-derived first."""
+        chain: list[GeoClass] = []
+        seen: set[str] = set()
+        current: str | None = class_name
+        while current is not None:
+            if current in seen:
+                raise SchemaError(f"inheritance cycle at class {current!r}")
+            seen.add(current)
+            cls = self.get_class(current)
+            chain.append(cls)
+            current = cls.superclass
+        return chain
+
+    def effective_attributes(self, class_name: str) -> list[Attribute]:
+        """Inherited + own attributes, base-class attributes first.
+
+        A subclass may *not* redeclare an inherited attribute name.
+        """
+        chain = self.ancestry(class_name)
+        out: list[Attribute] = []
+        seen: set[str] = set()
+        for cls in reversed(chain):
+            for attr in cls.attributes:
+                if attr.name in seen:
+                    raise SchemaError(
+                        f"class {class_name!r} redeclares inherited attribute "
+                        f"{attr.name!r}"
+                    )
+                seen.add(attr.name)
+                out.append(attr)
+        return out
+
+    def effective_methods(self, class_name: str) -> dict[str, Method]:
+        """Inherited + own methods; subclasses may override by name."""
+        out: dict[str, Method] = {}
+        for cls in reversed(self.ancestry(class_name)):
+            out.update(cls.methods)
+        return out
+
+    def subclasses(self, class_name: str) -> list[str]:
+        self.get_class(class_name)  # existence check
+        return [c.name for c in self._classes.values() if c.superclass == class_name]
+
+    def hierarchy(self) -> dict[str, list[str]]:
+        """Superclass -> direct subclasses map ('' keys root classes).
+
+        The Schema window's ``display as hierarchy`` mode renders this.
+        """
+        tree: dict[str, list[str]] = {"": []}
+        for cls in self._classes.values():
+            parent = cls.superclass or ""
+            tree.setdefault(parent, []).append(cls.name)
+        return tree
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "doc": self.doc,
+            "classes": [c.describe() for c in self._classes.values()],
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict[str, Any]) -> "Schema":
+        schema = cls(desc["name"], doc=desc.get("doc", ""))
+        for class_desc in desc["classes"]:
+            schema.add_class(GeoClass.from_description(class_desc))
+        return schema
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name}, classes={self.class_names()})"

@@ -1,0 +1,195 @@
+"""Transactions over the geographic database.
+
+Updates are buffered as *write intents* and applied atomically at commit:
+
+1. every intent is validated against schema types and referential
+   integrity;
+2. *pre-commit* mutation events (``phase="validate"``) are published so
+   active integrity rules — the paper's [11] prototype "maintaining
+   topological constraints in the gis" — can veto the transaction by
+   raising :class:`~repro.errors.ConstraintViolationError`;
+3. intents are applied to extents, the heap file and the spatial indexes;
+4. *post-commit* mutation events (``phase="commit"``) are published for
+   customization and refresh rules.
+
+Aborting simply drops the intent buffer; nothing was applied.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Any
+
+from ..errors import ObjectNotFoundError, TransactionError
+from .instances import GeoObject, fresh_oid
+
+_txn_ids = itertools.count(1)
+
+
+class TxnState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class _Intent:
+    """One buffered mutation."""
+
+    __slots__ = ("op", "schema_name", "class_name", "oid", "values")
+
+    def __init__(self, op: str, schema_name: str, class_name: str, oid: str,
+                 values: dict[str, Any] | None):
+        self.op = op  # "insert" | "update" | "delete"
+        self.schema_name = schema_name
+        self.class_name = class_name
+        self.oid = oid
+        self.values = values
+
+    def __repr__(self) -> str:
+        return f"<{self.op} {self.oid}>"
+
+
+class Transaction:
+    """A unit of atomic mutation against a :class:`GeographicDatabase`.
+
+    Usable as a context manager: the block commits on normal exit and
+    aborts on exception::
+
+        with db.transaction() as txn:
+            txn.insert("phone_net", "Pole", {...})
+    """
+
+    def __init__(self, database):
+        self.database = database
+        self.txn_id = next(_txn_ids)
+        self.state = TxnState.ACTIVE
+        self._intents: list[_Intent] = []
+
+    # -- protocol guards ------------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}; "
+                "no further operations are allowed"
+            )
+
+    # -- staged view -----------------------------------------------------------
+
+    def staged_value(self, oid: str) -> dict[str, Any] | None:
+        """The attribute values ``oid`` would have after this transaction.
+
+        ``None`` when the object would not exist (deleted, or never created).
+        Reads through to committed state for untouched objects.
+        """
+        values: dict[str, Any] | None = None
+        committed = self.database.find_object(oid)
+        if committed is not None:
+            values = committed.values()
+        for intent in self._intents:
+            if intent.oid != oid:
+                continue
+            if intent.op == "insert":
+                values = dict(intent.values or {})
+            elif intent.op == "update" and values is not None:
+                for name, val in (intent.values or {}).items():
+                    if val is None:
+                        values.pop(name, None)
+                    else:
+                        values[name] = val
+            elif intent.op == "delete":
+                values = None
+        return values
+
+    def staged_exists(self, oid: str) -> bool:
+        return self.staged_value(oid) is not None
+
+    # -- mutations -------------------------------------------------------------
+
+    def insert(self, schema_name: str, class_name: str,
+               values: dict[str, Any], oid: str | None = None) -> str:
+        """Stage the creation of a new object; returns its oid."""
+        self._require_active()
+        schema = self.database.get_schema_object(schema_name)
+        schema.get_class(class_name)  # existence check, raises SchemaError
+        # Validate types eagerly so errors surface at the call site.
+        GeoObject.create(schema, class_name, values, oid="staged#0")
+        new_oid = oid or fresh_oid(class_name)
+        if self.staged_exists(new_oid):
+            raise TransactionError(f"oid {new_oid} already exists")
+        self._intents.append(
+            _Intent("insert", schema_name, class_name, new_oid, dict(values))
+        )
+        return new_oid
+
+    def update(self, oid: str, changes: dict[str, Any]) -> None:
+        """Stage attribute changes; ``None`` values unset optional attributes."""
+        self._require_active()
+        if not changes:
+            raise TransactionError("update needs at least one change")
+        location = self._locate(oid)
+        if location is None:
+            raise ObjectNotFoundError(f"object {oid} does not exist")
+        schema_name, class_name = location
+        schema = self.database.get_schema_object(schema_name)
+        merged = self.staged_value(oid) or {}
+        probe = GeoObject(oid, class_name, merged)
+        probe.update(schema, changes)  # type-checks and required-attr checks
+        self._intents.append(
+            _Intent("update", schema_name, class_name, oid, dict(changes))
+        )
+
+    def delete(self, oid: str) -> None:
+        self._require_active()
+        location = self._locate(oid)
+        if location is None:
+            raise ObjectNotFoundError(f"object {oid} does not exist")
+        schema_name, class_name = location
+        if not self.staged_exists(oid):
+            raise ObjectNotFoundError(f"object {oid} is already deleted")
+        self._intents.append(_Intent("delete", schema_name, class_name, oid, None))
+
+    def _locate(self, oid: str) -> tuple[str, str] | None:
+        """(schema, class) of an object, considering staged inserts."""
+        for intent in reversed(self._intents):
+            if intent.oid == oid and intent.op == "insert":
+                return (intent.schema_name, intent.class_name)
+        return self.database.locate_object(oid)
+
+    # -- termination -------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_active()
+        try:
+            self.database._commit_transaction(self)
+        except Exception:
+            self.state = TxnState.ABORTED
+            raise
+        self.state = TxnState.COMMITTED
+
+    def abort(self) -> None:
+        self._require_active()
+        self._intents.clear()
+        self.state = TxnState.ABORTED
+
+    @property
+    def intents(self) -> list[_Intent]:
+        return list(self._intents)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state is not TxnState.ACTIVE:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Transaction {self.txn_id} {self.state.value}, "
+            f"{len(self._intents)} intents>"
+        )

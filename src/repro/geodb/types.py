@@ -1,0 +1,352 @@
+"""Attribute type system of the object-oriented geographic database.
+
+The §4 example class (paper Figure 5) exercises the whole type lattice::
+
+    Class Pole {
+        pole_type:        integer;
+        pole_composition: tuple(pole_material: text;
+                                pole_diameter: float;
+                                pole_height:   float);
+        pole_supplier:    Supplier;      # reference to another class
+        pole_location:    Geometry;
+        pole_picture:     bitmap;
+        pole_historic:    text;
+        Methods: get_supplier_name(Supplier);
+    }
+
+Every type knows how to ``validate`` a candidate value, produce a neutral
+``default()``, serialize values to JSON-safe structures (``encode`` /
+``decode``) for the page store, and render a short ``spec()`` string for
+catalog listings and the Schema window.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+from ..errors import SchemaError, TypeMismatchError
+from ..spatial.geometry import GEOMETRY_TYPES, Geometry
+
+
+class AttributeType:
+    """Base class for attribute types. Types are immutable descriptors."""
+
+    #: Short tag used by the serializer and the customization language.
+    tag: str = "any"
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        """Raise :class:`TypeMismatchError` unless ``value`` conforms."""
+        raise NotImplementedError
+
+    def default(self) -> Any:
+        """A neutral value of this type (used for unset attributes)."""
+        raise NotImplementedError
+
+    def encode(self, value: Any) -> Any:
+        """JSON-safe representation of a validated value."""
+        return value
+
+    def decode(self, raw: Any) -> Any:
+        """Inverse of :meth:`encode`."""
+        return raw
+
+    def spec(self) -> str:
+        """Human-readable type spec for catalogs and the Schema window."""
+        return self.tag
+
+    def describe(self) -> dict[str, Any]:
+        """Structured description, used by the metadata catalog."""
+        return {"tag": self.tag}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeType):
+            return NotImplemented
+        return self.describe() == other.describe()
+
+    def __hash__(self) -> int:
+        return hash(self.spec())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.spec()}>"
+
+
+class IntegerType(AttributeType):
+    tag = "integer"
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects integer, got {value!r}"
+            )
+
+    def default(self) -> int:
+        return 0
+
+
+class FloatType(AttributeType):
+    tag = "float"
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects float, got {value!r}"
+            )
+
+    def default(self) -> float:
+        return 0.0
+
+    def decode(self, raw: Any) -> float:
+        return float(raw)
+
+
+class TextType(AttributeType):
+    tag = "text"
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if not isinstance(value, str):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects text, got {value!r}"
+            )
+
+    def default(self) -> str:
+        return ""
+
+
+class BooleanType(AttributeType):
+    tag = "boolean"
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if not isinstance(value, bool):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects boolean, got {value!r}"
+            )
+
+    def default(self) -> bool:
+        return False
+
+
+class BitmapType(AttributeType):
+    """Opaque binary payloads — the paper's ``pole_picture: bitmap``."""
+
+    tag = "bitmap"
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects bitmap bytes, got {type(value).__name__}"
+            )
+
+    def default(self) -> bytes:
+        return b""
+
+    def encode(self, value: Any) -> str:
+        return base64.b64encode(bytes(value)).decode("ascii")
+
+    def decode(self, raw: Any) -> bytes:
+        return base64.b64decode(raw)
+
+
+class GeometryType(AttributeType):
+    """A georeferenced attribute; optionally restricted to one geometry kind.
+
+    ``GeometryType()`` accepts any geometry, ``GeometryType("point")`` only
+    points — poles are points, ducts are lines, districts are polygons.
+    """
+
+    tag = "geometry"
+
+    def __init__(self, subtype: str | None = None):
+        if subtype is not None and subtype not in GEOMETRY_TYPES:
+            raise SchemaError(
+                f"unknown geometry subtype {subtype!r}; "
+                f"known: {sorted(GEOMETRY_TYPES)}"
+            )
+        self.subtype = subtype
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if not isinstance(value, Geometry):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects geometry, got {type(value).__name__}"
+            )
+        if self.subtype is not None and value.geom_type != self.subtype:
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects {self.subtype}, got {value.geom_type}"
+            )
+
+    def default(self) -> None:
+        return None  # geometry attributes have no neutral value; stay unset
+
+    def encode(self, value: Geometry) -> dict[str, Any]:
+        from . import geo_codec  # local import: codec depends on types
+
+        return geo_codec.encode_geometry(value)
+
+    def decode(self, raw: Any) -> Geometry:
+        from . import geo_codec
+
+        return geo_codec.decode_geometry(raw)
+
+    def spec(self) -> str:
+        return f"geometry({self.subtype})" if self.subtype else "geometry"
+
+    def describe(self) -> dict[str, Any]:
+        return {"tag": self.tag, "subtype": self.subtype}
+
+
+class ReferenceType(AttributeType):
+    """A reference to an instance of another class (``pole_supplier: Supplier``).
+
+    Values are object ids (strings) at run time; referential integrity is
+    enforced by the database layer, not the type.
+    """
+
+    tag = "reference"
+
+    def __init__(self, class_name: str):
+        if not class_name or not isinstance(class_name, str):
+            raise SchemaError("reference type needs a target class name")
+        self.class_name = class_name
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if not isinstance(value, str) or not value:
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects an object id referencing "
+                f"{self.class_name}, got {value!r}"
+            )
+
+    def default(self) -> None:
+        return None
+
+    def spec(self) -> str:
+        return self.class_name
+
+    def describe(self) -> dict[str, Any]:
+        return {"tag": self.tag, "class_name": self.class_name}
+
+
+class TupleType(AttributeType):
+    """A named-field record type (``pole_composition: tuple(...)``)."""
+
+    tag = "tuple"
+
+    def __init__(self, fields: dict[str, AttributeType]):
+        if not fields:
+            raise SchemaError("tuple type needs at least one field")
+        for name, ftype in fields.items():
+            if not isinstance(ftype, AttributeType):
+                raise SchemaError(f"tuple field {name!r} has a non-type {ftype!r}")
+            if isinstance(ftype, TupleType):
+                raise SchemaError("tuple types cannot nest (matches the paper's model)")
+        self.fields = dict(fields)
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if not isinstance(value, dict):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects a tuple value (dict), got {value!r}"
+            )
+        unknown = set(value) - set(self.fields)
+        if unknown:
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} has unknown tuple fields {sorted(unknown)}"
+            )
+        for fname, ftype in self.fields.items():
+            if fname not in value:
+                raise TypeMismatchError(
+                    f"attribute {attr_name!r} is missing tuple field {fname!r}"
+                )
+            ftype.validate(value[fname], f"{attr_name}.{fname}")
+
+    def default(self) -> dict[str, Any]:
+        return {name: ftype.default() for name, ftype in self.fields.items()}
+
+    def encode(self, value: dict[str, Any]) -> dict[str, Any]:
+        return {name: self.fields[name].encode(val) for name, val in value.items()}
+
+    def decode(self, raw: Any) -> dict[str, Any]:
+        return {name: self.fields[name].decode(val) for name, val in raw.items()}
+
+    def spec(self) -> str:
+        inner = "; ".join(f"{n}: {t.spec()}" for n, t in self.fields.items())
+        return f"tuple({inner})"
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "tag": self.tag,
+            "fields": {n: t.describe() for n, t in self.fields.items()},
+        }
+
+
+class ListType(AttributeType):
+    """A homogeneous ordered collection (e.g. duct cable ids)."""
+
+    tag = "list"
+
+    def __init__(self, element: AttributeType):
+        if not isinstance(element, AttributeType):
+            raise SchemaError("list type needs an element type")
+        self.element = element
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        if not isinstance(value, list):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects a list, got {value!r}"
+            )
+        for i, item in enumerate(value):
+            self.element.validate(item, f"{attr_name}[{i}]")
+
+    def default(self) -> list:
+        return []
+
+    def encode(self, value: list) -> list:
+        return [self.element.encode(v) for v in value]
+
+    def decode(self, raw: Any) -> list:
+        return [self.element.decode(v) for v in raw]
+
+    def spec(self) -> str:
+        return f"list({self.element.spec()})"
+
+    def describe(self) -> dict[str, Any]:
+        return {"tag": self.tag, "element": self.element.describe()}
+
+
+#: Singleton instances for the scalar types (types are stateless).
+INTEGER = IntegerType()
+FLOAT = FloatType()
+TEXT = TextType()
+BOOLEAN = BooleanType()
+BITMAP = BitmapType()
+
+_SCALARS: dict[str, AttributeType] = {
+    "integer": INTEGER,
+    "float": FLOAT,
+    "text": TEXT,
+    "boolean": BOOLEAN,
+    "bitmap": BITMAP,
+}
+
+
+def type_from_description(desc: dict[str, Any]) -> AttributeType:
+    """Rebuild an :class:`AttributeType` from :meth:`AttributeType.describe`."""
+    tag = desc.get("tag")
+    if tag in _SCALARS:
+        return _SCALARS[tag]
+    if tag == "geometry":
+        return GeometryType(desc.get("subtype"))
+    if tag == "reference":
+        return ReferenceType(desc["class_name"])
+    if tag == "tuple":
+        return TupleType(
+            {n: type_from_description(f) for n, f in desc["fields"].items()}
+        )
+    if tag == "list":
+        return ListType(type_from_description(desc["element"]))
+    raise SchemaError(f"unknown type description {desc!r}")
+
+
+def scalar(tag: str) -> AttributeType:
+    """Look up a scalar type by tag (used by the customization language)."""
+    if tag not in _SCALARS:
+        raise SchemaError(f"unknown scalar type {tag!r}; known: {sorted(_SCALARS)}")
+    return _SCALARS[tag]

@@ -1,0 +1,33 @@
+"""The declarative customization language (paper Figure 3) and its compiler."""
+
+from .tokens import KEYWORDS, Token, TokenKind
+from .lexer import tokenize
+from .ast import (
+    AttrClauseNode,
+    ClassClauseNode,
+    ContextNode,
+    DirectiveNode,
+    ProgramNode,
+    SchemaClauseNode,
+    SourceExpr,
+)
+from .parser import Parser, parse_program
+from .semantics import SemanticAnalyzer
+from .compiler import (
+    FIGURE_6_PROGRAM,
+    compile_and_install,
+    compile_program,
+    lower_directive,
+    render_rules,
+)
+from .printer import render_directive, render_program
+
+__all__ = [
+    "Token", "TokenKind", "KEYWORDS", "tokenize",
+    "ProgramNode", "DirectiveNode", "ContextNode", "SchemaClauseNode",
+    "ClassClauseNode", "AttrClauseNode", "SourceExpr",
+    "Parser", "parse_program", "SemanticAnalyzer",
+    "compile_program", "compile_and_install", "lower_directive",
+    "render_rules", "FIGURE_6_PROGRAM",
+    "render_directive", "render_program",
+]

@@ -1,0 +1,94 @@
+"""Abstract syntax of the customization language (paper Figure 3).
+
+The AST mirrors the grammar::
+
+    program      := directive+
+    directive    := "for" context schema_clause class_clause+
+    context      := ("user" NAME)? ("category" NAME)? ("application" NAME)?
+                    ("scale" NUMBER ".." NUMBER)? ("time" NAME)?
+    schema_clause:= "schema" NAME "display" "as"
+                    ("default" | "hierarchy" | "user-defined" | "Null")
+    class_clause := "class" NAME "display"
+                    ("control" "as" NAME)?
+                    ("presentation" "as" NAME)?
+                    ("instances" attr_clause+)?
+                    ("on" "update" "display" "as" NAME)?        # extension
+    attr_clause  := "display" "attribute" NAME "as" (NAME | "Null")
+                    ("from" source+)? ("using" binding)?
+    source       := path | NAME "(" (path ("," path)*)? ")"
+    path         := NAME ("." NAME)*
+    binding      := path "(" ")"
+
+Nodes are plain dataclasses with source positions for error reporting.
+The ``on update`` clause is this reproduction's extension toward the
+paper's §5 future work (customizing update requests); the paper's own
+grammar is a strict subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SourceExpr:
+    """A ``from`` clause source: a dotted path or a method call."""
+
+    text: str               # normalized textual form
+    is_call: bool = False
+    call_name: str | None = None
+    call_args: tuple[str, ...] = ()
+    line: int = 0
+
+    def describe(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class ContextNode:
+    user: str | None = None
+    category: str | None = None
+    application: str | None = None
+    scale_low: float | None = None
+    scale_high: float | None = None
+    time_tag: str | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SchemaClauseNode:
+    schema_name: str
+    display_mode: str        # raw text: default|hierarchy|user-defined|null
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AttrClauseNode:
+    attr_name: str
+    format_name: str         # raw text, "null" for hidden
+    sources: tuple[SourceExpr, ...] = ()
+    using: str | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ClassClauseNode:
+    class_name: str
+    control: str | None = None
+    presentation: str | None = None
+    attributes: tuple[AttrClauseNode, ...] = ()
+    on_update_display: str | None = None   # extension clause
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DirectiveNode:
+    context: ContextNode
+    schema_clause: SchemaClauseNode
+    classes: tuple[ClassClauseNode, ...]
+    line: int = 0
+
+
+@dataclass
+class ProgramNode:
+    directives: list[DirectiveNode] = field(default_factory=list)

@@ -1,0 +1,198 @@
+"""Compiler: customization programs → directives → ECA rules.
+
+§5 lists "the implementation of the compiler for creating rules from a
+declarative specification of a customized interface" as work in progress;
+this module completes it. The pipeline is::
+
+    source text --parse--> AST --semantic check/normalize--> AST'
+        --lower--> CustomizationDirective objects
+        --CustomizationEngine.register_directive--> ECA rules
+
+"A customization directive defined in this language may spawn several
+customization rules" (§3.4): one schema rule, one class rule per class
+clause and one instance rule per attribute clause — exactly the mapping
+shown at the end of §3.4 ("Cust rule: On Database Event X If <Context>
+Then apply customization to window of type X").
+
+:func:`render_rules` prints the generated rules in the paper's R1/R2
+notation, which experiment F6 compares against §4.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.context import ContextPattern
+from ..core.customization import (
+    AttributeCustomization,
+    ClassCustomization,
+    CustomizationDirective,
+)
+from ..geodb.database import GeographicDatabase
+from ..uilib.library import InterfaceObjectLibrary
+from ..uilib.presentation import PresentationRegistry
+from .ast import DirectiveNode
+from .parser import parse_program
+from .semantics import SemanticAnalyzer
+
+_directive_counter = itertools.count(1)
+
+
+def _pattern_from_context(node) -> ContextPattern:
+    return ContextPattern(
+        user=node.user,
+        category=node.category,
+        application=node.application,
+        scale_range=(
+            (node.scale_low, node.scale_high)
+            if node.scale_low is not None else None
+        ),
+        time_tag=node.time_tag,
+    )
+
+
+def _directive_name(node: DirectiveNode) -> str:
+    bits = []
+    for value in (node.context.user, node.context.category,
+                  node.context.application):
+        if value:
+            bits.append(value)
+    bits.append(node.schema_clause.schema_name)
+    return "_".join(bits) + f"_{next(_directive_counter)}"
+
+
+def lower_directive(node: DirectiveNode) -> CustomizationDirective:
+    """Lower one checked AST directive to the customization model."""
+    classes = []
+    for clause in node.classes:
+        attributes = tuple(
+            AttributeCustomization(
+                attr_name=attr.attr_name,
+                format_name=attr.format_name,
+                sources=tuple(s.text for s in attr.sources),
+                using=attr.using,
+            )
+            for attr in clause.attributes
+        )
+        classes.append(ClassCustomization(
+            class_name=clause.class_name,
+            control_widget=clause.control,
+            presentation_format=clause.presentation,
+            attributes=attributes,
+            on_update_display=clause.on_update_display,
+        ))
+    return CustomizationDirective(
+        name=_directive_name(node),
+        pattern=_pattern_from_context(node.context),
+        schema_name=node.schema_clause.schema_name,
+        schema_display=node.schema_clause.display_mode,
+        classes=tuple(classes),
+    )
+
+
+def compile_program(source: str, database: GeographicDatabase,
+                    library: InterfaceObjectLibrary,
+                    presentations: PresentationRegistry
+                    ) -> list[CustomizationDirective]:
+    """Full front-end: parse, check, normalize and lower a program.
+
+    Raises :class:`~repro.errors.ParseError` /
+    :class:`~repro.errors.SemanticError` with line positions on bad input.
+    """
+    program = parse_program(source)
+    analyzer = SemanticAnalyzer(database, library, presentations)
+    checked = analyzer.check_program(program)
+    return [lower_directive(node) for node in checked.directives]
+
+
+def compile_and_install(source: str, database: GeographicDatabase,
+                        library: InterfaceObjectLibrary,
+                        presentations: PresentationRegistry,
+                        engine, persist: bool = False
+                        ) -> list[CustomizationDirective]:
+    """Compile and register every directive on a customization engine."""
+    directives = compile_program(source, database, library, presentations)
+    for directive in directives:
+        engine.register_directive(directive, persist=persist)
+    return directives
+
+
+# ---------------------------------------------------------------------------
+# Paper-notation rendering (experiment F6)
+# ---------------------------------------------------------------------------
+
+
+def _context_text(pattern: ContextPattern) -> str:
+    bits = [b for b in (pattern.user, pattern.category, pattern.application)
+            if b]
+    extra = []
+    if pattern.scale_range:
+        extra.append(f"scale 1:{pattern.scale_range[0]:g}.."
+                     f"1:{pattern.scale_range[1]:g}")
+    if pattern.time_tag:
+        extra.append(f"time {pattern.time_tag}")
+    inner = ", ".join(bits + extra) if (bits or extra) else "any"
+    return f"< {inner} >"
+
+
+def render_rules(directive: CustomizationDirective) -> list[str]:
+    """The directive's generated rules in the paper's R1/R2 notation."""
+    ctx = _context_text(directive.pattern)
+    rules: list[str] = []
+
+    schema_action = (
+        f"Build Window(Schema, {directive.schema_name}, "
+        f"{directive.schema_display.upper() if directive.schema_display == 'null' else directive.schema_display})"
+    )
+    if directive.schema_display == "null" and directive.classes:
+        cascade = "; ".join(
+            f"Get_Class({name})" for name in directive.class_names()
+        )
+        schema_action += f"; {cascade}"
+    rules.append(
+        f"R{len(rules) + 1}: On Get_Schema\n"
+        f"    If {ctx}\n"
+        f"    Then {schema_action}."
+    )
+
+    for clause in directive.classes:
+        control = clause.control_widget or "default_control"
+        fmt = clause.presentation_format or "default_format"
+        rules.append(
+            f"R{len(rules) + 1}: On Get_Class({clause.class_name})\n"
+            f"    If {ctx}\n"
+            f"    Then Build Window(Class set, {clause.class_name}, "
+            f"{control}, {fmt})."
+        )
+        for attr in clause.attributes:
+            pieces = [f"display attribute {attr.attr_name} as "
+                      f"{attr.format_name}"]
+            if attr.sources:
+                pieces.append(f"from {' '.join(attr.sources)}")
+            if attr.using:
+                pieces.append(f"using {attr.using}")
+            rules.append(
+                f"R{len(rules) + 1}: On Get_Value({clause.class_name})\n"
+                f"    If {ctx}\n"
+                f"    Then {' '.join(pieces)}."
+            )
+    return rules
+
+
+#: The paper's Figure 6 program, transcribed (full attribute paths are
+#: also accepted; the abbreviated forms below exercise normalization).
+FIGURE_6_PROGRAM = """
+-- paper Figure 6: customization for <user juliano, application pole_manager>
+for user juliano application pole_manager
+schema phone_net display as Null
+class Pole display
+    control as poleWidget
+    presentation as pointFormat
+    instances
+        display attribute pole_composition as composed_text
+            from pole.material pole.diameter pole.height
+            using composed_text.notify()
+        display attribute pole_supplier as text
+            from get_supplier_name(pole_supplier)
+        display attribute pole_location as Null
+"""

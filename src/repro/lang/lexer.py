@@ -1,0 +1,103 @@
+"""Lexer for the customization language.
+
+The language is line-oriented-friendly but whitespace-insensitive:
+newlines are ordinary whitespace. Comments run from ``--`` or ``#`` to end
+of line. Words may contain letters, digits, underscores and interior
+hyphens (the Figure 3 mode ``user-defined``).
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import Token, TokenKind
+
+_WORD_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_WORD_BODY = _WORD_START | set("0123456789-")
+_DIGITS = set("0123456789")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into tokens; raises :class:`LexError` on garbage."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(source)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, column
+        for __ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance()
+            continue
+        # comments: -- or # to end of line
+        if ch == "#" or source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        start_line, start_col = line, column
+        if ch in _WORD_START:
+            j = i
+            while j < n and source[j] in _WORD_BODY:
+                j += 1
+            # trailing hyphens are not part of the word
+            while source[j - 1] == "-":
+                j -= 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token(TokenKind.WORD, text, start_line, start_col))
+            continue
+        if ch in _DIGITS:
+            j = i
+            seen_dot = False
+            while j < n and (source[j] in _DIGITS
+                             or (source[j] == "." and not seen_dot
+                                 and j + 1 < n and source[j + 1] in _DIGITS)):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token(TokenKind.NUMBER, text, start_line, start_col))
+            continue
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise LexError("unterminated string literal",
+                                   start_line, start_col)
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string literal",
+                               start_line, start_col)
+            text = source[i + 1 : j]
+            advance(j - i + 1)
+            tokens.append(Token(TokenKind.STRING, text, start_line, start_col))
+            continue
+        if source.startswith("..", i):
+            advance(2)
+            tokens.append(Token(TokenKind.DOTDOT, "..", start_line, start_col))
+            continue
+        simple = {
+            ".": TokenKind.DOT,
+            ",": TokenKind.COMMA,
+            "(": TokenKind.LPAREN,
+            ")": TokenKind.RPAREN,
+        }
+        if ch in simple:
+            advance()
+            tokens.append(Token(simple[ch], ch, start_line, start_col))
+            continue
+        raise LexError(f"unexpected character {ch!r}", start_line, start_col)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,298 @@
+"""Recursive-descent parser for the customization language."""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .ast import (
+    AttrClauseNode,
+    ClassClauseNode,
+    ContextNode,
+    DirectiveNode,
+    ProgramNode,
+    SchemaClauseNode,
+    SourceExpr,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+#: Words that terminate a `from` source list.
+_CLAUSE_STARTERS = {
+    "using", "display", "class", "for", "schema", "instances",
+    "control", "presentation", "on",
+}
+
+
+class Parser:
+    """Parses one program (a sequence of directives)."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._peek()
+        found = token.text or "<end of input>"
+        return ParseError(f"{message} (found {found!r})", token.line, token.column)
+
+    def _expect_word(self, *values: str) -> Token:
+        token = self._peek()
+        if not token.is_word(*values):
+            raise self._error(f"expected {' or '.join(values)!s}")
+        return self._next()
+
+    def _expect_name(self, what: str) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.WORD:
+            raise self._error(f"expected {what}")
+        return self._next()
+
+    def _expect_kind(self, kind: TokenKind, what: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise self._error(f"expected {what}")
+        return self._next()
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def parse_program(self) -> ProgramNode:
+        program = ProgramNode()
+        if self._peek().kind is TokenKind.EOF:
+            raise self._error("empty customization program")
+        while self._peek().kind is not TokenKind.EOF:
+            program.directives.append(self.parse_directive())
+        return program
+
+    def parse_directive(self) -> DirectiveNode:
+        start = self._expect_word("for")
+        context = self._parse_context(start)
+        schema_clause = self._parse_schema_clause()
+        classes: list[ClassClauseNode] = []
+        while self._peek().is_word("class"):
+            classes.append(self._parse_class_clause())
+        if not classes:
+            raise self._error("a directive needs at least one class clause")
+        return DirectiveNode(
+            context=context,
+            schema_clause=schema_clause,
+            classes=tuple(classes),
+            line=start.line,
+        )
+
+    def _parse_context(self, start: Token) -> ContextNode:
+        user = category = application = time_tag = None
+        scale_low = scale_high = None
+        saw_any = False
+        while True:
+            token = self._peek()
+            if token.is_word("user"):
+                if user is not None:
+                    raise self._error("duplicate 'user' in context")
+                self._next()
+                user = self._expect_name("user name").text
+            elif token.is_word("category"):
+                if category is not None:
+                    raise self._error("duplicate 'category' in context")
+                self._next()
+                category = self._expect_name("category name").text
+            elif token.is_word("application"):
+                if application is not None:
+                    raise self._error("duplicate 'application' in context")
+                self._next()
+                application = self._expect_name("application name").text
+            elif token.is_word("scale"):
+                if scale_low is not None:
+                    raise self._error("duplicate 'scale' in context")
+                self._next()
+                low = self._expect_kind(TokenKind.NUMBER, "scale lower bound")
+                self._expect_kind(TokenKind.DOTDOT, "'..' in scale range")
+                high = self._expect_kind(TokenKind.NUMBER, "scale upper bound")
+                scale_low, scale_high = float(low.text), float(high.text)
+            elif token.is_word("time"):
+                if time_tag is not None:
+                    raise self._error("duplicate 'time' in context")
+                self._next()
+                time_tag = self._expect_name("time tag").text
+            else:
+                break
+            saw_any = True
+        if not saw_any:
+            # `For` with no dimensions is the generic context; Figure 3
+            # brackets every dimension as optional.
+            pass
+        return ContextNode(
+            user=user,
+            category=category,
+            application=application,
+            scale_low=scale_low,
+            scale_high=scale_high,
+            time_tag=time_tag,
+            line=start.line,
+        )
+
+    def _parse_schema_clause(self) -> SchemaClauseNode:
+        start = self._expect_word("schema")
+        name = self._expect_name("schema name").text
+        self._expect_word("display")
+        self._expect_word("as")
+        mode_token = self._expect_name("schema display mode")
+        return SchemaClauseNode(
+            schema_name=name,
+            display_mode=mode_token.text.lower().replace("-", "_"),
+            line=start.line,
+        )
+
+    def _parse_class_clause(self) -> ClassClauseNode:
+        start = self._expect_word("class")
+        name = self._expect_name("class name").text
+        self._expect_word("display")
+        control = presentation = on_update = None
+        attributes: tuple[AttrClauseNode, ...] = ()
+        while True:
+            token = self._peek()
+            if token.is_word("control"):
+                if control is not None:
+                    raise self._error("duplicate 'control' clause")
+                self._next()
+                self._expect_word("as")
+                control = self._expect_name("control widget name").text
+            elif token.is_word("presentation"):
+                if presentation is not None:
+                    raise self._error("duplicate 'presentation' clause")
+                self._next()
+                self._expect_word("as")
+                presentation = self._expect_name("presentation format").text
+            elif token.is_word("instances"):
+                if attributes:
+                    raise self._error("duplicate 'instances' clause")
+                self._next()
+                attributes = self._parse_attr_clauses()
+            elif token.is_word("on"):
+                if on_update is not None:
+                    raise self._error("duplicate 'on update' clause")
+                self._next()
+                self._expect_word("update")
+                self._expect_word("display")
+                self._expect_word("as")
+                on_update = self._expect_name("update display format").text
+            else:
+                break
+        return ClassClauseNode(
+            class_name=name,
+            control=control,
+            presentation=presentation,
+            attributes=attributes,
+            on_update_display=on_update,
+            line=start.line,
+        )
+
+    def _parse_attr_clauses(self) -> tuple[AttrClauseNode, ...]:
+        clauses: list[AttrClauseNode] = []
+        while self._peek().is_word("display") and self._peek(1).is_word("attribute"):
+            clauses.append(self._parse_attr_clause())
+        if not clauses:
+            raise self._error(
+                "'instances' needs at least one 'display attribute' clause"
+            )
+        return tuple(clauses)
+
+    def _parse_attr_clause(self) -> AttrClauseNode:
+        start = self._expect_word("display")
+        self._expect_word("attribute")
+        attr_name = self._expect_name("attribute name").text
+        self._expect_word("as")
+        format_token = self._expect_name("attribute display format")
+        format_name = format_token.text
+        sources: tuple[SourceExpr, ...] = ()
+        using = None
+        if self._peek().is_word("from"):
+            self._next()
+            sources = self._parse_sources()
+        if self._peek().is_word("using"):
+            self._next()
+            using = self._parse_binding()
+        return AttrClauseNode(
+            attr_name=attr_name,
+            format_name=(
+                "null" if format_name.lower() == "null" else format_name
+            ),
+            sources=sources,
+            using=using,
+            line=start.line,
+        )
+
+    def _parse_sources(self) -> tuple[SourceExpr, ...]:
+        sources: list[SourceExpr] = []
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.WORD or (
+                token.text.lower() in _CLAUSE_STARTERS
+                and not self._looks_like_source()
+            ):
+                break
+            sources.append(self._parse_source())
+            if self._peek().kind is TokenKind.COMMA:
+                self._next()
+        if not sources:
+            raise self._error("'from' needs at least one source")
+        return tuple(sources)
+
+    def _looks_like_source(self) -> bool:
+        """A clause-starter word followed by '(' or '.' is still a source
+        (e.g. an attribute legitimately named ``display``)."""
+        return self._peek(1).kind in (TokenKind.LPAREN, TokenKind.DOT)
+
+    def _parse_source(self) -> SourceExpr:
+        start = self._peek()
+        path = self._parse_path()
+        if self._peek().kind is TokenKind.LPAREN:
+            self._next()
+            args: list[str] = []
+            while self._peek().kind is not TokenKind.RPAREN:
+                args.append(self._parse_path())
+                if self._peek().kind is TokenKind.COMMA:
+                    self._next()
+                elif self._peek().kind is not TokenKind.RPAREN:
+                    raise self._error("expected ',' or ')' in call arguments")
+            self._expect_kind(TokenKind.RPAREN, "')'")
+            text = f"{path}({', '.join(args)})"
+            return SourceExpr(
+                text=text,
+                is_call=True,
+                call_name=path,
+                call_args=tuple(args),
+                line=start.line,
+            )
+        return SourceExpr(text=path, line=start.line)
+
+    def _parse_path(self) -> str:
+        parts = [self._expect_name("a name").text]
+        while self._peek().kind is TokenKind.DOT:
+            self._next()
+            parts.append(self._expect_name("a name after '.'").text)
+        return ".".join(parts)
+
+    def _parse_binding(self) -> str:
+        start = self._peek()
+        path = self._parse_path()
+        self._expect_kind(TokenKind.LPAREN, "'(' in using binding")
+        if self._peek().kind is not TokenKind.RPAREN:
+            raise self._error("using bindings take no arguments", start)
+        self._expect_kind(TokenKind.RPAREN, "')' in using binding")
+        return f"{path}()"
+
+
+def parse_program(source: str) -> ProgramNode:
+    """Parse customization-language source into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,83 @@
+"""Pretty-printer: customization directives back to language source.
+
+The inverse of the compiler's lowering step. Useful for exporting the
+directives stored in a database catalog as editable text, and it gives
+the test suite a round-trip law::
+
+    compile(print(directive)) == directive       (up to generated names)
+"""
+
+from __future__ import annotations
+
+from ..core.context import ContextPattern
+from ..core.customization import (
+    AttributeCustomization,
+    ClassCustomization,
+    CustomizationDirective,
+)
+
+
+def _context_line(pattern: ContextPattern) -> str:
+    parts = ["for"]
+    if pattern.user:
+        parts += ["user", pattern.user]
+    if pattern.category:
+        parts += ["category", pattern.category]
+    if pattern.application:
+        parts += ["application", pattern.application]
+    if pattern.scale_range:
+        low, high = pattern.scale_range
+        parts += ["scale", f"{low:g}..{high:g}"]
+    if pattern.time_tag:
+        parts += ["time", pattern.time_tag]
+    return " ".join(parts)
+
+
+def _schema_mode(mode: str) -> str:
+    if mode == "null":
+        return "Null"
+    if mode == "user_defined":
+        return "user-defined"
+    return mode
+
+
+def _attr_lines(attr: AttributeCustomization, indent: str) -> list[str]:
+    fmt = "Null" if attr.format_name == "null" else attr.format_name
+    lines = [f"{indent}display attribute {attr.attr_name} as {fmt}"]
+    if attr.sources:
+        lines.append(f"{indent}    from {' '.join(attr.sources)}")
+    if attr.using:
+        lines.append(f"{indent}    using {attr.using}")
+    return lines
+
+
+def _class_lines(clause: ClassCustomization) -> list[str]:
+    lines = [f"class {clause.class_name} display"]
+    if clause.control_widget:
+        lines.append(f"    control as {clause.control_widget}")
+    if clause.presentation_format:
+        lines.append(f"    presentation as {clause.presentation_format}")
+    if clause.on_update_display:
+        lines.append(f"    on update display as {clause.on_update_display}")
+    if clause.attributes:
+        lines.append("    instances")
+        for attr in clause.attributes:
+            lines.extend(_attr_lines(attr, "        "))
+    return lines
+
+
+def render_directive(directive: CustomizationDirective) -> str:
+    """One directive as customization-language source."""
+    lines = [_context_line(directive.pattern)]
+    lines.append(
+        f"schema {directive.schema_name} display as "
+        f"{_schema_mode(directive.schema_display)}"
+    )
+    for clause in directive.classes:
+        lines.extend(_class_lines(clause))
+    return "\n".join(lines) + "\n"
+
+
+def render_program(directives: list[CustomizationDirective]) -> str:
+    """Several directives as one program, blank-line separated."""
+    return "\n".join(render_directive(d) for d in directives)

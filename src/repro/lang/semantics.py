@@ -1,0 +1,271 @@
+"""Semantic analysis of customization programs.
+
+"The target user of this language is the application designer, who has
+knowledge about the database schema and user access rights. The language
+supports a declarative description of the controls of the interface,
+which must be available in the object library." (§3.4)
+
+The analyzer therefore checks every directive against three authorities:
+
+* the **database schema** — schemas, classes, attributes, tuple fields and
+  methods must exist;
+* the **interface objects library** — ``control as <widget>`` must name a
+  library entry;
+* the **presentation registry** — class and attribute formats must be
+  registered.
+
+It also *normalizes* the paper's abbreviated source paths: Figure 6 line
+(8) writes ``from pole.material pole.diameter pole.height`` for the tuple
+attribute ``pole_composition`` whose fields are ``pole_material`` etc.
+Normalization resolves such shorthand to full ``attribute.field`` paths;
+ambiguity is an error rather than a guess.
+"""
+
+from __future__ import annotations
+
+from ..errors import SemanticError
+from ..geodb.database import GeographicDatabase
+from ..geodb.schema import Attribute, Schema
+from ..geodb.types import TupleType
+from ..uilib.library import InterfaceObjectLibrary
+from ..uilib.presentation import SCHEMA_DISPLAY_MODES, PresentationRegistry
+from .ast import (
+    AttrClauseNode,
+    ClassClauseNode,
+    DirectiveNode,
+    ProgramNode,
+    SourceExpr,
+)
+
+
+class SemanticAnalyzer:
+    """Validates and normalizes one program against a database."""
+
+    def __init__(self, database: GeographicDatabase,
+                 library: InterfaceObjectLibrary,
+                 presentations: PresentationRegistry):
+        self.database = database
+        self.library = library
+        self.presentations = presentations
+
+    # -- entry points -----------------------------------------------------------
+
+    def check_program(self, program: ProgramNode) -> ProgramNode:
+        """Validate every directive; returns a normalized program."""
+        normalized = ProgramNode()
+        for directive in program.directives:
+            normalized.directives.append(self.check_directive(directive))
+        return normalized
+
+    def check_directive(self, directive: DirectiveNode) -> DirectiveNode:
+        schema = self._check_schema_clause(directive)
+        classes = tuple(
+            self._check_class_clause(schema, clause)
+            for clause in directive.classes
+        )
+        seen: set[str] = set()
+        for clause in classes:
+            if clause.class_name in seen:
+                raise SemanticError(
+                    f"class {clause.class_name!r} customized twice in one "
+                    f"directive", clause.line,
+                )
+            seen.add(clause.class_name)
+        return DirectiveNode(
+            context=directive.context,
+            schema_clause=directive.schema_clause,
+            classes=classes,
+            line=directive.line,
+        )
+
+    # -- clause checks -------------------------------------------------------------
+
+    def _check_schema_clause(self, directive: DirectiveNode) -> Schema:
+        clause = directive.schema_clause
+        try:
+            schema = self.database.get_schema_object(clause.schema_name)
+        except Exception as exc:
+            raise SemanticError(str(exc), clause.line) from exc
+        if clause.display_mode not in SCHEMA_DISPLAY_MODES:
+            raise SemanticError(
+                f"unknown schema display mode {clause.display_mode!r}; "
+                f"expected one of {SCHEMA_DISPLAY_MODES}",
+                clause.line,
+            )
+        if directive.context.scale_low is not None:
+            if directive.context.scale_low > directive.context.scale_high:
+                raise SemanticError(
+                    "scale range lower bound exceeds upper bound",
+                    directive.context.line,
+                )
+        return schema
+
+    def _check_class_clause(self, schema: Schema,
+                            clause: ClassClauseNode) -> ClassClauseNode:
+        if not schema.has_class(clause.class_name):
+            raise SemanticError(
+                f"schema {schema.name!r} has no class {clause.class_name!r}",
+                clause.line,
+            )
+        if clause.control is not None and not self.library.has(clause.control):
+            raise SemanticError(
+                f"control widget {clause.control!r} is not in the interface "
+                f"objects library (known: {self.library.names()})",
+                clause.line,
+            )
+        if clause.presentation is not None and not (
+            self.presentations.has_class_format(clause.presentation)
+        ):
+            raise SemanticError(
+                f"presentation format {clause.presentation!r} is not "
+                f"registered (known: "
+                f"{self.presentations.class_format_names()})",
+                clause.line,
+            )
+        if clause.on_update_display is not None and not (
+            self.presentations.has_attribute_format(clause.on_update_display)
+        ):
+            raise SemanticError(
+                f"on-update display format {clause.on_update_display!r} is "
+                f"not registered", clause.line,
+            )
+        attributes = tuple(
+            self._check_attr_clause(schema, clause, attr)
+            for attr in clause.attributes
+        )
+        seen: set[str] = set()
+        for attr in attributes:
+            if attr.attr_name in seen:
+                raise SemanticError(
+                    f"attribute {attr.attr_name!r} customized twice",
+                    attr.line,
+                )
+            seen.add(attr.attr_name)
+        return ClassClauseNode(
+            class_name=clause.class_name,
+            control=clause.control,
+            presentation=clause.presentation,
+            attributes=attributes,
+            on_update_display=clause.on_update_display,
+            line=clause.line,
+        )
+
+    def _check_attr_clause(self, schema: Schema, class_clause: ClassClauseNode,
+                           clause: AttrClauseNode) -> AttrClauseNode:
+        attrs = {
+            a.name: a
+            for a in schema.effective_attributes(class_clause.class_name)
+        }
+        if clause.attr_name not in attrs:
+            raise SemanticError(
+                f"class {class_clause.class_name!r} has no attribute "
+                f"{clause.attr_name!r} (has: {sorted(attrs)})",
+                clause.line,
+            )
+        if clause.format_name != "null" and not (
+            self.presentations.has_attribute_format(clause.format_name)
+        ):
+            raise SemanticError(
+                f"attribute display format {clause.format_name!r} is not "
+                f"registered (known: "
+                f"{self.presentations.attribute_format_names()})",
+                clause.line,
+            )
+        if clause.using is not None and clause.format_name == "null":
+            raise SemanticError(
+                "a hidden (Null) attribute cannot carry a 'using' binding",
+                clause.line,
+            )
+        sources = tuple(
+            self._normalize_source(schema, class_clause.class_name,
+                                   attrs[clause.attr_name], source)
+            for source in clause.sources
+        )
+        return AttrClauseNode(
+            attr_name=clause.attr_name,
+            format_name=clause.format_name,
+            sources=sources,
+            using=clause.using,
+            line=clause.line,
+        )
+
+    # -- source normalization ----------------------------------------------------------
+
+    def _normalize_source(self, schema: Schema, class_name: str,
+                          current_attr: Attribute,
+                          source: SourceExpr) -> SourceExpr:
+        if source.is_call:
+            methods = schema.effective_methods(class_name)
+            if source.call_name not in methods:
+                raise SemanticError(
+                    f"class {class_name!r} declares no method "
+                    f"{source.call_name!r} (has: {sorted(methods)})",
+                    source.line,
+                )
+            args = tuple(
+                self._normalize_path(schema, class_name, current_attr,
+                                     arg, source.line)
+                for arg in source.call_args
+            )
+            return SourceExpr(
+                text=f"{source.call_name}({', '.join(args)})",
+                is_call=True,
+                call_name=source.call_name,
+                call_args=args,
+                line=source.line,
+            )
+        return SourceExpr(
+            text=self._normalize_path(schema, class_name, current_attr,
+                                      source.text, source.line),
+            line=source.line,
+        )
+
+    def _normalize_path(self, schema: Schema, class_name: str,
+                        current_attr: Attribute, path: str,
+                        line: int) -> str:
+        """Resolve a possibly abbreviated path to a full attribute path."""
+        attrs = {a.name: a for a in schema.effective_attributes(class_name)}
+        head, __, rest = path.partition(".")
+
+        # 1. Exact attribute (with optional exact tuple field).
+        if head in attrs:
+            if not rest:
+                return head
+            attr_type = attrs[head].type
+            if isinstance(attr_type, TupleType) and rest in attr_type.fields:
+                return path
+            raise SemanticError(
+                f"{class_name}.{head} has no field {rest!r}", line
+            )
+
+        # 2. Abbreviated tuple-field reference relative to the attribute
+        #    being customized: `pole.material` -> pole_composition.pole_material.
+        if rest and isinstance(current_attr.type, TupleType):
+            candidates = [
+                f for f in current_attr.type.fields
+                if f == rest or f.endswith("_" + rest)
+            ]
+            if len(candidates) == 1:
+                return f"{current_attr.name}.{candidates[0]}"
+            if len(candidates) > 1:
+                raise SemanticError(
+                    f"source {path!r} is ambiguous among tuple fields "
+                    f"{candidates} of {current_attr.name!r}", line,
+                )
+
+        # 3. Abbreviated attribute of the class (suffix match).
+        tail = rest or head
+        candidates = [
+            name for name in attrs if name == tail or name.endswith("_" + tail)
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        if len(candidates) > 1:
+            raise SemanticError(
+                f"source {path!r} is ambiguous among attributes "
+                f"{sorted(candidates)} of class {class_name!r}", line,
+            )
+        raise SemanticError(
+            f"cannot resolve source {path!r} against class {class_name!r}",
+            line,
+        )

@@ -1,0 +1,45 @@
+"""Token vocabulary of the customization language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenKind(Enum):
+    WORD = "word"          # identifiers and keywords (disambiguated in parse)
+    NUMBER = "number"
+    STRING = "string"      # quoted literals (widget labels etc.)
+    DOT = "dot"
+    DOTDOT = "dotdot"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_word(self, *values: str) -> bool:
+        """Case-insensitive keyword check (the language is case-tolerant
+        for keywords, case-preserving for names)."""
+        return self.kind is TokenKind.WORD and self.text.lower() in {
+            v.lower() for v in values
+        }
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+#: Reserved words of the grammar (paper Figure 3), lowercase.
+KEYWORDS = frozenset({
+    "for", "user", "category", "application", "scale", "time",
+    "schema", "display", "as", "class", "control", "presentation",
+    "instances", "attribute", "from", "using", "null",
+    "default", "hierarchy", "user-defined", "on", "update",
+})

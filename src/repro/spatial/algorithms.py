@@ -1,0 +1,422 @@
+"""Computational-geometry algorithms used by the topology and display layers.
+
+Everything here is pure: functions take geometries (or raw coordinates) and
+return values without touching any database state. The topological predicate
+layer (:mod:`repro.spatial.topology`) and the cartographic generalization
+helpers (:mod:`repro.spatial.scale`) are built on these primitives.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import GeometryError
+from .geometry import (
+    EPSILON,
+    BBox,
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    Ring,
+    _point_on_segment,
+)
+
+Coord = tuple[float, float]
+
+
+def orientation(a: Coord, b: Coord, c: Coord) -> int:
+    """Sign of the cross product of AB and AC.
+
+    Returns ``1`` for a counter-clockwise turn, ``-1`` for clockwise and
+    ``0`` for (nearly) collinear points.
+    """
+    cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+    scale = max(
+        1.0, abs(b[0] - a[0]), abs(b[1] - a[1]), abs(c[0] - a[0]), abs(c[1] - a[1])
+    )
+    if abs(cross) <= EPSILON * scale:
+        return 0
+    return 1 if cross > 0 else -1
+
+
+def segments_intersect(p1: Coord, p2: Coord, q1: Coord, q2: Coord) -> bool:
+    """True when closed segments ``p1p2`` and ``q1q2`` share at least a point."""
+    d1 = orientation(q1, q2, p1)
+    d2 = orientation(q1, q2, p2)
+    d3 = orientation(p1, p2, q1)
+    d4 = orientation(p1, p2, q2)
+    if d1 != d2 and d3 != d4:
+        return True
+    if d1 == 0 and _point_on_segment(p1[0], p1[1], q1[0], q1[1], q2[0], q2[1]):
+        return True
+    if d2 == 0 and _point_on_segment(p2[0], p2[1], q1[0], q1[1], q2[0], q2[1]):
+        return True
+    if d3 == 0 and _point_on_segment(q1[0], q1[1], p1[0], p1[1], p2[0], p2[1]):
+        return True
+    if d4 == 0 and _point_on_segment(q2[0], q2[1], p1[0], p1[1], p2[0], p2[1]):
+        return True
+    return False
+
+
+def segment_intersection_point(
+    p1: Coord, p2: Coord, q1: Coord, q2: Coord
+) -> Coord | None:
+    """Intersection point of two *properly* crossing segments, else ``None``.
+
+    Collinear overlaps return ``None`` — callers that care about overlap use
+    :func:`segments_intersect` first.
+    """
+    rx, ry = p2[0] - p1[0], p2[1] - p1[1]
+    sx, sy = q2[0] - q1[0], q2[1] - q1[1]
+    denom = rx * sy - ry * sx
+    if abs(denom) < EPSILON:
+        return None
+    t = ((q1[0] - p1[0]) * sy - (q1[1] - p1[1]) * sx) / denom
+    u = ((q1[0] - p1[0]) * ry - (q1[1] - p1[1]) * rx) / denom
+    if -EPSILON <= t <= 1 + EPSILON and -EPSILON <= u <= 1 + EPSILON:
+        return (p1[0] + t * rx, p1[1] + t * ry)
+    return None
+
+
+def point_segment_distance(p: Coord, a: Coord, b: Coord) -> float:
+    """Euclidean distance from point ``p`` to closed segment ``ab``."""
+    ax, ay = a
+    bx, by = b
+    px, py = p
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    # degenerate-segment cutoff: compare against EPSILON**2, matching the
+    # squared-length dimension (EPSILON alone misclassifies short real
+    # segments, e.g. length 1e-5, as points)
+    if length_sq < EPSILON * EPSILON:
+        return math.hypot(px - ax, py - ay)
+    t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / length_sq))
+    return math.hypot(px - (ax + t * dx), py - (ay + t * dy))
+
+
+def segment_segment_distance(p1: Coord, p2: Coord, q1: Coord, q2: Coord) -> float:
+    if segments_intersect(p1, p2, q1, q2):
+        return 0.0
+    return min(
+        point_segment_distance(p1, q1, q2),
+        point_segment_distance(p2, q1, q2),
+        point_segment_distance(q1, p1, p2),
+        point_segment_distance(q2, p1, p2),
+    )
+
+
+def _boundary_segments(geom: Geometry):
+    """Yield every boundary segment of a geometry (empty for points)."""
+    if isinstance(geom, LineString):
+        yield from geom.segments()
+    elif isinstance(geom, Polygon):
+        for ring in geom.rings():
+            yield from ring.segments()
+    elif isinstance(geom, (MultiLineString, MultiPolygon)):
+        for member in geom:
+            yield from _boundary_segments(member)
+
+
+def _vertices(geom: Geometry) -> list[Coord]:
+    if isinstance(geom, Point):
+        return [(geom.x, geom.y)]
+    if isinstance(geom, LineString):
+        return list(geom.coords)
+    if isinstance(geom, Polygon):
+        out: list[Coord] = []
+        for ring in geom.rings():
+            out.extend(ring.coords)
+        return out
+    if isinstance(geom, (MultiPoint, MultiLineString, MultiPolygon)):
+        out = []
+        for member in geom:
+            out.extend(_vertices(member))
+        return out
+    raise GeometryError(f"unsupported geometry type {type(geom).__name__}")
+
+
+def _contains_point(geom: Geometry, x: float, y: float) -> bool:
+    """Closed point-in-geometry test (boundary counts as inside)."""
+    if isinstance(geom, Point):
+        return math.hypot(geom.x - x, geom.y - y) <= EPSILON
+    if isinstance(geom, LineString):
+        return any(
+            _point_on_segment(x, y, a[0], a[1], b[0], b[1]) for a, b in geom.segments()
+        )
+    if isinstance(geom, Polygon):
+        return geom.contains_point(x, y)
+    if isinstance(geom, (MultiPoint, MultiLineString, MultiPolygon)):
+        return any(_contains_point(m, x, y) for m in geom)
+    raise GeometryError(f"unsupported geometry type {type(geom).__name__}")
+
+
+def geometry_distance(a: Geometry, b: Geometry) -> float:
+    """Minimum Euclidean distance between two geometries (0 when touching)."""
+    if isinstance(a, Point) and isinstance(b, Point):
+        return a.distance_to(b)
+
+    # A point inside an areal geometry, or any boundary crossing → 0.
+    for x, y in _vertices(a):
+        if _contains_point(b, x, y):
+            return 0.0
+    for x, y in _vertices(b):
+        if _contains_point(a, x, y):
+            return 0.0
+    segs_a = list(_boundary_segments(a))
+    segs_b = list(_boundary_segments(b))
+    best = math.inf
+    if segs_a and segs_b:
+        for sa in segs_a:
+            for sb in segs_b:
+                best = min(best, segment_segment_distance(sa[0], sa[1], sb[0], sb[1]))
+                if best == 0.0:
+                    return 0.0
+    elif segs_a:
+        for x, y in _vertices(b):
+            for sa in segs_a:
+                best = min(best, point_segment_distance((x, y), sa[0], sa[1]))
+    elif segs_b:
+        for x, y in _vertices(a):
+            for sb in segs_b:
+                best = min(best, point_segment_distance((x, y), sb[0], sb[1]))
+    else:
+        for xa, ya in _vertices(a):
+            for xb, yb in _vertices(b):
+                best = min(best, math.hypot(xa - xb, ya - yb))
+    return best
+
+
+def convex_hull(points: Sequence[Coord]) -> list[Coord]:
+    """Andrew's monotone-chain convex hull; returns CCW vertices.
+
+    Degenerate inputs (fewer than 3 distinct points, or all collinear)
+    return the distinct points sorted lexicographically.
+
+    Turn tests use the *exact* sign of the cross product, not the
+    tolerance-based :func:`orientation`: with mixed coordinate magnitudes
+    an epsilon test can classify a genuine corner as collinear and pop an
+    extreme point (the sorted order of nearly-collinear points is not
+    their order along the line, so the monotone-chain invariant breaks).
+    """
+    pts = sorted(set((float(x), float(y)) for x, y in points))
+    if len(pts) <= 2:
+        return pts
+
+    def exact_turn(a: Coord, b: Coord, c: Coord) -> float:
+        return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+    def half(chain_pts: list[Coord]) -> list[Coord]:
+        chain: list[Coord] = []
+        for p in chain_pts:
+            while len(chain) >= 2 and exact_turn(chain[-2], chain[-1], p) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half(pts)
+    upper = half(pts[::-1])
+    hull = lower[:-1] + upper[:-1]
+    return hull if len(hull) >= 3 else pts
+
+
+def simplify_line(coords: Sequence[Coord], tolerance: float) -> list[Coord]:
+    """Douglas–Peucker polyline simplification.
+
+    Used by the display layer for cartographic generalization when a map is
+    rendered at a small scale. Always keeps the two endpoints.
+    """
+    if tolerance < 0:
+        raise GeometryError("tolerance must be non-negative")
+    pts = [(float(x), float(y)) for x, y in coords]
+    if len(pts) <= 2:
+        return pts
+
+    keep = [False] * len(pts)
+    keep[0] = keep[-1] = True
+    stack = [(0, len(pts) - 1)]
+    while stack:
+        first, last = stack.pop()
+        max_dist = -1.0
+        index = -1
+        for i in range(first + 1, last):
+            dist = point_segment_distance(pts[i], pts[first], pts[last])
+            if dist > max_dist:
+                max_dist = dist
+                index = i
+        if max_dist > tolerance and index > 0:
+            keep[index] = True
+            stack.append((first, index))
+            stack.append((index, last))
+    return [p for p, k in zip(pts, keep) if k]
+
+
+def buffer_point(point: Point, radius: float, sides: int = 16) -> Polygon:
+    """Disc approximation around a point — used by proximity constraints."""
+    return Polygon.regular(point.x, point.y, radius, sides)
+
+
+def buffer_line(line: LineString, radius: float, sides: int = 8) -> MultiPolygon:
+    """Crude line buffer: one oriented rectangle per segment plus end discs.
+
+    The pieces overlap, which is fine for the containment/proximity checks
+    the constraint layer performs (it tests ``MultiPolygon.contains_point``).
+    """
+    if radius <= 0:
+        raise GeometryError("buffer radius must be positive")
+    pieces: list[Polygon] = []
+    for (ax, ay), (bx, by) in line.segments():
+        length = math.hypot(bx - ax, by - ay)
+        if length < EPSILON:
+            continue
+        nx, ny = -(by - ay) / length * radius, (bx - ax) / length * radius
+        pieces.append(
+            Polygon(
+                [
+                    (ax + nx, ay + ny),
+                    (bx + nx, by + ny),
+                    (bx - nx, by - ny),
+                    (ax - nx, ay - ny),
+                ]
+            )
+        )
+    for x, y in (line.coords[0], line.coords[-1]):
+        pieces.append(Polygon.regular(x, y, radius, max(sides, 8)))
+    return MultiPolygon(pieces)
+
+
+def densify_line(coords: Sequence[Coord], max_segment: float) -> list[Coord]:
+    """Insert vertices so that no segment is longer than ``max_segment``."""
+    if max_segment <= 0:
+        raise GeometryError("max_segment must be positive")
+    pts = [(float(x), float(y)) for x, y in coords]
+    if len(pts) < 2:
+        return pts
+    out = [pts[0]]
+    for (ax, ay), (bx, by) in zip(pts, pts[1:]):
+        seg = math.hypot(bx - ax, by - ay)
+        pieces = max(1, math.ceil(seg / max_segment))
+        for i in range(1, pieces + 1):
+            t = i / pieces
+            out.append((ax + t * (bx - ax), ay + t * (by - ay)))
+    return out
+
+
+def polygon_clip_bbox(poly: Polygon, box: BBox) -> Polygon | None:
+    """Sutherland–Hodgman clip of a polygon's exterior ring to a bbox.
+
+    Holes are dropped (display-only use: the map window clips phenomena to
+    the visible extent). Returns ``None`` when nothing remains visible.
+    """
+    if box.is_empty():
+        return None
+
+    def clip(points: list[Coord], inside, intersect) -> list[Coord]:
+        out: list[Coord] = []
+        n = len(points)
+        for i in range(n):
+            cur = points[i]
+            prev = points[(i - 1) % n]
+            if inside(cur):
+                if not inside(prev):
+                    out.append(intersect(prev, cur))
+                out.append(cur)
+            elif inside(prev):
+                out.append(intersect(prev, cur))
+        return out
+
+    def x_cross(a: Coord, b: Coord, x: float) -> Coord:
+        t = (x - a[0]) / (b[0] - a[0])
+        return (x, a[1] + t * (b[1] - a[1]))
+
+    def y_cross(a: Coord, b: Coord, y: float) -> Coord:
+        t = (y - a[1]) / (b[1] - a[1])
+        return (a[0] + t * (b[0] - a[0]), y)
+
+    pts = list(poly.exterior.coords)
+    pts = clip(pts, lambda p: p[0] >= box.min_x, lambda a, b: x_cross(a, b, box.min_x))
+    if len(pts) >= 3:
+        pts = clip(pts, lambda p: p[0] <= box.max_x, lambda a, b: x_cross(a, b, box.max_x))
+    if len(pts) >= 3:
+        pts = clip(pts, lambda p: p[1] >= box.min_y, lambda a, b: y_cross(a, b, box.min_y))
+    if len(pts) >= 3:
+        pts = clip(pts, lambda p: p[1] <= box.max_y, lambda a, b: y_cross(a, b, box.max_y))
+    if len(pts) < 3:
+        return None
+    try:
+        ring = Ring(pts)
+    except GeometryError:
+        return None
+    if ring.area() < EPSILON:
+        return None
+    return Polygon(ring)
+
+
+def line_clip_bbox(line: LineString, box: BBox) -> list[LineString]:
+    """Cohen–Sutherland-style clip of a polyline to a bbox.
+
+    Returns the visible pieces (possibly empty, possibly several).
+    """
+    if box.is_empty():
+        return []
+
+    def clip_segment(a: Coord, b: Coord) -> tuple[Coord, Coord] | None:
+        t0, t1 = 0.0, 1.0
+        dx, dy = b[0] - a[0], b[1] - a[1]
+        for p, q in (
+            (-dx, a[0] - box.min_x),
+            (dx, box.max_x - a[0]),
+            (-dy, a[1] - box.min_y),
+            (dy, box.max_y - a[1]),
+        ):
+            if abs(p) < EPSILON:
+                if q < 0:
+                    return None
+                continue
+            r = q / p
+            if p < 0:
+                if r > t1:
+                    return None
+                t0 = max(t0, r)
+            else:
+                if r < t0:
+                    return None
+                t1 = min(t1, r)
+        if t0 > t1:
+            return None
+        return (
+            (a[0] + t0 * dx, a[1] + t0 * dy),
+            (a[0] + t1 * dx, a[1] + t1 * dy),
+        )
+
+    pieces: list[list[Coord]] = []
+    current: list[Coord] = []
+    for a, b in line.segments():
+        clipped = clip_segment(a, b)
+        if clipped is None:
+            if len(current) >= 2:
+                pieces.append(current)
+            current = []
+            continue
+        start, end = clipped
+        if current and math.hypot(
+            current[-1][0] - start[0], current[-1][1] - start[1]
+        ) <= EPSILON:
+            current.append(end)
+        else:
+            if len(current) >= 2:
+                pieces.append(current)
+            current = [start, end]
+    if len(current) >= 2:
+        pieces.append(current)
+    out = []
+    for piece in pieces:
+        try:
+            out.append(LineString(piece))
+        except GeometryError:
+            continue
+    return out

@@ -1,0 +1,134 @@
+"""A uniform grid spatial index.
+
+A simpler alternative to the R-tree for dense, evenly distributed layers
+(e.g. city-wide pole grids). Cells are fixed-size buckets over a declared
+universe extent; items spanning several cells are registered in each.
+The query layer picks grid or R-tree per layer; benchmark C5 compares both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from ..errors import IndexError_
+from .geometry import BBox
+
+
+class GridIndex:
+    """Fixed-resolution bucket grid over a universe bounding box."""
+
+    def __init__(self, universe: BBox, cell_size: float):
+        if universe.is_empty():
+            raise IndexError_("grid universe cannot be empty")
+        if cell_size <= 0:
+            raise IndexError_("cell_size must be positive")
+        self.universe = universe
+        self.cell_size = float(cell_size)
+        self._cols = max(1, math.ceil(universe.width / cell_size))
+        self._rows = max(1, math.ceil(universe.height / cell_size))
+        self._cells: dict[tuple[int, int], list[tuple[BBox, Any]]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(columns, rows) of the grid."""
+        return (self._cols, self._rows)
+
+    def _cell_range(self, box: BBox) -> tuple[int, int, int, int]:
+        """Clamped (col0, row0, col1, row1) covering ``box``."""
+        col0 = int((box.min_x - self.universe.min_x) // self.cell_size)
+        row0 = int((box.min_y - self.universe.min_y) // self.cell_size)
+        col1 = int((box.max_x - self.universe.min_x) // self.cell_size)
+        row1 = int((box.max_y - self.universe.min_y) // self.cell_size)
+        return (
+            max(0, min(col0, self._cols - 1)),
+            max(0, min(row0, self._rows - 1)),
+            max(0, min(col1, self._cols - 1)),
+            max(0, min(row1, self._rows - 1)),
+        )
+
+    def insert(self, box: BBox, item: Any) -> None:
+        if box.is_empty():
+            raise IndexError_("cannot index an empty bbox")
+        if not self.universe.intersects(box):
+            raise IndexError_(f"bbox {box!r} lies outside the grid universe")
+        col0, row0, col1, row1 = self._cell_range(box)
+        for col in range(col0, col1 + 1):
+            for row in range(row0, row1 + 1):
+                self._cells.setdefault((col, row), []).append((box, item))
+        self._size += 1
+
+    def delete(self, box: BBox, item: Any) -> None:
+        col0, row0, col1, row1 = self._cell_range(box)
+        removed = False
+        for col in range(col0, col1 + 1):
+            for row in range(row0, row1 + 1):
+                bucket = self._cells.get((col, row))
+                if not bucket:
+                    continue
+                before = len(bucket)
+                bucket[:] = [e for e in bucket if not (e[0] == box and e[1] == item)]
+                if len(bucket) != before:
+                    removed = True
+                if not bucket:
+                    del self._cells[(col, row)]
+        if not removed:
+            raise IndexError_(f"entry {item!r} with bbox {box!r} not in the grid")
+        self._size -= 1
+
+    def search(self, box: BBox) -> list[Any]:
+        """Items whose bbox intersects ``box`` (deduplicated, insertion order)."""
+        if box.is_empty():
+            return []
+        col0, row0, col1, row1 = self._cell_range(box)
+        seen: set[int] = set()
+        out: list[Any] = []
+        for col in range(col0, col1 + 1):
+            for row in range(row0, row1 + 1):
+                for entry_box, item in self._cells.get((col, row), ()):
+                    marker = id((entry_box, item)) if not _hashable(item) else hash(
+                        (entry_box, item)
+                    )
+                    if marker in seen:
+                        continue
+                    seen.add(marker)
+                    if entry_box.intersects(box):
+                        out.append(item)
+        return out
+
+    def search_point(self, x: float, y: float) -> list[Any]:
+        return self.search(BBox(x, y, x, y))
+
+    def items(self) -> Iterator[tuple[BBox, Any]]:
+        """Every distinct indexed entry."""
+        seen: set[int] = set()
+        for bucket in self._cells.values():
+            for entry_box, item in bucket:
+                marker = hash((entry_box, item)) if _hashable(item) else id((entry_box, item))
+                if marker in seen:
+                    continue
+                seen.add(marker)
+                yield entry_box, item
+
+    def cell_stats(self) -> dict[str, float]:
+        """Occupancy statistics for tuning (used in benchmark reports)."""
+        if not self._cells:
+            return {"cells_used": 0, "max_bucket": 0, "mean_bucket": 0.0}
+        sizes = [len(b) for b in self._cells.values()]
+        return {
+            "cells_used": len(sizes),
+            "max_bucket": max(sizes),
+            "mean_bucket": sum(sizes) / len(sizes),
+        }
+
+
+def _hashable(item: Any) -> bool:
+    try:
+        hash(item)
+    except TypeError:
+        return False
+    return True

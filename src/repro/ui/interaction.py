@@ -1,0 +1,161 @@
+"""Scripted interaction driver.
+
+Substitutes the human user of the paper's workstation prototype (see
+DESIGN.md): an :class:`InteractionScript` is a sequence of the §4 browsing
+steps, executed against a :class:`~repro.core.session.GISSession` through
+the same widget callbacks a pointing device would trigger. Scripts can be
+generated randomly (:func:`random_browse_script`) for load benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.session import GISSession
+from ..errors import SessionError
+
+
+@dataclass(frozen=True)
+class Step:
+    """One scripted interaction.
+
+    ``action`` is one of ``connect``, ``select_class``,
+    ``select_instance``, ``pick_map``, ``close``, ``render``.
+    """
+
+    action: str
+    args: tuple = ()
+
+    def describe(self) -> str:
+        return f"{self.action}({', '.join(map(repr, self.args))})"
+
+
+@dataclass
+class StepResult:
+    step: Step
+    ok: bool
+    detail: str = ""
+    output: Any = None
+
+
+@dataclass
+class InteractionScript:
+    """An ordered sequence of steps plus an execution report."""
+
+    steps: list[Step] = field(default_factory=list)
+
+    # -- construction helpers -------------------------------------------------
+
+    def connect(self, schema_name: str) -> "InteractionScript":
+        self.steps.append(Step("connect", (schema_name,)))
+        return self
+
+    def select_class(self, class_name: str) -> "InteractionScript":
+        self.steps.append(Step("select_class", (class_name,)))
+        return self
+
+    def select_instance(self, oid: str,
+                        class_name: str | None = None) -> "InteractionScript":
+        self.steps.append(Step("select_instance", (oid, class_name)))
+        return self
+
+    def pick_map(self, class_name: str, col: int, row: int
+                 ) -> "InteractionScript":
+        self.steps.append(Step("pick_map", (class_name, col, row)))
+        return self
+
+    def close(self, window_name: str) -> "InteractionScript":
+        self.steps.append(Step("close", (window_name,)))
+        return self
+
+    def render(self, window_name: str | None = None) -> "InteractionScript":
+        self.steps.append(Step("render", (window_name,)))
+        return self
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, session: GISSession,
+            stop_on_error: bool = True) -> list[StepResult]:
+        """Execute every step; returns per-step results."""
+        results: list[StepResult] = []
+        for step in self.steps:
+            try:
+                output = self._run_step(session, step)
+                results.append(StepResult(step, ok=True, output=output))
+            except Exception as exc:
+                results.append(StepResult(step, ok=False, detail=repr(exc)))
+                if stop_on_error:
+                    break
+        return results
+
+    def _run_step(self, session: GISSession, step: Step) -> Any:
+        if step.action == "connect":
+            return session.connect(step.args[0])
+        if step.action == "select_class":
+            return session.select_class(step.args[0])
+        if step.action == "select_instance":
+            oid, class_name = step.args
+            return session.select_instance(oid, class_name)
+        if step.action == "pick_map":
+            return session.pick_on_map(*step.args)
+        if step.action == "close":
+            session.close(step.args[0])
+            return None
+        if step.action == "render":
+            return session.render(step.args[0])
+        raise SessionError(f"unknown interaction step {step.action!r}")
+
+    def describe(self) -> str:
+        return "\n".join(
+            f"{i + 1}. {step.describe()}" for i, step in enumerate(self.steps)
+        )
+
+
+def paper_walkthrough_script(schema_name: str, class_name: str,
+                             oid: str) -> InteractionScript:
+    """The exact §4 browsing loop: schema → class → instance."""
+    return (
+        InteractionScript()
+        .connect(schema_name)
+        .select_class(class_name)
+        .select_instance(oid, class_name)
+    )
+
+
+def random_browse_script(database, schema_name: str, interactions: int,
+                         seed: int = 0,
+                         skip_classes: tuple[str, ...] = ()
+                         ) -> InteractionScript:
+    """A random exploratory session over a populated schema.
+
+    The script always starts with ``connect``; subsequent steps pick a
+    random class or a random instance of an already-visited class —
+    mimicking the §4 "iterates through browsing (Schema, {Class,
+    {Instance}}) windows" pattern. Classes whose schema window shows them
+    empty are skipped.
+    """
+    rng = random.Random(seed)
+    schema = database.get_schema_object(schema_name)
+    class_names = [
+        name for name in schema.class_names()
+        if name not in skip_classes
+        and len(database.extent(schema_name, name)) > 0
+    ]
+    if not class_names:
+        raise SessionError(f"schema {schema_name!r} has no populated classes")
+    script = InteractionScript().connect(schema_name)
+    visited: list[str] = []
+    for __ in range(interactions):
+        if visited and rng.random() < 0.6:
+            class_name = rng.choice(visited)
+            extent = database.extent(schema_name, class_name)
+            oid = rng.choice(extent.oids())
+            script.select_instance(oid, class_name)
+        else:
+            class_name = rng.choice(class_names)
+            script.select_class(class_name)
+            if class_name not in visited:
+                visited.append(class_name)
+    return script

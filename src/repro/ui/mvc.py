@@ -1,0 +1,101 @@
+"""Model-View-Controller plumbing of the GIS interface layer.
+
+§3.5: "the architecture of the interface is organized according to three
+components: one component that reflects the underlying data Model; one
+component to provide users with specific Views of the model; and a
+component that Controls the mapping across the other two (e.g., the MVC
+model). Our architecture encapsulates the model-view-controller principle,
+but a considerable number of functions are left to be performed by the
+database system."
+
+In this reproduction:
+
+* the **Model** is the geographic database itself (plus
+  :class:`ModelObserver`, which narrows its event stream for views);
+* the **Views** are the windows on the screen;
+* the **Controller** is the dispatcher (:mod:`repro.core.dispatcher`).
+
+:class:`ModelObserver` lets a view register interest in classes/objects
+and receive change notifications after commits — the part of MVC the
+database performs in this architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..active.event_bus import Event, MUTATION_KINDS
+from ..geodb.database import GeographicDatabase
+
+
+@dataclass
+class ChangeNotice:
+    """One model change as seen by a view."""
+
+    op: str            # insert | update | delete
+    oid: str
+    class_name: str
+    schema_name: str
+    values: dict[str, Any] | None = None
+
+
+Listener = Callable[[ChangeNotice], None]
+
+
+@dataclass
+class _Registration:
+    listener: Listener
+    class_name: str | None = None
+    oid: str | None = None
+    notices: int = field(default=0)
+
+
+class ModelObserver:
+    """Fan-out of committed database changes to interested views."""
+
+    def __init__(self, database: GeographicDatabase):
+        self.database = database
+        self._registrations: list[_Registration] = []
+        database.bus.subscribe(self._on_event, kinds=MUTATION_KINDS)
+
+    def watch_class(self, class_name: str, listener: Listener) -> _Registration:
+        """Notify ``listener`` of any committed change to a class."""
+        registration = _Registration(listener, class_name=class_name)
+        self._registrations.append(registration)
+        return registration
+
+    def watch_object(self, oid: str, listener: Listener) -> _Registration:
+        """Notify ``listener`` of committed changes to one object."""
+        registration = _Registration(listener, oid=oid)
+        self._registrations.append(registration)
+        return registration
+
+    def unwatch(self, registration: _Registration) -> None:
+        self._registrations = [
+            r for r in self._registrations if r is not registration
+        ]
+
+    def _on_event(self, event: Event) -> None:
+        if event.payload.get("phase") != "commit":
+            return
+        notice = ChangeNotice(
+            op=event.kind.value,
+            oid=event.subject,
+            class_name=event.payload.get("class", ""),
+            schema_name=event.payload.get("schema", ""),
+            values=event.payload.get("values"),
+        )
+        for registration in list(self._registrations):
+            if registration.class_name is not None and (
+                registration.class_name != notice.class_name
+            ):
+                continue
+            if registration.oid is not None and registration.oid != notice.oid:
+                continue
+            registration.notices += 1
+            registration.listener(notice)
+
+    @property
+    def registration_count(self) -> int:
+        return len(self._registrations)

@@ -1,0 +1,44 @@
+"""Interface objects library: kernel widgets, composites, formats, renderers."""
+
+from .base import Callback, InterfaceObject, UIEvent
+from .widgets import (
+    EXTENSION_CLASSES,
+    KERNEL_CLASSES,
+    PANEL_CHILDREN,
+    Button,
+    DrawingArea,
+    ListWidget,
+    Menu,
+    MenuItem,
+    Panel,
+    Slider,
+    Text,
+    Window,
+)
+from .library import InterfaceObjectLibrary, Specialization, WidgetTemplate
+from .composite import (
+    MAP_SELECTION_TEMPLATE,
+    ComposedText,
+    install_standard_composites,
+)
+from .presentation import (
+    SCHEMA_DISPLAY_MODES,
+    AttributeFormat,
+    ClassFormat,
+    PresentationRegistry,
+)
+from .rendering import TextRenderer, render_text, scene_graph
+from .html_render import render_html, render_screen_html
+
+__all__ = [
+    "InterfaceObject", "UIEvent", "Callback",
+    "Window", "Panel", "Text", "DrawingArea", "ListWidget", "Button",
+    "Menu", "MenuItem", "Slider",
+    "KERNEL_CLASSES", "EXTENSION_CLASSES", "PANEL_CHILDREN",
+    "InterfaceObjectLibrary", "WidgetTemplate", "Specialization",
+    "ComposedText", "MAP_SELECTION_TEMPLATE", "install_standard_composites",
+    "PresentationRegistry", "ClassFormat", "AttributeFormat",
+    "SCHEMA_DISPLAY_MODES",
+    "TextRenderer", "render_text", "scene_graph",
+    "render_html", "render_screen_html",
+]

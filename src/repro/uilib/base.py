@@ -1,0 +1,228 @@
+"""Base machinery of the interface objects library.
+
+§3.2: "The library contains the definition and generic behavior of
+interface objects. These objects are either atomic (e.g., a button) or
+complex (for instance a window, which is composed by other objects). Every
+object can be associated with several events, each of which can be linked
+to a callback function ... Generic behavior can be dynamically customized
+by callback functions."
+
+:class:`InterfaceObject` provides exactly that contract: a named object
+with presentation properties, an event/callback table, and composition
+(parent/children). Widgets in :mod:`repro.uilib.widgets` specialize it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..errors import WidgetError
+
+_widget_ids = itertools.count(1)
+
+
+@dataclass
+class UIEvent:
+    """An interface event ``IE_i`` (§3.3: mouse click, key press, ...)."""
+
+    name: str
+    source: "InterfaceObject"
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return f"{self.name} on {self.source.path()}"
+
+
+Callback = Callable[[UIEvent], Any]
+
+
+class InterfaceObject:
+    """Base class of every interface object.
+
+    Parameters
+    ----------
+    name:
+        Identifier unique among siblings; auto-generated when omitted.
+    **props:
+        Presentation properties (label, visible, enabled, ...). Unknown
+        properties are accepted — customization may attach arbitrary
+        presentation data.
+    """
+
+    #: class-level tag matching the paper's kernel class names
+    widget_type = "object"
+    #: event names this widget fires by itself; customization may bind more
+    default_events: tuple[str, ...] = ()
+
+    def __init__(self, name: str | None = None, **props: Any):
+        self.object_id = next(_widget_ids)
+        self.name = name or f"{self.widget_type}_{self.object_id}"
+        self.properties: dict[str, Any] = {"visible": True, "enabled": True}
+        self.properties.update(props)
+        self.parent: "InterfaceObject | None" = None
+        self._children: list[InterfaceObject] = []
+        self._callbacks: dict[str, list[Callback]] = {}
+
+    # -- properties -------------------------------------------------------------
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+    def set_property(self, key: str, value: Any) -> None:
+        self.properties[key] = value
+
+    @property
+    def visible(self) -> bool:
+        return bool(self.properties.get("visible", True))
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.properties.get("enabled", True))
+
+    # -- composition -------------------------------------------------------------
+
+    #: widget types allowed as children; None means "no children at all"
+    allowed_children: tuple[str, ...] | None = None
+
+    def add_child(self, child: "InterfaceObject") -> "InterfaceObject":
+        if self.allowed_children is None:
+            raise WidgetError(
+                f"{self.widget_type} {self.name!r} cannot contain children"
+            )
+        if child.widget_type not in self.allowed_children:
+            raise WidgetError(
+                f"{self.widget_type} {self.name!r} cannot contain a "
+                f"{child.widget_type} (allowed: {self.allowed_children})"
+            )
+        if child.parent is not None:
+            raise WidgetError(
+                f"{child.widget_type} {child.name!r} already has a parent"
+            )
+        if any(c.name == child.name for c in self._children):
+            raise WidgetError(
+                f"{self.widget_type} {self.name!r} already has a child named "
+                f"{child.name!r}"
+            )
+        if child is self or self._is_ancestor(child):
+            raise WidgetError("composition cycles are not allowed")
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def _is_ancestor(self, candidate: "InterfaceObject") -> bool:
+        node = self.parent
+        while node is not None:
+            if node is candidate:
+                return True
+            node = node.parent
+        return False
+
+    def remove_child(self, name: str) -> "InterfaceObject":
+        for i, child in enumerate(self._children):
+            if child.name == name:
+                child.parent = None
+                return self._children.pop(i)
+        raise WidgetError(f"{self.name!r} has no child named {name!r}")
+
+    @property
+    def children(self) -> list["InterfaceObject"]:
+        return list(self._children)
+
+    def child(self, name: str) -> "InterfaceObject":
+        for c in self._children:
+            if c.name == name:
+                return c
+        raise WidgetError(f"{self.name!r} has no child named {name!r}")
+
+    def find(self, name: str) -> "InterfaceObject | None":
+        """Depth-first search for a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self._children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["InterfaceObject"]:
+        """Yield self and every descendant, depth-first, pre-order."""
+        yield self
+        for child in self._children:
+            yield from child.walk()
+
+    def path(self) -> str:
+        """Slash path from the root, e.g. ``window/panel/button``."""
+        parts = [self.name]
+        node = self.parent
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    # -- events & callbacks ---------------------------------------------------------
+
+    def on(self, event_name: str, callback: Callback) -> None:
+        """Bind ``callback`` to ``event_name``; multiple bindings stack."""
+        if not callable(callback):
+            raise WidgetError(f"callback for {event_name!r} is not callable")
+        self._callbacks.setdefault(event_name, []).append(callback)
+
+    def off(self, event_name: str, callback: Callback | None = None) -> None:
+        """Remove one callback (or all for the event when None)."""
+        if event_name not in self._callbacks:
+            return
+        if callback is None:
+            del self._callbacks[event_name]
+            return
+        self._callbacks[event_name] = [
+            cb for cb in self._callbacks[event_name] if cb is not callback
+        ]
+
+    def override(self, event_name: str, callback: Callback) -> None:
+        """Replace every binding for the event — the language's ``using``
+        clause "coding of new callback functions to override their default
+        behavior" (§3.4)."""
+        self._callbacks[event_name] = [callback]
+
+    def fire(self, event_name: str, **data: Any) -> list[Any]:
+        """Dispatch an interface event to the bound callbacks.
+
+        Disabled widgets swallow events. Returns callback results in
+        binding order.
+        """
+        if not self.enabled:
+            return []
+        event = UIEvent(event_name, self, data)
+        return [cb(event) for cb in self._callbacks.get(event_name, [])]
+
+    def bound_events(self) -> list[str]:
+        return sorted(set(self.default_events) | set(self._callbacks))
+
+    # -- description (scene graph) -----------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Structured scene node: type, name, properties, children.
+
+        The renderers and the test-suite assertions consume this; widgets
+        with extra state extend :meth:`_describe_extra`.
+        """
+        node: dict[str, Any] = {
+            "type": self.widget_type,
+            "name": self.name,
+            "properties": {
+                k: v for k, v in self.properties.items()
+                if k not in ("visible", "enabled") or not v
+            },
+        }
+        node.update(self._describe_extra())
+        if self._children:
+            node["children"] = [c.describe() for c in self._children]
+        return node
+
+    def _describe_extra(self) -> dict[str, Any]:
+        return {}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.path()!r}>"

@@ -1,0 +1,150 @@
+"""Standard composite widgets shipped with the library.
+
+These are the concrete artifacts the paper names:
+
+* ``composed_text`` — §4 line (7): "the attribute pole_composition is
+  customized to be represented as a predefined widget named
+  composed_text", with behavior bound via ``composed_text.notify()``.
+* ``poleWidget`` — §4 lines (4)-(5): "a predefined composed widget
+  (poleWidget, defined as a slider)".
+* ``map_selection_panel`` — the §3.2 reuse example: "a control panel for
+  selecting maps from a map collection ... may contain lists for
+  visualization and choice, text fields for geographic region names,
+  operation buttons".
+
+:func:`install_standard_composites` registers all of them into a library.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import WidgetError
+from .base import UIEvent
+from .library import InterfaceObjectLibrary, WidgetTemplate
+from .widgets import Panel, Text
+
+
+class ComposedText(Panel):
+    """Several source fields rendered as one composite textual widget.
+
+    Built as a Panel holding one :class:`Text` per source field plus a
+    summary line. :meth:`notify` (also reachable as the ``notify`` event,
+    the §4 ``using composed_text.notify()`` binding) refreshes the summary
+    from the parts.
+    """
+
+    widget_type = "panel"  # stays a panel structurally
+    default_events = ("notify",)
+
+    def __init__(self, name: str | None = None, fields: Any = (),
+                 separator: str = " / ", **props: Any):
+        fields = list(fields)
+        if not fields:
+            raise WidgetError("composed_text needs at least one field name")
+        super().__init__(name, **props)
+        self.set_property("library_type", "composed_text")
+        self.separator = separator
+        self._field_names = [str(f) for f in fields]
+        self._summary = Text("summary", label=props.get("label", "value"))
+        self.add_child(self._summary)
+        for field_name in self._field_names:
+            self.add_child(Text(f"part_{field_name}", label=field_name))
+        self.on("notify", self._on_notify)
+
+    def set_parts(self, values: dict[str, Any]) -> None:
+        """Load the source field values and refresh the summary."""
+        for field_name in self._field_names:
+            part: Text = self.child(f"part_{field_name}")  # type: ignore[assignment]
+            part.set_value("" if values.get(field_name) is None
+                           else str(values[field_name]))
+        self.notify()
+
+    def notify(self) -> str:
+        """Recompute the summary line from the parts; returns it."""
+        parts = []
+        for field_name in self._field_names:
+            part: Text = self.child(f"part_{field_name}")  # type: ignore[assignment]
+            if part.value:
+                parts.append(part.value)
+        self._summary.set_value(self.separator.join(parts))
+        return self._summary.value
+
+    def _on_notify(self, event: UIEvent) -> str:
+        return self.notify()
+
+    @property
+    def summary(self) -> str:
+        return self._summary.value
+
+    def _describe_extra(self) -> dict[str, Any]:
+        return {"composed_of": list(self._field_names), "summary": self.summary}
+
+
+#: Template for the §3.2 map-selection control panel.
+MAP_SELECTION_TEMPLATE = WidgetTemplate(
+    name="map_selection_panel",
+    doc="Panel for selecting maps from a map collection (paper §3.2)",
+    defaults={"region_label": "Geographic region", "title": "Map selection"},
+    spec={
+        "type": "panel",
+        "name": "map_selection",
+        "props": {"layout": "vertical", "label": "$title"},
+        "children": [
+            {
+                "type": "list",
+                "name": "available_maps",
+                "props": {"label": "Available maps"},
+            },
+            {
+                "type": "list",
+                "name": "chosen_maps",
+                "props": {"label": "Chosen maps"},
+            },
+            {
+                "type": "text",
+                "name": "region_name",
+                "props": {"label": "$region_label", "editable": True},
+            },
+            {
+                "type": "panel",
+                "name": "operations",
+                "props": {"layout": "horizontal"},
+                "children": [
+                    {"type": "button", "name": "add_map",
+                     "props": {"label": "Add"}},
+                    {"type": "button", "name": "remove_map",
+                     "props": {"label": "Remove"}},
+                    {"type": "button", "name": "open_maps",
+                     "props": {"label": "Open"}},
+                ],
+            },
+        ],
+    },
+)
+
+
+def install_standard_composites(library: InterfaceObjectLibrary,
+                                persist: bool = True) -> list[str]:
+    """Register the paper's named composites; returns the installed names.
+
+    Safe to call on a library that already holds (some of) them — existing
+    names are kept as-is, which makes reloading from the catalog idempotent.
+    """
+    installed = []
+    if not library.has("composed_text"):
+        library.register_class("composed_text", ComposedText)
+        installed.append("composed_text")
+    if not library.has("poleWidget"):
+        library.specialize(
+            "poleWidget",
+            base="slider",
+            props={"minimum": 0.0, "maximum": 30.0, "label": "pole height (m)"},
+            doc="predefined composed widget for poles, defined as a slider (§4)",
+            persist=persist,
+        )
+        installed.append("poleWidget")
+    if not library.has("map_selection_panel"):
+        library.register_template(MAP_SELECTION_TEMPLATE, persist=persist)
+        installed.append("map_selection_panel")
+    return installed

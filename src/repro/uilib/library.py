@@ -1,0 +1,274 @@
+"""The interface objects library.
+
+§3.2: "Each of these interaction windows is constructed from (and can be
+customized by) a hierarchy of interface objects, stored in the interface
+objects library. Interface objects can be used to compose progressively
+more complex interface elements ... The benefit of this approach is that
+it is not necessary to define these dialog components statically at
+compilation time; rather, they can be inserted, updated and removed
+dynamically."
+
+The library is a registry of three extensibility levels:
+
+* **classes** — the Figure 2 kernel plus any registered Python widget
+  class (§3.2: "it is possible to add classes to it");
+* **specializations** — an existing class with preset properties and
+  bound events (§3.2: "it is possible to specialize existing classes,
+  redefining and customizing their elements");
+* **templates** — declarative composite trees with parameter slots
+  (the §3.2 map-selection-panel example), serializable to the database
+  catalog, so dialog components live *in the database*.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import UnknownWidgetError, WidgetError
+from ..geodb.catalog import KIND_WIDGET, MetadataCatalog
+from .base import InterfaceObject
+from .widgets import EXTENSION_CLASSES, KERNEL_CLASSES
+
+
+@dataclass
+class WidgetTemplate:
+    """A declarative composite widget stored as data.
+
+    ``spec`` is a tree of nodes ``{"type", "name"?, "props"?, "children"?}``.
+    String property values of the form ``"$param"`` are substituted from
+    the ``params`` given at instantiation; ``defaults`` fill absent params.
+    """
+
+    name: str
+    spec: dict[str, Any]
+    defaults: dict[str, Any] = field(default_factory=dict)
+    doc: str = ""
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "spec": self.spec,
+            "defaults": self.defaults,
+            "doc": self.doc,
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict[str, Any]) -> "WidgetTemplate":
+        return cls(
+            name=desc["name"],
+            spec=desc["spec"],
+            defaults=desc.get("defaults", {}),
+            doc=desc.get("doc", ""),
+        )
+
+
+@dataclass
+class Specialization:
+    """An existing widget class with preset presentation properties."""
+
+    name: str
+    base: str
+    props: dict[str, Any] = field(default_factory=dict)
+    doc: str = ""
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base,
+            "props": self.props,
+            "doc": self.doc,
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict[str, Any]) -> "Specialization":
+        return cls(
+            name=desc["name"],
+            base=desc["base"],
+            props=desc.get("props", {}),
+            doc=desc.get("doc", ""),
+        )
+
+
+class InterfaceObjectLibrary:
+    """Registry + factory for every known interface object kind.
+
+    When built with a :class:`~repro.geodb.catalog.MetadataCatalog`, the
+    specializations and templates persist as ``widget`` documents and are
+    reloaded by :meth:`load_from_catalog` — the library literally lives in
+    the geographic database, as the paper's architecture requires.
+    """
+
+    def __init__(self, catalog: MetadataCatalog | None = None):
+        self.catalog = catalog
+        self._classes: dict[str, type[InterfaceObject]] = {}
+        self._specializations: dict[str, Specialization] = {}
+        self._templates: dict[str, WidgetTemplate] = {}
+        for name, cls in {**KERNEL_CLASSES, **EXTENSION_CLASSES}.items():
+            self._classes[name] = cls
+
+    # -- registration ------------------------------------------------------------
+
+    def register_class(self, name: str, widget_class: type[InterfaceObject]) -> None:
+        """Add a new widget class (a Python-level kernel extension)."""
+        if not (isinstance(widget_class, type)
+                and issubclass(widget_class, InterfaceObject)):
+            raise WidgetError(f"{widget_class!r} is not an InterfaceObject class")
+        if name in self._classes:
+            raise WidgetError(f"widget class {name!r} already registered")
+        self._classes[name] = widget_class
+
+    def specialize(self, name: str, base: str, props: dict[str, Any] | None = None,
+                   doc: str = "", persist: bool = True) -> Specialization:
+        """Register (and optionally persist) a specialization."""
+        if self.has(name):
+            raise WidgetError(f"widget name {name!r} is already taken")
+        if base not in self._classes and base not in self._specializations:
+            raise UnknownWidgetError(f"unknown base widget {base!r}")
+        spec = Specialization(name=name, base=base, props=dict(props or {}), doc=doc)
+        self._specializations[name] = spec
+        if persist and self.catalog is not None:
+            self.catalog.put(KIND_WIDGET, name,
+                             {"kind": "specialization", **spec.describe()})
+        return spec
+
+    def register_template(self, template: WidgetTemplate,
+                          persist: bool = True) -> WidgetTemplate:
+        if self.has(template.name):
+            raise WidgetError(f"widget name {template.name!r} is already taken")
+        self._validate_spec(template.spec)
+        self._templates[template.name] = template
+        if persist and self.catalog is not None:
+            self.catalog.put(KIND_WIDGET, template.name,
+                             {"kind": "template", **template.describe()})
+        return template
+
+    def remove(self, name: str) -> None:
+        """Remove a specialization or template (kernel classes stay)."""
+        if name in self._specializations:
+            del self._specializations[name]
+        elif name in self._templates:
+            del self._templates[name]
+        else:
+            raise UnknownWidgetError(
+                f"{name!r} is not a removable library entry"
+            )
+        if self.catalog is not None and self.catalog.has(KIND_WIDGET, name):
+            self.catalog.delete(KIND_WIDGET, name)
+
+    def _validate_spec(self, node: dict[str, Any]) -> None:
+        if "type" not in node:
+            raise WidgetError(f"template node {node!r} lacks a 'type'")
+        type_name = node["type"]
+        if type_name not in self._classes and type_name not in self._specializations:
+            raise UnknownWidgetError(
+                f"template references unknown widget type {type_name!r}"
+            )
+        for child in node.get("children", ()):
+            self._validate_spec(child)
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def has(self, name: str) -> bool:
+        return (
+            name in self._classes
+            or name in self._specializations
+            or name in self._templates
+        )
+
+    def kind_of(self, name: str) -> str:
+        if name in self._classes:
+            return "class"
+        if name in self._specializations:
+            return "specialization"
+        if name in self._templates:
+            return "template"
+        raise UnknownWidgetError(f"unknown widget {name!r}")
+
+    def names(self) -> list[str]:
+        return sorted(
+            set(self._classes) | set(self._specializations) | set(self._templates)
+        )
+
+    def describe(self, name: str) -> dict[str, Any]:
+        kind = self.kind_of(name)
+        if kind == "class":
+            cls = self._classes[name]
+            return {
+                "kind": "class",
+                "name": name,
+                "python_class": cls.__name__,
+                "default_events": list(cls.default_events),
+                "doc": (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else "",
+            }
+        if kind == "specialization":
+            return {"kind": "specialization",
+                    **self._specializations[name].describe()}
+        return {"kind": "template", **self._templates[name].describe()}
+
+    # -- instantiation ------------------------------------------------------------------
+
+    def create(self, type_name: str, name: str | None = None,
+               **params: Any) -> InterfaceObject:
+        """Instantiate a class, specialization or template by name."""
+        if type_name in self._classes:
+            return self._classes[type_name](name, **params)
+        if type_name in self._specializations:
+            spec = self._specializations[type_name]
+            merged = {**spec.props, **params}
+            widget = self.create(spec.base, name, **merged)
+            widget.set_property("library_type", type_name)
+            return widget
+        if type_name in self._templates:
+            return self._instantiate_template(self._templates[type_name], name, params)
+        raise UnknownWidgetError(
+            f"unknown widget {type_name!r}; library has: {self.names()}"
+        )
+
+    def _instantiate_template(self, template: WidgetTemplate, name: str | None,
+                              params: dict[str, Any]) -> InterfaceObject:
+        values = {**template.defaults, **params}
+
+        def substitute(value: Any) -> Any:
+            if isinstance(value, str) and value.startswith("$"):
+                key = value[1:]
+                if key not in values:
+                    raise WidgetError(
+                        f"template {template.name!r} needs parameter {key!r}"
+                    )
+                return values[key]
+            return value
+
+        def build(node: dict[str, Any], override_name: str | None) -> InterfaceObject:
+            props = {k: substitute(v) for k, v in node.get("props", {}).items()}
+            node_name = override_name or node.get("name")
+            if isinstance(node_name, str) and node_name.startswith("$"):
+                node_name = substitute(node_name)
+            widget = self.create(node["type"], node_name, **props)
+            for child in node.get("children", ()):
+                widget.add_child(build(child, None))
+            return widget
+
+        root = build(copy.deepcopy(template.spec), name)
+        root.set_property("library_type", template.name)
+        return root
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def load_from_catalog(self) -> int:
+        """Reload specializations and templates persisted in the database."""
+        if self.catalog is None:
+            raise WidgetError("library was built without a catalog")
+        loaded = 0
+        for name, doc in self.catalog.documents(KIND_WIDGET):
+            if self.has(name):
+                continue
+            if doc.get("kind") == "specialization":
+                self._specializations[name] = Specialization.from_description(doc)
+            elif doc.get("kind") == "template":
+                self._templates[name] = WidgetTemplate.from_description(doc)
+            else:
+                raise WidgetError(f"catalog widget {name!r} has unknown kind")
+            loaded += 1
+        return loaded

@@ -1,0 +1,41 @@
+"""Synthetic workload generators for the examples, tests and benchmarks."""
+
+from .phone_net import (
+    PhoneNetParams,
+    build_phone_net_database,
+    build_phone_net_schema,
+    populate_phone_net,
+    register_pole_methods,
+)
+from .environment import (
+    build_environment_database,
+    build_environment_schema,
+    populate_environment,
+    register_environment_methods,
+)
+from .generators import (
+    clustered_points,
+    pan_zoom_walk,
+    random_boxes,
+    random_convex_polygon,
+    random_points,
+    random_walk_line,
+)
+
+__all__ = [
+    "PhoneNetParams",
+    "build_phone_net_schema",
+    "build_phone_net_database",
+    "populate_phone_net",
+    "register_pole_methods",
+    "build_environment_schema",
+    "build_environment_database",
+    "populate_environment",
+    "register_environment_methods",
+    "random_points",
+    "clustered_points",
+    "random_boxes",
+    "random_walk_line",
+    "random_convex_polygon",
+    "pan_zoom_walk",
+]

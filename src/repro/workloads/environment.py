@@ -1,0 +1,145 @@
+"""Environmental-control workload.
+
+The paper's introduction motivates GIS with "vegetation and road networks"
+and applications "from public utilities management to environmental
+control" (§1). This generator builds a land-management schema — vegetation
+parcels, rivers, roads, monitoring stations — exercising polygon and
+multi-geometry display paths the phone-net workload does not.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geodb.database import GeographicDatabase
+from ..geodb.schema import Attribute, GeoClass, Method, Schema
+from ..geodb.types import FLOAT, INTEGER, TEXT, GeometryType
+from ..spatial.geometry import LineString, Point, Polygon
+
+VEGETATION_KINDS = ("forest", "cerrado", "wetland", "pasture", "crops")
+
+
+def build_environment_schema() -> Schema:
+    schema = Schema("land_use", doc="environmental control (vegetation, "
+                                    "hydrology, roads, monitoring)")
+    schema.add_class(GeoClass(
+        "VegetationParcel",
+        attributes=[
+            Attribute("cover_kind", TEXT, required=True),
+            Attribute("parcel_area", GeometryType("polygon"), required=True),
+            Attribute("canopy_pct", FLOAT),
+            Attribute("survey_year", INTEGER),
+        ],
+        methods=[Method("area_hectares", [],
+                        doc="polygon area converted to hectares")],
+        doc="vegetation cover parcels",
+    ))
+    schema.add_class(GeoClass(
+        "River",
+        attributes=[
+            Attribute("river_name", TEXT, required=True),
+            Attribute("course", GeometryType("linestring"), required=True),
+            Attribute("flow_m3s", FLOAT),
+        ],
+        doc="river courses",
+    ))
+    schema.add_class(GeoClass(
+        "Road",
+        attributes=[
+            Attribute("road_code", TEXT, required=True),
+            Attribute("path", GeometryType("linestring"), required=True),
+            Attribute("paved", INTEGER),
+        ],
+        doc="road network",
+    ))
+    schema.add_class(GeoClass(
+        "Station",
+        attributes=[
+            Attribute("station_code", TEXT, required=True),
+            Attribute("position", GeometryType("point"), required=True),
+            Attribute("last_reading", FLOAT),
+        ],
+        doc="environmental monitoring stations",
+    ))
+    return schema
+
+
+def register_environment_methods(db: GeographicDatabase,
+                                 schema_name: str = "land_use") -> None:
+    def area_hectares(database, obj):
+        geom = obj.geometry("parcel_area")
+        return round(geom.area() / 10_000.0, 2) if geom is not None else 0.0
+
+    db.register_method(schema_name, "VegetationParcel", "area_hectares",
+                       area_hectares)
+
+
+def _blob_polygon(rng: random.Random, cx: float, cy: float,
+                  radius: float) -> Polygon:
+    """An irregular convex-ish blob around a center."""
+    points = []
+    sides = rng.randint(6, 10)
+    for i in range(sides):
+        angle = 2.0 * math.pi * i / sides
+        r = radius * rng.uniform(0.6, 1.0)
+        points.append((cx + r * math.cos(angle), cy + r * math.sin(angle)))
+    return Polygon(points)
+
+
+def populate_environment(db: GeographicDatabase, parcels: int = 20,
+                         rivers: int = 3, roads: int = 4, stations: int = 8,
+                         extent: float = 10_000.0, seed: int = 42,
+                         schema_name: str = "land_use") -> dict[str, int]:
+    rng = random.Random(seed)
+    with db.transaction() as txn:
+        for p in range(parcels):
+            cx, cy = rng.uniform(0, extent), rng.uniform(0, extent)
+            txn.insert(schema_name, "VegetationParcel", {
+                "cover_kind": rng.choice(VEGETATION_KINDS),
+                "parcel_area": _blob_polygon(rng, cx, cy,
+                                             rng.uniform(200, 900)),
+                "canopy_pct": round(rng.uniform(5, 95), 1),
+                "survey_year": rng.randint(1990, 1996),
+            })
+        for r in range(rivers):
+            y = rng.uniform(0.2, 0.8) * extent
+            coords = []
+            for step in range(12):
+                x = step / 11 * extent
+                coords.append((x, y + 400 * math.sin(step / 2.0 + r)))
+            txn.insert(schema_name, "River", {
+                "river_name": f"Rio {chr(ord('A') + r)}",
+                "course": LineString(coords),
+                "flow_m3s": round(rng.uniform(5, 120), 1),
+            })
+        for r in range(roads):
+            x = (r + 1) / (roads + 1) * extent
+            txn.insert(schema_name, "Road", {
+                "road_code": f"SP-{100 + r}",
+                "path": LineString([(x, 0), (x + rng.uniform(-800, 800),
+                                             extent)]),
+                "paved": rng.randint(0, 1),
+            })
+        for s in range(stations):
+            txn.insert(schema_name, "Station", {
+                "station_code": f"EST-{s:03d}",
+                "position": Point(rng.uniform(0, extent),
+                                  rng.uniform(0, extent)),
+                "last_reading": round(rng.uniform(0, 50), 2),
+            })
+    return {
+        "VegetationParcel": db.count(schema_name, "VegetationParcel"),
+        "River": db.count(schema_name, "River"),
+        "Road": db.count(schema_name, "Road"),
+        "Station": db.count(schema_name, "Station"),
+    }
+
+
+def build_environment_database(name: str = "ENV", **params
+                               ) -> GeographicDatabase:
+    db = GeographicDatabase(name)
+    db.register_schema(build_environment_schema())
+    register_environment_methods(db)
+    populate_environment(db, **params)
+    return db

@@ -1,0 +1,110 @@
+"""Low-level random generators for geometry- and scale-sweeping benchmarks."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+from ..spatial.geometry import BBox, LineString, Point, Polygon
+
+
+def random_points(count: int, extent: BBox, seed: int = 0) -> list[Point]:
+    rng = random.Random(seed)
+    return [
+        Point(rng.uniform(extent.min_x, extent.max_x),
+              rng.uniform(extent.min_y, extent.max_y))
+        for __ in range(count)
+    ]
+
+
+def clustered_points(count: int, extent: BBox, clusters: int = 8,
+                     spread: float = 0.03, seed: int = 0) -> list[Point]:
+    """Points around random cluster centers — realistic urban pole layouts."""
+    rng = random.Random(seed)
+    centers = [
+        (rng.uniform(extent.min_x, extent.max_x),
+         rng.uniform(extent.min_y, extent.max_y))
+        for __ in range(max(1, clusters))
+    ]
+    sigma = spread * max(extent.width, extent.height)
+    out = []
+    for __ in range(count):
+        cx, cy = rng.choice(centers)
+        x = min(max(rng.gauss(cx, sigma), extent.min_x), extent.max_x)
+        y = min(max(rng.gauss(cy, sigma), extent.min_y), extent.max_y)
+        out.append(Point(x, y))
+    return out
+
+
+def random_boxes(count: int, extent: BBox, max_size_fraction: float = 0.02,
+                 seed: int = 0) -> list[BBox]:
+    rng = random.Random(seed)
+    out = []
+    for __ in range(count):
+        w = rng.uniform(0.0, max_size_fraction) * extent.width
+        h = rng.uniform(0.0, max_size_fraction) * extent.height
+        x = rng.uniform(extent.min_x, extent.max_x - w)
+        y = rng.uniform(extent.min_y, extent.max_y - h)
+        out.append(BBox(x, y, x + w, y + h))
+    return out
+
+
+def random_walk_line(steps: int, extent: BBox, step_size: float,
+                     seed: int = 0) -> LineString:
+    rng = random.Random(seed)
+    x = rng.uniform(extent.min_x, extent.max_x)
+    y = rng.uniform(extent.min_y, extent.max_y)
+    coords = [(x, y)]
+    heading = rng.uniform(0, 2 * math.pi)
+    for __ in range(max(1, steps)):
+        heading += rng.uniform(-0.8, 0.8)
+        x = min(max(x + step_size * math.cos(heading), extent.min_x),
+                extent.max_x)
+        y = min(max(y + step_size * math.sin(heading), extent.min_y),
+                extent.max_y)
+        coords.append((x, y))
+    return LineString(coords)
+
+
+def random_convex_polygon(center: tuple[float, float], radius: float,
+                          sides: int = 8, seed: int = 0) -> Polygon:
+    rng = random.Random(seed)
+    cx, cy = center
+    angles = sorted(rng.uniform(0, 2 * math.pi) for __ in range(max(3, sides)))
+    coords = [
+        (cx + radius * rng.uniform(0.5, 1.0) * math.cos(a),
+         cy + radius * rng.uniform(0.5, 1.0) * math.sin(a))
+        for a in angles
+    ]
+    return Polygon(coords)
+
+
+def pan_zoom_walk(extent: BBox, window_fraction: float, steps: int,
+                  seed: int = 0) -> Iterator[BBox]:
+    """A map-browsing query trace: mostly small pans, occasional zooms.
+
+    The locality of this trace is what makes the buffer manager pay off
+    (experiment C4).
+    """
+    rng = random.Random(seed)
+    w = extent.width * window_fraction
+    h = extent.height * window_fraction
+    cx, cy = extent.center()
+    for __ in range(steps):
+        roll = rng.random()
+        if roll < 0.70:          # pan by up to half a window
+            cx += rng.uniform(-0.5, 0.5) * w
+            cy += rng.uniform(-0.5, 0.5) * h
+        elif roll < 0.85:        # zoom in
+            w *= 0.5
+            h *= 0.5
+        elif roll < 0.95:        # zoom out
+            w = min(w * 2.0, extent.width)
+            h = min(h * 2.0, extent.height)
+        else:                    # jump elsewhere
+            cx = rng.uniform(extent.min_x, extent.max_x)
+            cy = rng.uniform(extent.min_y, extent.max_y)
+        cx = min(max(cx, extent.min_x + w / 2), extent.max_x - w / 2)
+        cy = min(max(cy, extent.min_y + h / 2), extent.max_y - h / 2)
+        yield BBox(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2)

@@ -1,0 +1,289 @@
+"""The §4 telephone-utility workload.
+
+"A telephone network contains aerial and underground network elements,
+such as ducts and poles. Network planning and maintenance demand an
+exploratory interface interaction. Consider a geographic database which
+stores maps representing the elements of the network."
+
+This module builds the ``phone_net`` schema — including the exact class
+``Pole`` of paper Figure 5 — and populates it with a seeded synthetic
+network: a street grid, poles along streets, underground ducts, cables
+hung between poles, and supplier records. The generator parameters are
+explicit so experiments can scale the dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..geodb.database import GeographicDatabase
+from ..geodb.schema import Attribute, GeoClass, Method, Schema
+from ..geodb.types import (
+    BITMAP,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    GeometryType,
+    ReferenceType,
+    TupleType,
+)
+from ..spatial.geometry import LineString, Point, Polygon
+
+#: Materials poles are made of, with plausible diameter/height ranges.
+POLE_MATERIALS = {
+    "wood": (0.2, 0.35, 8.0, 11.0),
+    "concrete": (0.3, 0.5, 9.0, 14.0),
+    "steel": (0.15, 0.3, 10.0, 16.0),
+}
+
+SUPPLIER_NAMES = (
+    "Postes Campinas", "ConcrePar", "AceroSul", "MadeiraBras", "TelePostes",
+)
+
+
+def build_phone_net_schema() -> Schema:
+    """The ``phone_net`` schema; class ``Pole`` matches paper Figure 5."""
+    schema = Schema("phone_net", doc="urban telephone utility network (§4)")
+
+    schema.add_class(GeoClass(
+        "Supplier",
+        attributes=[
+            Attribute("name", TEXT, required=True),
+            Attribute("city", TEXT),
+            Attribute("rating", INTEGER),
+        ],
+        doc="equipment suppliers",
+    ))
+
+    schema.add_class(GeoClass(
+        "District",
+        attributes=[
+            Attribute("district_name", TEXT, required=True),
+            Attribute("boundary", GeometryType("polygon"), required=True),
+            Attribute("population", INTEGER),
+        ],
+        doc="administrative service districts",
+    ))
+
+    schema.add_class(GeoClass(
+        "Street",
+        attributes=[
+            Attribute("street_name", TEXT, required=True),
+            Attribute("axis", GeometryType("linestring"), required=True),
+            Attribute("street_kind", TEXT),
+        ],
+        doc="street center lines",
+    ))
+
+    # Abstract base for network elements: demonstrates inheritance.
+    schema.add_class(GeoClass(
+        "NetworkElement",
+        attributes=[
+            Attribute("install_year", INTEGER),
+            Attribute("status", TEXT),
+        ],
+        doc="base class of every physical network element",
+    ))
+
+    # Class Pole, exactly as paper Figure 5 (plus the inherited base).
+    schema.add_class(GeoClass(
+        "Pole",
+        superclass="NetworkElement",
+        attributes=[
+            Attribute("pole_type", INTEGER),
+            Attribute("pole_composition", TupleType({
+                "pole_material": TEXT,
+                "pole_diameter": FLOAT,
+                "pole_height": FLOAT,
+            })),
+            Attribute("pole_supplier", ReferenceType("Supplier")),
+            Attribute("pole_location", GeometryType("point"), required=True),
+            Attribute("pole_picture", BITMAP),
+            Attribute("pole_historic", TEXT),
+        ],
+        methods=[Method("get_supplier_name", ["Supplier"],
+                        doc="name of the referenced supplier")],
+        doc="aerial network support poles (paper Figure 5)",
+    ))
+
+    schema.add_class(GeoClass(
+        "Duct",
+        superclass="NetworkElement",
+        attributes=[
+            Attribute("duct_path", GeometryType("linestring"), required=True),
+            Attribute("duct_depth", FLOAT),
+            Attribute("duct_material", TEXT),
+        ],
+        doc="underground cable ducts",
+    ))
+
+    schema.add_class(GeoClass(
+        "Cable",
+        superclass="NetworkElement",
+        attributes=[
+            Attribute("cable_route", GeometryType("linestring"), required=True),
+            Attribute("pair_count", INTEGER),
+            Attribute("from_pole", ReferenceType("Pole")),
+            Attribute("to_pole", ReferenceType("Pole")),
+        ],
+        doc="aerial cables strung between poles",
+    ))
+    return schema
+
+
+def register_pole_methods(db: GeographicDatabase,
+                          schema_name: str = "phone_net") -> None:
+    """Attach the Figure 5 method implementation."""
+
+    def get_supplier_name(database, obj, supplier_ref=None):
+        oid = supplier_ref if isinstance(supplier_ref, str) and "#" in str(
+            supplier_ref
+        ) else obj.get("pole_supplier")
+        if oid is None:
+            return "(no supplier)"
+        supplier = database.find_object(oid)
+        return supplier.get("name") if supplier is not None else "(missing)"
+
+    db.register_method(schema_name, "Pole", "get_supplier_name",
+                       get_supplier_name)
+
+
+@dataclass(frozen=True)
+class PhoneNetParams:
+    """Generator knobs (defaults give the small §4-scale network)."""
+
+    blocks_x: int = 4
+    blocks_y: int = 3
+    block_size: float = 120.0
+    poles_per_street: int = 4
+    duct_count: int = 6
+    cable_fraction: float = 0.6
+    seed: int = 1997
+
+    @property
+    def extent(self) -> tuple[float, float]:
+        return (self.blocks_x * self.block_size,
+                self.blocks_y * self.block_size)
+
+
+def populate_phone_net(db: GeographicDatabase,
+                       params: PhoneNetParams = PhoneNetParams(),
+                       schema_name: str = "phone_net") -> dict[str, int]:
+    """Populate a (already schema-registered) database; returns counts."""
+    rng = random.Random(params.seed)
+    width, height = params.extent
+
+    with db.transaction() as txn:
+        supplier_oids = [
+            txn.insert(schema_name, "Supplier", {
+                "name": name,
+                "city": rng.choice(["Campinas", "Tandil", "Sao Paulo"]),
+                "rating": rng.randint(1, 5),
+            })
+            for name in SUPPLIER_NAMES
+        ]
+
+        txn.insert(schema_name, "District", {
+            "district_name": "Centro",
+            "boundary": Polygon([(0, 0), (width, 0), (width, height),
+                                 (0, height)]),
+            "population": rng.randint(20_000, 80_000),
+        })
+
+        street_axes: list[LineString] = []
+        for i in range(params.blocks_x + 1):
+            x = i * params.block_size
+            axis = LineString([(x, 0), (x, height)])
+            street_axes.append(axis)
+            txn.insert(schema_name, "Street", {
+                "street_name": f"Rua {i + 1}",
+                "axis": axis,
+                "street_kind": "avenue" if i % 2 == 0 else "street",
+            })
+        for j in range(params.blocks_y + 1):
+            y = j * params.block_size
+            axis = LineString([(0, y), (width, y)])
+            street_axes.append(axis)
+            txn.insert(schema_name, "Street", {
+                "street_name": f"Travessa {j + 1}",
+                "axis": axis,
+                "street_kind": "street",
+            })
+
+        pole_oids: list[str] = []
+        pole_points: list[Point] = []
+        for axis in street_axes:
+            for k in range(params.poles_per_street):
+                fraction = (k + 0.5) / params.poles_per_street
+                anchor = axis.interpolate(fraction)
+                jitter_x = rng.uniform(-2.0, 2.0)
+                jitter_y = rng.uniform(-2.0, 2.0)
+                location = Point(
+                    min(max(anchor.x + jitter_x, 0.0), width),
+                    min(max(anchor.y + jitter_y, 0.0), height),
+                )
+                material = rng.choice(list(POLE_MATERIALS))
+                d_lo, d_hi, h_lo, h_hi = POLE_MATERIALS[material]
+                oid = txn.insert(schema_name, "Pole", {
+                    "pole_type": rng.randint(0, 3),
+                    "pole_composition": {
+                        "pole_material": material,
+                        "pole_diameter": round(rng.uniform(d_lo, d_hi), 2),
+                        "pole_height": round(rng.uniform(h_lo, h_hi), 1),
+                    },
+                    "pole_supplier": rng.choice(supplier_oids),
+                    "pole_location": location,
+                    "pole_picture": bytes(rng.getrandbits(8)
+                                          for __ in range(64)),
+                    "pole_historic": f"installed {rng.randint(1970, 1996)}",
+                    "install_year": rng.randint(1970, 1996),
+                    "status": rng.choice(["ok", "maintenance", "ok", "ok"]),
+                })
+                pole_oids.append(oid)
+                pole_points.append(location)
+
+        for d in range(params.duct_count):
+            y = rng.uniform(0.1, 0.9) * height
+            x0 = rng.uniform(0.0, 0.3) * width
+            x1 = rng.uniform(0.6, 1.0) * width
+            txn.insert(schema_name, "Duct", {
+                "duct_path": LineString([(x0, y), ((x0 + x1) / 2, y + 5.0),
+                                         (x1, y)]),
+                "duct_depth": round(rng.uniform(0.6, 1.5), 2),
+                "duct_material": rng.choice(["pvc", "concrete"]),
+                "install_year": rng.randint(1980, 1996),
+                "status": "ok",
+            })
+
+        cable_count = int(len(pole_oids) * params.cable_fraction)
+        for c in range(cable_count):
+            i = rng.randrange(len(pole_oids) - 1)
+            a, b = pole_points[i], pole_points[i + 1]
+            txn.insert(schema_name, "Cable", {
+                "cable_route": LineString([(a.x, a.y), (b.x, b.y)]),
+                "pair_count": rng.choice([10, 20, 50, 100]),
+                "from_pole": pole_oids[i],
+                "to_pole": pole_oids[i + 1],
+                "install_year": rng.randint(1980, 1996),
+                "status": "ok",
+            })
+
+    return {
+        "Supplier": db.count(schema_name, "Supplier"),
+        "District": db.count(schema_name, "District"),
+        "Street": db.count(schema_name, "Street"),
+        "Pole": db.count(schema_name, "Pole"),
+        "Duct": db.count(schema_name, "Duct"),
+        "Cable": db.count(schema_name, "Cable"),
+    }
+
+
+def build_phone_net_database(params: PhoneNetParams = PhoneNetParams(),
+                             name: str = "GEO") -> GeographicDatabase:
+    """Create, register, populate and wire a ready-to-browse database."""
+    db = GeographicDatabase(name)
+    db.register_schema(build_phone_net_schema())
+    register_pole_methods(db)
+    populate_phone_net(db, params)
+    return db

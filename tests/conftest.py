@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GISSession
+from repro.workloads import PhoneNetParams, build_phone_net_database
+
+
+@pytest.fixture()
+def phone_db():
+    """A small, freshly populated phone-net database."""
+    return build_phone_net_database(PhoneNetParams(blocks_x=2, blocks_y=2,
+                                                   poles_per_street=3,
+                                                   duct_count=3, seed=11))
+
+
+@pytest.fixture()
+def pole_oid(phone_db):
+    return phone_db.extent("phone_net", "Pole").oids()[0]
+
+
+@pytest.fixture()
+def generic_session(phone_db):
+    return GISSession(phone_db, user="ana", application="browser")
+
+
+@pytest.fixture()
+def juliano_session(phone_db):
+    return GISSession(phone_db, user="juliano", application="pole_manager")

@@ -1,0 +1,202 @@
+"""Unit tests for the computational-geometry algorithms."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.spatial import (
+    BBox,
+    LineString,
+    Point,
+    Polygon,
+    buffer_line,
+    buffer_point,
+    convex_hull,
+    densify_line,
+    geometry_distance,
+    line_clip_bbox,
+    polygon_clip_bbox,
+    segments_intersect,
+    simplify_line,
+)
+from repro.spatial.algorithms import (
+    orientation,
+    point_segment_distance,
+    segment_intersection_point,
+    segment_segment_distance,
+)
+
+
+class TestOrientation:
+    def test_turns(self):
+        assert orientation((0, 0), (1, 0), (1, 1)) == 1    # ccw
+        assert orientation((0, 0), (1, 0), (1, -1)) == -1  # cw
+        assert orientation((0, 0), (1, 0), (2, 0)) == 0    # collinear
+
+
+class TestSegmentIntersection:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_touching_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (5, 0), (3, 0), (8, 0))
+
+    def test_collinear_separated(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_intersection_point(self):
+        pt = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert pt == pytest.approx((1.0, 1.0))
+        assert segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1)) is None
+        # parallel/collinear returns None
+        assert segment_intersection_point((0, 0), (1, 0), (2, 0), (3, 0)) is None
+
+
+class TestDistances:
+    def test_point_segment(self):
+        assert point_segment_distance((0, 5), (0, 0), (10, 0)) == 5.0
+        assert point_segment_distance((-3, 4), (0, 0), (10, 0)) == 5.0
+        assert point_segment_distance((5, 0), (0, 0), (10, 0)) == 0.0
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance((3, 4), (0, 0), (0, 0)) == 5.0
+
+    def test_segment_segment(self):
+        assert segment_segment_distance((0, 0), (1, 0), (0, 1), (1, 1)) == 1.0
+        assert segment_segment_distance((0, 0), (2, 2), (0, 2), (2, 0)) == 0.0
+
+    def test_geometry_distance_point_polygon(self):
+        poly = Polygon.from_bbox(BBox(0, 0, 10, 10))
+        assert geometry_distance(Point(5, 5), poly) == 0.0
+        assert geometry_distance(Point(13, 0), poly) == pytest.approx(3.0)
+
+    def test_geometry_distance_line_line(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(0, 3), (10, 3)])
+        assert geometry_distance(a, b) == pytest.approx(3.0)
+
+    def test_geometry_distance_symmetric(self):
+        a = Point(0, 0)
+        b = LineString([(5, 0), (5, 10)])
+        assert geometry_distance(a, b) == geometry_distance(b, a) == 5.0
+
+    def test_point_inside_polygon_distance_zero_both_ways(self):
+        poly = Polygon.from_bbox(BBox(0, 0, 10, 10))
+        assert geometry_distance(poly, Point(5, 5)) == 0.0
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = [(0, 0), (10, 0), (10, 10), (0, 10), (5, 5), (3, 7)]
+        hull = convex_hull(pts)
+        assert set(hull) == {(0, 0), (10, 0), (10, 10), (0, 10)}
+
+    def test_hull_is_ccw(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)])
+        ring_area = sum(
+            hull[i][0] * hull[(i + 1) % len(hull)][1]
+            - hull[(i + 1) % len(hull)][0] * hull[i][1]
+            for i in range(len(hull))
+        ) / 2.0
+        assert ring_area > 0
+
+    def test_degenerate_inputs(self):
+        assert convex_hull([(1, 1)]) == [(1.0, 1.0)]
+        assert convex_hull([(0, 0), (1, 1), (2, 2)]) == [
+            (0.0, 0.0), (1.0, 1.0), (2.0, 2.0)
+        ]
+        assert convex_hull([(1, 1), (1, 1)]) == [(1.0, 1.0)]
+
+
+class TestSimplify:
+    def test_collinear_collapse(self):
+        coords = [(0, 0), (1, 0.001), (2, -0.001), (10, 0)]
+        assert simplify_line(coords, tolerance=0.1) == [(0, 0), (10, 0)]
+
+    def test_keeps_significant_vertices(self):
+        coords = [(0, 0), (5, 5), (10, 0)]
+        assert simplify_line(coords, tolerance=0.1) == coords
+
+    def test_endpoints_always_kept(self):
+        coords = [(0, 0), (1, 100), (2, 0)]
+        out = simplify_line(coords, tolerance=1000)
+        assert out[0] == (0, 0) and out[-1] == (2, 0)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(GeometryError):
+            simplify_line([(0, 0), (1, 1)], -1)
+
+
+class TestDensify:
+    def test_max_segment_respected(self):
+        out = densify_line([(0, 0), (10, 0)], max_segment=3)
+        assert len(out) >= 4
+        for (ax, ay), (bx, by) in zip(out, out[1:]):
+            assert math.hypot(bx - ax, by - ay) <= 3.0 + 1e-9
+
+    def test_endpoints_preserved(self):
+        out = densify_line([(0, 0), (7, 0), (7, 7)], max_segment=2)
+        assert out[0] == (0, 0) and out[-1] == (7, 7)
+
+    def test_zero_rejected(self):
+        with pytest.raises(GeometryError):
+            densify_line([(0, 0), (1, 0)], 0)
+
+
+class TestBuffers:
+    def test_buffer_point_contains_center(self):
+        disc = buffer_point(Point(5, 5), 2.0, sides=16)
+        assert disc.contains_point(5, 5)
+        assert disc.area() == pytest.approx(math.pi * 4, rel=0.1)
+
+    def test_buffer_line_covers_corridor(self):
+        corridor = buffer_line(LineString([(0, 0), (10, 0)]), 2.0)
+        assert corridor.contains_point(5, 1.5)
+        assert corridor.contains_point(0, 0)
+        assert not corridor.contains_point(5, 5)
+
+    def test_buffer_radius_positive(self):
+        with pytest.raises(GeometryError):
+            buffer_line(LineString([(0, 0), (1, 0)]), 0)
+
+
+class TestClipping:
+    def test_polygon_fully_inside(self):
+        poly = Polygon.from_bbox(BBox(2, 2, 4, 4))
+        clipped = polygon_clip_bbox(poly, BBox(0, 0, 10, 10))
+        assert clipped is not None
+        assert clipped.area() == pytest.approx(4.0)
+
+    def test_polygon_partially_clipped(self):
+        poly = Polygon.from_bbox(BBox(-5, -5, 5, 5))
+        clipped = polygon_clip_bbox(poly, BBox(0, 0, 10, 10))
+        assert clipped is not None
+        assert clipped.area() == pytest.approx(25.0)
+
+    def test_polygon_outside(self):
+        poly = Polygon.from_bbox(BBox(20, 20, 30, 30))
+        assert polygon_clip_bbox(poly, BBox(0, 0, 10, 10)) is None
+
+    def test_line_clip_passthrough(self):
+        line = LineString([(-5, 5), (15, 5)])
+        pieces = line_clip_bbox(line, BBox(0, 0, 10, 10))
+        assert len(pieces) == 1
+        assert pieces[0].coords[0] == (0.0, 5.0)
+        assert pieces[0].coords[-1] == (10.0, 5.0)
+
+    def test_line_clip_multiple_pieces(self):
+        # zig-zag leaving and re-entering the window
+        line = LineString([(1, 1), (1, 15), (5, 15), (5, 1), (9, 1), (9, 15)])
+        pieces = line_clip_bbox(line, BBox(0, 0, 10, 10))
+        assert len(pieces) >= 2
+
+    def test_line_clip_outside(self):
+        assert line_clip_bbox(LineString([(20, 20), (30, 30)]),
+                              BBox(0, 0, 10, 10)) == []

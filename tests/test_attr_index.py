@@ -1,0 +1,152 @@
+"""Unit tests for attribute hash indexes and the hash-scan plan."""
+
+import pytest
+
+from repro.errors import IndexError_, SchemaError
+from repro.geodb import Comparison, HashIndex, Query, QueryEngine, run_query
+from repro.spatial import Point
+
+
+class TestHashIndex:
+    def test_insert_lookup_delete(self):
+        index = HashIndex("kind")
+        index.insert("wood", "P#1")
+        index.insert("wood", "P#2")
+        index.insert("steel", "P#3")
+        assert index.lookup("wood") == {"P#1", "P#2"}
+        assert index.lookup_many(["wood", "steel"]) == {"P#1", "P#2", "P#3"}
+        assert len(index) == 3
+        assert index.distinct_values() == 2
+        index.delete("wood", "P#1")
+        assert index.lookup("wood") == {"P#2"}
+
+    def test_duplicate_insert_rejected(self):
+        index = HashIndex("kind")
+        index.insert("wood", "P#1")
+        with pytest.raises(IndexError_):
+            index.insert("wood", "P#1")
+
+    def test_delete_missing_rejected(self):
+        index = HashIndex("kind")
+        with pytest.raises(IndexError_):
+            index.delete("wood", "P#1")
+
+    def test_unindexable_values_ignored(self):
+        index = HashIndex("kind")
+        index.insert(None, "P#1")
+        index.insert({"not": "hashable-scalar"}, "P#2")
+        assert len(index) == 0
+        index.delete(None, "P#1")   # symmetric no-op
+
+    def test_stats(self):
+        index = HashIndex("kind")
+        index.insert("a", "1")
+        index.insert("a", "2")
+        stats = index.stats()
+        assert stats == {"attr": "kind", "entries": 2,
+                         "distinct_values": 1, "max_bucket": 2}
+
+
+class TestDatabaseIntegration:
+    def test_create_indexes_existing_extent(self, phone_db):
+        index = phone_db.create_attribute_index("phone_net", "Pole",
+                                                "pole_type")
+        assert len(index) == phone_db.count("phone_net", "Pole")
+        # idempotent
+        assert phone_db.create_attribute_index(
+            "phone_net", "Pole", "pole_type") is index
+
+    def test_spatial_attribute_rejected(self, phone_db):
+        with pytest.raises(SchemaError):
+            phone_db.create_attribute_index("phone_net", "Pole",
+                                            "pole_location")
+
+    def test_unknown_attribute_rejected(self, phone_db):
+        with pytest.raises(SchemaError):
+            phone_db.create_attribute_index("phone_net", "Pole", "ghost")
+
+    def test_maintenance_on_commit(self, phone_db):
+        index = phone_db.create_attribute_index("phone_net", "Pole",
+                                                "pole_type")
+        oid = phone_db.insert("phone_net", "Pole",
+                              {"pole_location": Point(1, 1),
+                               "pole_type": 99})
+        assert oid in index.lookup(99)
+        phone_db.update(oid, {"pole_type": 98})
+        assert oid not in index.lookup(99)
+        assert oid in index.lookup(98)
+        phone_db.delete(oid)
+        assert index.lookup(98) == set()
+
+    def test_drop(self, phone_db):
+        phone_db.create_attribute_index("phone_net", "Pole", "pole_type")
+        phone_db.drop_attribute_index("phone_net", "Pole", "pole_type")
+        assert phone_db.attribute_index("phone_net", "Pole",
+                                        "pole_type") is None
+        with pytest.raises(SchemaError):
+            phone_db.drop_attribute_index("phone_net", "Pole", "pole_type")
+
+
+class TestPlanner:
+    def test_hash_scan_plan_chosen(self, phone_db):
+        phone_db.create_attribute_index("phone_net", "Pole", "pole_type")
+        engine = QueryEngine(phone_db)
+        result = engine.execute("phone_net", Query(
+            "Pole", where=Comparison("pole_type", "=", 1)))
+        assert result.report["plan"] == "hash-scan"
+        full = engine.execute("phone_net", Query("Pole"))
+        expected = [o.oid for o in full.objects if o.get("pole_type") == 1]
+        assert sorted(result.oids()) == sorted(expected)
+
+    def test_in_predicate_uses_index(self, phone_db):
+        phone_db.create_attribute_index("phone_net", "Pole", "pole_type")
+        result = run_query(phone_db, "phone_net",
+                           "select * from Pole where pole_type in [0, 1]")
+        assert result.report["plan"] == "hash-scan"
+        assert all(o.get("pole_type") in (0, 1) for o in result.objects)
+
+    def test_conjunction_pushes_equality(self, phone_db):
+        phone_db.create_attribute_index("phone_net", "Pole", "pole_type")
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where pole_type = 1 and install_year > 0")
+        assert result.report["plan"] == "hash-scan"
+        assert result.report["candidates"] <= phone_db.count("phone_net",
+                                                             "Pole")
+
+    def test_spatial_prefilter_takes_priority(self, phone_db):
+        phone_db.create_attribute_index("phone_net", "Pole", "pole_type")
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where pole_type = 1 and "
+            "within(pole_location, bbox(-1, -1, 500, 500))")
+        assert result.report["plan"] == "index-scan"
+
+    def test_no_index_falls_back_to_scan(self, phone_db):
+        result = run_query(phone_db, "phone_net",
+                           "select * from Pole where pole_type = 1")
+        assert result.report["plan"] == "full-scan"
+
+    def test_dotted_paths_never_use_hash(self, phone_db):
+        phone_db.create_attribute_index("phone_net", "Pole", "pole_type")
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where "
+            "pole_composition.pole_material = 'wood'")
+        assert result.report["plan"] == "full-scan"
+
+    def test_or_never_uses_hash(self, phone_db):
+        phone_db.create_attribute_index("phone_net", "Pole", "pole_type")
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where pole_type = 1 or install_year > 0")
+        assert result.report["plan"] == "full-scan"
+
+    def test_subclass_query_requires_all_indexed(self, phone_db):
+        # NetworkElement subclasses: Pole, Duct, Cable. Index only Pole.
+        phone_db.create_attribute_index("phone_net", "Pole", "status")
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from NetworkElement where status = 'ok' "
+            "including subclasses")
+        assert result.report["plan"] == "full-scan"   # partial → no hash

@@ -1,0 +1,97 @@
+"""Unit tests for the hardwired-dispatcher baseline.
+
+The baseline must be *behaviorally equivalent* to the generic dispatcher
+for the §4 scenario (so benchmark C3 compares fairly) while being
+structurally what the paper criticizes: separate code per window kind and
+compiled-in customization.
+"""
+
+import pytest
+
+from repro.baselines import HardwiredDispatcher, install_pole_manager_variants
+from repro.core import Context, GISSession
+from repro.errors import DispatchError
+from repro.lang import FIGURE_6_PROGRAM
+from repro.ui import displayed_attribute_names, summarize_window
+
+JULIANO = Context(user="juliano", application="pole_manager")
+OTHER = Context(user="maria", application="browse")
+
+
+@pytest.fixture()
+def hardwired(phone_db):
+    dispatcher = HardwiredDispatcher(phone_db)
+    install_pole_manager_variants(dispatcher)
+    return dispatcher
+
+
+class TestGenericPath:
+    def test_default_windows_match_generic_dispatcher(self, phone_db,
+                                                      hardwired, pole_oid):
+        session = GISSession(phone_db, user="maria", application="browse")
+        session.connect("phone_net")
+        session.select_class("Pole")
+        session.select_instance(pole_oid)
+
+        hardwired.open_schema("phone_net", OTHER)
+        hardwired.open_class("phone_net", "Pole", OTHER)
+        hardwired.open_instance(pole_oid, OTHER)
+
+        for name in ("schema_phone_net", "classset_Pole",
+                     f"instance_{pole_oid}"):
+            generic = summarize_window(session.screen.window(name))
+            conventional = summarize_window(hardwired.screen.window(name))
+            assert generic.widget_types == conventional.widget_types, name
+            assert generic.listed_items == conventional.listed_items, name
+            assert generic.feature_count == conventional.feature_count, name
+
+
+class TestHardwiredCustomization:
+    def test_pole_manager_schema_hidden_and_cascaded(self, hardwired):
+        hardwired.open_schema("phone_net", JULIANO)
+        assert not hardwired.screen.window("schema_phone_net").visible
+        assert "classset_Pole" in hardwired.screen.names()
+
+    def test_pole_class_window_customized(self, hardwired):
+        hardwired.open_class("phone_net", "Pole", JULIANO)
+        window = hardwired.screen.window("classset_Pole")
+        assert window.find("class_widget_Pole").widget_type == "slider"
+        assert window.get_property("presentation_format") == "pointFormat"
+
+    def test_other_class_not_customized(self, hardwired):
+        hardwired.open_class("phone_net", "Duct", JULIANO)
+        window = hardwired.screen.window("classset_Duct")
+        assert window.find("class_widget_Duct").widget_type == "button"
+
+    def test_instance_variant_matches_rule_driven_output(self, phone_db,
+                                                         hardwired,
+                                                         pole_oid):
+        session = GISSession(phone_db, user="juliano",
+                             application="pole_manager")
+        session.install_program(FIGURE_6_PROGRAM, persist=False)
+        session.connect("phone_net")
+        session.select_instance(pole_oid)
+        rule_driven = session.screen.window(f"instance_{pole_oid}")
+
+        hardwired.open_instance(pole_oid, JULIANO)
+        conventional = hardwired.screen.window(f"instance_{pole_oid}")
+
+        assert displayed_attribute_names(conventional) == \
+            displayed_attribute_names(rule_driven)
+        # Supplier is dereferenced to a name in both
+        supplier = phone_db.get_object(
+            phone_db.get_object(pole_oid).get("pole_supplier"))
+        assert supplier.get("name") in str(
+            conventional.find("attr_pole_supplier").value)
+
+    def test_variant_validation(self, phone_db):
+        dispatcher = HardwiredDispatcher(phone_db)
+        with pytest.raises(DispatchError):
+            dispatcher.add_hardwired_variant(lambda c: True, "popup",
+                                             lambda *a: None)
+
+    def test_stats(self, hardwired):
+        hardwired.open_schema("phone_net", OTHER)
+        stats = hardwired.stats()
+        assert stats["interactions"] == 1
+        assert stats["variants"] == 3

@@ -1,0 +1,139 @@
+"""Unit tests for the LRU buffer manager."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.geodb.buffer import BufferManager
+from repro.geodb.storage import MemoryPager
+
+
+def make(capacity=3, pages=10):
+    pager = MemoryPager(page_size=128)
+    for i in range(pages):
+        no = pager.allocate_page()
+        pager.write_page(no, bytes([i]) * 16)
+    manager = BufferManager(pager, capacity=capacity)
+    return pager, manager
+
+
+class TestReadPath:
+    def test_miss_then_hit(self):
+        __, manager = make()
+        manager.read_page(0)
+        assert manager.stats.misses == 1
+        manager.read_page(0)
+        assert manager.stats.hits == 1
+        assert manager.stats.hit_ratio == 0.5
+
+    def test_capacity_enforced_lru(self):
+        __, manager = make(capacity=3)
+        for no in (0, 1, 2):
+            manager.read_page(no)
+        manager.read_page(0)         # 0 becomes most recent
+        manager.read_page(3)         # evicts 1 (LRU)
+        assert manager.stats.evictions == 1
+        assert set(manager.resident_pages()) == {0, 2, 3}
+
+    def test_reads_go_to_pager_only_on_miss(self):
+        pager, manager = make()
+        baseline = pager.reads
+        manager.read_page(5)
+        manager.read_page(5)
+        manager.read_page(5)
+        assert pager.reads == baseline + 1
+
+    def test_capacity_validated(self):
+        pager, __ = make()
+        with pytest.raises(BufferError_):
+            BufferManager(pager, capacity=0)
+
+
+class TestWritePath:
+    def test_write_back_on_eviction(self):
+        pager, manager = make(capacity=2)
+        manager.write_page(0, b"dirty!")
+        writes_before = pager.writes
+        manager.read_page(1)
+        manager.read_page(2)          # evicts page 0, which is dirty
+        assert pager.writes == writes_before + 1
+        assert manager.stats.write_backs == 1
+        assert pager.read_page(0).startswith(b"dirty!")
+
+    def test_clean_eviction_skips_write(self):
+        pager, manager = make(capacity=2)
+        manager.read_page(0)
+        writes_before = pager.writes
+        manager.read_page(1)
+        manager.read_page(2)
+        assert pager.writes == writes_before
+
+    def test_flush(self):
+        pager, manager = make()
+        manager.write_page(0, b"a")
+        manager.write_page(1, b"b")
+        assert manager.flush() == 2
+        assert manager.flush() == 0   # now clean
+        assert pager.read_page(0).startswith(b"a")
+
+    def test_clear_flushes_and_drops(self):
+        __, manager = make()
+        manager.write_page(0, b"x")
+        manager.read_page(1)
+        manager.clear()
+        assert len(manager) == 0
+
+
+class TestPinning:
+    def test_pinned_pages_survive_eviction(self):
+        __, manager = make(capacity=2)
+        manager.pin(0)
+        manager.read_page(1)
+        manager.read_page(2)          # must evict 1, not pinned 0
+        assert 0 in manager.resident_pages()
+        manager.unpin(0)
+
+    def test_all_pinned_raises(self):
+        __, manager = make(capacity=2)
+        manager.pin(0)
+        manager.pin(1)
+        with pytest.raises(BufferError_):
+            manager.read_page(2)
+        assert manager.stats.pin_denials == 1
+
+    def test_unpin_dirty_marks_frame(self):
+        pager, manager = make(capacity=2)
+        manager.pin(0)
+        manager.unpin(0, dirty=True)
+        manager.read_page(1)
+        writes_before = pager.writes
+        manager.read_page(2)          # evicts 0 -> write back
+        assert pager.writes == writes_before + 1
+
+    def test_unpin_without_pin_raises(self):
+        __, manager = make()
+        with pytest.raises(BufferError_):
+            manager.unpin(0)
+
+    def test_nested_pins(self):
+        __, manager = make(capacity=2)
+        manager.pin(0)
+        manager.pin(0)
+        manager.unpin(0)
+        manager.read_page(1)
+        manager.read_page(2)   # 0 still pinned once -> evict 1
+        assert 0 in manager.resident_pages()
+        manager.unpin(0)
+        assert manager.stats.peak_pinned == 1
+
+
+class TestStats:
+    def test_snapshot_fields(self):
+        __, manager = make()
+        manager.read_page(0)
+        snap = manager.stats.snapshot()
+        assert set(snap) == {"hits", "misses", "evictions", "write_backs",
+                             "hit_ratio"}
+
+    def test_zero_access_ratio(self):
+        __, manager = make()
+        assert manager.stats.hit_ratio == 0.0

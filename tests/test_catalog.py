@@ -1,0 +1,108 @@
+"""Unit tests for the metadata catalog."""
+
+import pytest
+
+from repro.errors import ObjectNotFoundError, SchemaError
+from repro.geodb import (
+    Attribute,
+    FilePager,
+    GeoClass,
+    GeographicDatabase,
+    KIND_WIDGET,
+    MetadataCatalog,
+    Schema,
+    TEXT,
+)
+
+
+@pytest.fixture()
+def db():
+    return GeographicDatabase("C")
+
+
+@pytest.fixture()
+def catalog(db):
+    return MetadataCatalog(db)
+
+
+class TestDocuments:
+    def test_put_get(self, catalog):
+        catalog.put("widget", "slider", {"min": 0, "max": 10})
+        assert catalog.get("widget", "slider") == {"min": 0, "max": 10}
+        assert catalog.has("widget", "slider")
+        assert len(catalog) == 1
+
+    def test_replace(self, catalog):
+        catalog.put("widget", "slider", {"v": 1})
+        catalog.put("widget", "slider", {"v": 2})
+        assert catalog.get("widget", "slider") == {"v": 2}
+        assert len(catalog) == 1
+
+    def test_missing(self, catalog):
+        with pytest.raises(ObjectNotFoundError):
+            catalog.get("widget", "ghost")
+        with pytest.raises(ObjectNotFoundError):
+            catalog.delete("widget", "ghost")
+
+    def test_delete(self, catalog):
+        catalog.put("rule", "r1", {"x": 1})
+        catalog.delete("rule", "r1")
+        assert not catalog.has("rule", "r1")
+
+    def test_names_by_kind(self, catalog):
+        catalog.put("widget", "b", {})
+        catalog.put("widget", "a", {})
+        catalog.put("rule", "r", {})
+        assert catalog.names("widget") == ["a", "b"]
+        assert catalog.names("rule") == ["r"]
+
+    def test_requires_kind_and_name(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.put("", "x", {})
+        with pytest.raises(SchemaError):
+            catalog.put("widget", "", {})
+
+    def test_documents_iteration(self, catalog):
+        catalog.put(KIND_WIDGET, "w1", {"a": 1})
+        catalog.put(KIND_WIDGET, "w2", {"a": 2})
+        docs = dict(catalog.documents(KIND_WIDGET))
+        assert docs == {"w1": {"a": 1}, "w2": {"a": 2}}
+
+
+class TestSchemaPersistence:
+    def test_save_load(self, db, catalog):
+        schema = db.create_schema("s")
+        schema.add_class(GeoClass("A", [Attribute("x", TEXT)]))
+        catalog.save_schema(schema)
+        loaded = catalog.load_schema("s")
+        assert loaded.get_class("A").attribute("x").type is TEXT
+
+    def test_save_all(self, db, catalog):
+        db.create_schema("a")
+        db.create_schema("b")
+        assert catalog.save_all_schemas() == 2
+
+
+class TestDirectoryRecovery:
+    def test_rebuild_after_reopen(self, tmp_path):
+        path = str(tmp_path / "cat.db")
+        db = GeographicDatabase("C", pager=FilePager(path))
+        catalog = MetadataCatalog(db)
+        catalog.put("widget", "w", {"keep": True})
+        schema = Schema("s")
+        schema.add_class(GeoClass("A"))
+        catalog.save_schema(schema)
+        db.buffer.flush()
+        db.pager.close()
+
+        db2 = GeographicDatabase("C", pager=FilePager(path))
+        catalog2 = MetadataCatalog(db2)
+        assert catalog2.get("widget", "w") == {"keep": True}
+        assert catalog2.load_schema("s").class_names() == ["A"]
+        db2.pager.close()
+
+    def test_catalog_documents_skipped_by_load_from_storage(self, db):
+        catalog = MetadataCatalog(db)
+        catalog.put("widget", "w", {"x": 1})
+        db.create_schema("s")
+        assert db.load_from_storage() == 0

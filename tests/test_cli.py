@@ -1,0 +1,151 @@
+"""Unit tests for the interactive command loop."""
+
+import pytest
+
+from repro.cli import CommandLoop, build_demo_session
+from repro.core import GISSession
+from repro.lang import FIGURE_6_PROGRAM
+
+
+@pytest.fixture()
+def loop_io(phone_db):
+    session = GISSession(phone_db, user="demo", application="browser")
+    output: list[str] = []
+    loop = CommandLoop(session, write=output.append)
+    return loop, output
+
+
+def text_of(output):
+    return "".join(output)
+
+
+class TestCommands:
+    def test_connect_and_classes(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "classes"])
+        text = text_of(output)
+        assert "Schema: phone_net" in text
+        assert "Pole (" in text
+
+    def test_full_browse(self, loop_io, pole_oid):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "class Pole",
+                  f"instance {pole_oid}", "windows"])
+        text = text_of(output)
+        assert "Class set: Pole" in text
+        assert f"Instance: {pole_oid}" in text
+        assert f"instance_{pole_oid}" in text
+
+    def test_query(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net",
+                  "query select * from Pole where pole_type = 1 limit 2"])
+        text = text_of(output)
+        assert "plan:" in text
+        assert "matches:" in text
+
+    def test_zoom_pan(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "class Pole", "zoom Pole",
+                  "pan Pole"])
+        assert "extent:" in text_of(output)
+
+    def test_explain_and_stats(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "explain schema_phone_net", "stats"])
+        text = text_of(output)
+        assert "generic (default)" in text
+        assert "interactions" in text
+
+    def test_close_and_quit(self, loop_io):
+        loop, output = loop_io
+        executed = loop.run(["connect phone_net", "close schema_phone_net",
+                             "quit", "windows"])
+        assert executed == 3          # the loop stops at quit
+        assert "bye" in text_of(output)
+
+    def test_help(self, loop_io):
+        loop, output = loop_io
+        loop.run(["help"])
+        assert "connect <schema>" in text_of(output)
+
+
+class TestErrorHandling:
+    def test_unknown_command(self, loop_io):
+        loop, output = loop_io
+        loop.run(["teleport home"])
+        assert "unknown command" in text_of(output)
+
+    def test_library_errors_reported_not_raised(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect ghost_schema"])
+        assert "error:" in text_of(output)
+
+    def test_commands_requiring_schema(self, loop_io):
+        loop, output = loop_io
+        loop.run(["classes", "class Pole",
+                  "query select * from Pole"])
+        assert text_of(output).count("connect to a schema first") == 3
+
+    def test_usage_messages(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect", "class", "instance", "pick Pole 1",
+                  "explain", "close", "zoom", "pan"])
+        # `class` without a schema reports the connect requirement instead
+        assert text_of(output).count("usage:") == 7
+        assert "connect to a schema first" in text_of(output)
+
+    def test_blank_and_comment_lines_skipped(self, loop_io):
+        loop, output = loop_io
+        executed = loop.run(["", "   ", "# a comment", "help"])
+        assert executed == 1
+
+    def test_bad_query_reported(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "query select banana"])
+        assert "error:" in text_of(output)
+
+
+class TestInstallAndDemo:
+    def test_install_program_from_file(self, loop_io, tmp_path):
+        loop, output = loop_io
+        path = tmp_path / "custom.gisl"
+        path.write_text(FIGURE_6_PROGRAM)
+        loop.run([f"install {path}"])
+        assert "installed 1 directive(s)" in text_of(output)
+
+    def test_demo_session_with_figure6(self, capsys):
+        session = build_demo_session("juliano", None, "pole_manager",
+                                     figure6=True)
+        output: list[str] = []
+        loop = CommandLoop(session, write=output.append)
+        loop.run(["connect phone_net", "windows"])
+        text = text_of(output)
+        assert "hidden" in text            # the NULL schema window
+        assert "classset_Pole" in text
+        session.engine.manager.detach()
+
+    def test_pick_on_map(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "class Pole"])
+        session = loop.session
+        area = session.screen.window("classset_Pole").find("map")
+        (col, row), __ = next(iter(area.rasterize().items()))
+        loop.run([f"pick Pole {col} {row}"])
+        assert "picked Pole#" in text_of(output)
+
+
+class TestHtmlExport:
+    def test_html_command_writes_page(self, loop_io, tmp_path):
+        loop, output = loop_io
+        path = tmp_path / "screen.html"
+        loop.run(["connect phone_net", "class Pole", f"html {path}"])
+        assert "wrote" in text_of(output)
+        content = path.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert "Class set: Pole" in content
+
+    def test_html_usage(self, loop_io):
+        loop, output = loop_io
+        loop.run(["html"])
+        assert "usage: html" in text_of(output)

@@ -1,0 +1,174 @@
+"""Unit tests for topological constraint maintenance (paper [11])."""
+
+import pytest
+
+from repro.active import (
+    ConstraintGuard,
+    ProximityConstraint,
+    RelationConstraint,
+)
+from repro.errors import ConstraintViolationError, RuleError
+from repro.geodb import (
+    Attribute,
+    GeoClass,
+    GeographicDatabase,
+    GeometryType,
+    TEXT,
+)
+from repro.spatial import LineString, Point, Polygon, BBox
+
+
+@pytest.fixture()
+def db():
+    database = GeographicDatabase("K")
+    schema = database.create_schema("net")
+    schema.add_class(GeoClass("District", [
+        Attribute("boundary", GeometryType("polygon"), required=True),
+    ]))
+    schema.add_class(GeoClass("Street", [
+        Attribute("axis", GeometryType("linestring"), required=True),
+    ]))
+    schema.add_class(GeoClass("Pole", [
+        Attribute("loc", GeometryType("point"), required=True),
+        Attribute("note", TEXT),
+    ]))
+    schema.add_class(GeoClass("Duct", [
+        Attribute("path", GeometryType("linestring"), required=True),
+    ]))
+    return database
+
+
+@pytest.fixture()
+def guard(db):
+    return ConstraintGuard(db, "net")
+
+
+def add_district(db):
+    return db.insert("net", "District",
+                     {"boundary": Polygon.from_bbox(BBox(0, 0, 100, 100))})
+
+
+class TestRelationConstraint:
+    def test_within_some_enforced(self, db, guard):
+        guard.add(RelationConstraint("Pole", "loc", "within",
+                                     "District", "boundary"))
+        add_district(db)
+        db.insert("net", "Pole", {"loc": Point(50, 50)})   # ok
+        with pytest.raises(ConstraintViolationError):
+            db.insert("net", "Pole", {"loc": Point(500, 500)})
+        assert db.count("net", "Pole") == 1
+
+    def test_vacuous_when_no_targets(self, db, guard):
+        guard.add(RelationConstraint("Pole", "loc", "within",
+                                     "District", "boundary"))
+        db.insert("net", "Pole", {"loc": Point(500, 500)})  # no districts yet
+        assert db.count("net", "Pole") == 1
+
+    def test_none_quantifier_prohibits(self, db, guard):
+        guard.add(RelationConstraint("Duct", "path", "crosses",
+                                     "Duct", "path", quantifier="none"))
+        db.insert("net", "Duct", {"path": LineString([(0, 0), (10, 0)])})
+        db.insert("net", "Duct", {"path": LineString([(0, 5), (10, 5)])})
+        with pytest.raises(ConstraintViolationError):
+            db.insert("net", "Duct",
+                      {"path": LineString([(5, -5), (5, 10)])})
+
+    def test_subject_excluded_from_targets(self, db, guard):
+        guard.add(RelationConstraint("Duct", "path", "equals",
+                                     "Duct", "path", quantifier="none"))
+        db.insert("net", "Duct", {"path": LineString([(0, 0), (10, 0)])})
+        # updating the same duct must not self-collide
+        oid = db.extent("net", "Duct").oids()[0]
+        db.update(oid, {"path": LineString([(0, 0), (12, 0)])})
+
+    def test_all_quantifier(self, db, guard):
+        guard.add(RelationConstraint("Pole", "loc", "within",
+                                     "District", "boundary",
+                                     quantifier="all"))
+        add_district(db)
+        db.insert("net", "District",
+                  {"boundary": Polygon.from_bbox(BBox(40, 40, 60, 60))})
+        db.insert("net", "Pole", {"loc": Point(50, 50)})   # inside both
+        with pytest.raises(ConstraintViolationError):
+            db.insert("net", "Pole", {"loc": Point(10, 10)})  # only one
+
+    def test_update_checked_too(self, db, guard):
+        guard.add(RelationConstraint("Pole", "loc", "within",
+                                     "District", "boundary"))
+        add_district(db)
+        oid = db.insert("net", "Pole", {"loc": Point(50, 50)})
+        with pytest.raises(ConstraintViolationError):
+            db.update(oid, {"loc": Point(900, 900)})
+        assert db.get_object(oid).geometry("loc") == Point(50, 50)
+
+    def test_non_spatial_update_not_checked(self, db, guard):
+        guard.add(RelationConstraint("Pole", "loc", "within",
+                                     "District", "boundary"))
+        add_district(db)
+        oid = db.insert("net", "Pole", {"loc": Point(50, 50)})
+        db.update(oid, {"note": "repainted"})  # must not re-raise
+
+    def test_validation_of_parameters(self):
+        with pytest.raises(RuleError):
+            RelationConstraint("A", "g", "orbits", "B", "g")
+        with pytest.raises(RuleError):
+            RelationConstraint("A", "g", "within", "B", "g",
+                               quantifier="most")
+
+
+class TestProximityConstraint:
+    def test_enforced(self, db, guard):
+        guard.add(ProximityConstraint("Pole", "loc", "Street", "axis", 10.0))
+        db.insert("net", "Street", {"axis": LineString([(0, 0), (100, 0)])})
+        db.insert("net", "Pole", {"loc": Point(50, 5)})
+        with pytest.raises(ConstraintViolationError) as excinfo:
+            db.insert("net", "Pole", {"loc": Point(50, 80)})
+        assert "nearest Street" in str(excinfo.value)
+
+    def test_vacuous_without_targets(self, db, guard):
+        guard.add(ProximityConstraint("Pole", "loc", "Street", "axis", 10.0))
+        db.insert("net", "Pole", {"loc": Point(50, 80)})
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(RuleError):
+            ProximityConstraint("A", "g", "B", "g", -1.0)
+
+
+class TestGuard:
+    def test_rules_live_in_integrity_group(self, db, guard):
+        guard.add(ProximityConstraint("Pole", "loc", "Street", "axis", 10.0))
+        rules = guard.manager.rules(ConstraintGuard.GROUP)
+        assert len(rules) == 1
+        assert rules[0].name.startswith("integrity::")
+
+    def test_sweep_reports_without_raising(self, db, guard):
+        db.insert("net", "Pole", {"loc": Point(500, 500)})
+        guard.add(RelationConstraint("Pole", "loc", "within",
+                                     "District", "boundary"))
+        add_district(db)
+        violations = guard.sweep()
+        assert len(violations) == 1
+        assert violations[0].subject_oid.startswith("Pole#")
+        assert guard.audit_log == violations
+
+    def test_multiple_constraints_one_event(self, db, guard):
+        guard.add(ProximityConstraint("Pole", "loc", "Street", "axis", 10.0))
+        guard.add(RelationConstraint("Pole", "loc", "within",
+                                     "District", "boundary"))
+        add_district(db)
+        db.insert("net", "Street", {"axis": LineString([(0, 50), (100, 50)])})
+        db.insert("net", "Pole", {"loc": Point(50, 52)})  # satisfies both
+        with pytest.raises(ConstraintViolationError):
+            db.insert("net", "Pole", {"loc": Point(50, 95)})  # too far
+
+    def test_violation_object_carries_details(self, db, guard):
+        guard.add(RelationConstraint("Pole", "loc", "within",
+                                     "District", "boundary"))
+        add_district(db)
+        try:
+            db.insert("net", "Pole", {"loc": Point(900, 900)})
+        except ConstraintViolationError as exc:
+            assert len(exc.violations) == 1
+            assert "within" in exc.violations[0].constraint
+        else:
+            pytest.fail("expected a violation")

@@ -1,0 +1,119 @@
+"""Unit tests + properties for contexts and specificity ordering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Context, ContextPattern
+from repro.errors import CustomizationError
+
+
+class TestContext:
+    def test_describe(self):
+        ctx = Context(user="juliano", application="pole_manager")
+        assert ctx.describe() == "<user=juliano, application=pole_manager>"
+        assert Context().describe() == "<anonymous>"
+
+    def test_frozen(self):
+        ctx = Context(user="a")
+        with pytest.raises(AttributeError):
+            ctx.user = "b"  # type: ignore[misc]
+
+
+class TestPatternMatching:
+    def test_generic_matches_everything(self):
+        generic = ContextPattern.generic()
+        assert generic.matches(Context(user="x", application="y"))
+        assert generic.matches(None)
+        assert generic.is_generic()
+
+    def test_user_pattern(self):
+        pattern = ContextPattern(user="juliano")
+        assert pattern.matches(Context(user="juliano", category="eng"))
+        assert not pattern.matches(Context(user="maria"))
+        assert not pattern.matches(Context())
+        assert not pattern.matches(None)
+
+    def test_combined_dimensions_all_must_match(self):
+        pattern = ContextPattern(user="j", application="app")
+        assert pattern.matches(Context(user="j", application="app"))
+        assert not pattern.matches(Context(user="j", application="other"))
+
+    def test_scale_range(self):
+        pattern = ContextPattern(scale_range=(1_000, 25_000))
+        assert pattern.matches(Context(scale_denominator=10_000))
+        assert pattern.matches(Context(scale_denominator=25_000))  # inclusive
+        assert not pattern.matches(Context(scale_denominator=30_000))
+        assert not pattern.matches(Context())     # no scale in context
+
+    def test_time_tag(self):
+        pattern = ContextPattern(time_tag="planning")
+        assert pattern.matches(Context(time_tag="planning"))
+        assert not pattern.matches(Context(time_tag="as_built"))
+
+    def test_invalid_scale_range(self):
+        with pytest.raises(CustomizationError):
+            ContextPattern(scale_range=(100, 10))
+        with pytest.raises(CustomizationError):
+            ContextPattern(scale_range=(0, 10))
+
+
+class TestSpecificity:
+    def test_paper_ordering_user_over_category_over_generic(self):
+        """§3.3: generic users < user category < particular user."""
+        generic = ContextPattern(application="app")
+        category = ContextPattern(category="eng", application="app")
+        user = ContextPattern(user="j", application="app")
+        assert generic.specificity() < category.specificity()
+        assert category.specificity() < user.specificity()
+
+    def test_user_beats_category_plus_everything_else(self):
+        loaded_category = ContextPattern(category="c", application="a",
+                                         scale_range=(1, 10), time_tag="t")
+        bare_user = ContextPattern(user="u")
+        assert bare_user.specificity() > loaded_category.specificity()
+
+    def test_describe(self):
+        pattern = ContextPattern(user="j", application="a")
+        assert pattern.describe() == "for user j application a"
+        assert ContextPattern().describe() == "for any context"
+
+
+# -- property-based: the weight encoding is a faithful lexicographic order --
+
+pattern_strategy = st.builds(
+    ContextPattern,
+    user=st.one_of(st.none(), st.just("u")),
+    category=st.one_of(st.none(), st.just("c")),
+    application=st.one_of(st.none(), st.just("a")),
+    scale_range=st.one_of(st.none(), st.just((1.0, 10.0))),
+    time_tag=st.one_of(st.none(), st.just("t")),
+)
+
+
+class TestSpecificityProperties:
+    @given(pattern_strategy, pattern_strategy)
+    def test_scores_equal_iff_same_dimensions(self, a, b):
+        dims_a = (a.user is None, a.category is None, a.application is None,
+                  a.scale_range is None, a.time_tag is None)
+        dims_b = (b.user is None, b.category is None, b.application is None,
+                  b.scale_range is None, b.time_tag is None)
+        assert (a.specificity() == b.specificity()) == (dims_a == dims_b)
+
+    @given(pattern_strategy)
+    def test_score_zero_iff_generic(self, pattern):
+        assert (pattern.specificity() == 0) == pattern.is_generic()
+
+    @given(pattern_strategy, pattern_strategy)
+    def test_strictly_more_dimensions_means_higher_score(self, a, b):
+        def dims(p):
+            return {
+                name for name, val in (
+                    ("user", p.user), ("category", p.category),
+                    ("application", p.application),
+                    ("scale", p.scale_range), ("time", p.time_tag))
+                if val is not None
+            }
+
+        if dims(a) < dims(b):
+            assert a.specificity() < b.specificity()

@@ -1,0 +1,166 @@
+"""Unit + property tests for the DE-9IM relate matrix."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.spatial import (
+    BBox,
+    LineString,
+    Point,
+    Polygon,
+    Relation,
+    classify_point,
+    matches,
+    relate,
+    relate_matrix,
+    relate_with_mask,
+)
+
+
+def sq(x0, y0, x1, y1):
+    return Polygon.from_bbox(BBox(x0, y0, x1, y1))
+
+
+class TestClassifyPoint:
+    def test_point_parts(self):
+        p = Point(3, 3)
+        assert classify_point(p, 3, 3) == "interior"
+        assert classify_point(p, 3.5, 3) == "exterior"
+
+    def test_line_parts(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert classify_point(line, 5, 0) == "interior"
+        assert classify_point(line, 0, 0) == "boundary"   # endpoint
+        assert classify_point(line, 5, 1) == "exterior"
+
+    def test_closed_line_has_no_boundary(self):
+        ring = LineString([(0, 0), (10, 0), (10, 10), (0, 0)])
+        assert classify_point(ring, 0, 0) == "interior"
+
+    def test_polygon_parts(self):
+        poly = sq(0, 0, 10, 10)
+        assert classify_point(poly, 5, 5) == "interior"
+        assert classify_point(poly, 0, 5) == "boundary"
+        assert classify_point(poly, 15, 5) == "exterior"
+
+    def test_polygon_hole_is_exterior(self):
+        donut = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)],
+                        holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]])
+        assert classify_point(donut, 5, 5) == "exterior"
+        assert classify_point(donut, 4, 5) == "boundary"  # hole ring
+
+
+class TestCanonicalMatrices:
+    """Boolean DE-9IM patterns for the textbook configurations."""
+
+    CASES = [
+        ("polygon disjoint", sq(0, 0, 1, 1), sq(5, 5, 6, 6), "FFTFFTTTT"),
+        ("polygon meets (edge)", sq(0, 0, 10, 10), sq(10, 0, 20, 10),
+         "FFTFTTTTT"),
+        ("polygon overlaps", sq(0, 0, 10, 10), sq(5, 5, 15, 15),
+         "TTTTTTTTT"),
+        ("polygon contains", sq(0, 0, 10, 10), sq(2, 2, 8, 8),
+         "TTTFFTFFT"),
+        ("polygon within", sq(2, 2, 8, 8), sq(0, 0, 10, 10), "TFFTFFTTT"),
+        ("polygon equals", sq(0, 0, 10, 10), sq(0, 0, 10, 10),
+         "TFFFTFFFT"),
+        ("point in polygon", Point(5, 5), sq(0, 0, 10, 10), "TFFFFFTTT"),
+        ("point on boundary", Point(0, 5), sq(0, 0, 10, 10), "FTFFFFTTT"),
+        ("line crosses polygon", LineString([(-5, 5), (15, 5)]),
+         sq(0, 0, 10, 10), "TTTFFTTTT"),
+        ("line within polygon", LineString([(2, 2), (8, 8)]),
+         sq(0, 0, 10, 10), "TFFTFFTTT"),
+        ("lines crossing", LineString([(0, 0), (10, 10)]),
+         LineString([(0, 10), (10, 0)]), "TFTFFTTTT"),
+        ("line touches endpoint", LineString([(0, 0), (5, 0)]),
+         LineString([(5, 0), (10, 5)]), "FFTFTTTTT"),
+    ]
+
+    @pytest.mark.parametrize("label,a,b,expected",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_matrix(self, label, a, b, expected):
+        assert relate_matrix(a, b) == expected
+
+
+class TestMaskMatching:
+    def test_wildcards(self):
+        assert matches("TFFFTFFFT", "T*F*****T")
+        assert not matches("TFFFTFFFT", "F********")
+
+    def test_canonical_masks(self):
+        # OGC-style boolean masks (dimension digits replaced by T)
+        disjoint_mask = "FF*FF****"
+        within_mask = "T*F**F***"
+        assert relate_with_mask(sq(0, 0, 1, 1), sq(5, 5, 6, 6),
+                                disjoint_mask)
+        assert relate_with_mask(sq(2, 2, 8, 8), sq(0, 0, 10, 10),
+                                within_mask)
+        assert not relate_with_mask(sq(0, 0, 10, 10), sq(2, 2, 8, 8),
+                                    within_mask)
+
+    def test_bad_masks_rejected(self):
+        with pytest.raises(GeometryError):
+            matches("TFF", "T*F")
+        with pytest.raises(GeometryError):
+            matches("TFFFTFFFT", "TFFFTFFF1")
+
+
+class TestConsistencyWithRelate:
+    """The matrix must agree with the named-relation kernel."""
+
+    squares = st.builds(
+        sq,
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=30, max_value=60),
+        st.integers(min_value=30, max_value=60),
+    ).map(lambda p: p)
+
+    @st.composite
+    @staticmethod
+    def square_pairs(draw):
+        x0 = draw(st.integers(-10, 10))
+        y0 = draw(st.integers(-10, 10))
+        w = draw(st.integers(2, 20))
+        a = sq(x0, y0, x0 + w, y0 + w)
+        x1 = draw(st.integers(-10, 30))
+        y1 = draw(st.integers(-10, 30))
+        w2 = draw(st.integers(2, 20))
+        b = sq(x1, y1, x1 + w2, y1 + w2)
+        return a, b
+
+    @given(square_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_matrix_agrees_with_named_relation(self, pair):
+        a, b = pair
+        matrix = relate_matrix(a, b)
+        rel = relate(a, b)
+        ii, __, __, __, bb, __, __, __, ee = matrix
+        assert ee == "T"   # the plane always extends beyond both
+        if rel is Relation.DISJOINT:
+            assert matches(matrix, "FF*FF****")
+        if rel is Relation.EQUALS:
+            assert matrix == "TFFFTFFFT"
+        if rel is Relation.TOUCHES:
+            assert ii == "F"      # interiors do not meet
+            assert matches(matrix, "F********")
+        if rel is Relation.OVERLAPS:
+            assert ii == "T"
+            assert matches(matrix, "T*T***T**")
+        if rel is Relation.CONTAINS:
+            assert matches(matrix, "T*****FF*")
+        if rel is Relation.WITHIN:
+            assert matches(matrix, "T*F**F***")
+
+    @given(square_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_transpose_symmetry(self, pair):
+        """matrix(a, b) is the transpose of matrix(b, a)."""
+        a, b = pair
+        ab = relate_matrix(a, b)
+        ba = relate_matrix(b, a)
+        transpose = "".join(ab[3 * col + row]
+                            for row in range(3) for col in range(3))
+        assert ba == transpose

@@ -1,0 +1,107 @@
+"""Unit tests for events and the event bus."""
+
+import pytest
+
+from repro.active import (
+    EXPLORATORY_KINDS,
+    Event,
+    EventBus,
+    EventKind,
+    MUTATION_KINDS,
+)
+from repro.errors import RuleError
+
+
+class TestEventKind:
+    def test_from_name(self):
+        assert EventKind.from_name("get_schema") is EventKind.GET_SCHEMA
+        with pytest.raises(RuleError):
+            EventKind.from_name("explode")
+
+    def test_partitions(self):
+        assert EventKind.GET_CLASS in EXPLORATORY_KINDS
+        assert EventKind.UPDATE in MUTATION_KINDS
+        assert not (EXPLORATORY_KINDS & MUTATION_KINDS)
+
+
+class TestEvent:
+    def test_unique_ids(self):
+        a = Event(EventKind.GET_SCHEMA, "s")
+        b = Event(EventKind.GET_SCHEMA, "s")
+        assert a.event_id != b.event_id
+
+    def test_derived_increments_depth_and_keeps_context(self):
+        base = Event(EventKind.GET_SCHEMA, "s", context="ctx")
+        child = base.derived(EventKind.GET_CLASS, "Pole", {"k": 1})
+        assert child.depth == 1
+        assert child.context == "ctx"
+        assert child.payload == {"k": 1}
+        grandchild = child.derived(EventKind.GET_VALUE, "Pole#1")
+        assert grandchild.depth == 2
+
+    def test_describe(self):
+        event = Event(EventKind.GET_VALUE, "Pole#1")
+        assert event.describe() == "get_value(Pole#1)@depth=0"
+
+
+class TestEventBus:
+    def test_kind_filtering(self):
+        bus = EventBus()
+        schema_events, all_events = [], []
+        bus.subscribe(schema_events.append, kinds=[EventKind.GET_SCHEMA])
+        bus.subscribe(all_events.append)
+        bus.publish(Event(EventKind.GET_SCHEMA, "s"))
+        bus.publish(Event(EventKind.GET_CLASS, "C"))
+        assert len(schema_events) == 1
+        assert len(all_events) == 2
+        assert bus.published_count == 2
+
+    def test_subscriber_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("first"),
+                      kinds=[EventKind.GET_SCHEMA])
+        bus.subscribe(lambda e: order.append("second"),
+                      kinds=[EventKind.GET_SCHEMA])
+        bus.subscribe(lambda e: order.append("catch_all"))
+        bus.publish(Event(EventKind.GET_SCHEMA, "s"))
+        assert order == ["first", "second", "catch_all"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=[EventKind.GET_SCHEMA])
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.publish(Event(EventKind.GET_SCHEMA, "s"))
+        assert seen == []
+
+    def test_last_event(self):
+        bus = EventBus()
+        assert bus.last_event is None
+        event = Event(EventKind.GET_VALUE, "x")
+        bus.publish(event)
+        assert bus.last_event is event
+
+    def test_log_retention(self):
+        bus = EventBus()
+        bus.publish(Event(EventKind.GET_SCHEMA, "dropped"))
+        bus.keep_log = True
+        bus.publish(Event(EventKind.GET_SCHEMA, "kept"))
+        log = bus.drain_log()
+        assert [e.subject for e in log] == ["kept"]
+        assert bus.drain_log() == []
+
+    def test_publish_during_publish(self):
+        """A subscriber may publish derived events reentrantly."""
+        bus = EventBus()
+        seen = []
+
+        def cascade(event):
+            seen.append(event.describe())
+            if event.depth == 0:
+                bus.publish(event.derived(EventKind.GET_CLASS, "C"))
+
+        bus.subscribe(cascade)
+        bus.publish(Event(EventKind.GET_SCHEMA, "s"))
+        assert seen == ["get_schema(s)@depth=0", "get_class(C)@depth=1"]

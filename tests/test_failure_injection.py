@@ -1,0 +1,188 @@
+"""Failure-injection tests: the system must fail loudly and recover cleanly."""
+
+import pytest
+
+from repro.active import EventKind
+from repro.core import (
+    AttributeCustomization,
+    ClassCustomization,
+    Context,
+    ContextPattern,
+    CustomizationDirective,
+    GISSession,
+)
+from repro.errors import (
+    CustomizationError,
+    LanguageError,
+    ReproError,
+    RuleError,
+)
+from repro.lang import FIGURE_6_PROGRAM, compile_program
+from repro.uilib import InterfaceObjectLibrary, PresentationRegistry, install_standard_composites
+
+
+class TestLanguageFailures:
+    """Every malformed program yields a positioned LanguageError subclass."""
+
+    BROKEN_PROGRAMS = [
+        "for user",                                   # truncated context
+        "for user j schema",                          # truncated schema clause
+        "for user j schema s display as",             # missing mode
+        "for user j schema s display as default",     # missing class clause
+        "for user j schema s display as default class C",  # missing display
+        "for user j schema s display as default class C display "
+        "instances display attribute",                # truncated attr clause
+        "schema s display as default class C display",  # no `for`
+        "for user j\nschema s display as default\nclass C display "
+        "instances display attribute a as text using bad(arg)",
+        "for user j @ schema",                        # lexical garbage
+    ]
+
+    @pytest.mark.parametrize("source", BROKEN_PROGRAMS)
+    def test_broken_program_raises_language_error(self, source):
+        with pytest.raises(LanguageError):
+            from repro.lang import parse_program
+
+            parse_program(source)
+
+    def test_semantic_failure_does_not_install_anything(self, phone_db):
+        session = GISSession(phone_db, user="j", application="a")
+        bad = FIGURE_6_PROGRAM.replace("poleWidget", "ghostWidget")
+        with pytest.raises(LanguageError):
+            session.install_program(bad, persist=False)
+        assert session.engine.directives() == []
+        assert session.engine.manager.rules() == []
+
+
+class TestRuleFailures:
+    def test_broken_action_surfaces_to_interaction(self, phone_db):
+        session = GISSession(phone_db, user="j", application="a")
+        session.engine.manager.define(
+            "saboteur", [EventKind.GET_SCHEMA], lambda e: True,
+            lambda e, m: 1 / 0, group="chaos")
+        with pytest.raises(ZeroDivisionError):
+            session.connect("phone_net")
+        # the failure is in the trace for post-mortem explanation
+        assert "error" in session.engine.manager.trace[-1].describe()
+
+    def test_conflicting_customizations_reported(self, phone_db):
+        session = GISSession(phone_db, user="j", application="a")
+        for name in ("one", "two"):
+            session.install_directive(CustomizationDirective(
+                name=name,
+                pattern=ContextPattern(user="j"),
+                schema_name="phone_net",
+                schema_display="hierarchy",
+                classes=(ClassCustomization("Pole"),),
+            ), persist=False)
+        with pytest.raises(RuleError, match="ambiguous"):
+            session.connect("phone_net")
+
+    def test_runaway_cascade_capped(self, phone_db):
+        from repro.errors import CascadeLimitError
+
+        manager = GISSession(phone_db, user="j",
+                             application="a").engine.manager
+        manager.define(
+            "looper", [EventKind.GET_CLASS], lambda e: True,
+            lambda e, m: m.raise_event(
+                e.derived(EventKind.GET_CLASS, e.subject)),
+            group="chaos")
+        with pytest.raises(CascadeLimitError):
+            phone_db.get_class("phone_net", "Pole")
+
+
+class TestBuilderFailures:
+    def test_missing_widget_fails_at_build_not_silently(self, phone_db):
+        session = GISSession(phone_db, user="j", application="a")
+        # install a directive referencing a widget, then remove the widget
+        session.library.specialize("doomed", "button", persist=False)
+        session.install_directive(CustomizationDirective(
+            name="d",
+            pattern=ContextPattern(user="j"),
+            schema_name="phone_net",
+            classes=(ClassCustomization("Pole", control_widget="doomed"),),
+        ), persist=False)
+        session.library.remove("doomed")
+        session.connect("phone_net")
+        with pytest.raises(CustomizationError, match="doomed"):
+            session.select_class("Pole")
+
+    def test_bad_source_path_fails_with_context(self, phone_db, pole_oid):
+        session = GISSession(phone_db, user="j", application="a")
+        session.install_directive(CustomizationDirective(
+            name="d",
+            pattern=ContextPattern(user="j"),
+            schema_name="phone_net",
+            classes=(ClassCustomization("Pole", attributes=(
+                AttributeCustomization("pole_supplier", "text",
+                                       sources=("pole_supplier.broken",)),
+            )),),
+        ), persist=False)
+        session.connect("phone_net")
+        session.select_class("Pole")
+        with pytest.raises(CustomizationError):
+            session.select_instance(pole_oid)
+
+
+class TestEngineIsolation:
+    def test_failed_interaction_leaves_screen_consistent(self, phone_db):
+        session = GISSession(phone_db, user="j", application="a")
+        session.engine.manager.define(
+            "saboteur", [EventKind.GET_CLASS], lambda e: True,
+            lambda e, m: (_ for _ in ()).throw(RuntimeError("boom")),
+            group="chaos")
+        session.connect("phone_net")
+        with pytest.raises(RuntimeError):
+            session.select_class("Pole")
+        # schema window still usable; the broken window never registered
+        assert "schema_phone_net" in session.screen.names()
+        assert "classset_Pole" not in session.screen.names()
+        # removing the saboteur restores service
+        session.engine.manager.remove_rule("saboteur")
+        session.select_class("Pole")
+        assert "classset_Pole" in session.screen.names()
+
+    def test_all_library_errors_share_base(self):
+        for exc in (CustomizationError("x"), RuleError("x"),
+                    LanguageError("x", 1, 2)):
+            assert isinstance(exc, ReproError)
+
+
+class TestCompilerRobustness:
+    def test_compile_program_never_partially_registers(self, phone_db):
+        library = InterfaceObjectLibrary()
+        install_standard_composites(library, persist=False)
+        presentations = PresentationRegistry()
+        good_then_bad = FIGURE_6_PROGRAM + """
+for user maria application pole_manager
+schema phone_net display as default
+class Ghost display
+"""
+        with pytest.raises(LanguageError):
+            compile_program(good_then_bad, phone_db, library, presentations)
+
+    def test_directive_context_check_type_guard(self, phone_db):
+        """Events with non-Context contexts never match customization rules."""
+        session = GISSession(phone_db, user="j", application="a")
+        session.install_directive(CustomizationDirective(
+            name="d", pattern=ContextPattern(),
+            schema_name="phone_net",
+            classes=(ClassCustomization("Pole"),),
+        ), persist=False)
+        phone_db.get_schema("phone_net", context="a raw string")
+        assert session.engine.schema_decision(
+            phone_db.bus.last_event.event_id) is None
+
+    def test_generic_pattern_applies_to_contextless_events(self, phone_db):
+        session = GISSession(phone_db, user="j", application="a")
+        session.install_directive(CustomizationDirective(
+            name="d", pattern=ContextPattern(),
+            schema_name="phone_net", schema_display="hierarchy",
+            classes=(ClassCustomization("Pole"),),
+        ), persist=False)
+        phone_db.get_schema("phone_net", context=None)
+        decision = session.engine.schema_decision(
+            phone_db.bus.last_event.event_id)
+        assert decision is not None
+        assert decision.schema_display == "hierarchy"

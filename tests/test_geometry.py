@@ -1,0 +1,258 @@
+"""Unit tests for the geometry model."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.spatial import (
+    BBox,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    Ring,
+)
+
+
+class TestBBox:
+    def test_basic_properties(self):
+        box = BBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.area() == 12
+        assert box.perimeter() == 14
+        assert box.center() == (2.0, 1.5)
+
+    def test_min_greater_than_max_rejected(self):
+        with pytest.raises(GeometryError):
+            BBox(5, 0, 1, 1)
+
+    def test_empty_box_is_union_identity(self):
+        empty = BBox.empty()
+        box = BBox(1, 2, 3, 4)
+        assert empty.union(box) == box
+        assert box.union(empty) == box
+        assert empty.is_empty()
+        assert empty.area() == 0.0
+
+    def test_empty_box_intersects_nothing(self):
+        empty = BBox.empty()
+        assert not empty.intersects(BBox(0, 0, 10, 10))
+        assert not BBox(0, 0, 10, 10).intersects(empty)
+        assert not empty.contains_point(0, 0)
+
+    def test_intersection(self):
+        a = BBox(0, 0, 10, 10)
+        b = BBox(5, 5, 15, 15)
+        assert a.intersection(b) == BBox(5, 5, 10, 10)
+        assert a.intersection(BBox(20, 20, 30, 30)).is_empty()
+
+    def test_touching_boxes_intersect(self):
+        a = BBox(0, 0, 10, 10)
+        b = BBox(10, 0, 20, 10)
+        assert a.intersects(b)
+        assert a.intersection(b).area() == 0.0
+
+    def test_contains(self):
+        outer = BBox(0, 0, 10, 10)
+        assert outer.contains_bbox(BBox(2, 2, 8, 8))
+        assert outer.contains_bbox(outer)
+        assert not outer.contains_bbox(BBox(5, 5, 15, 15))
+        assert outer.contains_point(0, 0)  # boundary included
+        assert not outer.contains_point(-0.01, 5)
+
+    def test_expanded(self):
+        assert BBox(0, 0, 10, 10).expanded(2) == BBox(-2, -2, 12, 12)
+        with pytest.raises(GeometryError):
+            BBox(0, 0, 2, 2).expanded(-2)
+
+    def test_enlargement(self):
+        a = BBox(0, 0, 10, 10)
+        assert a.enlargement(BBox(2, 2, 4, 4)) == 0.0
+        assert a.enlargement(BBox(0, 0, 20, 10)) == pytest.approx(100.0)
+
+    def test_distance_to_point(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.distance_to_point(5, 5) == 0.0
+        assert box.distance_to_point(13, 14) == pytest.approx(5.0)
+
+    def test_from_points(self):
+        box = BBox.from_points([(1, 5), (-2, 3), (4, 0)])
+        assert box == BBox(-2, 0, 4, 5)
+        with pytest.raises(GeometryError):
+            BBox.from_points([])
+
+    def test_hash_and_equality(self):
+        assert BBox(0, 0, 1, 1) == BBox(0, 0, 1, 1)
+        assert hash(BBox.empty()) == hash(BBox.empty())
+        assert BBox.empty() == BBox.empty()
+
+
+class TestPoint:
+    def test_basics(self):
+        p = Point(3, 4)
+        assert p.distance_to(Point(0, 0)) == 5.0
+        assert p.bbox() == BBox(3, 4, 3, 4)
+        assert p.translated(1, -1) == Point(4, 3)
+        assert p.wkt() == "POINT (3 4)"
+        assert p.is_valid()
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(float("nan"), 0)
+        with pytest.raises(GeometryError):
+            Point(0, float("inf"))
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+
+class TestLineString:
+    def test_length_and_interpolate(self):
+        line = LineString([(0, 0), (3, 0), (3, 4)])
+        assert line.length() == 7.0
+        assert line.interpolate(0.0) == Point(0, 0)
+        assert line.interpolate(1.0) == Point(3, 4)
+        mid = line.interpolate(3.0 / 7.0)
+        assert mid == Point(3, 0)
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0)])
+
+    def test_validity_rejects_repeated_vertices(self):
+        assert not LineString([(0, 0), (0, 0), (1, 1)]).is_valid()
+        assert LineString([(0, 0), (1, 1)]).is_valid()
+
+    def test_closed(self):
+        assert LineString([(0, 0), (1, 0), (0, 1), (0, 0)]).is_closed()
+        assert not LineString([(0, 0), (1, 0)]).is_closed()
+
+    def test_interpolate_bounds(self):
+        line = LineString([(0, 0), (1, 0)])
+        with pytest.raises(GeometryError):
+            line.interpolate(1.5)
+
+    def test_segments(self):
+        line = LineString([(0, 0), (1, 0), (1, 1)])
+        assert len(list(line.segments())) == 2
+
+
+class TestRing:
+    def test_signed_area_orientation(self):
+        ccw = Ring([(0, 0), (4, 0), (4, 4), (0, 4)])
+        cw = Ring([(0, 0), (0, 4), (4, 4), (4, 0)])
+        assert ccw.signed_area() == 16.0
+        assert cw.signed_area() == -16.0
+        assert ccw.area() == cw.area() == 16.0
+
+    def test_closing_vertex_stripped(self):
+        ring = Ring([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(ring.coords) == 3
+
+    def test_needs_three_distinct(self):
+        with pytest.raises(GeometryError):
+            Ring([(0, 0), (1, 1)])
+
+    def test_contains_point(self):
+        ring = Ring([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert ring.contains_point(5, 5)
+        assert ring.contains_point(0, 5)     # boundary counts
+        assert ring.contains_point(10, 10)   # vertex counts
+        assert not ring.contains_point(11, 5)
+
+
+class TestPolygon:
+    def test_area_with_hole(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        assert poly.area() == pytest.approx(96.0)
+        assert poly.perimeter() == pytest.approx(48.0)
+
+    def test_contains_point_respects_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        assert poly.contains_point(1, 1)
+        assert not poly.contains_point(5, 5)     # inside the hole
+        assert poly.contains_point(4, 5)         # on the hole boundary
+
+    def test_centroid_square(self):
+        poly = Polygon.from_bbox(BBox(0, 0, 10, 10))
+        assert poly.centroid() == Point(5, 5)
+
+    def test_centroid_with_hole_shifts(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(6, 6), (9, 6), (9, 9), (6, 9)]],
+        )
+        c = poly.centroid()
+        assert c.x < 5 and c.y < 5
+
+    def test_validity(self):
+        assert Polygon.from_bbox(BBox(0, 0, 1, 1)).is_valid()
+        bad = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)],
+                      holes=[[(20, 20), (21, 20), (21, 21)]])
+        assert not bad.is_valid()
+
+    def test_regular(self):
+        disc = Polygon.regular(0, 0, 10, sides=64)
+        assert disc.area() == pytest.approx(math.pi * 100, rel=0.01)
+        with pytest.raises(GeometryError):
+            Polygon.regular(0, 0, -1)
+        with pytest.raises(GeometryError):
+            Polygon.regular(0, 0, 1, sides=2)
+
+    def test_translated(self):
+        poly = Polygon.from_bbox(BBox(0, 0, 2, 2)).translated(5, 5)
+        assert poly.bbox() == BBox(5, 5, 7, 7)
+
+    def test_wkt_round_shape(self):
+        poly = Polygon.from_bbox(BBox(0, 0, 1, 1))
+        assert poly.wkt().startswith("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))")
+
+
+class TestMultiGeometries:
+    def test_multipoint(self):
+        mp = MultiPoint([Point(0, 0), Point(5, 5)])
+        assert len(mp) == 2
+        assert mp.bbox() == BBox(0, 0, 5, 5)
+        assert "MULTIPOINT" in mp.wkt()
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            MultiPoint([])
+
+    def test_member_type_enforced(self):
+        with pytest.raises(GeometryError):
+            MultiPoint([LineString([(0, 0), (1, 1)])])
+
+    def test_multilinestring_length(self):
+        mls = MultiLineString([
+            LineString([(0, 0), (3, 0)]),
+            LineString([(0, 1), (0, 5)]),
+        ])
+        assert mls.length() == 7.0
+
+    def test_multipolygon_area_and_contains(self):
+        mpoly = MultiPolygon([
+            Polygon.from_bbox(BBox(0, 0, 2, 2)),
+            Polygon.from_bbox(BBox(10, 10, 12, 12)),
+        ])
+        assert mpoly.area() == 8.0
+        assert mpoly.contains_point(1, 1)
+        assert mpoly.contains_point(11, 11)
+        assert not mpoly.contains_point(5, 5)
+
+    def test_translated_preserves_type(self):
+        mp = MultiPoint([Point(0, 0)]).translated(1, 1)
+        assert isinstance(mp, MultiPoint)
+        assert mp.members[0] == Point(1, 1)

@@ -1,0 +1,81 @@
+"""Unit tests for the uniform grid index."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.spatial import BBox, GridIndex
+from repro.spatial.rtree import naive_search
+
+
+class TestGridIndex:
+    def test_construction_validated(self):
+        with pytest.raises(IndexError_):
+            GridIndex(BBox.empty(), 10)
+        with pytest.raises(IndexError_):
+            GridIndex(BBox(0, 0, 100, 100), 0)
+
+    def test_shape(self):
+        grid = GridIndex(BBox(0, 0, 100, 50), cell_size=10)
+        assert grid.shape == (10, 5)
+
+    def test_search_matches_naive(self):
+        import random
+
+        rng = random.Random(9)
+        universe = BBox(0, 0, 1000, 1000)
+        grid = GridIndex(universe, cell_size=50)
+        entries = []
+        for i in range(300):
+            x, y = rng.uniform(0, 990), rng.uniform(0, 990)
+            box = BBox(x, y, x + rng.uniform(0, 30), y + rng.uniform(0, 30))
+            grid.insert(box, i)
+            entries.append((box, i))
+        for qseed in range(8):
+            q = random.Random(qseed)
+            x, y = q.uniform(0, 800), q.uniform(0, 800)
+            window = BBox(x, y, x + 150, y + 150)
+            assert sorted(grid.search(window)) == sorted(
+                naive_search(entries, window)
+            )
+
+    def test_spanning_item_not_duplicated(self):
+        grid = GridIndex(BBox(0, 0, 100, 100), cell_size=10)
+        grid.insert(BBox(5, 5, 95, 95), "big")
+        hits = grid.search(BBox(0, 0, 100, 100))
+        assert hits == ["big"]
+
+    def test_outside_universe_rejected(self):
+        grid = GridIndex(BBox(0, 0, 100, 100), cell_size=10)
+        with pytest.raises(IndexError_):
+            grid.insert(BBox(200, 200, 210, 210), "x")
+
+    def test_delete(self):
+        grid = GridIndex(BBox(0, 0, 100, 100), cell_size=10)
+        box = BBox(5, 5, 45, 45)
+        grid.insert(box, "a")
+        grid.insert(BBox(50, 50, 60, 60), "b")
+        grid.delete(box, "a")
+        assert len(grid) == 1
+        assert grid.search(BBox(0, 0, 100, 100)) == ["b"]
+        with pytest.raises(IndexError_):
+            grid.delete(box, "a")
+
+    def test_search_point(self):
+        grid = GridIndex(BBox(0, 0, 100, 100), cell_size=10)
+        grid.insert(BBox(0, 0, 20, 20), "corner")
+        assert grid.search_point(10, 10) == ["corner"]
+        assert grid.search_point(90, 90) == []
+
+    def test_items_distinct(self):
+        grid = GridIndex(BBox(0, 0, 100, 100), cell_size=10)
+        grid.insert(BBox(0, 0, 50, 50), "span")
+        grid.insert(BBox(80, 80, 85, 85), "small")
+        assert sorted(item for __, item in grid.items()) == ["small", "span"]
+
+    def test_cell_stats(self):
+        grid = GridIndex(BBox(0, 0, 100, 100), cell_size=50)
+        assert grid.cell_stats()["cells_used"] == 0
+        grid.insert(BBox(0, 0, 10, 10), "a")
+        stats = grid.cell_stats()
+        assert stats["cells_used"] == 1
+        assert stats["max_bucket"] == 1

@@ -1,0 +1,81 @@
+"""Unit tests for the HTML renderer."""
+
+import re
+
+from repro.core import GISSession
+from repro.lang import FIGURE_6_PROGRAM
+from repro.uilib import (
+    Button,
+    Panel,
+    Slider,
+    Text,
+    Window,
+    render_html,
+    render_screen_html,
+)
+
+
+class TestBasics:
+    def test_window_fragment(self):
+        window = Window("w", title="Hello & <World>")
+        window.add_child(Panel("p"))
+        out = render_html(window)
+        assert out.startswith("<div class='repro-window' id='w'>")
+        assert "Hello &amp; &lt;World&gt;" in out   # escaping
+
+    def test_full_page_has_style(self):
+        out = render_html(Window("w"), full_page=True)
+        assert out.startswith("<!DOCTYPE html>")
+        assert "<style>" in out
+
+    def test_hidden_window_marked(self):
+        out = render_html(Window("w", visible=False))
+        assert "repro-window hidden" in out
+
+    def test_hidden_child_skipped(self):
+        panel = Panel("p")
+        panel.add_child(Button("b", label="Visible"))
+        panel.add_child(Button("c", label="Ghost", visible=False))
+        out = render_html(panel)
+        assert "Visible" in out and "Ghost" not in out
+
+    def test_editable_text_becomes_input(self):
+        editable = Text("t", label="Name", value="v", editable=True)
+        readonly = Text("r", label="Code", value="x")
+        assert "<input value='v'/>" in render_html(editable)
+        assert "<input" not in render_html(readonly)
+
+    def test_slider_range_input(self):
+        out = render_html(Slider("s", minimum=0, maximum=30, value=9,
+                                 label="height"))
+        assert "type='range'" in out and "max='30.0'" in out
+
+
+class TestSessionRendering:
+    def test_customized_session_page(self, phone_db, pole_oid):
+        session = GISSession(phone_db, user="juliano",
+                             application="pole_manager")
+        session.install_program(FIGURE_6_PROGRAM, persist=False)
+        session.connect("phone_net")
+        session.select_instance(pole_oid)
+        page = render_screen_html(session.screen.windows())
+        assert page.count("repro-window") >= 3
+        assert "repro-window hidden" in page        # the NULL schema window
+        assert "type='range'" in page               # the poleWidget slider
+        # map cells carry pickable oids
+        assert re.search(r"data-oid='Pole#\d+'", page)
+        # selected instance marked in the list
+        assert "class='selected'" in page
+
+    def test_list_selection_and_keys(self, generic_session):
+        generic_session.connect("phone_net")
+        window = generic_session.screen.window("schema_phone_net")
+        window.find("classes").select("Pole")
+        out = render_html(window)
+        assert "data-key='Pole'" in out
+        assert re.search(r"<li class='selected'[^>]*>Pole", out)
+
+    def test_menu_items(self, generic_session):
+        generic_session.connect("phone_net")
+        out = render_html(generic_session.screen.window("schema_phone_net"))
+        assert "data-item='refresh'" in out

@@ -1,0 +1,145 @@
+"""Unit tests for geo-objects and extents."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.geodb import (
+    Attribute,
+    Extent,
+    FLOAT,
+    GeoClass,
+    GeoObject,
+    GeometryType,
+    Schema,
+    TEXT,
+)
+from repro.spatial import BBox, Point
+
+
+def schema():
+    s = Schema("s")
+    s.add_class(GeoClass("Thing", [
+        Attribute("name", TEXT, required=True),
+        Attribute("height", FLOAT),
+        Attribute("location", GeometryType("point")),
+    ]))
+    return s
+
+
+class TestCreate:
+    def test_create_valid(self):
+        obj = GeoObject.create(schema(), "Thing",
+                               {"name": "a", "height": 2.0})
+        assert obj.get("name") == "a"
+        assert obj.class_name == "Thing"
+        assert obj.version == 0
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            GeoObject.create(schema(), "Thing", {"height": 2.0})
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            GeoObject.create(schema(), "Thing", {"name": "a", "color": "red"})
+
+    def test_type_checked(self):
+        with pytest.raises(TypeMismatchError):
+            GeoObject.create(schema(), "Thing", {"name": 42})
+
+    def test_oid_generated_with_class_prefix(self):
+        obj = GeoObject.create(schema(), "Thing", {"name": "a"})
+        assert obj.oid.startswith("Thing#")
+
+    def test_explicit_oid(self):
+        obj = GeoObject.create(schema(), "Thing", {"name": "a"}, oid="Thing#x")
+        assert obj.oid == "Thing#x"
+
+
+class TestUpdate:
+    def test_update_and_version_bump(self):
+        s = schema()
+        obj = GeoObject.create(s, "Thing", {"name": "a"})
+        previous = obj.update(s, {"height": 3.0})
+        assert obj.get("height") == 3.0
+        assert previous == {"height": None}
+        assert obj.version == 1
+
+    def test_unset_optional_with_none(self):
+        s = schema()
+        obj = GeoObject.create(s, "Thing", {"name": "a", "height": 3.0})
+        obj.update(s, {"height": None})
+        assert "height" not in obj
+
+    def test_cannot_unset_required(self):
+        s = schema()
+        obj = GeoObject.create(s, "Thing", {"name": "a"})
+        with pytest.raises(TypeMismatchError):
+            obj.update(s, {"name": None})
+
+    def test_previous_values_support_undo(self):
+        s = schema()
+        obj = GeoObject.create(s, "Thing", {"name": "a", "height": 1.0})
+        previous = obj.update(s, {"height": 9.0, "name": "b"})
+        obj.update(s, previous)  # undo
+        assert obj.get("height") == 1.0
+        assert obj.get("name") == "a"
+
+
+class TestAccess:
+    def test_get_with_default_fallback(self):
+        s = schema()
+        obj = GeoObject.create(s, "Thing", {"name": "a"})
+        assert obj.get("height") is None
+        assert obj.get("height", s.get_class("Thing")) == 0.0
+
+    def test_geometry_and_bbox(self):
+        s = schema()
+        obj = GeoObject.create(s, "Thing",
+                               {"name": "a", "location": Point(3, 4)})
+        assert obj.geometry() == Point(3, 4)
+        assert obj.geometry("location") == Point(3, 4)
+        assert obj.bbox() == BBox(3, 4, 3, 4)
+        assert obj.geometry("name") is None
+
+    def test_values_snapshot_is_copy(self):
+        s = schema()
+        obj = GeoObject.create(s, "Thing", {"name": "a"})
+        snap = obj.values()
+        snap["name"] = "mutated"
+        assert obj.get("name") == "a"
+
+
+class TestExtent:
+    def test_add_and_iterate_in_order(self):
+        s = schema()
+        extent = Extent("Thing")
+        objs = [GeoObject.create(s, "Thing", {"name": str(i)})
+                for i in range(3)]
+        for obj in objs:
+            extent.add(obj)
+        assert [o.oid for o in extent] == [o.oid for o in objs]
+        assert len(extent) == 3
+
+    def test_wrong_class_rejected(self):
+        extent = Extent("Other")
+        obj = GeoObject.create(schema(), "Thing", {"name": "a"})
+        with pytest.raises(SchemaError):
+            extent.add(obj)
+
+    def test_duplicate_oid_rejected(self):
+        s = schema()
+        extent = Extent("Thing")
+        obj = GeoObject.create(s, "Thing", {"name": "a"})
+        extent.add(obj)
+        with pytest.raises(SchemaError):
+            extent.add(obj)
+
+    def test_remove(self):
+        s = schema()
+        extent = Extent("Thing")
+        obj = GeoObject.create(s, "Thing", {"name": "a"})
+        extent.add(obj)
+        assert extent.remove(obj.oid) is obj
+        assert extent.get(obj.oid) is None
+        with pytest.raises(SchemaError):
+            extent.remove(obj.oid)

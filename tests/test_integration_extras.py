@@ -1,0 +1,229 @@
+"""Integration tests: checkpoint durability, user-defined schema mode,
+multi-schema databases, and the full stack under one roof."""
+
+import pytest
+
+from repro.active import ConstraintGuard, ProximityConstraint
+from repro.core import (
+    ClassCustomization,
+    ContextPattern,
+    CustomizationDirective,
+    GISSession,
+)
+from repro.geodb import (
+    Attribute,
+    FilePager,
+    GeoClass,
+    GeographicDatabase,
+    GeometryType,
+    MetadataCatalog,
+    TEXT,
+)
+from repro.spatial import LineString, Point
+from repro.uilib import Text
+from repro.workloads import (
+    build_environment_schema,
+    build_phone_net_schema,
+    populate_environment,
+    populate_phone_net,
+    register_pole_methods,
+)
+
+
+class TestCheckpoint:
+    def test_checkpoint_makes_reopen_complete(self, tmp_path):
+        path = str(tmp_path / "ckpt.db")
+        db = GeographicDatabase("CK", pager=FilePager(path))
+        schema = db.create_schema("s")
+        schema.add_class(GeoClass("P", [
+            Attribute("loc", GeometryType("point"), required=True)]))
+        MetadataCatalog(db).save_all_schemas()
+        oids = [db.insert("s", "P", {"loc": Point(i, i)}) for i in range(9)]
+        flushed = db.checkpoint()
+        assert flushed > 0
+        db.pager.close()
+
+        reopened = GeographicDatabase("CK", pager=FilePager(path))
+        catalog = MetadataCatalog(reopened)
+        reopened.register_schema(catalog.load_schema("s"))
+        assert reopened.load_from_storage() == 9
+        assert sorted(reopened.extent("s", "P").oids()) == sorted(oids)
+        reopened.pager.close()
+
+    def test_checkpoint_on_memory_pager_is_safe(self, phone_db):
+        assert phone_db.checkpoint() >= 0
+
+
+class TestUserDefinedSchemaMode:
+    def test_formatter_invoked(self, phone_db):
+        session = GISSession(phone_db, user="rita", application="custom")
+        session.install_directive(CustomizationDirective(
+            name="ud", pattern=ContextPattern(user="rita"),
+            schema_name="phone_net", schema_display="user_defined",
+            classes=(ClassCustomization("Pole"),),
+        ), persist=False)
+
+        def formatter(window, schema_info):
+            control = window.child("control")
+            control.add_child(Text(
+                "banner", label="note",
+                value=f"custom view of {schema_info['name']}"))
+            # the designer's code may also prune the generic list
+            window.find("classes").remove_item("Cable")
+
+        session.builder.user_defined_schema_formatter = formatter
+        session.connect("phone_net")
+        window = session.screen.window("schema_phone_net")
+        assert window.get_property("user_defined_hook") is True
+        assert "custom view of phone_net" in session.render(
+            "schema_phone_net")
+        keys = [k for k, __ in window.find("classes").items]
+        assert "Cable" not in keys and "Pole" in keys
+
+    def test_mode_without_formatter_keeps_generic_list(self, phone_db):
+        session = GISSession(phone_db, user="rita", application="custom")
+        session.install_directive(CustomizationDirective(
+            name="ud", pattern=ContextPattern(user="rita"),
+            schema_name="phone_net", schema_display="user_defined",
+            classes=(ClassCustomization("Pole"),),
+        ), persist=False)
+        session.connect("phone_net")
+        window = session.screen.window("schema_phone_net")
+        assert window.visible
+        assert window.find("classes") is not None
+
+
+class TestMultiSchemaDatabase:
+    @pytest.fixture()
+    def dual_db(self):
+        db = GeographicDatabase("DUAL")
+        db.register_schema(build_phone_net_schema())
+        register_pole_methods(db)
+        populate_phone_net(db)
+        db.register_schema(build_environment_schema())
+        from repro.workloads import register_environment_methods
+
+        register_environment_methods(db)
+        populate_environment(db, parcels=5, rivers=1, roads=1, stations=2)
+        return db
+
+    def test_sessions_browse_either_schema(self, dual_db):
+        session = GISSession(dual_db, user="u", application="a")
+        session.connect("phone_net")
+        session.select_class("Pole")
+        session2 = GISSession(dual_db, user="u", application="a")
+        session2.connect("land_use")
+        session2.select_class("Station")
+        assert "classset_Pole" in session.screen.names()
+        assert "classset_Station" in session2.screen.names()
+
+    def test_directives_scoped_to_their_schema(self, dual_db):
+        session = GISSession(dual_db, user="u", application="a")
+        session.install_directive(CustomizationDirective(
+            name="env_only", pattern=ContextPattern(user="u"),
+            schema_name="land_use", schema_display="null",
+            classes=(ClassCustomization("Station"),),
+        ), persist=False)
+        session.connect("phone_net")
+        assert session.screen.window("schema_phone_net").visible
+        session2 = GISSession(dual_db, user="u", application="a",
+                              engine=session.engine)
+        session2.connect("land_use")
+        assert not session2.screen.window("schema_land_use").visible
+        assert "classset_Station" in session2.screen.names()
+
+
+class TestFullStackScenario:
+    def test_everything_together(self, tmp_path):
+        """Constraints + customization + scenario + persistence, one run."""
+        path = str(tmp_path / "full.db")
+        db = GeographicDatabase("FULL", pager=FilePager(path))
+        db.register_schema(build_phone_net_schema())
+        register_pole_methods(db)
+        populate_phone_net(db)
+        catalog = MetadataCatalog(db)
+        catalog.save_all_schemas()
+
+        guard = ConstraintGuard(db, "phone_net")
+        guard.add(ProximityConstraint("Pole", "pole_location",
+                                      "Street", "axis", 20.0))
+
+        session = GISSession(db, user="juliano",
+                             application="pole_manager", catalog=catalog,
+                             auto_refresh=True)
+        from repro.lang import FIGURE_6_PROGRAM
+
+        session.install_program(FIGURE_6_PROGRAM)
+        session.connect("phone_net")
+        assert "classset_Pole" in session.screen.names()
+
+        # a scenario that passes constraints commits and refreshes the UI
+        count_before = len(
+            session.screen.window("classset_Pole").find("instances").items)
+        with db.scenario("phone_net") as plan:
+            axis = next(iter(db.extent("phone_net", "Street"))).geometry(
+                "axis")
+            anchor = axis.interpolate(0.5)
+            plan.insert("Pole", {"pole_location": Point(anchor.x + 1.0,
+                                                        anchor.y + 1.0)})
+            plan.commit()
+        count_after = len(
+            session.screen.window("classset_Pole").find("instances").items)
+        assert count_after == count_before + 1
+
+        # persistence survives a checkpointed close/reopen
+        db.checkpoint()
+        db.pager.close()
+        reopened = GeographicDatabase("FULL", pager=FilePager(path))
+        catalog2 = MetadataCatalog(reopened)
+        reopened.register_schema(catalog2.load_schema("phone_net"))
+        assert reopened.load_from_storage() == (
+            count_after
+            + reopened_count_other_classes(reopened)
+        )
+
+        guard.manager.detach()
+        session.engine.manager.detach()
+        reopened.pager.close()
+
+
+def reopened_count_other_classes(db) -> int:
+    return sum(
+        db.count("phone_net", name)
+        for name in ("Supplier", "District", "Street", "Duct", "Cable",
+                     "NetworkElement")
+    )
+
+
+class TestSchemaScopedRules:
+    def test_same_class_name_in_two_schemas(self):
+        """Directives never cross-fire between same-named classes."""
+        db = GeographicDatabase("TWIN")
+        for schema_name in ("city_a", "city_b"):
+            schema = db.create_schema(schema_name)
+            schema.add_class(GeoClass("Pole", [
+                Attribute("loc", GeometryType("point"), required=True)]))
+            db.insert(schema_name, "Pole", {"loc": Point(1.0, 1.0)})
+
+        session = GISSession(db, user="u", application="a")
+        session.install_directive(CustomizationDirective(
+            name="a_only", pattern=ContextPattern(user="u"),
+            schema_name="city_a",
+            classes=(ClassCustomization(
+                "Pole", presentation_format="pointFormat"),),
+        ), persist=False)
+
+        session.connect("city_a")
+        session.select_class("Pole")
+        window_a = session.screen.window("classset_Pole")
+        assert window_a.get_property("presentation_format") == "pointFormat"
+
+        other = GISSession(db, user="u", application="a",
+                           engine=session.engine)
+        other.connect("city_b")
+        other.select_class("Pole")
+        window_b = other.screen.window("classset_Pole")
+        assert window_b.get_property("presentation_format") == \
+            "defaultFormat"
+        session.shutdown()
+        other.shutdown()

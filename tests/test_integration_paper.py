@@ -1,0 +1,196 @@
+"""Integration tests reproducing the paper's §4 walkthrough end to end.
+
+These are the executable versions of paper Figures 4–7: the default
+interface, the Figure 6 customization program, the generated R1/R2 rules,
+and the customized windows — asserted structurally, not by screenshot.
+"""
+
+import pytest
+
+from repro.core import Context, GISSession
+from repro.lang import FIGURE_6_PROGRAM, render_rules
+from repro.ui import (
+    class_window_areas,
+    displayed_attribute_names,
+    instance_attribute_panels,
+    map_symbols,
+    summarize_window,
+)
+from repro.workloads import build_phone_net_database
+
+
+@pytest.fixture()
+def db():
+    return build_phone_net_database()
+
+
+@pytest.fixture()
+def pole(db):
+    return db.extent("phone_net", "Pole").oids()[0]
+
+
+class TestFigure4DefaultWindows:
+    """Paper Figure 4: the three default windows."""
+
+    def test_default_browsing_loop(self, db, pole):
+        session = GISSession(db, user="maria", application="browser")
+        # step 1: schema window with the class list
+        session.connect("phone_net")
+        schema_window = session.screen.window("schema_phone_net")
+        assert schema_window.visible
+        keys = [k for k, __ in schema_window.find("classes").items]
+        assert keys == ["Supplier", "District", "Street", "NetworkElement",
+                        "Pole", "Duct", "Cable"]
+        # step 2: class window with control + presentation areas
+        session.select_class("Pole")
+        class_window = session.screen.window("classset_Pole")
+        control, presentation = class_window_areas(class_window)
+        assert control.find("class_schema") is not None   # "class schema"
+        assert presentation.find("map") is not None       # "generic map"
+        assert map_symbols(class_window) == {"*"}          # default format
+        assert class_window.find("class_widget_Pole").widget_type == "button"
+        # step 3: instance window, one panel per attribute
+        session.select_instance(pole)
+        instance_window = session.screen.window(f"instance_{pole}")
+        assert displayed_attribute_names(instance_window) == [
+            "install_year", "status",                      # inherited
+            "pole_type", "pole_composition", "pole_supplier",
+            "pole_location", "pole_picture", "pole_historic",
+        ]
+
+    def test_renderable(self, db, pole):
+        session = GISSession(db, user="maria", application="browser")
+        session.connect("phone_net")
+        session.select_class("Pole")
+        session.select_instance(pole)
+        out = session.render()
+        assert "Schema: phone_net" in out
+        assert "Class set: Pole" in out
+        assert f"Instance: {pole}" in out
+
+
+class TestFigure6Compilation:
+    """Paper Figure 6 compiles to the §4 rules R1 and R2."""
+
+    def test_generated_rules(self, db):
+        session = GISSession(db, user="juliano", application="pole_manager")
+        directives = session.install_program(FIGURE_6_PROGRAM, persist=False)
+        assert len(directives) == 1
+        rules = render_rules(directives[0])
+        # R1 (§4): On Get_Schema If <juliano, pole_manager>
+        #          Then Build Window(Schema, phone_net, NULL); Get_Class(Pole)
+        assert "On Get_Schema" in rules[0]
+        assert "Build Window(Schema, phone_net, NULL)" in rules[0]
+        assert "Get_Class(Pole)" in rules[0]
+        # R2 (§4): Build Window(Class set, Pole, Pole_Widget, pointFormat)
+        assert "Build Window(Class set, Pole, poleWidget, pointFormat)" in rules[1]
+
+    def test_five_rules_total(self, db):
+        session = GISSession(db, user="juliano", application="pole_manager")
+        session.install_program(FIGURE_6_PROGRAM, persist=False)
+        assert len(session.engine.manager.rules()) == 5
+
+
+class TestFigure7CustomizedWindows:
+    """Paper Figure 7: the customized Class-set and Instance windows."""
+
+    @pytest.fixture()
+    def juliano(self, db):
+        session = GISSession(db, user="juliano", application="pole_manager")
+        session.install_program(FIGURE_6_PROGRAM, persist=False)
+        return session
+
+    def test_schema_window_built_but_hidden(self, juliano):
+        juliano.connect("phone_net")
+        window = juliano.screen.window("schema_phone_net")
+        assert not window.visible            # NULL parameter hides it
+        assert window.find("classes") is not None  # but hierarchy exists
+
+    def test_class_window_opened_by_cascade(self, juliano):
+        juliano.connect("phone_net")
+        assert "classset_Pole" in juliano.screen.names()
+
+    def test_class_window_pole_widget_and_point_format(self, juliano):
+        juliano.connect("phone_net")
+        window = juliano.screen.window("classset_Pole")
+        widget = window.find("class_widget_Pole")
+        assert widget.widget_type == "slider"        # poleWidget is a slider
+        assert widget.maximum == 30.0
+        assert map_symbols(window) == {"o"}          # pointFormat
+        assert window.get_property("presentation_format") == "pointFormat"
+
+    def test_instance_window_customizations(self, juliano, db, pole):
+        juliano.connect("phone_net")
+        juliano.select_instance(pole)
+        window = juliano.screen.window(f"instance_{pole}")
+        shown = displayed_attribute_names(window)
+        # (12): pole_location hidden
+        assert "pole_location" not in shown
+        # omitted attributes keep the default presentation (§4)
+        assert {"pole_type", "pole_picture", "pole_historic"} <= set(shown)
+        # (7)-(9): composed_text over the three tuple fields, notified
+        panels = instance_attribute_panels(window)
+        composed = panels["pole_composition"].children[0]
+        composition = db.get_object(pole).get("pole_composition")
+        assert composed.get_property("library_type") == "composed_text"
+        assert str(composition["pole_material"]) in composed.summary
+        assert str(composition["pole_height"]) in composed.summary
+        # (10)-(11): supplier shown through get_supplier_name
+        supplier_text = panels["pole_supplier"].children[0]
+        supplier = db.get_object(db.get_object(pole).get("pole_supplier"))
+        assert supplier_text.value == supplier.get("name")
+
+    def test_default_vs_customized_diff(self, db, pole):
+        """The exact delta between Figure 4 and Figure 7 windows."""
+        generic = GISSession(db, user="maria", application="browser")
+        generic.connect("phone_net")
+        generic.select_class("Pole")
+        custom = GISSession(db, user="juliano", application="pole_manager")
+        custom.install_program(FIGURE_6_PROGRAM, persist=False)
+        custom.connect("phone_net")
+
+        g = summarize_window(generic.screen.window("classset_Pole"))
+        c = summarize_window(custom.screen.window("classset_Pole"))
+        assert g.presentation_format == "defaultFormat"
+        assert c.presentation_format == "pointFormat"
+        assert g.widget_types["button"] == c.widget_types.get("button", 0) + 1
+        assert c.widget_types["slider"] == 1
+        assert g.feature_count == c.feature_count   # same data, new look
+
+    def test_same_database_other_user_unaffected(self, db, juliano, pole):
+        """§3.5 transparency: customization never leaks across contexts."""
+        juliano.connect("phone_net")
+        other = GISSession(db, user="maria", application="browser",
+                           engine=juliano.engine)
+        other.connect("phone_net")
+        assert other.screen.window("schema_phone_net").visible
+        other.select_class("Pole")
+        window = other.screen.window("classset_Pole")
+        assert window.find("class_widget_Pole").widget_type == "button"
+        assert map_symbols(window) == {"*"}
+
+
+class TestExplanationMode:
+    def test_customized_window_explains_its_rules(self, db, pole):
+        session = GISSession(db, user="juliano", application="pole_manager")
+        session.install_program(FIGURE_6_PROGRAM, persist=False)
+        session.connect("phone_net")
+        session.select_instance(pole)
+        text = session.explain_window(f"instance_{pole}")
+        assert "pole_composition" in text
+        assert "On Get_Value" in text
+
+
+class TestContextSwitchSameUser:
+    def test_same_user_different_application(self, db):
+        """§2.2: different answers to the same query by context."""
+        session_pm = GISSession(db, user="juliano",
+                                application="pole_manager")
+        session_pm.install_program(FIGURE_6_PROGRAM, persist=False)
+        session_other = GISSession(db, user="juliano",
+                                   application="inventory",
+                                   engine=session_pm.engine)
+        session_pm.connect("phone_net")
+        session_other.connect("phone_net")
+        assert not session_pm.screen.window("schema_phone_net").visible
+        assert session_other.screen.window("schema_phone_net").visible

@@ -1,0 +1,90 @@
+"""Unit tests for the customization-language lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_words_and_punctuation(self):
+        tokens = tokenize("for user juliano schema s.c (a, b)")
+        assert [t.kind for t in tokens] == [
+            TokenKind.WORD, TokenKind.WORD, TokenKind.WORD, TokenKind.WORD,
+            TokenKind.WORD, TokenKind.DOT, TokenKind.WORD, TokenKind.LPAREN,
+            TokenKind.WORD, TokenKind.COMMA, TokenKind.WORD,
+            TokenKind.RPAREN, TokenKind.EOF,
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("1000 2.5")
+        assert tokens[0].text == "1000"
+        assert tokens[1].text == "2.5"
+        assert tokens[1].kind is TokenKind.NUMBER
+
+    def test_dotdot_vs_dot(self):
+        tokens = tokenize("1000..25000 a.b")
+        assert tokens[1].kind is TokenKind.DOTDOT
+        assert tokens[4].kind is TokenKind.DOT
+
+    def test_number_then_dotdot(self):
+        # '1000..2000' must not lex the dots into the number
+        tokens = tokenize("1000..2000")
+        assert [t.text for t in tokens[:-1]] == ["1000", "..", "2000"]
+
+    def test_hyphenated_word(self):
+        assert texts("user-defined") == ["user-defined"]
+
+    def test_trailing_hyphen_is_error(self):
+        # hyphens are only legal *inside* words ("user-defined"); a stray
+        # trailing hyphen is not a token
+        with pytest.raises(LexError):
+            tokenize("word- next")
+
+    def test_strings(self):
+        tokens = tokenize("'hello world' \"two\"")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello world"
+        assert tokens[1].text == "two"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'open")
+        with pytest.raises(LexError):
+            tokenize("'line\nbreak'")
+
+    def test_comments_skipped(self):
+        source = """
+        -- a comment line
+        for user x  # trailing comment
+        """
+        assert texts(source) == ["for", "user", "x"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("for\n  user")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_garbage_rejected_with_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("for user @home")
+        assert excinfo.value.line == 1
+
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_is_word_case_insensitive(self):
+        token = Token(TokenKind.WORD, "Null", 1, 1)
+        assert token.is_word("null")
+        assert token.is_word("NULL", "default")
+        assert not token.is_word("default")

@@ -1,0 +1,212 @@
+"""Unit tests for the customization-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import parse_program
+
+MINIMAL = """
+for user juliano
+schema phone_net display as default
+class Pole display
+"""
+
+
+class TestContextClause:
+    def test_all_dimensions(self):
+        program = parse_program("""
+            for user j category eng application pm scale 1000..25000 time plan
+            schema s display as default
+            class C display
+        """)
+        ctx = program.directives[0].context
+        assert (ctx.user, ctx.category, ctx.application) == ("j", "eng", "pm")
+        assert (ctx.scale_low, ctx.scale_high) == (1000.0, 25000.0)
+        assert ctx.time_tag == "plan"
+
+    def test_empty_context_is_generic(self):
+        program = parse_program("""
+            for
+            schema s display as default
+            class C display
+        """)
+        ctx = program.directives[0].context
+        assert ctx.user is None and ctx.application is None
+
+    def test_duplicate_dimension_rejected(self):
+        with pytest.raises(ParseError, match="duplicate 'user'"):
+            parse_program("""
+                for user a user b
+                schema s display as default
+                class C display
+            """)
+
+    def test_scale_needs_range(self):
+        with pytest.raises(ParseError):
+            parse_program("""
+                for scale 1000
+                schema s display as default
+                class C display
+            """)
+
+
+class TestSchemaClause:
+    @pytest.mark.parametrize("mode,expected", [
+        ("default", "default"),
+        ("hierarchy", "hierarchy"),
+        ("user-defined", "user_defined"),
+        ("Null", "null"),
+        ("NULL", "null"),
+    ])
+    def test_display_modes(self, mode, expected):
+        program = parse_program(f"""
+            for user j
+            schema s display as {mode}
+            class C display
+        """)
+        assert program.directives[0].schema_clause.display_mode == expected
+
+    def test_missing_schema_clause(self):
+        with pytest.raises(ParseError, match="expected schema"):
+            parse_program("for user j class C display")
+
+
+class TestClassClause:
+    def test_control_and_presentation(self):
+        program = parse_program("""
+            for user j
+            schema s display as default
+            class Pole display
+                control as poleWidget
+                presentation as pointFormat
+        """)
+        clause = program.directives[0].classes[0]
+        assert clause.control == "poleWidget"
+        assert clause.presentation == "pointFormat"
+
+    def test_multiple_class_clauses(self):
+        program = parse_program("""
+            for user j
+            schema s display as default
+            class A display
+            class B display control as w
+        """)
+        assert [c.class_name for c in program.directives[0].classes] == [
+            "A", "B"]
+
+    def test_at_least_one_class_required(self):
+        with pytest.raises(ParseError, match="at least one class"):
+            parse_program("for user j schema s display as default")
+
+    def test_duplicate_control_rejected(self):
+        with pytest.raises(ParseError, match="duplicate 'control'"):
+            parse_program("""
+                for user j
+                schema s display as default
+                class C display control as a control as b
+            """)
+
+    def test_on_update_extension(self):
+        program = parse_program("""
+            for user j
+            schema s display as default
+            class C display on update display as text
+        """)
+        assert program.directives[0].classes[0].on_update_display == "text"
+
+
+class TestAttrClauses:
+    def test_figure6_shape(self):
+        program = parse_program("""
+            for user juliano application pole_manager
+            schema phone_net display as Null
+            class Pole display
+                control as poleWidget
+                presentation as pointFormat
+                instances
+                    display attribute pole_composition as composed_text
+                        from pole.material pole.diameter pole.height
+                        using composed_text.notify()
+                    display attribute pole_supplier as text
+                        from get_supplier_name(pole_supplier)
+                    display attribute pole_location as Null
+        """)
+        attrs = program.directives[0].classes[0].attributes
+        assert [a.attr_name for a in attrs] == [
+            "pole_composition", "pole_supplier", "pole_location"]
+        comp = attrs[0]
+        assert comp.format_name == "composed_text"
+        assert [s.text for s in comp.sources] == [
+            "pole.material", "pole.diameter", "pole.height"]
+        assert comp.using == "composed_text.notify()"
+        supplier = attrs[1]
+        assert supplier.sources[0].is_call
+        assert supplier.sources[0].call_name == "get_supplier_name"
+        assert supplier.sources[0].call_args == ("pole_supplier",)
+        assert attrs[2].format_name == "null"
+
+    def test_comma_separated_sources(self):
+        program = parse_program("""
+            for user j
+            schema s display as default
+            class C display instances
+                display attribute a as composed_text from x.y, x.z
+        """)
+        sources = program.directives[0].classes[0].attributes[0].sources
+        assert [s.text for s in sources] == ["x.y", "x.z"]
+
+    def test_call_with_multiple_args(self):
+        program = parse_program("""
+            for user j
+            schema s display as default
+            class C display instances
+                display attribute a as text from f(x, y.z)
+        """)
+        source = program.directives[0].classes[0].attributes[0].sources[0]
+        assert source.call_args == ("x", "y.z")
+
+    def test_instances_needs_attr_clause(self):
+        with pytest.raises(ParseError, match="display attribute"):
+            parse_program("""
+                for user j
+                schema s display as default
+                class C display instances
+            """)
+
+    def test_empty_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("""
+                for user j
+                schema s display as default
+                class C display instances
+                    display attribute a as text from using x.y()
+            """)
+
+    def test_using_takes_no_arguments(self):
+        with pytest.raises(ParseError, match="no arguments"):
+            parse_program("""
+                for user j
+                schema s display as default
+                class C display instances
+                    display attribute a as text using f(x)
+            """)
+
+
+class TestPrograms:
+    def test_multiple_directives(self):
+        program = parse_program(MINIMAL + MINIMAL.replace("juliano", "maria"))
+        assert len(program.directives) == 2
+        assert program.directives[1].context.user == "maria"
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_program("   -- only a comment\n")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("for user j\nschema s display WRONG")
+        assert excinfo.value.line == 2
+
+    def test_directive_must_start_with_for(self):
+        with pytest.raises(ParseError, match="expected for"):
+            parse_program("schema s display as default class C display")

@@ -1,0 +1,161 @@
+"""Property-based tests for the customization language front-end.
+
+The central law: *print → compile* is the identity on directives (up to
+the generated name). Directives are generated against the phone_net
+schema so semantic checking passes by construction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttributeCustomization,
+    ClassCustomization,
+    ContextPattern,
+    CustomizationDirective,
+)
+from repro.lang import compile_program, parse_program, render_directive
+from repro.lang.lexer import tokenize
+from repro.uilib import (
+    InterfaceObjectLibrary,
+    PresentationRegistry,
+    install_standard_composites,
+)
+from repro.workloads import build_phone_net_database
+
+# -- strategies ---------------------------------------------------------------
+
+names = st.sampled_from(["juliano", "maria", "carlos", "eng_a", "pm_2"])
+
+patterns = st.builds(
+    ContextPattern,
+    user=st.one_of(st.none(), names),
+    category=st.one_of(st.none(), names),
+    application=st.one_of(st.none(), names),
+    scale_range=st.one_of(
+        st.none(),
+        st.tuples(st.just(1000.0), st.just(50000.0)),
+    ),
+    time_tag=st.one_of(st.none(), st.just("planning")),
+)
+
+#: attribute clauses legal on class Pole (sources already normalized)
+pole_attr_clauses = st.sampled_from([
+    AttributeCustomization("pole_location", "null"),
+    AttributeCustomization("pole_picture", "image"),
+    AttributeCustomization("pole_historic", "text"),
+    AttributeCustomization("pole_type", "slider"),
+    AttributeCustomization(
+        "pole_composition", "composed_text",
+        sources=("pole_composition.pole_material",
+                 "pole_composition.pole_height"),
+        using="composed_text.notify()"),
+    AttributeCustomization(
+        "pole_supplier", "text",
+        sources=("get_supplier_name(pole_supplier)",)),
+])
+
+
+@st.composite
+def pole_class_clauses(draw):
+    attrs = draw(st.lists(pole_attr_clauses, max_size=4,
+                          unique_by=lambda a: a.attr_name))
+    return ClassCustomization(
+        class_name="Pole",
+        control_widget=draw(st.one_of(st.none(), st.just("poleWidget"))),
+        presentation_format=draw(st.one_of(st.none(),
+                                           st.just("pointFormat"),
+                                           st.just("defaultFormat"))),
+        attributes=tuple(attrs),
+        on_update_display=draw(st.one_of(st.none(), st.just("slider"))),
+    )
+
+
+@st.composite
+def directives(draw):
+    clauses = [draw(pole_class_clauses())]
+    if draw(st.booleans()):
+        clauses.append(ClassCustomization(
+            class_name="Duct",
+            presentation_format=draw(st.one_of(st.none(),
+                                               st.just("lineFormat")))))
+    return CustomizationDirective(
+        name="generated",
+        pattern=draw(patterns),
+        schema_name="phone_net",
+        schema_display=draw(st.sampled_from(
+            ["default", "hierarchy", "user_defined", "null"])),
+        classes=tuple(clauses),
+    )
+
+
+@pytest.fixture(scope="module")
+def toolchain():
+    db = build_phone_net_database()
+    library = InterfaceObjectLibrary()
+    install_standard_composites(library, persist=False)
+    return db, library, PresentationRegistry()
+
+
+# -- properties ---------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(directives())
+    @settings(max_examples=80, deadline=None)
+    def test_print_compile_identity(self, toolchain, directive):
+        db, library, presentations = toolchain
+        source = render_directive(directive)
+        compiled = compile_program(source, db, library, presentations)
+        assert len(compiled) == 1
+        got = compiled[0]
+        assert got.pattern == directive.pattern
+        assert got.schema_name == directive.schema_name
+        assert got.schema_display == directive.schema_display
+        assert got.classes == directive.classes
+
+    @given(directives())
+    @settings(max_examples=40, deadline=None)
+    def test_printed_source_reparses(self, directive):
+        source = render_directive(directive)
+        program = parse_program(source)
+        assert len(program.directives) == 1
+
+    @given(st.lists(directives(), min_size=1, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_program_rendering(self, toolchain, directive_list):
+        from repro.lang import render_program
+
+        db, library, presentations = toolchain
+        source = render_program(directive_list)
+        compiled = compile_program(source, db, library, presentations)
+        assert len(compiled) == len(directive_list)
+
+
+class TestLexerProperties:
+    word_chunks = st.lists(
+        st.sampled_from(["for", "user", "pole_type", "a1", "user-defined",
+                         "Null", "x"]),
+        min_size=1, max_size=20)
+
+    @given(word_chunks)
+    def test_whitespace_insensitive(self, words):
+        one_line = " ".join(words)
+        multi_line = "\n".join(words)
+        assert [t.text for t in tokenize(one_line)] == [
+            t.text for t in tokenize(multi_line)]
+
+    @given(word_chunks)
+    def test_comments_never_change_tokens(self, words):
+        source = " ".join(words)
+        commented = source + "  -- trailing comment with for user tokens"
+        assert [t.text for t in tokenize(source)] == [
+            t.text for t in tokenize(commented)]
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**9))
+    def test_scale_ranges_always_lex(self, a, b):
+        tokens = tokenize(f"scale {a}..{b}")
+        assert [t.text for t in tokens[:-1]] == ["scale", str(a), "..",
+                                                 str(b)]

@@ -1,0 +1,214 @@
+"""Unit tests for semantic analysis and the directive compiler."""
+
+import pytest
+
+from repro.core import CustomizationEngine, Context
+from repro.errors import SemanticError
+from repro.lang import (
+    FIGURE_6_PROGRAM,
+    compile_and_install,
+    compile_program,
+    parse_program,
+    render_rules,
+)
+from repro.lang.semantics import SemanticAnalyzer
+from repro.uilib import InterfaceObjectLibrary, PresentationRegistry, install_standard_composites
+
+
+@pytest.fixture()
+def toolchain(phone_db):
+    library = InterfaceObjectLibrary()
+    install_standard_composites(library, persist=False)
+    presentations = PresentationRegistry()
+    return phone_db, library, presentations
+
+
+def compile_one(toolchain, source):
+    db, library, presentations = toolchain
+    return compile_program(source, db, library, presentations)
+
+
+def check(toolchain, source):
+    db, library, presentations = toolchain
+    analyzer = SemanticAnalyzer(db, library, presentations)
+    return analyzer.check_program(parse_program(source))
+
+
+GOOD = """
+for user juliano application pole_manager
+schema phone_net display as Null
+class Pole display
+    control as poleWidget
+    presentation as pointFormat
+    instances
+        display attribute pole_location as Null
+"""
+
+
+class TestSemanticChecks:
+    def test_good_program_passes(self, toolchain):
+        assert len(check(toolchain, GOOD).directives) == 1
+
+    def test_unknown_schema(self, toolchain):
+        with pytest.raises(SemanticError, match="ghost"):
+            check(toolchain, GOOD.replace("phone_net", "ghost"))
+
+    def test_unknown_class(self, toolchain):
+        with pytest.raises(SemanticError, match="Tree"):
+            check(toolchain, GOOD.replace("class Pole", "class Tree"))
+
+    def test_unknown_attribute(self, toolchain):
+        with pytest.raises(SemanticError, match="pole_ghost"):
+            check(toolchain, GOOD.replace("pole_location", "pole_ghost"))
+
+    def test_unknown_control_widget(self, toolchain):
+        with pytest.raises(SemanticError, match="interface"):
+            check(toolchain, GOOD.replace("poleWidget", "ghostWidget"))
+
+    def test_unknown_presentation_format(self, toolchain):
+        with pytest.raises(SemanticError, match="registered"):
+            check(toolchain, GOOD.replace("pointFormat", "hologramFormat"))
+
+    def test_unknown_attribute_format(self, toolchain):
+        bad = GOOD.replace("pole_location as Null", "pole_location as vr")
+        with pytest.raises(SemanticError, match="vr"):
+            check(toolchain, bad)
+
+    def test_null_with_using_rejected(self, toolchain):
+        bad = GOOD.replace("pole_location as Null",
+                           "pole_location as Null using x.y()")
+        with pytest.raises(SemanticError, match="Null"):
+            check(toolchain, bad)
+
+    def test_duplicate_class_clause(self, toolchain):
+        bad = GOOD + "class Pole display\n"
+        # append second Pole clause inside the same directive
+        bad = GOOD.replace(
+            "    instances\n        display attribute pole_location as Null",
+            "") + "class Pole display"
+        with pytest.raises(SemanticError, match="twice"):
+            check(toolchain, bad)
+
+    def test_duplicate_attribute_clause(self, toolchain):
+        bad = GOOD + "        display attribute pole_location as Null\n"
+        with pytest.raises(SemanticError, match="twice"):
+            check(toolchain, bad)
+
+    def test_unknown_method_in_source(self, toolchain):
+        bad = GOOD.replace(
+            "pole_location as Null",
+            "pole_supplier as text from ghost_method(pole_supplier)")
+        with pytest.raises(SemanticError, match="ghost_method"):
+            check(toolchain, bad)
+
+    def test_inherited_attributes_visible(self, toolchain):
+        inherited = GOOD.replace("pole_location", "install_year")
+        assert check(toolchain, inherited)
+
+
+class TestSourceNormalization:
+    def source_program(self, sources):
+        return f"""
+        for user j
+        schema phone_net display as default
+        class Pole display instances
+            display attribute pole_composition as composed_text
+                from {sources}
+        """
+
+    def normalized(self, toolchain, sources):
+        program = check(toolchain, self.source_program(sources))
+        return [s.text
+                for s in program.directives[0].classes[0].attributes[0].sources]
+
+    def test_paper_abbreviations(self, toolchain):
+        assert self.normalized(toolchain,
+                               "pole.material pole.diameter pole.height") == [
+            "pole_composition.pole_material",
+            "pole_composition.pole_diameter",
+            "pole_composition.pole_height",
+        ]
+
+    def test_full_paths_kept(self, toolchain):
+        assert self.normalized(
+            toolchain, "pole_composition.pole_material") == [
+            "pole_composition.pole_material"]
+
+    def test_plain_attribute(self, toolchain):
+        assert self.normalized(toolchain, "pole_type") == ["pole_type"]
+
+    def test_suffix_attribute_abbreviation(self, toolchain):
+        # `type` resolves to pole_type by suffix match
+        assert self.normalized(toolchain, "type") == ["pole_type"]
+
+    def test_unresolvable(self, toolchain):
+        with pytest.raises(SemanticError, match="cannot resolve"):
+            self.normalized(toolchain, "pole.mystery")
+
+    def test_bad_tuple_field_on_exact_attr(self, toolchain):
+        with pytest.raises(SemanticError, match="no field"):
+            self.normalized(toolchain, "pole_composition.mystery")
+
+    def test_method_args_normalized(self, toolchain):
+        program = check(toolchain, """
+        for user j
+        schema phone_net display as default
+        class Pole display instances
+            display attribute pole_supplier as text
+                from get_supplier_name(supplier)
+        """)
+        source = program.directives[0].classes[0].attributes[0].sources[0]
+        assert source.text == "get_supplier_name(pole_supplier)"
+
+
+class TestCompiler:
+    def test_figure6_compiles(self, toolchain):
+        directives = compile_one(toolchain, FIGURE_6_PROGRAM)
+        assert len(directives) == 1
+        d = directives[0]
+        assert d.pattern.user == "juliano"
+        assert d.schema_display == "null"
+        clause = d.class_clause("Pole")
+        assert clause.control_widget == "poleWidget"
+        assert clause.presentation_format == "pointFormat"
+        assert clause.attribute("pole_composition").sources == (
+            "pole_composition.pole_material",
+            "pole_composition.pole_diameter",
+            "pole_composition.pole_height",
+        )
+        assert clause.attribute("pole_location").format_name == "null"
+
+    def test_render_rules_matches_paper_r1_r2(self, toolchain):
+        directives = compile_one(toolchain, FIGURE_6_PROGRAM)
+        rules = render_rules(directives[0])
+        assert rules[0].startswith("R1: On Get_Schema")
+        assert "< juliano, pole_manager >" in rules[0]
+        assert "Build Window(Schema, phone_net, NULL)" in rules[0]
+        assert "Get_Class(Pole)" in rules[0]
+        assert rules[1].startswith("R2: On Get_Class(Pole)")
+        assert "Build Window(Class set, Pole, poleWidget, pointFormat)" in rules[1]
+        assert len(rules) == 5   # R1, R2 + three instance rules
+
+    def test_compile_and_install_is_live(self, toolchain, pole_oid):
+        db, library, presentations = toolchain
+        engine = CustomizationEngine(db.bus)
+        directives = compile_and_install(FIGURE_6_PROGRAM, db, library,
+                                         presentations, engine)
+        assert engine.directives() == directives
+        db.get_schema("phone_net",
+                      context=Context(user="juliano",
+                                      application="pole_manager"))
+        assert engine.schema_decision(db.bus.last_event.event_id) is not None
+
+    def test_multiple_directives_unique_names(self, toolchain):
+        two = GOOD + GOOD.replace("juliano", "maria")
+        directives = compile_one(toolchain, two)
+        assert len({d.name for d in directives}) == 2
+
+    def test_scale_context_compiled(self, toolchain):
+        directives = compile_one(toolchain, """
+            for application atlas scale 1000..25000
+            schema phone_net display as default
+            class Pole display presentation as pointFormat
+        """)
+        assert directives[0].pattern.scale_range == (1000.0, 25000.0)

@@ -1,0 +1,220 @@
+"""Unit tests for the interface objects library and the composites."""
+
+import pytest
+
+from repro.errors import UnknownWidgetError, WidgetError
+from repro.geodb import GeographicDatabase, MetadataCatalog
+from repro.uilib import (
+    ComposedText,
+    InterfaceObject,
+    InterfaceObjectLibrary,
+    Slider,
+    WidgetTemplate,
+    install_standard_composites,
+)
+
+
+@pytest.fixture()
+def library():
+    return InterfaceObjectLibrary()
+
+
+@pytest.fixture()
+def persistent_library():
+    db = GeographicDatabase("L")
+    catalog = MetadataCatalog(db)
+    return InterfaceObjectLibrary(catalog), catalog
+
+
+class TestKernelRegistry:
+    def test_kernel_available(self, library):
+        for name in ("window", "panel", "text", "drawing_area", "list",
+                     "button", "menu", "menu_item", "slider"):
+            assert library.has(name)
+            assert library.kind_of(name) == "class"
+
+    def test_create_kernel_widget(self, library):
+        button = library.create("button", "go", label="Go")
+        assert button.widget_type == "button"
+        assert button.label == "Go"
+
+    def test_unknown_widget(self, library):
+        assert not library.has("ghost")
+        with pytest.raises(UnknownWidgetError):
+            library.create("ghost")
+        with pytest.raises(UnknownWidgetError):
+            library.kind_of("ghost")
+
+    def test_register_class(self, library):
+        class Badge(InterfaceObject):
+            widget_type = "badge"
+
+        library.register_class("badge", Badge)
+        assert library.kind_of("badge") == "class"
+        assert isinstance(library.create("badge"), Badge)
+        with pytest.raises(WidgetError):
+            library.register_class("badge", Badge)
+        with pytest.raises(WidgetError):
+            library.register_class("bad", dict)  # type: ignore[arg-type]
+
+
+class TestSpecializations:
+    def test_specialize_presets_properties(self, library):
+        library.specialize("bigButton", "button",
+                           props={"label": "BIG"}, persist=False)
+        widget = library.create("bigButton", "b1")
+        assert widget.label == "BIG"
+        assert widget.get_property("library_type") == "bigButton"
+
+    def test_instantiation_params_override_presets(self, library):
+        library.specialize("bigButton", "button",
+                           props={"label": "BIG"}, persist=False)
+        widget = library.create("bigButton", label="custom")
+        assert widget.label == "custom"
+
+    def test_specialize_of_specialization(self, library):
+        library.specialize("a", "slider", props={"maximum": 50.0},
+                           persist=False)
+        library.specialize("b", "a", props={"minimum": 10.0}, persist=False)
+        widget = library.create("b")
+        assert isinstance(widget, Slider)
+        assert (widget.minimum, widget.maximum) == (10.0, 50.0)
+
+    def test_unknown_base_rejected(self, library):
+        with pytest.raises(UnknownWidgetError):
+            library.specialize("x", "ghost", persist=False)
+
+    def test_name_collision_rejected(self, library):
+        with pytest.raises(WidgetError):
+            library.specialize("button", "slider", persist=False)
+
+
+class TestTemplates:
+    def template(self):
+        return WidgetTemplate(
+            name="pair",
+            defaults={"title": "Pair"},
+            spec={
+                "type": "panel",
+                "name": "pair_root",
+                "props": {"label": "$title"},
+                "children": [
+                    {"type": "text", "name": "left", "props": {"label": "L"}},
+                    {"type": "button", "name": "right",
+                     "props": {"label": "$action"}},
+                ],
+            },
+        )
+
+    def test_instantiate_with_params(self, library):
+        library.register_template(self.template(), persist=False)
+        widget = library.create("pair", "mine", action="Run")
+        assert widget.name == "mine"
+        assert widget.get_property("label") == "Pair"
+        assert widget.child("right").label == "Run"
+
+    def test_missing_parameter_rejected(self, library):
+        library.register_template(self.template(), persist=False)
+        with pytest.raises(WidgetError, match="action"):
+            library.create("pair")
+
+    def test_template_validates_widget_types(self, library):
+        bad = WidgetTemplate(name="bad", spec={"type": "ghost"})
+        with pytest.raises(UnknownWidgetError):
+            library.register_template(bad, persist=False)
+        missing_type = WidgetTemplate(name="bad2", spec={"name": "x"})
+        with pytest.raises(WidgetError):
+            library.register_template(missing_type, persist=False)
+
+    def test_templates_can_nest_library_entries(self, library):
+        library.specialize("fancyButton", "button",
+                           props={"label": "Fancy"}, persist=False)
+        nested = WidgetTemplate(
+            name="nest",
+            spec={"type": "panel", "name": "n", "children": [
+                {"type": "fancyButton", "name": "fb"},
+            ]},
+        )
+        library.register_template(nested, persist=False)
+        widget = library.create("nest")
+        assert widget.child("fb").label == "Fancy"
+
+    def test_remove(self, library):
+        library.register_template(self.template(), persist=False)
+        library.remove("pair")
+        assert not library.has("pair")
+        with pytest.raises(UnknownWidgetError):
+            library.remove("button")   # kernel classes are not removable
+
+
+class TestPersistence:
+    def test_catalog_roundtrip(self, persistent_library):
+        library, catalog = persistent_library
+        library.specialize("bigButton", "button", props={"label": "BIG"})
+        library.register_template(WidgetTemplate(
+            name="solo", spec={"type": "button", "name": "b",
+                               "props": {"label": "x"}}))
+        fresh = InterfaceObjectLibrary(catalog)
+        assert fresh.load_from_catalog() == 2
+        assert fresh.create("bigButton").label == "BIG"
+        assert fresh.kind_of("solo") == "template"
+
+    def test_remove_deletes_catalog_document(self, persistent_library):
+        library, catalog = persistent_library
+        library.specialize("temp", "button")
+        assert catalog.has("widget", "temp")
+        library.remove("temp")
+        assert not catalog.has("widget", "temp")
+
+    def test_load_without_catalog_rejected(self, library):
+        with pytest.raises(WidgetError):
+            library.load_from_catalog()
+
+    def test_describe_entries(self, library):
+        library.specialize("sp", "button", props={"label": "x"},
+                           persist=False)
+        assert library.describe("button")["kind"] == "class"
+        assert library.describe("sp")["base"] == "button"
+
+
+class TestStandardComposites:
+    def test_install_and_reinstall(self, library):
+        installed = install_standard_composites(library, persist=False)
+        assert set(installed) == {"composed_text", "poleWidget",
+                                  "map_selection_panel"}
+        assert install_standard_composites(library, persist=False) == []
+
+    def test_pole_widget_is_slider(self, library):
+        install_standard_composites(library, persist=False)
+        widget = library.create("poleWidget")
+        assert isinstance(widget, Slider)
+        assert widget.maximum == 30.0
+
+    def test_composed_text_notify(self, library):
+        install_standard_composites(library, persist=False)
+        widget = library.create("composed_text", "c",
+                                fields=["a", "b"], label="pair")
+        assert isinstance(widget, ComposedText)
+        widget.set_parts({"a": "wood", "b": 12})
+        assert widget.summary == "wood / 12"
+        widget.child("part_b").set_value("13")
+        assert widget.fire("notify") == ["wood / 13"]
+
+    def test_composed_text_requires_fields(self):
+        with pytest.raises(WidgetError):
+            ComposedText("c", fields=[])
+
+    def test_composed_text_skips_empty_parts(self, library):
+        install_standard_composites(library, persist=False)
+        widget = library.create("composed_text", "c", fields=["a", "b"])
+        widget.set_parts({"a": "only"})
+        assert widget.summary == "only"
+
+    def test_map_selection_panel_structure(self, library):
+        install_standard_composites(library, persist=False)
+        panel = library.create("map_selection_panel")
+        assert panel.find("available_maps") is not None
+        assert panel.find("chosen_maps") is not None
+        assert panel.find("region_name").get_property("editable")
+        ops = panel.child("operations")
+        assert [b.label for b in ops.children] == ["Add", "Remove", "Open"]

@@ -1,0 +1,122 @@
+"""Property-based tests for simulation scenarios.
+
+The central law: a committed scenario leaves the database in exactly the
+state direct execution of the same operations would; a discarded scenario
+leaves no trace at all.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geodb import (
+    Attribute,
+    FLOAT,
+    GeoClass,
+    GeographicDatabase,
+    GeometryType,
+    TEXT,
+)
+from repro.spatial import Point
+
+
+def fresh_db() -> GeographicDatabase:
+    db = GeographicDatabase("PROP")
+    schema = db.create_schema("s")
+    schema.add_class(GeoClass("Node", [
+        Attribute("tag", TEXT),
+        Attribute("weight", FLOAT),
+        Attribute("loc", GeometryType("point")),
+    ]))
+    for i in range(5):
+        db.insert("s", "Node", {"tag": f"base{i}", "loc": Point(i, i)},
+                  oid=f"Node#base{i}")
+    return db
+
+
+#: op descriptors: ("insert", tag) | ("update", idx, weight) | ("delete", idx)
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"),
+                  st.text(alphabet="abcdef", min_size=1, max_size=6)),
+        st.tuples(st.just("update"), st.integers(0, 4),
+                  st.floats(min_value=0, max_value=100, allow_nan=False)),
+        st.tuples(st.just("delete"), st.integers(0, 4)),
+    ),
+    max_size=8,
+)
+
+
+def snapshot(db) -> dict:
+    return {
+        obj.oid: obj.values() for obj in db.extent("s", "Node")
+    }
+
+
+def apply_ops(target, ops, oid_prefix: str) -> None:
+    """Apply the op list to a Scenario or directly to a database."""
+    deleted: set[str] = set()
+    counter = 0
+    for op in ops:
+        if op[0] == "insert":
+            counter += 1
+            oid = f"Node#{oid_prefix}{counter}"
+            values = {"tag": op[1], "loc": Point(counter, 0)}
+            if hasattr(target, "scenario"):   # it's the database
+                target.insert("s", "Node", values, oid=oid)
+            else:
+                target.insert("Node", values, oid=oid)
+        elif op[0] == "update":
+            oid = f"Node#base{op[1]}"
+            if oid in deleted:
+                continue
+            changes = {"weight": op[2]}
+            target.update(oid, changes)
+        else:
+            oid = f"Node#base{op[1]}"
+            if oid in deleted:
+                continue
+            deleted.add(oid)
+            target.delete(oid)
+
+
+class TestScenarioEquivalence:
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_commit_equals_direct_execution(self, ops):
+        direct_db = fresh_db()
+        apply_ops(direct_db, ops, oid_prefix="x")
+
+        scenario_db = fresh_db()
+        scenario = scenario_db.scenario("s")
+        apply_ops(scenario, ops, oid_prefix="x")
+        scenario.commit()
+
+        assert snapshot(scenario_db) == snapshot(direct_db)
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_discard_leaves_no_trace(self, ops):
+        db = fresh_db()
+        before = snapshot(db)
+        events: list = []
+        db.bus.subscribe(events.append)
+        scenario = db.scenario("s")
+        apply_ops(scenario, ops, oid_prefix="y")
+        scenario.discard()
+        assert snapshot(db) == before
+        assert events == []          # hypotheses publish nothing
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_scenario_view_matches_preview(self, ops):
+        """What the scenario shows before commit equals the post-commit
+        state of the database."""
+        db = fresh_db()
+        scenario = db.scenario("s")
+        apply_ops(scenario, ops, oid_prefix="z")
+        preview = {
+            obj.oid: obj.values() for obj in scenario.extent("Node")
+        }
+        scenario.commit()
+        assert snapshot(db) == preview

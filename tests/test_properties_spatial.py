@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for the spatial substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import (
+    BBox,
+    LineString,
+    Point,
+    Polygon,
+    RTree,
+    Relation,
+    convex_hull,
+    relate,
+    simplify_line,
+)
+from repro.spatial.algorithms import point_segment_distance
+from repro.spatial.rtree import naive_search
+
+coords = st.floats(min_value=-1_000.0, max_value=1_000.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def bboxes(draw):
+    x0, x1 = sorted((draw(coords), draw(coords)))
+    y0, y1 = sorted((draw(coords), draw(coords)))
+    return BBox(x0, y0, x1, y1)
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coords), draw(coords))
+
+
+@st.composite
+def squares(draw):
+    """Non-degenerate axis-aligned square polygons."""
+    x = draw(st.floats(min_value=-500, max_value=500, allow_nan=False))
+    y = draw(st.floats(min_value=-500, max_value=500, allow_nan=False))
+    side = draw(st.floats(min_value=1.0, max_value=200.0, allow_nan=False))
+    return Polygon.from_bbox(BBox(x, y, x + side, y + side))
+
+
+class TestBBoxProperties:
+    @given(bboxes(), bboxes())
+    def test_union_is_commutative_and_covering(self, a, b):
+        u = a.union(b)
+        assert u == b.union(a)
+        assert u.contains_bbox(a) and u.contains_bbox(b)
+
+    @given(bboxes(), bboxes())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if not inter.is_empty():
+            assert a.contains_bbox(inter) and b.contains_bbox(inter)
+
+    @given(bboxes(), bboxes())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(bboxes())
+    def test_union_with_empty_is_identity(self, a):
+        assert a.union(BBox.empty()) == a
+
+    @given(bboxes(), points())
+    def test_distance_zero_iff_contains(self, box, p):
+        inside = box.contains_point(p.x, p.y)
+        dist = box.distance_to_point(p.x, p.y)
+        if inside:
+            assert dist == 0.0
+        else:
+            assert dist > 0.0
+
+
+class TestTopologyProperties:
+    @given(squares(), squares())
+    @settings(max_examples=60)
+    def test_relate_inverse_consistency(self, a, b):
+        assert relate(a, b) is relate(b, a).inverse()
+
+    @given(points(), squares())
+    @settings(max_examples=60)
+    def test_point_polygon_cases_partition(self, p, poly):
+        rel = relate(p, poly)
+        assert rel in (Relation.WITHIN, Relation.TOUCHES, Relation.DISJOINT)
+        if rel is Relation.WITHIN:
+            assert poly.contains_point(p.x, p.y)
+        if rel is Relation.DISJOINT:
+            assert not poly.contains_point(p.x, p.y)
+
+    @given(squares())
+    def test_self_relation_is_equals(self, poly):
+        assert relate(poly, poly) is Relation.EQUALS
+
+
+class TestHullProperties:
+    @given(st.lists(st.tuples(coords, coords), min_size=3, max_size=40))
+    @settings(max_examples=60)
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return  # degenerate input (collinear); nothing to check
+        poly = Polygon(hull)
+        for x, y in pts:
+            assert poly.contains_point(x, y) or any(
+                math.hypot(x - hx, y - hy) < 1e-6 for hx, hy in hull
+            )
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=30))
+    def test_hull_vertices_are_input_points(self, pts):
+        hull = convex_hull(pts)
+        inputs = {(float(x), float(y)) for x, y in pts}
+        assert set(hull) <= inputs
+
+
+class TestSimplifyProperties:
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=2, max_size=30),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_simplified_points_stay_close(self, pts, tolerance):
+        out = simplify_line(pts, tolerance)
+        # endpoints preserved
+        assert out[0] == (float(pts[0][0]), float(pts[0][1]))
+        assert out[-1] == (float(pts[-1][0]), float(pts[-1][1]))
+        # every dropped vertex is within tolerance of the simplified line
+        for p in pts:
+            d = min(
+                point_segment_distance((float(p[0]), float(p[1])), a, b)
+                for a, b in zip(out, out[1:])
+            ) if len(out) > 1 else 0.0
+            assert d <= tolerance + 1e-6
+
+
+class TestRTreeProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=900, allow_nan=False),
+                st.floats(min_value=0, max_value=900, allow_nan=False),
+                st.floats(min_value=0, max_value=50, allow_nan=False),
+                st.floats(min_value=0, max_value=50, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=120,
+        ),
+        bboxes(),
+    )
+    @settings(max_examples=40)
+    def test_rtree_matches_naive_oracle(self, raw, window):
+        entries = [
+            (BBox(x, y, x + w, y + h), i)
+            for i, (x, y, w, h) in enumerate(raw)
+        ]
+        tree = RTree(max_entries=4)
+        for box, item in entries:
+            tree.insert(box, item)
+        tree.check_invariants()
+        assert sorted(tree.search(window)) == sorted(
+            naive_search(entries, window)
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=900, allow_nan=False),
+                st.floats(min_value=0, max_value=900, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=40)
+    def test_rtree_delete_keeps_invariants(self, raw, data):
+        entries = [
+            (BBox(x, y, x + 1, y + 1), i) for i, (x, y) in enumerate(raw)
+        ]
+        tree = RTree(max_entries=4)
+        for box, item in entries:
+            tree.insert(box, item)
+        to_delete = data.draw(
+            st.lists(st.sampled_from(entries), unique_by=lambda e: e[1])
+        )
+        for box, item in to_delete:
+            tree.delete(box, item)
+        tree.check_invariants()
+        remaining = {i for __, i in entries} - {i for __, i in to_delete}
+        assert set(tree.search(BBox(0, 0, 1000, 1000))) == remaining
+
+
+class TestLineStringProperties:
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=20),
+           st.tuples(coords, coords))
+    def test_translation_preserves_length(self, pts, delta):
+        line = LineString(pts)
+        moved = line.translated(delta[0], delta[1])
+        assert moved.length() == abs(moved.length())
+        assert math.isclose(line.length(), moved.length(),
+                            rel_tol=1e-9, abs_tol=1e-6)

@@ -1,0 +1,183 @@
+"""Property-based tests for storage, codec and the buffer manager."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geodb.buffer import BufferManager
+from repro.geodb.geo_codec import decode_geometry, encode_geometry
+from repro.geodb.storage import (
+    HeapFile,
+    MemoryPager,
+    SlottedPage,
+    decode_record,
+    encode_record,
+)
+from repro.spatial import LineString, MultiPoint, Point, Polygon, Ring
+
+# -- record values: JSON-safe, nested ------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    st.text(max_size=40),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(min_size=1, max_size=10), children,
+                        max_size=5),
+    ),
+    max_leaves=20,
+)
+records = st.dictionaries(st.text(min_size=1, max_size=12), json_values,
+                          min_size=0, max_size=8)
+
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def geometries(draw):
+    kind = draw(st.sampled_from(["point", "line", "polygon", "multipoint"]))
+    if kind == "point":
+        return Point(draw(coords), draw(coords))
+    if kind == "line":
+        pts = draw(st.lists(st.tuples(coords, coords), min_size=2,
+                            max_size=8))
+        return LineString(pts)
+    if kind == "multipoint":
+        pts = draw(st.lists(st.tuples(coords, coords), min_size=1,
+                            max_size=5))
+        return MultiPoint([Point(x, y) for x, y in pts])
+    x = draw(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    y = draw(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    side = draw(st.floats(min_value=1, max_value=50, allow_nan=False))
+    return Polygon(Ring([(x, y), (x + side, y), (x + side, y + side),
+                         (x, y + side)]))
+
+
+class TestRecordCodec:
+    @given(records)
+    def test_roundtrip(self, record):
+        assert decode_record(encode_record(record)) == json.loads(
+            json.dumps(record))
+
+    @given(records)
+    def test_encoding_is_deterministic(self, record):
+        assert encode_record(record) == encode_record(record)
+
+
+class TestGeoCodec:
+    @given(geometries())
+    @settings(max_examples=80)
+    def test_geometry_roundtrip(self, geom):
+        assert decode_geometry(encode_geometry(geom)) == geom
+
+    @given(geometries())
+    def test_encoding_is_json_safe(self, geom):
+        json.dumps(encode_geometry(geom))
+
+
+class TestSlottedPageProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=120), max_size=15))
+    def test_serialization_roundtrip(self, blobs):
+        page = SlottedPage(page_size=8192)
+        slots = []
+        for blob in blobs:
+            slots.append(page.add(blob))
+        rebuilt = SlottedPage.from_bytes(page.to_bytes(), page_size=8192)
+        for slot, blob in zip(slots, blobs):
+            assert rebuilt.get(slot) == blob
+        assert rebuilt.next_slot == page.next_slot
+
+    @given(st.lists(st.binary(min_size=1, max_size=100), min_size=1,
+                    max_size=10), st.data())
+    def test_deleted_slots_disappear(self, blobs, data):
+        page = SlottedPage(page_size=8192)
+        slots = [page.add(b) for b in blobs]
+        victim = data.draw(st.sampled_from(slots))
+        page.delete(victim)
+        rebuilt = SlottedPage.from_bytes(page.to_bytes(), page_size=8192)
+        assert victim not in rebuilt.slots
+        assert len(rebuilt.slots) == len(blobs) - 1
+
+
+class TestHeapProperties:
+    @given(st.lists(records, min_size=1, max_size=25), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_insert_delete_overwrite_scan_consistency(self, batch, data):
+        """A random op sequence ends with scan == the model dict."""
+        heap = HeapFile(MemoryPager(page_size=1024))
+        model: dict = {}
+        for i, record in enumerate(batch):
+            rid = heap.insert({"k": i, **record})
+            model[rid] = {"k": i, **json.loads(json.dumps(record))}
+        # random deletions
+        to_delete = data.draw(
+            st.lists(st.sampled_from(sorted(model)), unique=True,
+                     max_size=len(model)))
+        for rid in to_delete:
+            heap.delete(rid)
+            del model[rid]
+        # random overwrites (may relocate)
+        for rid in list(model)[:3]:
+            new_record = {"overwritten": True}
+            new_rid = heap.overwrite(rid, new_record)
+            del model[rid]
+            model[new_rid] = new_record
+        scanned = dict(heap.scan())
+        assert scanned == model
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_oversized_records_roundtrip(self, pages):
+        heap = HeapFile(MemoryPager(page_size=1024))
+        big = {"payload": "z" * (1024 * pages)}
+        rid = heap.insert(big)
+        assert heap.read(rid) == big
+        assert dict(heap.scan()) == {rid: big}
+
+
+class TestBufferProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=19), min_size=1,
+                    max_size=200),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40)
+    def test_buffer_is_transparent_cache(self, accesses, capacity):
+        """Reads through the buffer always equal direct pager reads."""
+        pager = MemoryPager(page_size=64)
+        for i in range(20):
+            no = pager.allocate_page()
+            pager.write_page(no, bytes([i]) * 8)
+        manager = BufferManager(pager, capacity=capacity)
+        for page_no in accesses:
+            assert manager.read_page(page_no) == pager._pages[page_no]
+        assert len(manager) <= capacity
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=9),
+                              st.booleans()),
+                    min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_write_back_preserves_data(self, ops):
+        """Interleaved reads/writes: final flush leaves pager == model."""
+        pager = MemoryPager(page_size=64)
+        for __ in range(10):
+            pager.allocate_page()
+        manager = BufferManager(pager, capacity=3)
+        model = {i: b"\x00" * 64 for i in range(10)}
+        for page_no, is_write in ops:
+            if is_write:
+                data = bytes([page_no + 1]) * 8
+                manager.write_page(page_no, data)
+                model[page_no] = data.ljust(64, b"\x00")
+            else:
+                assert manager.read_page(page_no) == model[page_no]
+        manager.flush()
+        for page_no, expected in model.items():
+            assert pager._pages[page_no] == expected

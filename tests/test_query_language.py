@@ -1,0 +1,254 @@
+"""Unit tests for the textual analysis-mode query language."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.geodb import parse_query, run_query
+from repro.geodb.query import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    SpatialPredicate,
+    TruePredicate,
+    WithinDistance,
+)
+from repro.spatial import Point
+
+
+class TestParsing:
+    def test_minimal(self):
+        query = parse_query("select * from Pole")
+        assert query.class_name == "Pole"
+        assert isinstance(query.where, TruePredicate)
+        assert query.projection is None
+        assert query.limit is None
+
+    def test_projection(self):
+        query = parse_query(
+            "select pole_type, pole_composition.pole_material from Pole")
+        assert query.projection == ["pole_type",
+                                    "pole_composition.pole_material"]
+
+    def test_comparisons(self):
+        query = parse_query("select * from Pole where pole_type >= 2")
+        assert isinstance(query.where, Comparison)
+        assert (query.where.path, query.where.op, query.where.value) == (
+            "pole_type", ">=", 2)
+
+    def test_string_and_bool_literals(self):
+        q1 = parse_query("select * from Pole where status = 'ok'")
+        assert q1.where.value == "ok"
+        q2 = parse_query("select * from Pole where flag = true")
+        assert q2.where.value is True
+        q3 = parse_query("select * from Pole where note = null")
+        assert q3.where.value is None
+
+    def test_like_and_in(self):
+        q1 = parse_query("select * from Pole where status like 'main'")
+        assert q1.where.op == "like"
+        q2 = parse_query(
+            "select * from Pole where pole_type in [1, 2, 3]")
+        assert q2.where.op == "in"
+        assert q2.where.value == [1, 2, 3]
+
+    def test_boolean_precedence_and_grouping(self):
+        query = parse_query(
+            "select * from Pole where a = 1 and b = 2 or c = 3")
+        assert isinstance(query.where, Or)          # or is outermost
+        assert isinstance(query.where.parts[0], And)
+        grouped = parse_query(
+            "select * from Pole where a = 1 and (b = 2 or c = 3)")
+        assert isinstance(grouped.where, And)
+
+    def test_not(self):
+        query = parse_query("select * from Pole where not pole_type = 1")
+        assert isinstance(query.where, Not)
+
+    def test_spatial_predicates(self):
+        query = parse_query(
+            "select * from Pole where within(pole_location, "
+            "bbox(0, 0, 10, 10))")
+        assert isinstance(query.where, SpatialPredicate)
+        assert query.where.relation == "within"
+        point = parse_query(
+            "select * from Pole where touches(pole_location, point(1, 2))")
+        assert point.where.probe == Point(1, 2)
+        line = parse_query(
+            "select * from Duct where crosses(duct_path, line(0 0, 10 10))")
+        assert line.where.probe.geom_type == "linestring"
+        poly = parse_query(
+            "select * from Pole where within(pole_location, "
+            "polygon(0 0, 10 0, 10 10, 0 10))")
+        assert poly.where.probe.geom_type == "polygon"
+
+    def test_distance(self):
+        query = parse_query(
+            "select * from Pole where "
+            "distance(pole_location, point(5, 5)) <= 20")
+        assert isinstance(query.where, WithinDistance)
+        assert query.where.radius == 20.0
+
+    def test_order_limit_subclasses(self):
+        query = parse_query(
+            "select * from Pole order by desc install_year limit 7 "
+            "including subclasses")
+        assert query.order_by == "-install_year"
+        assert query.limit == 7
+        assert query.include_subclasses
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query("SELECT * FROM Pole WHERE pole_type = 1 LIMIT 2")
+        assert query.limit == 2
+
+
+class TestParseErrors:
+    BROKEN = [
+        "from Pole",                                     # no select
+        "select from Pole",                              # no projection
+        "select * where x = 1",                          # no from
+        "select * from Pole where",                      # dangling where
+        "select * from Pole where x ~ 1",                # bad operator
+        "select * from Pole where x = word",             # bare literal
+        "select * from Pole where within(loc)",          # missing probe
+        "select * from Pole where distance(loc, point(1, 1)) = 3",  # not <=
+        "select * from Pole where hovers(loc, point(1, 1))",        # bad rel
+        "select * from Pole where x in 5",               # in needs a list
+        "select * from Pole limit 3 garbage",            # trailing input
+        "select * from Pole where within(loc, sphere(1, 2))",       # shape
+    ]
+
+    @pytest.mark.parametrize("text", BROKEN)
+    def test_broken_query_rejected(self, text):
+        with pytest.raises(QueryError):
+            parse_query(text)
+
+
+class TestExecution:
+    def test_end_to_end(self, phone_db):
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where "
+            "within(pole_location, bbox(-1, -1, 500, 500))")
+        assert len(result) == phone_db.count("phone_net", "Pole")
+        assert result.report["plan"] == "index-scan"
+
+    def test_tuple_field_filter(self, phone_db):
+        result = run_query(
+            phone_db, "phone_net",
+            "select pole_composition.pole_material from Pole "
+            "where pole_composition.pole_material = 'wood'")
+        assert all(
+            row["pole_composition.pole_material"] == "wood"
+            for row in result.rows)
+
+    def test_mixed_spatial_and_attribute(self, phone_db):
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where pole_type = 1 and "
+            "distance(pole_location, point(0, 0)) <= 150")
+        for obj in result.objects:
+            assert obj.get("pole_type") == 1
+            assert obj.geometry("pole_location").distance_to(
+                Point(0, 0)) <= 150.0
+
+    def test_subclass_query(self, phone_db):
+        base = run_query(phone_db, "phone_net",
+                         "select * from NetworkElement")
+        subs = run_query(phone_db, "phone_net",
+                         "select * from NetworkElement including subclasses")
+        assert len(base) == 0
+        assert len(subs) == (
+            phone_db.count("phone_net", "Pole")
+            + phone_db.count("phone_net", "Duct")
+            + phone_db.count("phone_net", "Cable"))
+
+
+class TestRelateMask:
+    def test_relate_mask_parses_and_runs(self, phone_db):
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where relate(pole_location, "
+            "bbox(-1, -1, 500, 500), 'T*F**F***')")   # boolean 'within'
+        named = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where within(pole_location, "
+            "bbox(-1, -1, 500, 500))")
+        assert set(result.oids()) == set(named.oids())
+        assert result.report["plan"] == "index-scan"  # mask demands contact
+
+    def test_relate_without_contact_requirement_scans(self, phone_db):
+        result = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where relate(pole_location, "
+            "bbox(0, 0, 10, 10), 'FF*FF****')")        # boolean 'disjoint'
+        assert result.report["plan"] == "full-scan"
+        named = run_query(
+            phone_db, "phone_net",
+            "select * from Pole where disjoint(pole_location, "
+            "bbox(0, 0, 10, 10))")
+        assert set(result.oids()) == set(named.oids())
+
+    def test_bad_mask_rejected(self, phone_db):
+        with pytest.raises(QueryError):
+            parse_query("select * from Pole where "
+                        "relate(pole_location, point(1, 1), 'TTT')")
+        with pytest.raises(QueryError):
+            parse_query("select * from Pole where "
+                        "relate(pole_location, point(1, 1), bbox)")
+
+
+class TestAggregates:
+    def test_count_star(self, phone_db):
+        result = run_query(phone_db, "phone_net",
+                           "select count(*) from Pole")
+        assert result.rows == [
+            {"count(*)": phone_db.count("phone_net", "Pole")}]
+
+    def test_min_max_avg_sum(self, phone_db):
+        result = run_query(
+            phone_db, "phone_net",
+            "select min(install_year), max(install_year), "
+            "sum(pole_type), avg(pole_composition.pole_height) from Pole")
+        row = result.rows[0]
+        years = [o.get("install_year")
+                 for o in phone_db.extent("phone_net", "Pole")]
+        assert row["min(install_year)"] == min(years)
+        assert row["max(install_year)"] == max(years)
+        heights = [o.get("pole_composition")["pole_height"]
+                   for o in phone_db.extent("phone_net", "Pole")]
+        assert row["avg(pole_composition.pole_height)"] == pytest.approx(
+            sum(heights) / len(heights))
+
+    def test_aggregates_respect_where(self, phone_db):
+        result = run_query(phone_db, "phone_net",
+                           "select count(*) from Pole where pole_type = 1")
+        expected = sum(1 for o in phone_db.extent("phone_net", "Pole")
+                       if o.get("pole_type") == 1)
+        assert result.rows == [{"count(*)": expected}]
+
+    def test_count_path_skips_unset(self, phone_db):
+        from repro.spatial import Point
+
+        phone_db.insert("phone_net", "Pole",
+                        {"pole_location": Point(1, 1)})  # no install_year
+        result = run_query(
+            phone_db, "phone_net",
+            "select count(*), count(install_year) from Pole")
+        row = result.rows[0]
+        assert row["count(*)"] == row["count(install_year)"] + 1
+
+    def test_empty_set_aggregates(self, phone_db):
+        result = run_query(
+            phone_db, "phone_net",
+            "select count(*), min(install_year) from Pole "
+            "where pole_type = 999")
+        assert result.rows == [{"count(*)": 0, "min(install_year)": None}]
+
+    def test_mixed_selection_rejected(self, phone_db):
+        with pytest.raises(QueryError):
+            parse_query("select pole_type, count(*) from Pole")
+
+    def test_star_aggregate_only_for_count(self, phone_db):
+        with pytest.raises(QueryError):
+            parse_query("select min(*) from Pole")

@@ -1,0 +1,225 @@
+"""Unit tests for the R-tree."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.spatial import BBox, RTree, bulk_load, naive_search
+
+
+def make_entries(count, seed=0, extent=1000.0, size=5.0):
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        x = rng.uniform(0, extent - size)
+        y = rng.uniform(0, extent - size)
+        out.append((BBox(x, y, x + rng.uniform(0, size),
+                         y + rng.uniform(0, size)), i))
+    return out
+
+
+class TestInsertSearch:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.search(BBox(0, 0, 100, 100)) == []
+        assert tree.bbox().is_empty()
+
+    def test_search_matches_naive(self):
+        entries = make_entries(400, seed=1)
+        tree = RTree(max_entries=8)
+        for box, item in entries:
+            tree.insert(box, item)
+        tree.check_invariants()
+        for qseed in range(10):
+            rng = random.Random(qseed)
+            x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+            window = BBox(x, y, x + 100, y + 100)
+            assert sorted(tree.search(window)) == sorted(
+                naive_search(entries, window)
+            )
+
+    def test_search_point(self):
+        tree = RTree()
+        tree.insert(BBox(0, 0, 10, 10), "a")
+        tree.insert(BBox(20, 20, 30, 30), "b")
+        assert tree.search_point(5, 5) == ["a"]
+        assert tree.search_point(25, 25) == ["b"]
+        assert tree.search_point(15, 15) == []
+
+    def test_empty_query_box(self):
+        tree = RTree()
+        tree.insert(BBox(0, 0, 1, 1), "a")
+        assert tree.search(BBox.empty()) == []
+
+    def test_cannot_insert_empty_box(self):
+        with pytest.raises(IndexError_):
+            RTree().insert(BBox.empty(), "x")
+
+    def test_duplicate_boxes_allowed(self):
+        tree = RTree()
+        box = BBox(0, 0, 1, 1)
+        for i in range(20):
+            tree.insert(box, i)
+        assert sorted(tree.search(box)) == list(range(20))
+        tree.check_invariants()
+
+    def test_count(self):
+        tree = RTree()
+        for box, item in make_entries(50, seed=2):
+            tree.insert(box, item)
+        window = BBox(0, 0, 500, 500)
+        assert tree.count(window) == len(tree.search(window))
+
+    def test_height_grows_logarithmically(self):
+        tree = RTree(max_entries=4)
+        for box, item in make_entries(500, seed=3):
+            tree.insert(box, item)
+        assert tree.height <= 8
+        tree.check_invariants()
+
+
+class TestDelete:
+    def test_delete_then_search(self):
+        entries = make_entries(200, seed=4)
+        tree = RTree(max_entries=6)
+        for box, item in entries:
+            tree.insert(box, item)
+        removed = entries[:100]
+        for box, item in removed:
+            tree.delete(box, item)
+        tree.check_invariants()
+        assert len(tree) == 100
+        window = BBox(0, 0, 1000, 1000)
+        assert sorted(tree.search(window)) == sorted(
+            i for __, i in entries[100:]
+        )
+
+    def test_delete_missing_raises(self):
+        tree = RTree()
+        tree.insert(BBox(0, 0, 1, 1), "a")
+        with pytest.raises(IndexError_):
+            tree.delete(BBox(0, 0, 1, 1), "b")
+        with pytest.raises(IndexError_):
+            tree.delete(BBox(5, 5, 6, 6), "a")
+
+    def test_delete_all_then_reuse(self):
+        entries = make_entries(60, seed=5)
+        tree = RTree(max_entries=4)
+        for box, item in entries:
+            tree.insert(box, item)
+        for box, item in entries:
+            tree.delete(box, item)
+        assert len(tree) == 0
+        tree.check_invariants()
+        tree.insert(BBox(0, 0, 1, 1), "again")
+        assert tree.search_point(0.5, 0.5) == ["again"]
+
+
+class TestNearest:
+    def test_nearest_single(self):
+        tree = RTree()
+        tree.insert(BBox(0, 0, 1, 1), "near")
+        tree.insert(BBox(100, 100, 101, 101), "far")
+        assert tree.nearest(2, 2) == ["near"]
+
+    def test_nearest_k_ordered(self):
+        tree = RTree()
+        for i in range(10):
+            tree.insert(BBox(i * 10, 0, i * 10 + 1, 1), i)
+        assert tree.nearest(0, 0, k=3) == [0, 1, 2]
+
+    def test_nearest_k_larger_than_size(self):
+        tree = RTree()
+        tree.insert(BBox(0, 0, 1, 1), "only")
+        assert tree.nearest(50, 50, k=5) == ["only"]
+
+    def test_nearest_invalid_k(self):
+        with pytest.raises(IndexError_):
+            RTree().nearest(0, 0, k=0)
+
+    def test_nearest_matches_brute_force(self):
+        entries = make_entries(150, seed=6)
+        tree = RTree()
+        for box, item in entries:
+            tree.insert(box, item)
+        qx, qy = 500.0, 500.0
+        brute = sorted(entries, key=lambda e: e[0].distance_to_point(qx, qy))
+        got = set(tree.nearest(qx, qy, k=5))
+        expected_dists = sorted(
+            e[0].distance_to_point(qx, qy) for e in brute[:5]
+        )
+        got_dists = sorted(
+            box.distance_to_point(qx, qy)
+            for box, item in entries if item in got
+        )
+        assert got_dists == pytest.approx(expected_dists)
+
+
+class TestConstruction:
+    def test_parameters_validated(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=1)
+        with pytest.raises(IndexError_):
+            RTree(max_entries=4, min_entries=3)
+
+    def test_bulk_load_equivalent(self):
+        entries = make_entries(300, seed=7)
+        tree = bulk_load(entries, max_entries=8)
+        tree.check_invariants()
+        window = BBox(100, 100, 400, 400)
+        assert sorted(tree.search(window)) == sorted(
+            naive_search(entries, window)
+        )
+
+    def test_bulk_load_empty(self):
+        assert len(bulk_load([])) == 0
+
+    def test_items_iterates_everything(self):
+        entries = make_entries(40, seed=8)
+        tree = RTree()
+        for box, item in entries:
+            tree.insert(box, item)
+        assert sorted(i for __, i in tree.items()) == sorted(
+            i for __, i in entries
+        )
+
+
+class TestSTRBulkLoad:
+    def test_packed_tree_invariants_across_sizes(self):
+        for count in (1, 3, 7, 16, 17, 100, 1000):
+            entries = make_entries(count, seed=count)
+            tree = bulk_load(entries, max_entries=8)
+            tree.check_invariants()
+            assert len(tree) == count
+
+    def test_str_packs_shallower_than_incremental(self):
+        entries = make_entries(2000, seed=20)
+        packed = bulk_load(entries, max_entries=8)
+        incremental = RTree(max_entries=8)
+        for box, item in entries:
+            incremental.insert(box, item)
+        assert packed.height <= incremental.height
+
+    def test_dynamic_ops_after_bulk_load(self):
+        entries = make_entries(300, seed=21)
+        tree = bulk_load(entries, max_entries=8)
+        for box, item in entries[:150]:
+            tree.delete(box, item)
+        tree.insert(BBox(0, 0, 1, 1), "fresh")
+        tree.check_invariants()
+        assert len(tree) == 151
+        window = BBox(0, 0, 1000, 1000)
+        expected = {i for __, i in entries[150:]} | {"fresh"}
+        assert set(tree.search(window)) == expected
+
+    def test_str_answers_match_naive(self):
+        entries = make_entries(800, seed=22)
+        tree = bulk_load(entries, max_entries=16)
+        for qseed in range(6):
+            rng = random.Random(qseed)
+            x, y = rng.uniform(0, 800), rng.uniform(0, 800)
+            window = BBox(x, y, x + 150, y + 150)
+            assert sorted(tree.search(window)) == sorted(
+                naive_search(entries, window))

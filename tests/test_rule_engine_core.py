@@ -1,0 +1,280 @@
+"""Unit tests for the customization rule engine (the paper's core)."""
+
+import pytest
+
+from repro.active import EventKind
+from repro.core import (
+    AttributeCustomization,
+    ClassCustomization,
+    Context,
+    ContextPattern,
+    CustomizationDirective,
+    CustomizationEngine,
+)
+from repro.errors import CustomizationError, RuleError
+from repro.geodb import MetadataCatalog
+
+
+def directive(name="d1", user="juliano", category=None,
+              application="pole_manager", schema_display="null",
+              class_name="Pole"):
+    return CustomizationDirective(
+        name=name,
+        pattern=ContextPattern(user=user, category=category,
+                               application=application),
+        schema_name="phone_net",
+        schema_display=schema_display,
+        classes=(ClassCustomization(
+            class_name=class_name,
+            control_widget="poleWidget",
+            presentation_format="pointFormat",
+            attributes=(
+                AttributeCustomization("pole_location", "null"),
+                AttributeCustomization("pole_supplier", "text"),
+            ),
+        ),),
+    )
+
+
+@pytest.fixture()
+def engine(phone_db):
+    return CustomizationEngine(phone_db.bus)
+
+
+CTX = Context(user="juliano", application="pole_manager")
+
+
+class TestDirectiveModel:
+    def test_duplicate_class_clause_rejected(self):
+        with pytest.raises(CustomizationError):
+            CustomizationDirective(
+                name="bad",
+                pattern=ContextPattern(),
+                schema_name="s",
+                classes=(ClassCustomization("A"), ClassCustomization("A")),
+            )
+
+    def test_unknown_schema_display_rejected(self):
+        with pytest.raises(CustomizationError):
+            CustomizationDirective(name="bad", pattern=ContextPattern(),
+                                   schema_name="s", schema_display="rotated")
+
+    def test_description_roundtrip(self):
+        d = directive()
+        rebuilt = CustomizationDirective.from_description(d.describe())
+        assert rebuilt == d
+
+    def test_class_clause_lookup(self):
+        d = directive()
+        assert d.class_clause("Pole").control_widget == "poleWidget"
+        assert d.class_clause("Ghost") is None
+        assert d.class_names() == ["Pole"]
+        clause = d.class_clause("Pole")
+        assert clause.attribute("pole_location").format_name == "null"
+        assert clause.attribute("missing") is None
+
+
+class TestRuleGeneration:
+    def test_rule_count_per_directive(self, engine):
+        rules = engine.register_directive(directive(), persist=False)
+        # 1 schema + 1 class + 2 attribute rules
+        assert len(rules) == 4
+        names = {r.name for r in rules}
+        assert "d1::schema" in names
+        assert "d1::class::Pole" in names
+        assert "d1::attr::Pole.pole_location" in names
+
+    def test_rule_docs_in_paper_notation(self, engine):
+        rules = engine.register_directive(directive(), persist=False)
+        schema_rule = next(r for r in rules if r.name == "d1::schema")
+        assert "On Get_Schema" in schema_rule.doc
+        assert "Get_Class(Pole)" in schema_rule.doc  # the R1 cascade
+
+    def test_duplicate_directive_rejected(self, engine):
+        engine.register_directive(directive(), persist=False)
+        with pytest.raises(CustomizationError):
+            engine.register_directive(directive(), persist=False)
+
+    def test_unregister_removes_rules(self, engine):
+        engine.register_directive(directive(), persist=False)
+        engine.unregister_directive("d1")
+        assert engine.manager.rules() == []
+        assert engine.directives() == []
+        with pytest.raises(CustomizationError):
+            engine.unregister_directive("d1")
+
+    def test_conflicting_registration_rolls_back(self, engine):
+        engine.register_directive(directive(), persist=False)
+        before = len(engine.manager.rules())
+        # Occupy a rule name the next directive will need for its *second*
+        # rule, so registration fails midway and must roll back rule 1.
+        engine.manager.define("d2::class::Pole", [EventKind.GET_CLASS],
+                              lambda e: False, lambda e, m: None)
+        with pytest.raises(RuleError):
+            engine.register_directive(directive(name="d2"), persist=False)
+        assert len(engine.manager.rules()) == before + 1  # only the blocker
+        assert [d.name for d in engine.directives()] == ["d1"]
+
+
+class TestDecisionCapture:
+    def test_schema_decision(self, engine, phone_db):
+        engine.register_directive(directive(), persist=False)
+        phone_db.get_schema("phone_net", context=CTX)
+        event_id = phone_db.bus.last_event.event_id
+        decision = engine.schema_decision(event_id)
+        assert decision is not None
+        assert decision.schema_display == "null"
+        assert decision.cascade_classes == ("Pole",)
+
+    def test_no_decision_for_other_context(self, engine, phone_db):
+        engine.register_directive(directive(), persist=False)
+        phone_db.get_schema("phone_net",
+                            context=Context(user="maria"))
+        event_id = phone_db.bus.last_event.event_id
+        assert engine.schema_decision(event_id) is None
+
+    def test_no_cascade_for_visible_schema(self, engine, phone_db):
+        engine.register_directive(directive(schema_display="hierarchy"),
+                                  persist=False)
+        phone_db.get_schema("phone_net", context=CTX)
+        decision = engine.schema_decision(phone_db.bus.last_event.event_id)
+        assert decision.cascade_classes == ()
+
+    def test_class_decision(self, engine, phone_db):
+        engine.register_directive(directive(), persist=False)
+        phone_db.get_class("phone_net", "Pole", context=CTX)
+        decision = engine.class_decision(phone_db.bus.last_event.event_id)
+        assert decision.class_clause.control_widget == "poleWidget"
+
+    def test_attribute_decisions(self, engine, phone_db, pole_oid):
+        engine.register_directive(directive(), persist=False)
+        phone_db.get_value(pole_oid, context=CTX)
+        decisions = engine.attribute_decisions(
+            phone_db.bus.last_event.event_id)
+        assert set(decisions) == {"pole_location", "pole_supplier"}
+        assert decisions["pole_location"].format_name == "null"
+
+    def test_decision_window_bounded(self, engine, phone_db):
+        engine.register_directive(directive(), persist=False)
+        engine._decision_window = 4
+        ids = []
+        for __ in range(10):
+            phone_db.get_schema("phone_net", context=CTX)
+            ids.append(phone_db.bus.last_event.event_id)
+        assert engine.schema_decision(ids[0]) is None     # evicted
+        assert engine.schema_decision(ids[-1]) is not None
+
+
+class TestSpecificitySelection:
+    def test_most_specific_rule_wins(self, engine, phone_db, pole_oid):
+        engine.register_directive(
+            directive(name="generic", user=None, application=None),
+            persist=False)
+        engine.register_directive(
+            directive(name="category", user=None, category="eng",
+                      application=None, schema_display="hierarchy"),
+            persist=False)
+        engine.register_directive(
+            directive(name="personal", schema_display="null"),
+            persist=False)
+
+        # Generic user: only the generic rule matches.
+        phone_db.get_schema("phone_net", context=Context(user="zoe"))
+        d = engine.schema_decision(phone_db.bus.last_event.event_id)
+        assert d.directive_name == "generic"
+
+        # Category member: category beats generic.
+        phone_db.get_schema("phone_net",
+                            context=Context(user="zoe", category="eng"))
+        d = engine.schema_decision(phone_db.bus.last_event.event_id)
+        assert d.directive_name == "category"
+
+        # The named user within the category: personal beats both.
+        phone_db.get_schema(
+            "phone_net",
+            context=Context(user="juliano", category="eng",
+                            application="pole_manager"))
+        d = engine.schema_decision(phone_db.bus.last_event.event_id)
+        assert d.directive_name == "personal"
+
+    def test_equal_specificity_conflict_raises(self, engine, phone_db):
+        engine.register_directive(directive(name="a"), persist=False)
+        engine.register_directive(directive(name="b"), persist=False)
+        with pytest.raises(RuleError, match="ambiguous"):
+            phone_db.get_schema("phone_net", context=CTX)
+
+    def test_different_targets_do_not_conflict(self, engine, phone_db):
+        engine.register_directive(directive(name="a"), persist=False)
+        engine.register_directive(
+            directive(name="b", class_name="Duct"), persist=False)
+        with pytest.raises(RuleError):
+            # both customize schema phone_net at equal specificity
+            phone_db.get_schema("phone_net", context=CTX)
+        # but the class-level rules target different classes: no conflict
+        phone_db.get_class("phone_net", "Pole", context=CTX)
+        d = engine.class_decision(phone_db.bus.last_event.event_id)
+        assert d.directive_name == "a"
+
+
+class TestPersistence:
+    def test_catalog_roundtrip(self, phone_db):
+        catalog = MetadataCatalog(phone_db)
+        engine = CustomizationEngine(phone_db.bus, catalog=catalog)
+        engine.register_directive(directive(), persist=True)
+        engine.manager.detach()
+
+        fresh = CustomizationEngine(phone_db.bus, catalog=catalog)
+        assert fresh.load_from_catalog() == 1
+        phone_db.get_schema("phone_net", context=CTX)
+        decision = fresh.schema_decision(phone_db.bus.last_event.event_id)
+        assert decision is not None
+        fresh.manager.detach()
+
+    def test_load_without_catalog_rejected(self, engine):
+        with pytest.raises(CustomizationError):
+            engine.load_from_catalog()
+
+
+class TestExplanation:
+    def test_explain_decisions(self, engine, phone_db):
+        engine.register_directive(directive(), persist=False)
+        phone_db.get_schema("phone_net", context=CTX)
+        text = engine.explain(phone_db.bus.last_event.event_id)
+        assert "d1::schema" in text
+        assert "On Get_Schema" in text
+
+    def test_explain_default(self, engine, phone_db):
+        phone_db.get_schema("phone_net", context=CTX)
+        text = engine.explain(phone_db.bus.last_event.event_id)
+        assert "generic (default)" in text
+
+    def test_stats(self, engine):
+        engine.register_directive(directive(), persist=False)
+        stats = engine.stats()
+        assert stats["directives"] == 1
+        assert stats["rules"] == 4
+
+
+class TestEnableDisable:
+    def test_disabled_directive_stops_firing(self, engine, phone_db):
+        engine.register_directive(directive(), persist=False)
+        assert engine.set_directive_enabled("d1", False) == 4
+        phone_db.get_schema("phone_net", context=CTX)
+        assert engine.schema_decision(phone_db.bus.last_event.event_id) \
+            is None
+        assert engine.set_directive_enabled("d1", True) == 4
+        phone_db.get_schema("phone_net", context=CTX)
+        assert engine.schema_decision(phone_db.bus.last_event.event_id) \
+            is not None
+
+    def test_disable_resolves_priority_conflicts(self, engine, phone_db):
+        engine.register_directive(directive(name="a"), persist=False)
+        engine.register_directive(directive(name="b"), persist=False)
+        engine.set_directive_enabled("b", False)
+        phone_db.get_schema("phone_net", context=CTX)   # no ambiguity now
+        decision = engine.schema_decision(phone_db.bus.last_event.event_id)
+        assert decision.directive_name == "a"
+
+    def test_unknown_directive(self, engine):
+        with pytest.raises(CustomizationError):
+            engine.set_directive_enabled("ghost", True)

@@ -1,0 +1,224 @@
+"""Unit tests for the generic ECA rule manager."""
+
+import pytest
+
+from repro.active import (
+    Coupling,
+    Event,
+    EventBus,
+    EventKind,
+    Rule,
+    RuleManager,
+    SelectionPolicy,
+)
+from repro.errors import CascadeLimitError, RuleError
+
+
+@pytest.fixture()
+def bus():
+    return EventBus()
+
+
+@pytest.fixture()
+def manager(bus):
+    return RuleManager(bus)
+
+
+def fire(bus, kind=EventKind.GET_SCHEMA, subject="s", depth=0, context=None):
+    event = Event(kind, subject, context=context, depth=depth)
+    bus.publish(event)
+    return event
+
+
+class TestRuleMatching:
+    def test_event_kind_filter(self, bus, manager):
+        hits = []
+        manager.define("r", [EventKind.GET_CLASS], lambda e: True,
+                       lambda e, m: hits.append(e))
+        fire(bus, EventKind.GET_SCHEMA)
+        assert hits == []
+        fire(bus, EventKind.GET_CLASS)
+        assert len(hits) == 1
+
+    def test_condition_filter(self, bus, manager):
+        hits = []
+        manager.define("r", [EventKind.GET_SCHEMA],
+                       lambda e: e.subject == "wanted",
+                       lambda e, m: hits.append(e.subject))
+        fire(bus, subject="other")
+        fire(bus, subject="wanted")
+        assert hits == ["wanted"]
+
+    def test_disabled_rule_skipped(self, bus, manager):
+        hits = []
+        rule = manager.define("r", [EventKind.GET_SCHEMA], lambda e: True,
+                              lambda e, m: hits.append(1))
+        rule.enabled = False
+        fire(bus)
+        assert hits == []
+
+    def test_condition_error_wrapped(self, bus, manager):
+        manager.define("bad", [EventKind.GET_SCHEMA],
+                       lambda e: 1 / 0, lambda e, m: None)
+        with pytest.raises(RuleError, match="condition of rule 'bad'"):
+            fire(bus)
+
+
+class TestRuleSetManagement:
+    def test_duplicate_name_rejected(self, manager):
+        manager.define("r", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: None)
+        with pytest.raises(RuleError):
+            manager.define("r", [EventKind.GET_SCHEMA], lambda e: True,
+                           lambda e, m: None)
+
+    def test_remove_and_get(self, manager):
+        manager.define("r", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: None)
+        assert manager.get_rule("r").name == "r"
+        manager.remove_rule("r")
+        with pytest.raises(RuleError):
+            manager.get_rule("r")
+        with pytest.raises(RuleError):
+            manager.remove_rule("r")
+
+    def test_rules_by_group(self, manager):
+        manager.define("a", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: None, group="g1")
+        manager.define("b", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: None, group="g2")
+        assert [r.name for r in manager.rules("g1")] == ["a"]
+        assert len(manager.rules()) == 2
+
+
+class TestSelectionPolicies:
+    def test_all_matching_runs_every_rule(self, bus, manager):
+        hits = []
+        for i in range(3):
+            manager.define(f"r{i}", [EventKind.GET_SCHEMA], lambda e: True,
+                           lambda e, m, i=i: hits.append(i), priority=i)
+        fire(bus)
+        assert hits == [2, 1, 0]  # priority order, high first
+
+    def test_highest_priority_selects_one(self, bus, manager):
+        hits = []
+        manager.set_policy("g", SelectionPolicy.HIGHEST_PRIORITY)
+        for i in range(3):
+            manager.define(f"r{i}", [EventKind.GET_SCHEMA], lambda e: True,
+                           lambda e, m, i=i: hits.append(i),
+                           priority=i, group="g")
+        fire(bus)
+        assert hits == [2]
+
+    def test_priority_tie_in_highest_mode_is_error(self, bus, manager):
+        manager.set_policy("g", SelectionPolicy.HIGHEST_PRIORITY)
+        for name in ("a", "b"):
+            manager.define(name, [EventKind.GET_SCHEMA], lambda e: True,
+                           lambda e, m: None, priority=5, group="g")
+        with pytest.raises(RuleError, match="ambiguous"):
+            fire(bus)
+
+    def test_tie_is_fine_when_only_one_matches(self, bus, manager):
+        hits = []
+        manager.set_policy("g", SelectionPolicy.HIGHEST_PRIORITY)
+        manager.define("a", [EventKind.GET_SCHEMA], lambda e: e.subject == "x",
+                       lambda e, m: hits.append("a"), priority=5, group="g")
+        manager.define("b", [EventKind.GET_SCHEMA], lambda e: e.subject == "y",
+                       lambda e, m: hits.append("b"), priority=5, group="g")
+        fire(bus, subject="x")
+        assert hits == ["a"]
+
+    def test_groups_are_independent(self, bus, manager):
+        hits = []
+        manager.set_policy("pick_one", SelectionPolicy.HIGHEST_PRIORITY)
+        manager.define("one_a", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: hits.append("one_a"), priority=1,
+                       group="pick_one")
+        manager.define("one_b", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: hits.append("one_b"), priority=2,
+                       group="pick_one")
+        manager.define("all_a", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: hits.append("all_a"), group="run_all")
+        fire(bus)
+        assert set(hits) == {"one_b", "all_a"}
+
+
+class TestCouplingModes:
+    def test_deferred_rules_queue(self, bus, manager):
+        hits = []
+        manager.define("d", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: hits.append(1),
+                       coupling=Coupling.DEFERRED)
+        fire(bus)
+        assert hits == []
+        assert manager.deferred_count == 1
+        assert manager.flush_deferred() == 1
+        assert hits == [1]
+        assert manager.deferred_count == 0
+
+    def test_immediate_runs_inline(self, bus, manager):
+        hits = []
+        manager.define("i", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: hits.append(1))
+        fire(bus)
+        assert hits == [1]
+
+
+class TestCascades:
+    def test_action_raises_derived_event(self, bus, manager):
+        seen = []
+        manager.define(
+            "cascade", [EventKind.GET_SCHEMA], lambda e: True,
+            lambda e, m: m.raise_event(e.derived(EventKind.GET_CLASS, "C")),
+        )
+        manager.define("leaf", [EventKind.GET_CLASS], lambda e: True,
+                       lambda e, m: seen.append(e.depth))
+        fire(bus)
+        assert seen == [1]
+
+    def test_cascade_depth_limit(self, bus):
+        manager = RuleManager(bus, max_cascade_depth=3)
+        manager.define(
+            "looper", [EventKind.GET_SCHEMA], lambda e: True,
+            lambda e, m: m.raise_event(e.derived(EventKind.GET_SCHEMA, "s")),
+        )
+        with pytest.raises(CascadeLimitError):
+            fire(bus)
+
+    def test_detach_stops_reactions(self, bus, manager):
+        hits = []
+        manager.define("r", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: hits.append(1))
+        manager.detach()
+        fire(bus)
+        assert hits == []
+
+
+class TestTrace:
+    def test_firings_recorded(self, bus, manager):
+        manager.define("r", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: "result")
+        event = fire(bus)
+        firings = manager.firings_for(event.event_id)
+        assert len(firings) == 1
+        assert firings[0].result == "result"
+        assert firings[0].error is None
+        assert "r on get_schema(s)" in manager.explain_last()
+
+    def test_action_error_recorded_and_reraised(self, bus, manager):
+        manager.define("boom", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            fire(bus)
+        assert "error" in manager.trace[-1].describe()
+
+    def test_trace_bounded(self, bus):
+        manager = RuleManager(bus, trace_limit=5)
+        manager.define("r", [EventKind.GET_SCHEMA], lambda e: True,
+                       lambda e, m: None)
+        for __ in range(20):
+            fire(bus)
+        assert len(manager.trace) == 5
+
+    def test_explain_empty(self, manager):
+        assert "no rule" in manager.explain_last()

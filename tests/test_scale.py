@@ -1,0 +1,126 @@
+"""Unit tests for map scale, viewport and generalization."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.spatial import (
+    BBox,
+    LineString,
+    MapScale,
+    MultiLineString,
+    Point,
+    Polygon,
+    SCALE_BANDS,
+    Viewport,
+    extent_for_scale,
+    generalize,
+    scale_for_extent,
+)
+
+
+class TestMapScale:
+    def test_ground_units(self):
+        assert MapScale(10_000).ground_units_per_mm() == 10.0
+        assert MapScale(1_000).ground_units_per_mm() == 1.0
+
+    def test_smaller_scale_comparison(self):
+        assert MapScale(50_000).is_smaller_than(MapScale(10_000))
+        assert not MapScale(1_000).is_smaller_than(MapScale(10_000))
+
+    def test_invalid_denominator(self):
+        with pytest.raises(GeometryError):
+            MapScale(0)
+
+    def test_bands_ordered(self):
+        assert SCALE_BANDS["detail"].denominator < SCALE_BANDS["city"].denominator
+
+    def test_str(self):
+        assert str(MapScale(10_000)) == "1:10000"
+
+
+class TestViewport:
+    def test_to_cell_corners(self):
+        vp = Viewport(BBox(0, 0, 100, 100), width=10, height=10)
+        assert vp.to_cell(0, 100) == (0, 0)          # top-left
+        assert vp.to_cell(99.9, 0.1) == (9, 9)       # bottom-right
+        assert vp.to_cell(150, 50) is None           # outside
+
+    def test_row_zero_is_top(self):
+        vp = Viewport(BBox(0, 0, 100, 100), width=10, height=10)
+        __, top_row = vp.to_cell(50, 99)
+        __, bottom_row = vp.to_cell(50, 1)
+        assert top_row < bottom_row
+
+    def test_cell_ground_size(self):
+        vp = Viewport(BBox(0, 0, 100, 50), width=10, height=5)
+        assert vp.cell_ground_size() == (10.0, 10.0)
+
+    def test_zoom_in_shrinks_extent(self):
+        vp = Viewport(BBox(0, 0, 100, 100), width=10, height=10)
+        zoomed = vp.zoomed(2.0)
+        assert zoomed.extent.width == pytest.approx(50.0)
+        assert zoomed.extent.center() == vp.extent.center()
+
+    def test_pan(self):
+        vp = Viewport(BBox(0, 0, 100, 100), width=10, height=10)
+        panned = vp.panned(0.5, 0.0)
+        assert panned.extent.min_x == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            Viewport(BBox.empty(), 10, 10)
+        with pytest.raises(GeometryError):
+            Viewport(BBox(0, 0, 10, 10), 0, 5)
+        with pytest.raises(GeometryError):
+            Viewport(BBox(0, 0, 10, 10), 10, 10).zoomed(0)
+
+
+class TestGeneralize:
+    def test_points_survive(self):
+        assert generalize(Point(1, 2), MapScale(1_000_000)) == Point(1, 2)
+
+    def test_short_line_drops(self):
+        line = LineString([(0, 0), (1, 0)])      # 1 m long
+        assert generalize(line, MapScale(10_000)) is None  # 10 m per mm
+
+    def test_long_line_simplifies(self):
+        coords = [(i * 10.0, 0.02 * (i % 2)) for i in range(100)]
+        line = LineString(coords)
+        out = generalize(line, MapScale(10_000))
+        assert isinstance(out, LineString)
+        assert len(out.coords) < len(line.coords)
+
+    def test_tiny_polygon_collapses_to_centroid(self):
+        poly = Polygon.from_bbox(BBox(0, 0, 2, 2))   # 4 m2
+        out = generalize(poly, MapScale(10_000))     # 100 m2 per mm2
+        assert isinstance(out, Point)
+
+    def test_large_polygon_stays_polygon(self):
+        poly = Polygon.from_bbox(BBox(0, 0, 5_000, 5_000))
+        out = generalize(poly, MapScale(10_000))
+        assert isinstance(out, Polygon)
+
+    def test_multiline_memberwise(self):
+        mls = MultiLineString([
+            LineString([(0, 0), (0.5, 0)]),            # drops
+            LineString([(0, 0), (5_000, 0)]),          # survives
+        ])
+        out = generalize(mls, MapScale(10_000))
+        assert isinstance(out, LineString)
+
+
+class TestExtentScale:
+    def test_extent_for_scale(self):
+        extent = extent_for_scale((0, 0), MapScale(10_000),
+                                  width_mm=200, height_mm=100)
+        assert extent.width == pytest.approx(2_000.0)
+        assert extent.height == pytest.approx(1_000.0)
+
+    def test_scale_for_extent_roundtrip(self):
+        extent = BBox(0, 0, 2_000, 1_000)
+        scale = scale_for_extent(extent, width_mm=200)
+        assert scale.denominator == pytest.approx(10_000, rel=0.01)
+
+    def test_scale_for_degenerate_extent(self):
+        with pytest.raises(GeometryError):
+            scale_for_extent(BBox.empty())

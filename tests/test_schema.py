@@ -1,0 +1,185 @@
+"""Unit tests for schemas, classes, attributes, methods and inheritance."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.geodb import (
+    Attribute,
+    FLOAT,
+    GeoClass,
+    GeometryType,
+    INTEGER,
+    Method,
+    ReferenceType,
+    Schema,
+    TEXT,
+)
+
+
+def base_schema():
+    schema = Schema("net")
+    schema.add_class(GeoClass("Supplier", [Attribute("name", TEXT, required=True)]))
+    schema.add_class(GeoClass(
+        "Element",
+        [Attribute("status", TEXT), Attribute("year", INTEGER)],
+        methods=[Method("describe", [])],
+    ))
+    schema.add_class(GeoClass(
+        "Pole",
+        [
+            Attribute("height", FLOAT),
+            Attribute("supplier", ReferenceType("Supplier")),
+            Attribute("location", GeometryType("point"), required=True),
+        ],
+        superclass="Element",
+    ))
+    return schema
+
+
+class TestAttribute:
+    def test_name_validated(self):
+        with pytest.raises(SchemaError):
+            Attribute("2bad", TEXT)
+        with pytest.raises(SchemaError):
+            Attribute("has space", TEXT)
+
+    def test_type_required(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "text")  # type: ignore[arg-type]
+
+    def test_spatial_and_reference_flags(self):
+        assert Attribute("g", GeometryType()).is_spatial()
+        assert Attribute("r", ReferenceType("A")).is_reference()
+        assert not Attribute("t", TEXT).is_spatial()
+
+    def test_description_roundtrip(self):
+        attr = Attribute("height", FLOAT, required=True, doc="meters")
+        rebuilt = Attribute.from_description(attr.describe())
+        assert rebuilt.name == "height"
+        assert rebuilt.required
+        assert rebuilt.doc == "meters"
+
+
+class TestGeoClass:
+    def test_duplicate_attribute_rejected(self):
+        cls = GeoClass("A", [Attribute("x", TEXT)])
+        with pytest.raises(SchemaError):
+            cls.add_attribute(Attribute("x", INTEGER))
+
+    def test_duplicate_method_rejected(self):
+        cls = GeoClass("A", methods=[Method("m")])
+        with pytest.raises(SchemaError):
+            cls.add_method(Method("m"))
+
+    def test_attribute_lookup(self):
+        cls = GeoClass("A", [Attribute("x", TEXT)])
+        assert cls.attribute("x").type is TEXT
+        assert cls.has_attribute("x")
+        with pytest.raises(SchemaError):
+            cls.attribute("y")
+
+    def test_attribute_order_preserved(self):
+        cls = GeoClass("A", [Attribute("b", TEXT), Attribute("a", TEXT)])
+        assert cls.attribute_names() == ["b", "a"]
+
+    def test_method_signature(self):
+        assert Method("get_name", ["Supplier"]).signature() == "get_name(Supplier)"
+
+
+class TestSchema:
+    def test_duplicate_class_rejected(self):
+        schema = base_schema()
+        with pytest.raises(SchemaError):
+            schema.add_class(GeoClass("Pole"))
+
+    def test_unknown_superclass_rejected(self):
+        schema = Schema("s")
+        with pytest.raises(SchemaError):
+            schema.add_class(GeoClass("Sub", superclass="Missing"))
+
+    def test_unknown_reference_target_rejected(self):
+        schema = Schema("s")
+        with pytest.raises(SchemaError):
+            schema.add_class(GeoClass(
+                "A", [Attribute("r", ReferenceType("Nowhere"))]
+            ))
+
+    def test_self_reference_allowed(self):
+        schema = Schema("s")
+        schema.add_class(GeoClass(
+            "Node", [Attribute("next_node", ReferenceType("Node"))]
+        ))
+
+    def test_remove_class_blocked_by_dependants(self):
+        schema = base_schema()
+        with pytest.raises(SchemaError):
+            schema.remove_class("Supplier")   # Pole references it
+        with pytest.raises(SchemaError):
+            schema.remove_class("Element")    # Pole extends it
+        schema.remove_class("Pole")
+        schema.remove_class("Supplier")       # now legal
+
+    def test_remove_missing_class(self):
+        with pytest.raises(SchemaError):
+            base_schema().remove_class("Ghost")
+
+
+class TestInheritance:
+    def test_ancestry_order(self):
+        schema = base_schema()
+        names = [c.name for c in schema.ancestry("Pole")]
+        assert names == ["Pole", "Element"]
+
+    def test_effective_attributes_base_first(self):
+        schema = base_schema()
+        names = [a.name for a in schema.effective_attributes("Pole")]
+        assert names == ["status", "year", "height", "supplier", "location"]
+
+    def test_redeclared_attribute_rejected(self):
+        schema = Schema("s")
+        schema.add_class(GeoClass("Base", [Attribute("x", TEXT)]))
+        schema.add_class(GeoClass("Sub", [Attribute("x", INTEGER)],
+                                  superclass="Base"))
+        with pytest.raises(SchemaError):
+            schema.effective_attributes("Sub")
+
+    def test_effective_methods_inherit_and_override(self):
+        schema = Schema("s")
+        schema.add_class(GeoClass("Base", methods=[Method("m", ["a"])]))
+        schema.add_class(GeoClass("Sub", methods=[Method("m", ["a", "b"])],
+                                  superclass="Base"))
+        methods = schema.effective_methods("Sub")
+        assert methods["m"].params == ["a", "b"]
+
+    def test_subclasses(self):
+        schema = base_schema()
+        assert schema.subclasses("Element") == ["Pole"]
+        assert schema.subclasses("Pole") == []
+
+    def test_hierarchy_tree(self):
+        schema = base_schema()
+        tree = schema.hierarchy()
+        assert set(tree[""]) == {"Supplier", "Element"}
+        assert tree["Element"] == ["Pole"]
+
+    def test_cycle_detected(self):
+        schema = Schema("s")
+        schema.add_class(GeoClass("A"))
+        schema.add_class(GeoClass("B", superclass="A"))
+        # Introduce a cycle behind the API's back, then detect it.
+        schema.get_class("A").superclass = "B"
+        with pytest.raises(SchemaError):
+            schema.ancestry("A")
+
+
+class TestDescriptionRoundtrip:
+    def test_schema_roundtrip(self):
+        schema = base_schema()
+        rebuilt = Schema.from_description(schema.describe())
+        assert rebuilt.class_names() == schema.class_names()
+        pole = rebuilt.get_class("Pole")
+        assert pole.superclass == "Element"
+        assert pole.attribute("location").required
+        assert [a.name for a in rebuilt.effective_attributes("Pole")] == [
+            a.name for a in schema.effective_attributes("Pole")
+        ]

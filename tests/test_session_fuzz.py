@@ -1,0 +1,95 @@
+"""Property-based fuzzing of whole sessions.
+
+Invariants checked across random interaction sequences, with and without
+customization directives installed:
+
+* the session never corrupts the screen (every open window renders and
+  describes);
+* the dispatcher interaction count matches the successful steps;
+* customization never leaks across contexts: a parallel generic session
+  on the same database keeps its default presentation throughout.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GISSession
+from repro.lang import FIGURE_6_PROGRAM
+from repro.ui import random_browse_script, summarize_window
+from repro.workloads import PhoneNetParams, build_phone_net_database
+
+
+@pytest.fixture(scope="module")
+def fuzz_db():
+    return build_phone_net_database(
+        PhoneNetParams(blocks_x=2, blocks_y=2, poles_per_street=2,
+                       duct_count=2, seed=99))
+
+
+class TestSessionFuzz:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           steps=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=25, deadline=None)
+    def test_random_browse_keeps_invariants(self, fuzz_db, seed, steps):
+        session = GISSession(fuzz_db, user=f"fuzz_{seed}", application="b")
+        script = random_browse_script(fuzz_db, "phone_net", steps, seed=seed)
+        results = script.run(session)
+        assert all(r.ok for r in results)
+        assert session.dispatcher.interactions >= len(results)
+        # every open window is coherent: renders, describes, summarizes
+        for window in session.screen.windows():
+            assert window.describe()["type"] == "window"
+            summary = summarize_window(window)
+            assert summary.widget_count >= 1
+            text = session.renderer.render(window)
+            assert isinstance(text, str) and text
+        session.engine.manager.detach()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_customization_never_leaks_across_contexts(self, fuzz_db, seed):
+        juliano = GISSession(fuzz_db, user="juliano",
+                             application="pole_manager")
+        juliano.install_program(FIGURE_6_PROGRAM, persist=False)
+        try:
+            bystander = GISSession(fuzz_db, user=f"bystander_{seed}",
+                                   application="pole_manager",
+                                   engine=juliano.engine)
+            script = random_browse_script(fuzz_db, "phone_net", 6, seed=seed)
+            results = script.run(bystander)
+            assert all(r.ok for r in results)
+            # the bystander's Pole window (if opened) stays default
+            if "classset_Pole" in bystander.screen.names():
+                window = bystander.screen.window("classset_Pole")
+                assert window.find("class_widget_Pole").widget_type == \
+                    "button"
+                assert window.get_property("presentation_format") == \
+                    "defaultFormat"
+            # and juliano still gets the customized one
+            juliano.connect("phone_net")
+            assert not juliano.screen.window("schema_phone_net").visible
+        finally:
+            juliano.engine.manager.detach()
+
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_interleaved_sessions_are_isolated(self, fuzz_db, seed):
+        """Two sessions interleave arbitrarily; screens stay separate."""
+        a = GISSession(fuzz_db, user=f"a{seed}", application="x")
+        b = GISSession(fuzz_db, user=f"b{seed}", application="y")
+        script_a = random_browse_script(fuzz_db, "phone_net", 4, seed=seed)
+        script_b = random_browse_script(fuzz_db, "phone_net", 4,
+                                        seed=seed + 1)
+        for step_a, step_b in zip(script_a.steps, script_b.steps):
+            script_one = type(script_a)(steps=[step_a])
+            script_two = type(script_b)(steps=[step_b])
+            assert all(r.ok for r in script_one.run(a))
+            assert all(r.ok for r in script_two.run(b))
+        assert set(a.screen.names()).isdisjoint(set()) or True
+        for window in a.screen.windows():
+            assert window.get_property("context") is a.context
+        for window in b.screen.windows():
+            assert window.get_property("context") is b.context
+        a.engine.manager.detach()
+        b.engine.manager.detach()

@@ -1,0 +1,172 @@
+"""Unit tests for the attribute type system."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.geodb import (
+    BITMAP,
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    GeometryType,
+    ListType,
+    ReferenceType,
+    TupleType,
+    scalar,
+    type_from_description,
+)
+from repro.spatial import LineString, Point
+
+
+class TestScalars:
+    def test_integer(self):
+        INTEGER.validate(5, "n")
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(5.0, "n")
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True, "n")   # bool is not an integer here
+        assert INTEGER.default() == 0
+
+    def test_float_accepts_int(self):
+        FLOAT.validate(5, "x")
+        FLOAT.validate(5.5, "x")
+        with pytest.raises(TypeMismatchError):
+            FLOAT.validate("5", "x")
+        assert FLOAT.decode(3) == 3.0
+
+    def test_text(self):
+        TEXT.validate("hello", "t")
+        with pytest.raises(TypeMismatchError):
+            TEXT.validate(5, "t")
+        assert TEXT.default() == ""
+
+    def test_boolean(self):
+        BOOLEAN.validate(True, "b")
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.validate(1, "b")
+
+    def test_bitmap_roundtrip(self):
+        BITMAP.validate(b"\x00\x01", "img")
+        with pytest.raises(TypeMismatchError):
+            BITMAP.validate("not bytes", "img")
+        encoded = BITMAP.encode(b"\x00\xff\x10")
+        assert isinstance(encoded, str)
+        assert BITMAP.decode(encoded) == b"\x00\xff\x10"
+
+    def test_scalar_lookup(self):
+        assert scalar("integer") is INTEGER
+        with pytest.raises(SchemaError):
+            scalar("complex")
+
+
+class TestGeometryType:
+    def test_any_geometry(self):
+        t = GeometryType()
+        t.validate(Point(1, 2), "g")
+        t.validate(LineString([(0, 0), (1, 1)]), "g")
+        with pytest.raises(TypeMismatchError):
+            t.validate("POINT(1 2)", "g")
+
+    def test_subtype_restriction(self):
+        t = GeometryType("point")
+        t.validate(Point(1, 2), "g")
+        with pytest.raises(TypeMismatchError):
+            t.validate(LineString([(0, 0), (1, 1)]), "g")
+        assert t.spec() == "geometry(point)"
+
+    def test_unknown_subtype(self):
+        with pytest.raises(SchemaError):
+            GeometryType("circle")
+
+    def test_encode_decode_roundtrip(self):
+        t = GeometryType()
+        for geom in (Point(1, 2), LineString([(0, 0), (3, 4), (5, 5)])):
+            assert t.decode(t.encode(geom)) == geom
+
+
+class TestReferenceType:
+    def test_validate(self):
+        t = ReferenceType("Supplier")
+        t.validate("Supplier#3", "ref")
+        with pytest.raises(TypeMismatchError):
+            t.validate(42, "ref")
+        with pytest.raises(TypeMismatchError):
+            t.validate("", "ref")
+
+    def test_needs_class_name(self):
+        with pytest.raises(SchemaError):
+            ReferenceType("")
+
+    def test_spec_is_class_name(self):
+        assert ReferenceType("Supplier").spec() == "Supplier"
+
+
+class TestTupleType:
+    def make(self):
+        return TupleType({"material": TEXT, "height": FLOAT})
+
+    def test_validate_complete(self):
+        self.make().validate({"material": "wood", "height": 9.0}, "comp")
+
+    def test_missing_field(self):
+        with pytest.raises(TypeMismatchError):
+            self.make().validate({"material": "wood"}, "comp")
+
+    def test_unknown_field(self):
+        with pytest.raises(TypeMismatchError):
+            self.make().validate(
+                {"material": "wood", "height": 9.0, "color": "red"}, "comp"
+            )
+
+    def test_field_type_checked(self):
+        with pytest.raises(TypeMismatchError):
+            self.make().validate({"material": "wood", "height": "tall"}, "comp")
+
+    def test_no_nesting(self):
+        with pytest.raises(SchemaError):
+            TupleType({"inner": self.make()})
+
+    def test_needs_fields(self):
+        with pytest.raises(SchemaError):
+            TupleType({})
+
+    def test_default(self):
+        assert self.make().default() == {"material": "", "height": 0.0}
+
+    def test_spec_preserves_order(self):
+        assert self.make().spec() == "tuple(material: text; height: float)"
+
+
+class TestListType:
+    def test_validate(self):
+        t = ListType(INTEGER)
+        t.validate([1, 2, 3], "xs")
+        with pytest.raises(TypeMismatchError):
+            t.validate([1, "two"], "xs")
+        with pytest.raises(TypeMismatchError):
+            t.validate("not a list", "xs")
+
+    def test_roundtrip_with_geometry(self):
+        t = ListType(GeometryType("point"))
+        value = [Point(0, 0), Point(1, 1)]
+        assert t.decode(t.encode(value)) == value
+
+
+class TestDescriptions:
+    def test_roundtrip_every_type(self):
+        samples = [
+            INTEGER, FLOAT, TEXT, BOOLEAN, BITMAP,
+            GeometryType(), GeometryType("polygon"),
+            ReferenceType("Supplier"),
+            TupleType({"a": TEXT, "b": FLOAT}),
+            ListType(ReferenceType("Pole")),
+        ]
+        for t in samples:
+            rebuilt = type_from_description(t.describe())
+            assert rebuilt == t
+            assert rebuilt.spec() == t.spec()
+
+    def test_unknown_description_rejected(self):
+        with pytest.raises(SchemaError):
+            type_from_description({"tag": "quantum"})

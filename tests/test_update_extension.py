@@ -1,0 +1,125 @@
+"""Tests for the update-request customization extension (§5 future work).
+
+The paper's stated limitation: "it does not consider customization of
+update requests, just of database queries." This reproduction adds the
+``on update display as <format>`` clause; these tests pin its semantics:
+when a committed update refreshes an open Instance window, the *changed*
+attributes are re-presented with the declared format.
+"""
+
+import pytest
+
+from repro.core import (
+    AttributeCustomization,
+    ClassCustomization,
+    Context,
+    ContextPattern,
+    CustomizationDirective,
+    GISSession,
+)
+from repro.errors import RuleError
+from repro.ui import instance_attribute_panels
+
+
+PROGRAM = """
+for user inspector application maintenance
+schema phone_net display as default
+class Pole display
+    on update display as slider
+    instances
+        display attribute pole_location as Null
+"""
+
+
+@pytest.fixture()
+def session(phone_db):
+    s = GISSession(phone_db, user="inspector", application="maintenance",
+                   auto_refresh=True)
+    s.install_program(PROGRAM, persist=False)
+    return s
+
+
+class TestCompilation:
+    def test_clause_lowered(self, session):
+        directive = session.engine.directives()[0]
+        clause = directive.class_clause("Pole")
+        assert clause.on_update_display == "slider"
+
+    def test_description_roundtrip(self, session):
+        directive = session.engine.directives()[0]
+        rebuilt = CustomizationDirective.from_description(
+            directive.describe())
+        assert rebuilt.class_clause("Pole").on_update_display == "slider"
+
+
+class TestActiveClassClause:
+    def test_most_specific_clause_wins(self, phone_db):
+        session = GISSession(phone_db, user="x", application="a")
+        session.install_directive(CustomizationDirective(
+            name="generic", pattern=ContextPattern(),
+            schema_name="phone_net",
+            classes=(ClassCustomization("Pole", on_update_display="text"),),
+        ), persist=False)
+        session.install_directive(CustomizationDirective(
+            name="personal", pattern=ContextPattern(user="x"),
+            schema_name="phone_net",
+            classes=(ClassCustomization("Pole",
+                                        on_update_display="slider"),),
+        ), persist=False)
+        clause = session.engine.active_class_clause(
+            "Pole", Context(user="x"))
+        assert clause.on_update_display == "slider"
+        clause = session.engine.active_class_clause(
+            "Pole", Context(user="other"))
+        assert clause.on_update_display == "text"
+        assert session.engine.active_class_clause("Duct",
+                                                  Context(user="x")) is None
+
+    def test_ambiguity_raises(self, phone_db):
+        session = GISSession(phone_db, user="x", application="a")
+        for name in ("a", "b"):
+            session.install_directive(CustomizationDirective(
+                name=name, pattern=ContextPattern(user="x"),
+                schema_name="phone_net",
+                classes=(ClassCustomization("Pole"),),
+            ), persist=False)
+        with pytest.raises(RuleError, match="ambiguous"):
+            session.engine.active_class_clause("Pole", Context(user="x"))
+
+
+class TestRefreshPresentation:
+    def test_changed_attribute_re_presented(self, session, phone_db,
+                                            pole_oid):
+        session.connect("phone_net")
+        session.select_class("Pole")
+        session.select_instance(pole_oid)
+        # an update touches pole_type (an integer): refresh shows a slider
+        phone_db.update(pole_oid, {"pole_type": 2})
+        window = session.screen.window(f"instance_{pole_oid}")
+        panel = instance_attribute_panels(window)["pole_type"]
+        assert panel.children[0].widget_type == "slider"
+        # untouched attributes keep the default presentation
+        status = instance_attribute_panels(window)["status"]
+        assert status.children[0].widget_type == "text"
+        # the directive's ordinary instance rules still apply
+        assert "pole_location" not in instance_attribute_panels(window)
+
+    def test_no_clause_no_override(self, phone_db, pole_oid):
+        plain = GISSession(phone_db, user="nobody", application="none",
+                           auto_refresh=True)
+        plain.connect("phone_net")
+        plain.select_class("Pole")
+        plain.select_instance(pole_oid)
+        phone_db.update(pole_oid, {"pole_type": 3})
+        window = plain.screen.window(f"instance_{pole_oid}")
+        panel = instance_attribute_panels(window)["pole_type"]
+        assert panel.children[0].widget_type == "text"
+
+    def test_manual_override_parameter(self, phone_db, pole_oid):
+        session = GISSession(phone_db, user="u", application="a")
+        window = session.dispatcher.open_instance(
+            pole_oid, session.context,
+            attr_overrides={"pole_type": AttributeCustomization(
+                "pole_type", "slider")})
+        panel = instance_attribute_panels(window)["pole_type"]
+        assert panel.children[0].widget_type == "slider"

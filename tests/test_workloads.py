@@ -1,0 +1,140 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.spatial import BBox, Point
+from repro.workloads import (
+    PhoneNetParams,
+    build_environment_database,
+    build_phone_net_database,
+    clustered_points,
+    pan_zoom_walk,
+    random_boxes,
+    random_convex_polygon,
+    random_points,
+    random_walk_line,
+)
+
+
+class TestPhoneNet:
+    def test_counts_match_parameters(self):
+        params = PhoneNetParams(blocks_x=3, blocks_y=2, poles_per_street=2,
+                                duct_count=4, seed=5)
+        db = build_phone_net_database(params)
+        streets = (params.blocks_x + 1) + (params.blocks_y + 1)
+        assert db.count("phone_net", "Street") == streets
+        assert db.count("phone_net", "Pole") == streets * 2
+        assert db.count("phone_net", "Duct") == 4
+        assert db.count("phone_net", "District") == 1
+
+    def test_deterministic_for_seed(self):
+        a = build_phone_net_database(PhoneNetParams(seed=7))
+        b = build_phone_net_database(PhoneNetParams(seed=7))
+        poles_a = [o.geometry("pole_location").as_tuple()
+                   for o in a.extent("phone_net", "Pole")]
+        poles_b = [o.geometry("pole_location").as_tuple()
+                   for o in b.extent("phone_net", "Pole")]
+        assert poles_a == poles_b
+
+    def test_poles_inside_extent(self):
+        params = PhoneNetParams()
+        db = build_phone_net_database(params)
+        width, height = params.extent
+        for pole in db.extent("phone_net", "Pole"):
+            loc = pole.geometry("pole_location")
+            assert 0 <= loc.x <= width and 0 <= loc.y <= height
+
+    def test_figure5_pole_class_shape(self):
+        db = build_phone_net_database()
+        schema = db.get_schema_object("phone_net")
+        pole = schema.get_class("Pole")
+        assert pole.attribute_names() == [
+            "pole_type", "pole_composition", "pole_supplier",
+            "pole_location", "pole_picture", "pole_historic",
+        ]
+        comp = pole.attribute("pole_composition").type
+        assert list(comp.fields) == ["pole_material", "pole_diameter",
+                                     "pole_height"]
+        assert "get_supplier_name" in pole.methods
+
+    def test_method_registered(self):
+        db = build_phone_net_database()
+        pole = next(iter(db.extent("phone_net", "Pole")))
+        name = db.call_method(pole, "get_supplier_name", "pole_supplier")
+        assert isinstance(name, str) and name
+
+    def test_references_valid(self):
+        db = build_phone_net_database()
+        for cable in db.extent("phone_net", "Cable"):
+            assert db.find_object(cable.get("from_pole")) is not None
+            assert db.find_object(cable.get("to_pole")) is not None
+
+
+class TestEnvironment:
+    def test_counts(self):
+        db = build_environment_database(parcels=10, rivers=2, roads=3,
+                                        stations=5, seed=1)
+        assert db.count("land_use", "VegetationParcel") == 10
+        assert db.count("land_use", "River") == 2
+        assert db.count("land_use", "Road") == 3
+        assert db.count("land_use", "Station") == 5
+
+    def test_parcels_are_valid_polygons(self):
+        db = build_environment_database(parcels=15, seed=2)
+        for parcel in db.extent("land_use", "VegetationParcel"):
+            geom = parcel.geometry("parcel_area")
+            assert geom.is_valid()
+            assert geom.area() > 0
+
+    def test_area_method(self):
+        db = build_environment_database(parcels=3, seed=3)
+        parcel = next(iter(db.extent("land_use", "VegetationParcel")))
+        hectares = db.call_method(parcel, "area_hectares")
+        assert hectares == pytest.approx(
+            parcel.geometry("parcel_area").area() / 10_000.0, rel=0.01)
+
+
+class TestGenerators:
+    EXTENT = BBox(0, 0, 100, 100)
+
+    def test_random_points_bounds_and_determinism(self):
+        pts = random_points(50, self.EXTENT, seed=1)
+        assert len(pts) == 50
+        assert all(self.EXTENT.contains_point(p.x, p.y) for p in pts)
+        assert pts == random_points(50, self.EXTENT, seed=1)
+        assert pts != random_points(50, self.EXTENT, seed=2)
+
+    def test_clustered_points_cluster(self):
+        pts = clustered_points(200, self.EXTENT, clusters=2, spread=0.01,
+                               seed=3)
+        assert all(self.EXTENT.contains_point(p.x, p.y) for p in pts)
+        # clustered points have a smaller average nearest-center distance
+        xs = sorted(p.x for p in pts)
+        spread = xs[-1] - xs[0]
+        assert spread <= self.EXTENT.width
+
+    def test_random_boxes_inside(self):
+        boxes = random_boxes(40, self.EXTENT, seed=4)
+        assert all(self.EXTENT.contains_bbox(b) for b in boxes)
+
+    def test_random_walk_line(self):
+        line = random_walk_line(30, self.EXTENT, step_size=2.0, seed=5)
+        assert len(line.coords) == 31
+        assert self.EXTENT.expanded(1e-9).contains_bbox(line.bbox())
+
+    def test_random_convex_polygon_valid(self):
+        poly = random_convex_polygon((50, 50), 10, seed=6)
+        assert poly.is_valid()
+        assert poly.contains_point(50, 50)
+
+    def test_pan_zoom_walk_windows_inside(self):
+        windows = list(pan_zoom_walk(self.EXTENT, 0.2, steps=50, seed=7))
+        assert len(windows) == 50
+        for w in windows:
+            assert self.EXTENT.expanded(1e-6).contains_bbox(w)
+
+    def test_pan_zoom_walk_has_locality(self):
+        windows = list(pan_zoom_walk(self.EXTENT, 0.2, steps=100, seed=8))
+        overlapping = sum(
+            1 for a, b in zip(windows, windows[1:]) if a.intersects(b))
+        assert overlapping > 50   # mostly local movements
