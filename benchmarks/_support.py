@@ -2,6 +2,60 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+@contextmanager
+def capture_metrics() -> Iterator[Any]:
+    """Enable a fresh observability recorder for one benchmark block.
+
+    Yields the live :class:`repro.obs.Recorder`; snapshot it with
+    ``recorder.registry.export()`` (or :func:`metrics_snapshot`) before
+    the block ends — the recorder is disabled (and its data dropped from
+    the global hook) on exit, so benchmarks never leak instrumentation
+    cost into each other::
+
+        with capture_metrics() as recorder:
+            run_workload()
+            snap = recorder.registry.export()
+    """
+    from repro import obs
+
+    recorder = obs.enable(registry=obs.MetricsRegistry(),
+                          tracer=obs.Tracer())
+    try:
+        yield recorder
+    finally:
+        obs.disable()
+
+
+def metrics_snapshot() -> dict[str, Any] | None:
+    """The current registry export, or None when observability is off."""
+    from repro import obs
+
+    if not obs.is_enabled():
+        return None
+    return obs.RECORDER.registry.export()
+
+
+def print_metrics(prefixes: list[str] | None = None) -> None:
+    """Print the live metrics table, optionally filtered by name prefix."""
+    from repro import obs
+
+    if not obs.is_enabled():
+        print("(observability disabled)")
+        return
+    table = obs.RECORDER.registry.render_table()
+    if prefixes:
+        lines = [
+            line for line in table.splitlines()
+            if not line.startswith("  ")
+            or any(line.lstrip().startswith(p) for p in prefixes)
+        ]
+        table = "\n".join(lines)
+    print(table)
+
 
 def print_header(exp_id: str, title: str) -> None:
     print()

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Iterable
 
+from .. import obs
 from ..errors import RuleError
 
 
@@ -155,6 +156,16 @@ class EventBus:
         self.last_event = event
         if self.keep_log:
             self._log.append(event)
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.inc("event_bus.events_published", kind=event.kind.value)
+            with rec.span("event_bus.publish", kind=event.kind.value,
+                          subject=event.subject):
+                self._deliver(event)
+        else:
+            self._deliver(event)
+
+    def _deliver(self, event: Event) -> None:
         for subscriber in list(self._by_kind.get(event.kind, ())):
             subscriber(event)
         for subscriber in list(self._all):

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Iterable
 
+from .. import obs
 from ..errors import CascadeLimitError, RuleError
 from .event_bus import Event, EventBus, EventKind
 
@@ -174,10 +175,20 @@ class RuleManager:
                 f"event {event.describe()} exceeds cascade depth "
                 f"{self.max_cascade_depth}"
             )
-        selected = self.select_rules(event)
+        rec = obs.RECORDER
+        if rec.enabled:
+            with rec.span("rule_manager.select", kind=event.kind.value) as sp:
+                selected = self.select_rules(event)
+                sp.annotate(selected=len(selected))
+            rec.inc("rules.evaluated", len(self._rules))
+            rec.inc("rules.selected", len(selected))
+        else:
+            selected = self.select_rules(event)
         for rule in selected:
             if rule.coupling is Coupling.DEFERRED:
                 self._deferred.append((rule, event))
+                if rec.enabled:
+                    rec.inc("rules.deferred")
             else:
                 self._execute(rule, event)
 
@@ -210,13 +221,20 @@ class RuleManager:
 
     def _execute(self, rule: Rule, event: Event) -> None:
         firing = Firing(rule_name=rule.name, group=rule.group, event=event)
-        try:
-            firing.result = rule.action(event, self)
-        except Exception as exc:
-            firing.error = repr(exc)
-            self._record(firing)
-            raise
+        rec = obs.RECORDER
+        with rec.span("rule_manager.execute", rule=rule.name,
+                      group=rule.group):
+            try:
+                firing.result = rule.action(event, self)
+            except Exception as exc:
+                firing.error = repr(exc)
+                self._record(firing)
+                if rec.enabled:
+                    rec.inc("rules.fired", group=rule.group, status="error")
+                raise
         self._record(firing)
+        if rec.enabled:
+            rec.inc("rules.fired", group=rule.group, status="ok")
 
     def _record(self, firing: Firing) -> None:
         self.trace.append(firing)

@@ -21,7 +21,8 @@ Commands (also printed by ``help``)::
     render [window]           render one window (or the whole screen)
     explain <window>          why a window looks the way it does
     close <window>            close a window
-    stats                     session statistics
+    stats [json]              session statistics + live metrics registry
+    trace [json|all]          span tree of the last interaction
     quit                      leave
 
 The loop is IO-parameterized (any line iterator in, any writer out), so
@@ -31,9 +32,11 @@ the test suite drives it deterministically.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Iterable
 
+from . import obs
 from .core.session import GISSession
 from .errors import ReproError
 from .geodb.query_language import run_query
@@ -227,8 +230,46 @@ class CommandLoop:
         self.emit(f"wrote {len(page)} bytes to {rest}")
 
     def cmd_stats(self, rest: str) -> None:
+        if rest.strip() == "json":
+            if not obs.is_enabled():
+                self.emit("observability is disabled; no registry to export")
+                return
+            self.emit(json.dumps(obs.RECORDER.registry.export(), indent=2))
+            return
         for key, value in self.session.stats().items():
             self.emit(f"  {key}: {value}")
+        if obs.is_enabled():
+            self.emit("-- metrics --")
+            self.emit(obs.RECORDER.registry.render_table())
+        else:
+            self.emit("(observability disabled; enable with repro.obs.enable() "
+                      "for live counters)")
+
+    def cmd_trace(self, rest: str) -> None:
+        """Dump pipeline traces recorded by the observability layer."""
+        if not obs.is_enabled():
+            self.emit("observability is disabled; no traces recorded")
+            return
+        tracer = obs.RECORDER.tracer
+        mode = rest.strip()
+        if mode == "all":
+            traces = tracer.traces()
+            if not traces:
+                self.emit("(no traces recorded yet)")
+                return
+            for span in traces:
+                self.emit(f"  {span.name}  spans={sum(1 for _ in span.walk())}"
+                          f"  {span.duration * 1000:.3f}ms")
+            return
+        # Prefer the last *interaction* trace; fall back to the last trace.
+        span = tracer.last_trace("dispatch.") or tracer.last_trace()
+        if span is None:
+            self.emit("(no traces recorded yet)")
+            return
+        if mode == "json":
+            self.emit(json.dumps(span.to_dict(), indent=2))
+        else:
+            self.emit(span.render())
 
     def cmd_quit(self, rest: str) -> None:
         self._running = False
@@ -239,10 +280,15 @@ class CommandLoop:
 
 def build_demo_session(user: str, category: str | None, application: str,
                        figure6: bool) -> GISSession:
-    """The out-of-the-box demo: the §4 phone-net database."""
+    """The out-of-the-box demo: the §4 phone-net database.
+
+    Observability is enabled *before* the database is built so ``stats``
+    shows the full cost of populating it, too.
+    """
     from .lang import FIGURE_6_PROGRAM
     from .workloads import build_phone_net_database
 
+    obs.enable()
     db = build_phone_net_database()
     session = GISSession(db, user=user, category=category,
                          application=application, auto_refresh=True)
@@ -260,10 +306,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--application", default="browser")
     parser.add_argument("--figure6", action="store_true",
                         help="install the paper's Figure 6 customization")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the observability layer (stats/trace "
+                             "will have nothing to report)")
     args = parser.parse_args(argv)
 
     session = build_demo_session(args.user, args.category, args.application,
                                  args.figure6)
+    if args.no_obs:
+        obs.disable()
     loop = CommandLoop(session)
     loop.emit(f"connected as {session.context.describe()}; "
               f"try: connect phone_net")

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .. import obs
 from ..errors import CustomizationError
 from ..geodb.database import GeographicDatabase
 from ..geodb.instances import GeoObject
@@ -89,6 +90,17 @@ class GenericInterfaceBuilder:
         * ``null`` — the window is built ("since it defines the windows
           hierarchy", §4) but not shown (``visible=False``).
         """
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return self._build_schema_window(schema_info, decision)
+        rec.inc("builder.windows_built", kind="schema")
+        with rec.span("builder.build", kind="schema",
+                      target=schema_info["name"]):
+            return self._build_schema_window(schema_info, decision)
+
+    def _build_schema_window(self, schema_info: dict[str, Any],
+                             decision: CustomizationDecision | None = None
+                             ) -> Window:
         mode = decision.schema_display if decision else "default"
         window = Window(
             f"schema_{schema_info['name']}",
@@ -142,6 +154,21 @@ class GenericInterfaceBuilder:
         presentation format (default ``defaultFormat``; customized e.g.
         ``pointFormat``).
         """
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return self._build_class_window(geo_class, attributes, objects,
+                                            decision, scale)
+        rec.inc("builder.windows_built", kind="class_set")
+        with rec.span("builder.build", kind="class_set",
+                      target=geo_class.name):
+            return self._build_class_window(geo_class, attributes, objects,
+                                            decision, scale)
+
+    def _build_class_window(self, geo_class: GeoClass,
+                            attributes: list[Attribute],
+                            objects: list[GeoObject],
+                            decision: CustomizationDecision | None = None,
+                            scale: MapScale | None = None) -> Window:
         clause = decision.class_clause if decision else None
         window = Window(
             f"classset_{geo_class.name}",
@@ -230,6 +257,23 @@ class GenericInterfaceBuilder:
         represented with the default presentation defined in the generic
         interface", §4).
         """
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return self._build_instance_window(obj, geo_class, attributes,
+                                               attr_decisions, database)
+        rec.inc("builder.windows_built", kind="instance")
+        with rec.span("builder.build", kind="instance", target=obj.oid):
+            return self._build_instance_window(obj, geo_class, attributes,
+                                               attr_decisions, database)
+
+    def _build_instance_window(
+        self,
+        obj: GeoObject,
+        geo_class: GeoClass,
+        attributes: list[Attribute],
+        attr_decisions: dict[str, AttributeCustomization] | None = None,
+        database: GeographicDatabase | None = None,
+    ) -> Window:
         attr_decisions = attr_decisions or {}
         window = Window(f"instance_{obj.oid}", title=f"Instance: {obj.oid}")
         window.set_property("window_kind", "instance")

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .. import obs
 from ..active.event_bus import Event, EventKind, MUTATION_KINDS
 from ..errors import DispatchError
 from ..geodb.database import GeographicDatabase
@@ -48,6 +49,9 @@ class Screen:
     def show(self, window: Window) -> Window:
         """Display (or replace) a window under its name."""
         self._windows[window.name] = window
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.gauge("screen.open_windows", len(self._windows))
         return window
 
     def close(self, name: str) -> Window:
@@ -55,6 +59,9 @@ class Screen:
             raise DispatchError(f"no open window named {name!r}")
         window = self._windows.pop(name)
         window.fire("close")
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.gauge("screen.open_windows", len(self._windows))
         return window
 
     def window(self, name: str) -> Window:
@@ -108,6 +115,16 @@ class Dispatcher:
     def open_schema(self, schema_name: str,
                     context: Context | None = None) -> Window:
         """User asks to browse a schema → ``Get_Schema`` event → window."""
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return self._do_open_schema(schema_name, context)
+        rec.inc("dispatcher.interactions", kind="schema")
+        with rec.timed("dispatch.seconds", kind="schema"), \
+                rec.span("dispatch.open_schema", schema=schema_name):
+            return self._do_open_schema(schema_name, context)
+
+    def _do_open_schema(self, schema_name: str,
+                        context: Context | None = None) -> Window:
         self.interactions += 1
         schema_info = self.database.get_schema(schema_name, context=context)
         event = self.database.bus.last_event
@@ -131,6 +148,17 @@ class Dispatcher:
     def open_class(self, schema_name: str, class_name: str,
                    context: Context | None = None) -> Window:
         """User selects a class → ``Get_Class`` event → Class-set window."""
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return self._do_open_class(schema_name, class_name, context)
+        rec.inc("dispatcher.interactions", kind="class")
+        with rec.timed("dispatch.seconds", kind="class"), \
+                rec.span("dispatch.open_class", schema=schema_name,
+                         cls=class_name):
+            return self._do_open_class(schema_name, class_name, context)
+
+    def _do_open_class(self, schema_name: str, class_name: str,
+                       context: Context | None = None) -> Window:
         self.interactions += 1
         geo_class, objects = self.database.get_class(
             schema_name, class_name, context=context
@@ -168,6 +196,16 @@ class Dispatcher:
         layers on top of whatever the rules decide; the update-refresh
         extension uses it to re-present just-changed attributes.
         """
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return self._do_open_instance(oid, context, attr_overrides)
+        rec.inc("dispatcher.interactions", kind="instance")
+        with rec.timed("dispatch.seconds", kind="instance"), \
+                rec.span("dispatch.open_instance", oid=oid):
+            return self._do_open_instance(oid, context, attr_overrides)
+
+    def _do_open_instance(self, oid: str, context: Context | None = None,
+                          attr_overrides: dict | None = None) -> Window:
         self.interactions += 1
         obj = self.database.get_value(oid, context=context)
         event = self.database.bus.last_event

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .. import obs
 from ..active.event_bus import Event, EventBus, EventKind
 from ..active.rule_manager import Rule, RuleManager, SelectionPolicy
 from ..errors import CustomizationError, RuleError
@@ -86,6 +87,11 @@ class CustomizationEngine:
                 self.manager.remove_rule(rule.name)
             raise
         self._directives[directive.name] = directive
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.inc("customization.directives_registered")
+            rec.gauge("customization.rules_installed",
+                      len(self.manager.rules()))
         if persist and self.catalog is not None:
             self.catalog.put(KIND_CUSTOMIZATION, directive.name,
                              directive.describe())
@@ -272,6 +278,9 @@ class CustomizationEngine:
     # ------------------------------------------------------------------
 
     def _record(self, event: Event, decision: CustomizationDecision) -> None:
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.inc("customization.decisions", kind=decision.kind)
         self._decisions.setdefault(event.event_id, []).append(decision)
         while len(self._decisions) > self._decision_window:
             self._decisions.pop(next(iter(self._decisions)))

@@ -190,6 +190,8 @@ class GISSession:
             "dispatcher": self.dispatcher.stats(),
             "engine": self.engine.stats(),
             "database": self.database.name,
+            "events_published": self.database.bus.published_count,
+            "buffer": self.database.stats_buffer(),
         }
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..errors import BufferError_
 from .storage import Pager
 
@@ -113,15 +114,22 @@ class BufferManager:
     # -- internals -------------------------------------------------------------
 
     def _get_frame(self, page_no: int, load: bool = True) -> _Frame:
+        rec = obs.RECORDER
         if page_no in self._frames:
             self.stats.hits += 1
+            if rec.enabled:
+                rec.inc("buffer.hits")
             self._frames.move_to_end(page_no)
             return self._frames[page_no]
         self.stats.misses += 1
+        if rec.enabled:
+            rec.inc("buffer.misses")
         self._make_room()
         data = self.pager.read_page(page_no) if load else b"\x00" * self.pager.page_size
         frame = _Frame(data)
         self._frames[page_no] = frame
+        if rec.enabled:
+            rec.gauge("buffer.resident_frames", len(self._frames))
         return frame
 
     def _make_room(self) -> None:
@@ -133,6 +141,8 @@ class BufferManager:
                     break
             if victim_no is None:
                 self.stats.pin_denials += 1
+                if obs.RECORDER.enabled:
+                    obs.RECORDER.inc("buffer.pin_denials")
                 raise BufferError_(
                     f"all {self.capacity} buffer frames are pinned; cannot evict"
                 )
@@ -141,9 +151,14 @@ class BufferManager:
     def _evict(self, page_no: int) -> None:
         frame = self._frames.pop(page_no)
         self.stats.evictions += 1
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.inc("buffer.evictions")
         if frame.dirty:
             self.pager.write_page(page_no, frame.data)
             self.stats.write_backs += 1
+            if rec.enabled:
+                rec.inc("buffer.write_backs")
 
     # -- maintenance -------------------------------------------------------------
 
@@ -156,6 +171,8 @@ class BufferManager:
                 frame.dirty = False
                 flushed += 1
                 self.stats.write_backs += 1
+        if flushed and obs.RECORDER.enabled:
+            obs.RECORDER.inc("buffer.write_backs", flushed)
         return flushed
 
     def clear(self) -> None:

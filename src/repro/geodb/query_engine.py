@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .. import obs
 from ..errors import QueryError
 from .database import GeographicDatabase
 from .instances import GeoObject
@@ -68,6 +69,22 @@ class QueryEngine:
         self.database = database
 
     def execute(self, schema_name: str, query: Query) -> QueryResult:
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return self._execute(schema_name, query)
+        with rec.timed("query.seconds"), \
+                rec.span("query.execute", cls=query.class_name) as span:
+            result = self._execute(schema_name, query)
+            span.annotate(plan=result.report["plan"],
+                          candidates=result.report["candidates"],
+                          matches=result.report["matches"])
+        rec.inc("query.executed", plan=result.report["plan"])
+        rec.registry.histogram(
+            "query.candidates", buckets=obs.COUNT_BUCKETS
+        ).observe(result.report["candidates"])
+        return result
+
+    def _execute(self, schema_name: str, query: Query) -> QueryResult:
         schema = self.database.get_schema_object(schema_name)
         geo_class = schema.get_class(query.class_name)
         candidates, plan, index_name = self._candidates(schema_name, query)

@@ -27,6 +27,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from .. import obs
 from ..errors import StorageError
 
 PAGE_SIZE = 4096
@@ -87,12 +88,16 @@ class MemoryPager(Pager):
         if not 0 <= page_no < len(self._pages):
             raise StorageError(f"page {page_no} does not exist")
         self.reads += 1
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("storage.page_reads", backend="memory")
         return self._pages[page_no]
 
     def write_page(self, page_no: int, data: bytes) -> None:
         if not 0 <= page_no < len(self._pages):
             raise StorageError(f"page {page_no} does not exist")
         self.writes += 1
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("storage.page_writes", backend="memory")
         self._pages[page_no] = self._check_data(data)
 
     def allocate_page(self) -> int:
@@ -126,6 +131,8 @@ class FilePager(Pager):
         if not 0 <= page_no < self._count:
             raise StorageError(f"page {page_no} does not exist")
         self.reads += 1
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("storage.page_reads", backend="file")
         self._file.seek(page_no * self.page_size)
         return self._file.read(self.page_size)
 
@@ -133,6 +140,8 @@ class FilePager(Pager):
         if not 0 <= page_no < self._count:
             raise StorageError(f"page {page_no} does not exist")
         self.writes += 1
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("storage.page_writes", backend="file")
         self._file.seek(page_no * self.page_size)
         self._file.write(self._check_data(data))
 
@@ -320,6 +329,8 @@ class HeapFile:
     # -- public API ---------------------------------------------------------
 
     def insert(self, record: dict[str, Any]) -> RecordId:
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("heap.records", op="insert")
         blob = encode_record(record)
         threshold = self.pager.page_size - _header_reserve(self.pager.page_size) - 128
         if len(blob) > threshold:
@@ -355,6 +366,8 @@ class HeapFile:
         return RecordId(page_nos[0], self._OVERFLOW_SLOT)
 
     def read(self, rid: RecordId) -> dict[str, Any]:
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("heap.records", op="read")
         page = self._load(rid.page_no)
         blob = page.get(rid.slot)
         if page.overflow_next >= 0 and rid.slot == self._OVERFLOW_SLOT:
@@ -387,6 +400,8 @@ class HeapFile:
         return rid
 
     def delete(self, rid: RecordId) -> None:
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("heap.records", op="delete")
         page = self._load(rid.page_no)
         if page.overflow_next >= 0 and rid.slot == self._OVERFLOW_SLOT:
             next_no = page.overflow_next

@@ -1,0 +1,190 @@
+"""Nested spans over the event pipeline, with a ring buffer of traces.
+
+A *span* covers one unit of work (``dispatch.open_class``,
+``event_bus.publish``, ``builder.build`` …). Spans opened while another
+span is active become its children, so one user interaction produces a
+tree mirroring the paper's Figure-1 pipeline::
+
+    dispatch.open_class
+      event_bus.publish
+        rule_manager.select
+        rule_manager.execute
+      builder.build
+
+The :class:`Tracer` keeps a fixed-size ring buffer of *completed root
+spans* (traces). When the buffer is full the oldest trace is evicted —
+observability must never grow without bound under the heavy-traffic
+north star. The tracer is deliberately single-threaded (one tracer per
+recorder, matching the synchronous event bus); a multi-session embedding
+enables one recorder per process and accepts interleaved traces, or runs
+with observability disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Iterator
+
+
+class Span:
+    """One timed unit of work; also its own context manager.
+
+    ``duration`` is in seconds (``time.perf_counter`` domain by default).
+    A span that exits through an exception records ``error`` and lets the
+    exception propagate.
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "error",
+                 "_tracer")
+
+    def __init__(self, name: str, attrs: dict[str, Any],
+                 tracer: "Tracer | None" = None):
+        self.name = name
+        self.attrs = attrs
+        self.start: float = 0.0
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self.error: str | None = None
+        self._tracer = tracer
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.error = repr(exc)
+        if self._tracer is not None:
+            self._tracer._close(self)
+        return False
+
+    # -- recording -----------------------------------------------------------
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (plan chosen, row count…)."""
+        self.attrs.update(attrs)
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given span name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation of the whole subtree."""
+        return {
+            "name": self.name,
+            "attrs": {k: str(v) for k, v in self.attrs.items()},
+            "duration": self.duration,
+            "error": self.error,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """ASCII tree of the subtree with durations, for the CLI."""
+        attrs = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        line = "  " * indent + f"{self.name}"
+        if attrs:
+            line += f" [{attrs}]"
+        line += f"  {self.duration * 1000:.3f}ms"
+        if self.error:
+            line += f"  ERROR: {self.error}"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, children={len(self.children)}, "
+                f"duration={self.duration:.6f})")
+
+
+class Tracer:
+    """Builds span trees and retains the most recent completed traces."""
+
+    def __init__(self, capacity: int = 64,
+                 clock: Callable[[], float] = time.perf_counter):
+        if capacity < 1:
+            raise ValueError("tracer ring buffer needs capacity >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self._stack: list[Span] = []
+        self._traces: deque[Span] = deque(maxlen=capacity)
+        #: completed root spans evicted from the ring buffer
+        self.dropped = 0
+        #: total completed root spans ever recorded
+        self.completed = 0
+
+    # -- span creation -------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; nest it with ``with tracer.span(...):``."""
+        return Span(name, attrs, tracer=self)
+
+    def _open(self, span: Span) -> None:
+        span.start = self.clock()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.end = self.clock()
+        # Pop back to (and including) this span; tolerates a caller that
+        # leaked an inner span by never exiting it.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if not self._stack:
+            self.completed += 1
+            if len(self._traces) == self.capacity:
+                self.dropped += 1
+            self._traces.append(span)
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def active_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def last_trace(self, prefix: str | None = None) -> Span | None:
+        """The most recent trace; with ``prefix``, the most recent one
+        whose root span name starts with it (e.g. ``"dispatch."``)."""
+        if prefix is None:
+            return self._traces[-1] if self._traces else None
+        for span in reversed(self._traces):
+            if span.name.startswith(prefix):
+                return span
+        return None
+
+    def traces(self) -> list[Span]:
+        """Retained traces, oldest first."""
+        return list(self._traces)
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._traces.clear()
+        self.dropped = 0
+        self.completed = 0

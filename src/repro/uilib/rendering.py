@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .. import obs
 from ..errors import RenderError
 from .base import InterfaceObject
 from .widgets import (
@@ -46,6 +47,14 @@ class TextRenderer:
 
     def render(self, widget: InterfaceObject) -> str:
         """Render any widget tree; windows get a bordered frame."""
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return self._render_any(widget)
+        rec.inc("render.renders")
+        with rec.span("render", widget=getattr(widget, "name", "?")):
+            return self._render_any(widget)
+
+    def _render_any(self, widget: InterfaceObject) -> str:
         if isinstance(widget, Window):
             return self._render_window(widget)
         return "\n".join(self._render_node(widget, indent=0))

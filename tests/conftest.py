@@ -4,8 +4,29 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.core import GISSession
 from repro.workloads import PhoneNetParams, build_phone_net_database
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Keep the process-global observability recorder out of other tests.
+
+    Any test may enable observability (the CLI demo does it implicitly);
+    this guarantees the next test starts from the disabled default.
+    """
+    yield
+    obs.disable()
+
+
+@pytest.fixture()
+def obs_recorder():
+    """An enabled, fresh recorder for tests that assert on metrics/traces."""
+    recorder = obs.enable(registry=obs.MetricsRegistry(),
+                          tracer=obs.Tracer())
+    yield recorder
+    obs.disable()
 
 
 @pytest.fixture()

@@ -137,3 +137,50 @@ class TestStats:
     def test_zero_access_ratio(self):
         __, manager = make()
         assert manager.stats.hit_ratio == 0.0
+
+
+class TestObservabilityCounters:
+    """The buffer reports its cache behavior through the obs registry."""
+
+    def test_scripted_pattern_matches_counters(self, obs_recorder):
+        __, manager = make(capacity=3)
+        # Scripted access pattern (capacity 3, LRU):
+        #   0 1 2        -> three cold misses
+        #   0 1          -> two hits (2 is now least recent)
+        #   3            -> miss, evicts 2
+        #   3            -> hit
+        #   2            -> miss, evicts 0
+        for page_no in (0, 1, 2, 0, 1, 3, 3, 2):
+            manager.read_page(page_no)
+        registry = obs_recorder.registry
+        assert registry.counter_value("buffer.hits") == 3
+        assert registry.counter_value("buffer.misses") == 5
+        assert registry.counter_value("buffer.evictions") == 2
+        # The registry agrees exactly with the in-object BufferStats.
+        assert registry.counter_value("buffer.hits") == manager.stats.hits
+        assert registry.counter_value("buffer.misses") == manager.stats.misses
+        assert (registry.counter_value("buffer.evictions")
+                == manager.stats.evictions)
+        assert registry.gauge_value("buffer.resident_frames") == 3
+
+    def test_write_back_counted(self, obs_recorder):
+        __, manager = make(capacity=2)
+        manager.write_page(0, b"dirty!")
+        manager.read_page(1)
+        manager.read_page(2)          # evicts dirty page 0 -> write-back
+        registry = obs_recorder.registry
+        assert registry.counter_value("buffer.write_backs") == 1
+        assert registry.counter_value("buffer.evictions") == 1
+
+    def test_flush_counts_write_backs(self, obs_recorder):
+        __, manager = make(capacity=4)
+        manager.write_page(0, b"a")
+        manager.write_page(1, b"b")
+        assert manager.flush() == 2
+        assert obs_recorder.registry.counter_value("buffer.write_backs") == 2
+
+    def test_disabled_mode_keeps_plain_stats_only(self):
+        __, manager = make(capacity=2)
+        manager.read_page(0)
+        manager.read_page(0)
+        assert manager.stats.hits == 1      # BufferStats always accounts

@@ -149,3 +149,62 @@ class TestHtmlExport:
         loop, output = loop_io
         loop.run(["html"])
         assert "usage: html" in text_of(output)
+
+
+class TestObservabilityCommands:
+    def test_stats_prints_live_counters(self, obs_recorder, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "class Pole", "stats"])
+        text = text_of(output)
+        assert "-- metrics --" in text
+        assert "event_bus.events_published" in text
+        assert "builder.windows_built" in text
+        assert "rules.evaluated" in text
+        assert "dispatcher.interactions" in text
+        assert "hit_ratio" in text  # buffer section of session stats
+
+    def test_stats_json_exports_registry(self, obs_recorder, loop_io):
+        import json as _json
+
+        loop, output = loop_io
+        loop.run(["connect phone_net"])
+        output.clear()
+        loop.run(["stats json"])
+        payload = _json.loads(text_of(output))
+        assert set(payload) >= {"counters", "gauges", "histograms"}
+
+    def test_stats_reports_disabled_mode(self, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "stats"])
+        assert "observability disabled" in text_of(output)
+
+    def test_trace_prints_dispatch_span_tree(self, obs_recorder, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "class Pole", "trace"])
+        text = text_of(output)
+        assert "dispatch.open_class" in text
+        assert "event_bus.publish" in text
+        assert "builder.build" in text
+
+    def test_trace_json(self, obs_recorder, loop_io):
+        import json as _json
+
+        loop, output = loop_io
+        loop.run(["connect phone_net"])
+        output.clear()
+        loop.run(["trace json"])
+        payload = _json.loads(text_of(output))
+        assert payload["name"] == "dispatch.open_schema"
+        assert payload["children"]
+
+    def test_trace_all_lists_recent_traces(self, obs_recorder, loop_io):
+        loop, output = loop_io
+        loop.run(["connect phone_net", "class Pole", "trace all"])
+        text = text_of(output)
+        assert "dispatch.open_schema" in text
+        assert "dispatch.open_class" in text
+
+    def test_trace_without_recorder_explains(self, loop_io):
+        loop, output = loop_io
+        loop.run(["trace"])
+        assert "observability is disabled" in text_of(output)

@@ -1,0 +1,186 @@
+"""Unit tests for the metrics registry: instrument semantics, labels,
+JSON export round-trip, and reset isolation."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import COUNT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("events")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_identity_by_name_and_labels(self, registry):
+        a = registry.counter("hits", layer="buffer")
+        b = registry.counter("hits", layer="buffer")
+        c = registry.counter("hits", layer="cache")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_irrelevant(self, registry):
+        a = registry.counter("x", b="2", a="1")
+        b = registry.counter("x", a="1", b="2")
+        assert a is b
+
+    def test_label_values_coerced_to_str(self, registry):
+        registry.inc("x", plan=1)
+        assert registry.counter_value("x", plan="1") == 1
+
+    def test_counters_cannot_decrease(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_family_total_sums_label_sets(self, registry):
+        registry.inc("fired", group="a")
+        registry.inc("fired", group="b")
+        registry.inc("fired", group="b")
+        assert registry.counter_total("fired") == 3
+
+    def test_missing_counter_reads_zero(self, registry):
+        assert registry.counter_value("never_touched") == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("resident")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+        assert registry.gauge_value("resident") == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_fixed_buckets(self, registry):
+        hist = registry.histogram("sizes", buckets=(1, 10, 100))
+        for value in (0.5, 5, 50, 5000):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1, 1]  # last slot is +Inf
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(5055.5)
+        assert hist.mean == pytest.approx(5055.5 / 4)
+
+    def test_boundary_value_falls_in_lower_bucket(self, registry):
+        hist = registry.histogram("sizes", buckets=(1, 10))
+        hist.observe(1)            # <= 1: first bucket
+        assert hist.bucket_counts == [1, 0, 0]
+
+    def test_quantile_approximation(self, registry):
+        hist = registry.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for __ in range(99):
+            hist.observe(0.005)
+        hist.observe(50.0)
+        assert hist.quantile(0.5) == 0.01
+        assert hist.quantile(1.0) == float("inf")
+
+    def test_empty_histogram_quantile_and_mean(self, registry):
+        hist = registry.histogram("lat")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean == 0.0
+
+    def test_buckets_must_be_sorted(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(10, 1))
+
+    def test_family_bucket_consistency_enforced(self, registry):
+        registry.histogram("sizes", buckets=COUNT_BUCKETS, cls="Pole")
+        with pytest.raises(ValueError):
+            registry.histogram("sizes", buckets=(1, 2, 3), cls="Duct")
+
+    def test_same_family_second_label_set_inherits_buckets(self, registry):
+        first = registry.histogram("sizes", buckets=(1, 10), cls="Pole")
+        second = registry.histogram("sizes", cls="Duct")
+        assert second.uppers == first.uppers
+
+
+class TestExportRoundTrip:
+    def fill(self, registry):
+        registry.inc("events", 7, kind="get_class")
+        registry.inc("events", 2, kind="get_value")
+        registry.set_gauge("open_windows", 3)
+        hist = registry.histogram("lat", buckets=(0.01, 0.1))
+        hist.observe(0.005)
+        hist.observe(0.05)
+        hist.observe(9.0)
+
+    def test_round_trip_preserves_everything(self, registry):
+        self.fill(registry)
+        data = json.loads(json.dumps(registry.export()))  # through real JSON
+        restored = MetricsRegistry.from_export(data)
+        assert restored.export() == registry.export()
+
+    def test_export_is_json_safe(self, registry):
+        self.fill(registry)
+        json.dumps(registry.export())  # must not raise
+
+    def test_export_is_sorted_and_stable(self, registry):
+        registry.inc("b")
+        registry.inc("a")
+        names = [c["name"] for c in registry.export()["counters"]]
+        assert names == sorted(names)
+
+
+class TestResetAndRender:
+    def test_reset_drops_every_instrument(self, registry):
+        registry.inc("x")
+        registry.set_gauge("y", 1)
+        registry.histogram("z").observe(0.5)
+        assert len(registry) == 3
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter_value("x") == 0.0
+
+    def test_render_table_lists_instruments(self, registry):
+        registry.inc("events", 3, kind="get_schema")
+        registry.set_gauge("resident", 5)
+        registry.histogram("lat").observe(0.004)
+        table = registry.render_table()
+        assert "events{kind=get_schema} = 3" in table
+        assert "resident = 5" in table
+        assert "lat" in table and "count=1" in table
+
+    def test_render_table_empty(self, registry):
+        assert registry.render_table() == "(no metrics recorded)"
+
+
+class TestModuleLevelRecorder:
+    def test_disabled_by_default_and_noop(self):
+        assert not obs.is_enabled()
+        obs.RECORDER.inc("anything")          # must not raise or record
+        with obs.RECORDER.span("anything"):
+            pass
+
+    def test_enable_records_and_disable_restores(self):
+        recorder = obs.enable()
+        try:
+            assert obs.is_enabled()
+            obs.RECORDER.inc("live", kind="x")
+            assert recorder.registry.counter_value("live", kind="x") == 1
+        finally:
+            obs.disable()
+        assert not obs.is_enabled()
+
+    def test_enable_is_idempotent(self):
+        first = obs.enable()
+        second = obs.enable()
+        try:
+            assert first is second
+        finally:
+            obs.disable()
+
+    def test_registry_reset_between_tests(self, obs_recorder):
+        # The obs_recorder fixture hands out a fresh registry every time;
+        # nothing from other tests can be visible here.
+        assert len(obs_recorder.registry) == 0

@@ -1,0 +1,195 @@
+"""Overhead regression: instrumented-but-disabled hot paths must stay
+within a generous factor of hand-written un-instrumented equivalents.
+
+The observability layer promises that when disabled (the default) its
+call sites cost ~nothing. These tests pin that promise down so later PRs
+cannot silently make the instrumentation eat the hot path: each test
+times the real (instrumented) code with observability off against a
+local, hand-written copy of the same logic with the instrumentation
+stripped out, and asserts the ratio stays under ``FACTOR``.
+
+The baselines are deliberate near-verbatim copies of the pre-PR hot-path
+bodies — if a hot path is later optimized, update the baseline copy too,
+or the comparison stops measuring instrumentation overhead.
+
+Timing tests are inherently noisy; each comparison takes the best of
+several repetitions and is allowed a few attempts before failing.
+"""
+
+import time
+from collections import OrderedDict
+
+import pytest
+
+from repro import obs
+from repro.active.event_bus import Event, EventBus, EventKind
+from repro.geodb.buffer import BufferManager, BufferStats, _Frame
+from repro.geodb.storage import MemoryPager
+
+#: The regression bound: instrumented-but-disabled ≤ FACTOR × baseline.
+FACTOR = 1.5
+ITERATIONS = 20_000
+REPEATS = 5
+ATTEMPTS = 4
+
+
+def best_time(fn, repeats=REPEATS):
+    """Best-of-N wall time of ``fn()`` — robust against scheduler noise."""
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def assert_within_factor(baseline_fn, instrumented_fn, label):
+    assert not obs.is_enabled(), "overhead tests measure disabled mode"
+    baseline = instrumented = None
+    for attempt in range(ATTEMPTS):
+        baseline = best_time(baseline_fn)
+        instrumented = best_time(instrumented_fn)
+        if instrumented <= baseline * FACTOR:
+            return
+    pytest.fail(
+        f"{label}: instrumented-but-disabled path took {instrumented:.6f}s, "
+        f"more than {FACTOR}x the un-instrumented baseline {baseline:.6f}s"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline 1: the event bus publish loop (the paper's event pipeline inlet)
+# ---------------------------------------------------------------------------
+
+
+class PlainBus:
+    """Hand-written copy of EventBus.publish without instrumentation."""
+
+    def __init__(self):
+        self._by_kind = {}
+        self._all = []
+        self._published = 0
+        self._log = []
+        self.keep_log = False
+        self.last_event = None
+
+    def subscribe(self, subscriber, kinds=None):
+        if kinds is None:
+            self._all.append(subscriber)
+            return
+        for kind in kinds:
+            self._by_kind.setdefault(kind, []).append(subscriber)
+
+    def publish(self, event):
+        self._published += 1
+        self.last_event = event
+        if self.keep_log:
+            self._log.append(event)
+        for subscriber in list(self._by_kind.get(event.kind, ())):
+            subscriber(event)
+        for subscriber in list(self._all):
+            subscriber(event)
+
+
+def _sink(event):
+    pass
+
+
+class TestEventBusOverhead:
+    def test_disabled_publish_within_budget(self):
+        real = EventBus()
+        real.subscribe(_sink, kinds=[EventKind.GET_VALUE])
+        plain = PlainBus()
+        plain.subscribe(_sink, kinds=[EventKind.GET_VALUE])
+        event = Event(EventKind.GET_VALUE, "Pole#1")
+
+        def run_real():
+            publish = real.publish
+            for __ in range(ITERATIONS):
+                publish(event)
+
+        def run_plain():
+            publish = plain.publish
+            for __ in range(ITERATIONS):
+                publish(event)
+
+        assert_within_factor(run_plain, run_real, "event_bus.publish")
+
+
+# ---------------------------------------------------------------------------
+# Baseline 2: the buffer-manager hit path (hottest geodb loop, benchmark C4)
+# ---------------------------------------------------------------------------
+
+
+class PlainLRU:
+    """Hand-written copy of BufferManager's read path, no instrumentation."""
+
+    def __init__(self, pager, capacity):
+        self.pager = pager
+        self.capacity = capacity
+        self._frames = OrderedDict()
+        self.stats = BufferStats()
+
+    def read_page(self, page_no):
+        if page_no in self._frames:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_no)
+            return self._frames[page_no].data
+        self.stats.misses += 1
+        while len(self._frames) >= self.capacity:
+            victim_no = next(iter(self._frames))
+            self._frames.pop(victim_no)
+            self.stats.evictions += 1
+        frame = _Frame(self.pager.read_page(page_no))
+        self._frames[page_no] = frame
+        return frame.data
+
+
+def make_pager(pages=8):
+    pager = MemoryPager(page_size=128)
+    for i in range(pages):
+        no = pager.allocate_page()
+        pager.write_page(no, bytes([i]) * 16)
+    return pager
+
+
+class TestBufferOverhead:
+    def test_disabled_hit_path_within_budget(self):
+        real = BufferManager(make_pager(), capacity=8)
+        plain = PlainLRU(make_pager(), capacity=8)
+        pages = [0, 1, 2, 3] * (ITERATIONS // 4)
+        for no in (0, 1, 2, 3):     # warm both so the loop is all hits
+            real.read_page(no)
+            plain.read_page(no)
+
+        def run_real():
+            read = real.read_page
+            for no in pages:
+                read(no)
+
+        def run_plain():
+            read = plain.read_page
+            for no in pages:
+                read(no)
+
+        assert_within_factor(run_plain, run_real, "buffer.read_page(hit)")
+
+
+# ---------------------------------------------------------------------------
+# Sanity: the comparison measures something — enabled mode does record
+# ---------------------------------------------------------------------------
+
+
+class TestComparisonIsMeaningful:
+    def test_same_code_records_when_enabled(self, obs_recorder):
+        bus = EventBus()
+        bus.publish(Event(EventKind.GET_VALUE, "Pole#1"))
+        registry = obs_recorder.registry
+        assert registry.counter_value(
+            "event_bus.events_published", kind="get_value") == 1
+
+        manager = BufferManager(make_pager(), capacity=2)
+        manager.read_page(0)
+        manager.read_page(0)
+        assert registry.counter_value("buffer.hits") == 1
+        assert registry.counter_value("buffer.misses") == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the tracer: span nesting, ring-buffer eviction, the
+end-to-end dispatch span tree, and disabled-mode silence."""
+
+import pytest
+
+from repro import obs
+from repro.obs import Tracer
+from repro.core import GISSession
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(capacity=4, clock=FakeClock())
+
+
+class TestSpanNesting:
+    def test_children_attach_to_enclosing_span(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        trace = tracer.last_trace()
+        assert trace.name == "root"
+        assert [c.name for c in trace.children] == ["child_a", "child_b"]
+        assert trace.children[0].children[0].name == "grandchild"
+
+    def test_durations_from_clock(self, tracer):
+        with tracer.span("root"):
+            pass
+        # FakeClock ticks once at start and once at end.
+        assert tracer.last_trace().duration == pytest.approx(1.0)
+
+    def test_active_span_tracks_stack(self, tracer):
+        assert tracer.active_span is None
+        with tracer.span("root") as root:
+            assert tracer.active_span is root
+            with tracer.span("inner") as inner:
+                assert tracer.active_span is inner
+            assert tracer.active_span is root
+        assert tracer.active_span is None
+
+    def test_exception_recorded_and_propagated(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        trace = tracer.last_trace()
+        assert trace.find("inner").error == "ValueError('boom')"
+        assert "boom" in trace.render()
+
+    def test_annotate_and_attrs(self, tracer):
+        with tracer.span("root", schema="phone_net") as span:
+            span.annotate(classes=3)
+        trace = tracer.last_trace()
+        assert trace.attrs == {"schema": "phone_net", "classes": 3}
+        assert trace.to_dict()["attrs"] == {"schema": "phone_net",
+                                            "classes": "3"}
+
+    def test_walk_find_and_find_all(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+            with tracer.span("leaf"):
+                pass
+        trace = tracer.last_trace()
+        assert [s.name for s in trace.walk()] == ["root", "leaf", "leaf"]
+        assert len(trace.find_all("leaf")) == 2
+        assert trace.find("absent") is None
+
+
+class TestRingBuffer:
+    def test_only_roots_become_traces(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("inner"):
+                pass
+        assert len(tracer.traces()) == 1
+
+    def test_eviction_keeps_most_recent(self, tracer):
+        for i in range(6):
+            with tracer.span(f"t{i}"):
+                pass
+        names = [t.name for t in tracer.traces()]
+        assert names == ["t2", "t3", "t4", "t5"]   # capacity 4
+        assert tracer.dropped == 2
+        assert tracer.completed == 6
+
+    def test_last_trace_prefix_filter(self, tracer):
+        with tracer.span("dispatch.open_class"):
+            pass
+        with tracer.span("render"):
+            pass
+        assert tracer.last_trace().name == "render"
+        assert tracer.last_trace("dispatch.").name == "dispatch.open_class"
+        assert tracer.last_trace("nothing.") is None
+
+    def test_reset(self, tracer):
+        with tracer.span("t"):
+            pass
+        tracer.reset()
+        assert tracer.last_trace() is None
+        assert tracer.completed == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestEndToEndDispatchTrace:
+    def test_open_class_produces_expected_span_tree(self, obs_recorder,
+                                                    generic_session):
+        generic_session.connect("phone_net")
+        obs_recorder.tracer.reset()
+        generic_session.select_class("Pole")
+
+        trace = obs_recorder.tracer.last_trace("dispatch.")
+        assert trace is not None
+        assert trace.name == "dispatch.open_class"
+        # The §3.5 pipeline, in order: the primitive event is published
+        # (rules select inside it), then the builder assembles the window.
+        publish = trace.find("event_bus.publish")
+        assert publish is not None
+        assert publish.attrs["kind"] == "get_class"
+        assert publish.find("rule_manager.select") is not None
+        build = trace.find("builder.build")
+        assert build is not None
+        assert build.attrs == {"kind": "class_set", "target": "Pole"}
+        # publish completes before the builder runs
+        assert trace.children.index(publish) < trace.children.index(build)
+
+    def test_customized_dispatch_shows_rule_execution(self, obs_recorder,
+                                                      juliano_session):
+        from repro.lang import FIGURE_6_PROGRAM
+
+        juliano_session.install_program(FIGURE_6_PROGRAM, persist=False)
+        juliano_session.connect("phone_net")
+        trace = obs_recorder.tracer.last_trace("dispatch.")
+        assert trace.name == "dispatch.open_schema"
+        execute = trace.find("rule_manager.execute")
+        assert execute is not None
+        assert execute.attrs["rule"].endswith("::schema")
+
+    def test_render_traced(self, obs_recorder, generic_session):
+        generic_session.connect("phone_net")
+        generic_session.render()
+        assert obs_recorder.tracer.last_trace().name == "render"
+
+
+class TestDisabledMode:
+    def test_disabled_records_no_traces_or_metrics(self, generic_session):
+        assert not obs.is_enabled()
+        recorder = obs.enable()
+        obs.disable()  # instrumentation now routes to the NullRecorder
+        generic_session.connect("phone_net")
+        generic_session.select_class("Pole")
+        generic_session.render()
+        assert recorder.tracer.last_trace() is None
+        assert len(recorder.registry) == 0
+
+    def test_noop_span_is_reusable_and_silent(self):
+        span = obs.RECORDER.span("x", any_attr=1)
+        with span:
+            span.annotate(more=2)
+        with span:  # reusable: shared singleton
+            pass
+        assert span is obs.NOOP_SPAN
