@@ -28,6 +28,7 @@ Quickstart::
     print(session.render())
 """
 
+from .core.kernel import GISKernel
 from .core.session import GISSession
 from .core.context import Context, ContextPattern
 from .core.customization import (
@@ -40,6 +41,7 @@ from .geodb.database import GeographicDatabase
 __version__ = "1.0.0"
 
 __all__ = [
+    "GISKernel",
     "GISSession",
     "Context",
     "ContextPattern",

@@ -80,6 +80,11 @@ class Event:
         The interaction context in which the event occurred — the paper's
         ``<user class, application domain>`` tuple, carried as an opaque
         object understood by the rule condition layer.
+    session_id:
+        The originating session, when the event was raised on behalf of
+        one (``None`` for system-side events such as recovery or bulk
+        loads). The shared kernel uses this to record customization
+        decisions per session and to scope subscriber delivery.
     depth:
         Cascade depth: 0 for primary events, incremented for events raised
         by rule actions. The rule managers bound this.
@@ -89,6 +94,7 @@ class Event:
     subject: str
     payload: dict[str, Any] = field(default_factory=dict)
     context: Any = None
+    session_id: str | None = None
     depth: int = 0
     event_id: int = field(default_factory=lambda: next(_event_ids))
 
@@ -99,6 +105,7 @@ class Event:
             subject=subject,
             payload=dict(payload or {}),
             context=self.context,
+            session_id=self.session_id,
             depth=self.depth + 1,
         )
 
@@ -114,12 +121,17 @@ class EventBus:
 
     Subscribers are invoked in registration order, immediately, on the
     publisher's call stack (the paper's *immediate* coupling mode). A
-    subscriber may be registered for specific kinds or for all events.
+    subscriber may be registered for specific kinds or for all events,
+    and may additionally be **session-scoped**: it then only sees events
+    carrying its ``session_id``. Unscoped subscribers (the shared rule
+    engine, integrity guards) see every event.
     """
 
     def __init__(self) -> None:
         self._by_kind: dict[EventKind, list[Subscriber]] = {}
         self._all: list[Subscriber] = []
+        #: session-scoped subscribers: subscriber -> session_id filter
+        self._scopes: dict[Subscriber, str] = {}
         self._published = 0
         self._log: list[Event] = []
         self.keep_log = False
@@ -128,8 +140,15 @@ class EventBus:
         self.last_event: Event | None = None
 
     def subscribe(self, subscriber: Subscriber,
-                  kinds: Iterable[EventKind] | None = None) -> None:
-        """Register ``subscriber`` for ``kinds`` (or every kind when None)."""
+                  kinds: Iterable[EventKind] | None = None,
+                  session_id: str | None = None) -> None:
+        """Register ``subscriber`` for ``kinds`` (or every kind when None).
+
+        With ``session_id``, delivery is scoped: the subscriber only
+        receives events whose ``session_id`` matches.
+        """
+        if session_id is not None:
+            self._scopes[subscriber] = session_id
         if kinds is None:
             self._all.append(subscriber)
             return
@@ -149,6 +168,7 @@ class EventBus:
             ]
             if not self._by_kind[kind]:
                 del self._by_kind[kind]
+        self._scopes.pop(subscriber, None)
 
     def publish(self, event: Event) -> None:
         """Deliver ``event`` to every matching subscriber, synchronously."""
@@ -166,10 +186,15 @@ class EventBus:
             self._deliver(event)
 
     def _deliver(self, event: Event) -> None:
+        scopes = self._scopes
         for subscriber in list(self._by_kind.get(event.kind, ())):
-            subscriber(event)
+            scope = scopes.get(subscriber) if scopes else None
+            if scope is None or scope == event.session_id:
+                subscriber(event)
         for subscriber in list(self._all):
-            subscriber(event)
+            scope = scopes.get(subscriber) if scopes else None
+            if scope is None or scope == event.session_id:
+                subscriber(event)
 
     @property
     def published_count(self) -> int:

@@ -102,10 +102,23 @@ class Firing:
 
 
 class RuleManager:
-    """Holds the rule set and reacts to events on a bus."""
+    """Holds the rule set and reacts to events on a bus.
+
+    ``cache_key`` enables the **selection cache**: a callable mapping an
+    event to a hashable key (or ``None`` for "don't cache this event").
+    When two events map to the same key, rule selection must be
+    guaranteed — by the caller providing the key function — to pick the
+    same rules; the manager then memoizes the selected rule names. The
+    cache is keyed by a **generation counter** bumped on every rule-set
+    change (add/remove/enable/policy), so cached selections can never
+    survive a mutation. Actions still execute per event — only the
+    O(rules) matching scan is skipped.
+    """
 
     def __init__(self, bus: EventBus, max_cascade_depth: int = 8,
-                 trace_limit: int = 1000):
+                 trace_limit: int = 1000,
+                 cache_key: Callable[[Event], Any] | None = None,
+                 cache_limit: int = 4096):
         self.bus = bus
         self.max_cascade_depth = max_cascade_depth
         self._rules: dict[str, Rule] = {}
@@ -113,6 +126,11 @@ class RuleManager:
         self._deferred: list[tuple[Rule, Event]] = []
         self.trace: list[Firing] = []
         self.trace_limit = trace_limit
+        self.generation = 0
+        self._cache_key = cache_key
+        self._cache_limit = cache_limit
+        self._selection_cache: dict[Any, tuple[str, ...]] = {}
+        self.cache_invalidations = 0
         self._handler = self._on_event
         bus.subscribe(self._handler)
 
@@ -120,12 +138,23 @@ class RuleManager:
         """Stop reacting to the bus (used when swapping engines)."""
         self.bus.unsubscribe(self._handler)
 
+    def _bump_generation(self) -> None:
+        """Record a rule-set mutation; stale cached selections are dropped."""
+        self.generation += 1
+        if self._selection_cache:
+            self._selection_cache.clear()
+            self.cache_invalidations += 1
+            rec = obs.RECORDER
+            if rec.enabled:
+                rec.inc("engine.decision_cache.invalidation")
+
     # -- rule set management ----------------------------------------------------
 
     def add_rule(self, rule: Rule) -> Rule:
         if rule.name in self._rules:
             raise RuleError(f"a rule named {rule.name!r} already exists")
         self._rules[rule.name] = rule
+        self._bump_generation()
         return rule
 
     def define(self, name: str, events: Iterable[EventKind], condition: Condition,
@@ -149,6 +178,16 @@ class RuleManager:
         if name not in self._rules:
             raise RuleError(f"no rule named {name!r}")
         del self._rules[name]
+        self._bump_generation()
+
+    def set_enabled(self, name: str, enabled: bool) -> None:
+        """Toggle one rule; invalidates cached selections (unlike a bare
+        ``rule.enabled = ...`` assignment, which callers using the
+        selection cache must avoid)."""
+        rule = self.get_rule(name)
+        if rule.enabled != enabled:
+            rule.enabled = enabled
+            self._bump_generation()
 
     def get_rule(self, name: str) -> Rule:
         if name not in self._rules:
@@ -162,7 +201,9 @@ class RuleManager:
         return out
 
     def set_policy(self, group: str, policy: SelectionPolicy) -> None:
-        self._policies[group] = policy
+        if self._policies.get(group) is not policy:
+            self._policies[group] = policy
+            self._bump_generation()
 
     def policy(self, group: str) -> SelectionPolicy:
         return self._policies.get(group, SelectionPolicy.ALL_MATCHING)
@@ -176,14 +217,24 @@ class RuleManager:
                 f"{self.max_cascade_depth}"
             )
         rec = obs.RECORDER
-        if rec.enabled:
-            with rec.span("rule_manager.select", kind=event.kind.value) as sp:
-                selected = self.select_rules(event)
-                sp.annotate(selected=len(selected))
-            rec.inc("rules.evaluated", len(self._rules))
-            rec.inc("rules.selected", len(selected))
+        key = self._cache_key(event) if self._cache_key is not None else None
+        if key is not None:
+            cached = self._selection_cache.get(key)
+            if cached is not None:
+                selected = [self._rules[name] for name in cached]
+                if rec.enabled:
+                    rec.inc("engine.decision_cache.hit")
+                    rec.inc("rules.selected", len(selected))
+            else:
+                selected = self._select_observed(event, rec)
+                if len(self._selection_cache) >= self._cache_limit:
+                    self._selection_cache.pop(
+                        next(iter(self._selection_cache)))
+                self._selection_cache[key] = tuple(r.name for r in selected)
+                if rec.enabled:
+                    rec.inc("engine.decision_cache.miss")
         else:
-            selected = self.select_rules(event)
+            selected = self._select_observed(event, rec)
         for rule in selected:
             if rule.coupling is Coupling.DEFERRED:
                 self._deferred.append((rule, event))
@@ -191,6 +242,17 @@ class RuleManager:
                     rec.inc("rules.deferred")
             else:
                 self._execute(rule, event)
+
+    def _select_observed(self, event: Event, rec) -> list[Rule]:
+        """Full selection scan, with the observability wrapping."""
+        if not rec.enabled:
+            return self.select_rules(event)
+        with rec.span("rule_manager.select", kind=event.kind.value) as sp:
+            selected = self.select_rules(event)
+            sp.annotate(selected=len(selected))
+        rec.inc("rules.evaluated", len(self._rules))
+        rec.inc("rules.selected", len(selected))
+        return selected
 
     def select_rules(self, event: Event) -> list[Rule]:
         """Matching rules after applying each group's selection policy.

@@ -285,15 +285,17 @@ def build_demo_session(user: str, category: str | None, application: str,
     Observability is enabled *before* the database is built so ``stats``
     shows the full cost of populating it, too.
     """
+    from .core import GISKernel
     from .lang import FIGURE_6_PROGRAM
     from .workloads import build_phone_net_database
 
     obs.enable()
     db = build_phone_net_database()
-    session = GISSession(db, user=user, category=category,
-                         application=application, auto_refresh=True)
+    kernel = GISKernel(db)
+    session = kernel.session(user=user, category=category,
+                             application=application, auto_refresh=True)
     if figure6:
-        session.install_program(FIGURE_6_PROGRAM, persist=False)
+        kernel.install_program(FIGURE_6_PROGRAM, persist=False)
     return session
 
 

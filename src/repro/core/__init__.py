@@ -18,6 +18,7 @@ from .builder import (
     resolve_source,
 )
 from .dispatcher import Dispatcher, Screen
+from .kernel import GISKernel
 from .session import GISSession
 
 __all__ = [
@@ -27,5 +28,6 @@ __all__ = [
     "CustomizationEngine", "GROUP_PREFIX",
     "GenericInterfaceBuilder", "resolve_source", "apply_using_binding",
     "Dispatcher", "Screen",
+    "GISKernel",
     "GISSession",
 ]

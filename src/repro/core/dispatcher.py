@@ -95,7 +95,9 @@ class Dispatcher:
                  builder: GenericInterfaceBuilder,
                  engine: CustomizationEngine | None = None,
                  screen: Screen | None = None,
-                 auto_refresh: bool = False):
+                 auto_refresh: bool = False,
+                 session_id: str | None = None,
+                 managed_refresh: bool = False):
         self.database = database
         self.builder = builder
         self.engine = engine
@@ -105,7 +107,12 @@ class Dispatcher:
         self._origins: dict[str, tuple[str, tuple, Context | None]] = {}
         self.interactions = 0
         self.auto_refresh = auto_refresh
-        if auto_refresh:
+        #: identity stamped on every primitive event this dispatcher raises
+        self.session_id = session_id
+        # A kernel-managed dispatcher does not subscribe itself: the
+        # kernel holds the single bus subscription and fans mutations out
+        # only to the sessions displaying the touched class.
+        if auto_refresh and not managed_refresh:
             self.database.bus.subscribe(self._on_mutation, kinds=MUTATION_KINDS)
 
     # ------------------------------------------------------------------
@@ -120,16 +127,20 @@ class Dispatcher:
             return self._do_open_schema(schema_name, context)
         rec.inc("dispatcher.interactions", kind="schema")
         with rec.timed("dispatch.seconds", kind="schema"), \
-                rec.span("dispatch.open_schema", schema=schema_name):
+                rec.span("dispatch.open_schema", schema=schema_name,
+                         **self._span_tags()):
             return self._do_open_schema(schema_name, context)
 
     def _do_open_schema(self, schema_name: str,
                         context: Context | None = None) -> Window:
         self.interactions += 1
-        schema_info = self.database.get_schema(schema_name, context=context)
+        schema_info = self.database.get_schema(
+            schema_name, context=context, session_id=self.session_id
+        )
         event = self.database.bus.last_event
         decision = (
-            self.engine.schema_decision(event.event_id)
+            self.engine.schema_decision(event.event_id,
+                                        session_id=self.session_id)
             if self.engine and event else None
         )
         window = self.builder.build_schema_window(schema_info, decision)
@@ -154,18 +165,20 @@ class Dispatcher:
         rec.inc("dispatcher.interactions", kind="class")
         with rec.timed("dispatch.seconds", kind="class"), \
                 rec.span("dispatch.open_class", schema=schema_name,
-                         cls=class_name):
+                         cls=class_name, **self._span_tags()):
             return self._do_open_class(schema_name, class_name, context)
 
     def _do_open_class(self, schema_name: str, class_name: str,
                        context: Context | None = None) -> Window:
         self.interactions += 1
         geo_class, objects = self.database.get_class(
-            schema_name, class_name, context=context
+            schema_name, class_name, context=context,
+            session_id=self.session_id,
         )
         event = self.database.bus.last_event
         decision = (
-            self.engine.class_decision(event.event_id)
+            self.engine.class_decision(event.event_id,
+                                       session_id=self.session_id)
             if self.engine and event else None
         )
         schema = self.database.get_schema_object(schema_name)
@@ -201,16 +214,20 @@ class Dispatcher:
             return self._do_open_instance(oid, context, attr_overrides)
         rec.inc("dispatcher.interactions", kind="instance")
         with rec.timed("dispatch.seconds", kind="instance"), \
-                rec.span("dispatch.open_instance", oid=oid):
+                rec.span("dispatch.open_instance", oid=oid,
+                         **self._span_tags()):
             return self._do_open_instance(oid, context, attr_overrides)
 
     def _do_open_instance(self, oid: str, context: Context | None = None,
                           attr_overrides: dict | None = None) -> Window:
         self.interactions += 1
-        obj = self.database.get_value(oid, context=context)
+        obj = self.database.get_value(
+            oid, context=context, session_id=self.session_id
+        )
         event = self.database.bus.last_event
         attr_decisions = (
-            self.engine.attribute_decisions(event.event_id)
+            self.engine.attribute_decisions(event.event_id,
+                                            session_id=self.session_id)
             if self.engine and event else {}
         )
         if attr_overrides:
@@ -303,9 +320,32 @@ class Dispatcher:
                 return
             item.on("activate", lambda ev: self.screen.close(window.name))
 
+    def _span_tags(self) -> dict[str, str]:
+        """Extra span tags; tags the session when this dispatcher has one."""
+        if self.session_id is None:
+            return {}
+        return {"session": self.session_id}
+
     # ------------------------------------------------------------------
     # Extension: refresh on committed updates (Diaz et al. [3] behavior)
     # ------------------------------------------------------------------
+
+    def interested_in(self, event: Event) -> bool:
+        """Whether a committed mutation touches any window on this screen.
+
+        The kernel's fan-out uses this to refresh only the sessions
+        displaying the touched class or instance, instead of waking every
+        dispatcher for every mutation.
+        """
+        touched_class = event.payload.get("class")
+        for name, (kind, args, _context) in self._origins.items():
+            if name not in self.screen:
+                continue
+            if kind == "class" and args[1] == touched_class:
+                return True
+            if kind == "instance" and args[0] == event.subject:
+                return True
+        return False
 
     def _on_mutation(self, event: Event) -> None:
         if event.payload.get("phase") != "commit" or not self.auto_refresh:
@@ -350,4 +390,5 @@ class Dispatcher:
             "interactions": self.interactions,
             "open_windows": len(self.screen),
             "auto_refresh": self.auto_refresh,
+            "session_id": self.session_id,
         }

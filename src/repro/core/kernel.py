@@ -1,0 +1,227 @@
+"""The shared multi-session server core.
+
+The paper's architecture (§3, Figure 1) has *one* active DBMS serving
+*many* interactive users: "the control of the application is made by the
+active mechanism of the DBMS" while each user carries only their own
+interaction context. A :class:`GISKernel` is that server side — it owns
+the read-mostly state every session shares:
+
+* the database handle and its event bus,
+* the :class:`~repro.uilib.library.InterfaceObjectLibrary` of interface
+  objects (§3.4),
+* the :class:`~repro.uilib.presentation.PresentationRegistry`,
+* one :class:`~repro.core.rule_engine.CustomizationEngine` holding the
+  customization rule set,
+* one :class:`~repro.core.builder.GenericInterfaceBuilder`.
+
+Sessions created through :meth:`GISKernel.session` are lightweight: a
+:class:`~repro.core.context.Context`, a private
+:class:`~repro.core.dispatcher.Screen`, and a
+:class:`~repro.core.dispatcher.Dispatcher` stamped with a ``session_id``.
+Every primitive event a session raises carries that id, so the shared
+engine records customization decisions *per session* and the kernel can
+fan committed mutations out only to the sessions actually displaying the
+touched class.
+
+``GISSession(db, ...)`` without a kernel still works — it creates a
+private single-session kernel, preserving the historical one-stack-per-
+session behavior (and its engine isolation) for existing callers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from .. import obs
+from ..active.event_bus import Event, MUTATION_KINDS
+from ..errors import SessionError
+from ..geodb.catalog import MetadataCatalog
+from ..geodb.database import GeographicDatabase
+from ..uilib.composite import install_standard_composites
+from ..uilib.library import InterfaceObjectLibrary
+from ..uilib.presentation import PresentationRegistry
+from .builder import GenericInterfaceBuilder
+from .customization import CustomizationDirective
+from .rule_engine import CustomizationEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with session.py
+    from .session import GISSession
+
+_session_ids = itertools.count(1)
+
+
+class GISKernel:
+    """Shared customization stack for many concurrent sessions.
+
+    One kernel per database (or per isolated tenant); any number of
+    sessions. The kernel is *read-mostly*: sessions only read the library,
+    builder and rule set, while installs of new directives go through
+    :meth:`install_directive` / :meth:`install_program` and invalidate the
+    engine's decision cache via the rule manager's generation counter.
+    """
+
+    def __init__(
+        self,
+        database: GeographicDatabase,
+        *,
+        library: InterfaceObjectLibrary | None = None,
+        engine: CustomizationEngine | None = None,
+        presentations: PresentationRegistry | None = None,
+        catalog: MetadataCatalog | None = None,
+        selection_cache: bool = True,
+    ):
+        self.database = database
+        self.catalog = catalog
+        if library is None:
+            library = InterfaceObjectLibrary(catalog)
+            install_standard_composites(library, persist=catalog is not None)
+        self.library = library
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else CustomizationEngine(
+            database.bus, catalog=catalog, selection_cache=selection_cache
+        )
+        self.presentations = presentations or PresentationRegistry()
+        self.builder = GenericInterfaceBuilder(library, self.presentations)
+        self._sessions: dict[str, "GISSession"] = {}
+        self._refresh_subscribed = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+
+    def session(
+        self,
+        user: str | None = None,
+        category: str | None = None,
+        application: str | None = None,
+        scale_denominator: float | None = None,
+        time_tag: str | None = None,
+        auto_refresh: bool = False,
+    ) -> "GISSession":
+        """Open a lightweight session sharing this kernel's stack."""
+        from .session import GISSession
+
+        return GISSession(
+            self.database,
+            user=user,
+            category=category,
+            application=application,
+            scale_denominator=scale_denominator,
+            time_tag=time_tag,
+            auto_refresh=auto_refresh,
+            kernel=self,
+        )
+
+    def _attach(self, session: "GISSession") -> str:
+        """Register a session and hand out its identity (called by
+        ``GISSession.__init__``)."""
+        if self._closed:
+            raise SessionError("kernel is shut down")
+        session_id = f"s{next(_session_ids)}"
+        self._sessions[session_id] = session
+        self._gauge_sessions()
+        return session_id
+
+    def _session_ready(self, session: "GISSession") -> None:
+        """Second attach phase, once the session's dispatcher exists."""
+        if session.dispatcher.auto_refresh and not self._refresh_subscribed:
+            self.database.bus.subscribe(self._on_mutation,
+                                        kinds=MUTATION_KINDS)
+            self._refresh_subscribed = True
+
+    def _detach(self, session: "GISSession") -> None:
+        self._sessions.pop(session.session_id, None)
+        self._gauge_sessions()
+        if self._refresh_subscribed and not any(
+            s.dispatcher.auto_refresh for s in self._sessions.values()
+        ):
+            self.database.bus.unsubscribe(self._on_mutation)
+            self._refresh_subscribed = False
+
+    def _gauge_sessions(self) -> None:
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.gauge("kernel.sessions", len(self._sessions),
+                      database=self.database.name)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def sessions(self) -> list["GISSession"]:
+        """The currently attached sessions, in attach order."""
+        return list(self._sessions.values())
+
+    # ------------------------------------------------------------------
+    # Customization installation (shared rule set)
+    # ------------------------------------------------------------------
+
+    def install_directive(self, directive: CustomizationDirective,
+                          persist: bool | None = None) -> None:
+        """Register a compiled directive with the shared engine."""
+        if persist is None:
+            persist = self.catalog is not None
+        self.engine.register_directive(directive, persist=persist)
+
+    def install_program(self, source: str, persist: bool | None = None
+                        ) -> list[CustomizationDirective]:
+        """Compile customization-language source into the shared engine."""
+        from ..lang.compiler import compile_program
+
+        directives = compile_program(
+            source, self.database, self.library, self.presentations
+        )
+        for directive in directives:
+            self.install_directive(directive, persist=persist)
+        return directives
+
+    # ------------------------------------------------------------------
+    # Mutation fan-out: refresh only the sessions that display the class
+    # ------------------------------------------------------------------
+
+    def _on_mutation(self, event: Event) -> None:
+        if event.payload.get("phase") != "commit":
+            return
+        for session in list(self._sessions.values()):
+            dispatcher = session.dispatcher
+            if dispatcher.auto_refresh and dispatcher.interested_in(event):
+                dispatcher._on_mutation(event)
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "database": self.database.name,
+            "sessions": len(self._sessions),
+            "engine": self.engine.stats(),
+            "events_published": self.database.bus.published_count,
+        }
+
+    def shutdown(self) -> None:
+        """End every attached session and detach from the database bus.
+
+        Idempotent; also runs via the context manager protocol::
+
+            with GISKernel(db) as kernel:
+                session = kernel.session(user="ana")
+        """
+        if self._closed:
+            return
+        for session in list(self._sessions.values()):
+            session.shutdown()
+        if self._refresh_subscribed:
+            self.database.bus.unsubscribe(self._on_mutation)
+            self._refresh_subscribed = False
+        if self._owns_engine:
+            self.engine.manager.detach()
+        self._closed = True
+
+    def __enter__(self) -> "GISKernel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Any
 
 from .. import obs
-from ..active.event_bus import Event, EventBus, EventKind
+from ..active.event_bus import EXPLORATORY_KINDS, Event, EventBus, EventKind
 from ..active.rule_manager import Rule, RuleManager, SelectionPolicy
 from ..errors import CustomizationError, RuleError
 from ..geodb.catalog import KIND_CUSTOMIZATION, MetadataCatalog
@@ -48,17 +48,67 @@ GROUP_PREFIX = "customization"
 
 
 class CustomizationEngine:
-    """Expands directives into rules and collects per-event decisions."""
+    """Expands directives into rules and collects per-event decisions.
+
+    One engine may serve many sessions at once (the shared-kernel
+    architecture): decisions are recorded under the originating event's
+    ``session_id``, and :meth:`decisions_for` can be asked to return only
+    the decisions belonging to one session.
+
+    With ``selection_cache`` (the default, only effective when the engine
+    builds its own manager), rule selection for the exploratory ``Get_*``
+    events is memoized on ``(event kind, subject, schema/class payload,
+    context)``. Customization rule conditions depend on exactly those
+    inputs (§3.3: "Condition does not check a database state, but a
+    user's working environment"), so the memoization is exact; a
+    generation counter bumped by every directive install/remove/toggle
+    keeps cached selections from ever going stale. Callers that define
+    *extra* rules directly on ``self.manager`` must keep their conditions
+    within those inputs (or build the engine with
+    ``selection_cache=False``).
+    """
 
     def __init__(self, bus: EventBus, manager: RuleManager | None = None,
-                 catalog: MetadataCatalog | None = None):
+                 catalog: MetadataCatalog | None = None,
+                 selection_cache: bool = True):
         self.bus = bus
-        self.manager = manager or RuleManager(bus)
+        if manager is None:
+            manager = RuleManager(
+                bus,
+                cache_key=self._selection_cache_key if selection_cache
+                else None,
+            )
+        self.manager = manager
         self.catalog = catalog
         self._directives: dict[str, CustomizationDirective] = {}
         #: event_id -> decisions recorded while handling that event
         self._decisions: dict[int, list[CustomizationDecision]] = {}
+        #: event_id -> session that raised the event (parallel ring)
+        self._decision_sessions: dict[int, str | None] = {}
         self._decision_window = 64  # retained events
+
+    @staticmethod
+    def _selection_cache_key(event: Event):
+        """Cache key for exploratory events, or None (uncacheable).
+
+        Everything a customization rule's condition reads is in the key:
+        kind, subject, the payload's schema/class, and the (hashable,
+        frozen) interaction context. ``session_id`` is deliberately NOT
+        part of the key — two sessions in the same context share cached
+        selections, which is the point of the shared kernel.
+        """
+        if event.kind not in EXPLORATORY_KINDS:
+            return None
+        context = event.context
+        if context is not None and not isinstance(context, Context):
+            return None  # opaque contexts: fall back to the full scan
+        return (
+            event.kind,
+            event.subject,
+            event.payload.get("schema"),
+            event.payload.get("class"),
+            context,
+        )
 
     # ------------------------------------------------------------------
     # Directive registration (the paper's "compiler output" entry point)
@@ -123,7 +173,7 @@ class CustomizationEngine:
         toggled = 0
         for rule in self.manager.rules():
             if rule.name.startswith(prefix):
-                rule.enabled = enabled
+                self.manager.set_enabled(rule.name, enabled)
                 toggled += 1
         return toggled
 
@@ -282,30 +332,56 @@ class CustomizationEngine:
         if rec.enabled:
             rec.inc("customization.decisions", kind=decision.kind)
         self._decisions.setdefault(event.event_id, []).append(decision)
+        self._decision_sessions[event.event_id] = event.session_id
         while len(self._decisions) > self._decision_window:
-            self._decisions.pop(next(iter(self._decisions)))
+            evicted = next(iter(self._decisions))
+            self._decisions.pop(evicted)
+            self._decision_sessions.pop(evicted, None)
 
-    def decisions_for(self, event_id: int) -> list[CustomizationDecision]:
+    def decisions_for(self, event_id: int, session_id: str | None = None
+                      ) -> list[CustomizationDecision]:
+        """Decisions recorded for one event.
+
+        With ``session_id``, the lookup is session-keyed: decisions are
+        returned only when the event was raised by that session, so one
+        session can never consume another session's decisions (event ids
+        are global across the shared bus).
+        """
+        if session_id is not None and \
+                self._decision_sessions.get(event_id) != session_id:
+            return []
         return list(self._decisions.get(event_id, ()))
 
-    def schema_decision(self, event_id: int) -> CustomizationDecision | None:
-        for decision in self.decisions_for(event_id):
+    def session_decisions(self, session_id: str | None
+                          ) -> list[CustomizationDecision]:
+        """Every retained decision recorded on behalf of one session."""
+        return [
+            decision
+            for event_id, decisions in self._decisions.items()
+            if self._decision_sessions.get(event_id) == session_id
+            for decision in decisions
+        ]
+
+    def schema_decision(self, event_id: int, session_id: str | None = None
+                        ) -> CustomizationDecision | None:
+        for decision in self.decisions_for(event_id, session_id):
             if decision.kind == "schema":
                 return decision
         return None
 
-    def class_decision(self, event_id: int) -> CustomizationDecision | None:
-        for decision in self.decisions_for(event_id):
+    def class_decision(self, event_id: int, session_id: str | None = None
+                       ) -> CustomizationDecision | None:
+        for decision in self.decisions_for(event_id, session_id):
             if decision.kind == "class":
                 return decision
         return None
 
     def attribute_decisions(
-        self, event_id: int
+        self, event_id: int, session_id: str | None = None
     ) -> dict[str, AttributeCustomization]:
         """attr name -> customization, merged over the instance decisions."""
         out: dict[str, AttributeCustomization] = {}
-        for decision in self.decisions_for(event_id):
+        for decision in self.decisions_for(event_id, session_id):
             if decision.kind != "instance" or decision.class_clause is None:
                 continue
             for attr in decision.class_clause.attributes:
@@ -365,4 +441,6 @@ class CustomizationEngine:
             "directives": len(self._directives),
             "rules": len(self.manager.rules()),
             "firings": len(self.manager.trace),
+            "generation": self.manager.generation,
+            "cached_selections": len(self.manager._selection_cache),
         }

@@ -26,20 +26,29 @@ from typing import Any
 from ..errors import SessionError
 from ..geodb.catalog import MetadataCatalog
 from ..geodb.database import GeographicDatabase
-from ..uilib.composite import install_standard_composites
 from ..uilib.library import InterfaceObjectLibrary
 from ..uilib.presentation import PresentationRegistry
 from ..uilib.rendering import TextRenderer
 from ..uilib.widgets import ListWidget, Window
-from .builder import GenericInterfaceBuilder
 from .context import Context
 from .customization import CustomizationDirective
 from .dispatcher import Dispatcher, Screen
+from .kernel import GISKernel
 from .rule_engine import CustomizationEngine
 
 
 class GISSession:
-    """One user's exploratory session against a geographic database."""
+    """One user's exploratory session against a geographic database.
+
+    Sessions are lightweight: per-user state only (a :class:`Context`, a
+    :class:`Screen`, a :class:`Dispatcher`). The heavyweight customization
+    stack — interface object library, rule engine, builder — lives in a
+    :class:`~repro.core.kernel.GISKernel` shared by every session of a
+    server. ``GISSession(db, ...)`` without an explicit ``kernel`` creates
+    a private single-session kernel, preserving the historical behavior;
+    multi-user embeddings create one kernel and call
+    :meth:`GISKernel.session` (or pass ``kernel=``) instead.
+    """
 
     def __init__(
         self,
@@ -54,6 +63,8 @@ class GISSession:
         presentations: PresentationRegistry | None = None,
         catalog: MetadataCatalog | None = None,
         auto_refresh: bool = False,
+        kernel: GISKernel | None = None,
+        selection_cache: bool = True,
     ):
         self.database = database
         self.context = Context(
@@ -63,24 +74,42 @@ class GISSession:
             scale_denominator=scale_denominator,
             time_tag=time_tag,
         )
-        self.catalog = catalog
-        if library is None:
-            library = InterfaceObjectLibrary(catalog)
-            install_standard_composites(library, persist=catalog is not None)
-        self.library = library
-        self.engine = engine if engine is not None else CustomizationEngine(
-            database.bus, catalog=catalog
-        )
-        self.presentations = presentations or PresentationRegistry()
-        self.builder = GenericInterfaceBuilder(library, self.presentations)
+        if kernel is None:
+            kernel = GISKernel(
+                database, library=library, engine=engine,
+                presentations=presentations, catalog=catalog,
+                selection_cache=selection_cache,
+            )
+            self._owns_kernel = True
+        else:
+            if (library is not None or engine is not None
+                    or presentations is not None or catalog is not None):
+                raise SessionError(
+                    "pass library/engine/presentations/catalog to the "
+                    "kernel, not to a session joining one"
+                )
+            if kernel.database is not database:
+                raise SessionError(
+                    "session database does not match the kernel's"
+                )
+            self._owns_kernel = False
+        self.kernel = kernel
+        self.catalog = kernel.catalog
+        self.library = kernel.library
+        self.engine = kernel.engine
+        self.presentations = kernel.presentations
+        self.builder = kernel.builder
         self.screen = Screen()
+        self.session_id = kernel._attach(self)
         self.dispatcher = Dispatcher(
             database, self.builder, self.engine, self.screen,
             auto_refresh=auto_refresh,
+            session_id=self.session_id,
+            managed_refresh=True,
         )
+        kernel._session_ready(self)
         self._schema_name: str | None = None
         self.renderer = TextRenderer()
-        self._owns_engine = engine is None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -158,7 +187,18 @@ class GISSession:
             raise SessionError("class window has no map area")
         return area.pick_at(col, row)
 
-    def close(self, window_name: str) -> None:
+    def close(self, window_name: str | None = None) -> None:
+        """Close one window — or, with no argument, the whole session.
+
+        ``close()`` is an alias for :meth:`shutdown`: it detaches the
+        session (and, for a privately owned kernel, its engine's rule
+        manager) from the database bus. Before this alias existed a
+        "closed" session's engine kept reacting to *every* sibling
+        session's events, silently recording decisions on their behalf.
+        """
+        if window_name is None:
+            self.shutdown()
+            return
         self.screen.close(window_name)
 
     # ------------------------------------------------------------------
@@ -187,6 +227,7 @@ class GISSession:
     def stats(self) -> dict[str, Any]:
         return {
             "context": self.context.describe(),
+            "session_id": self.session_id,
             "dispatcher": self.dispatcher.stats(),
             "engine": self.engine.stats(),
             "database": self.database.name,
@@ -199,14 +240,15 @@ class GISSession:
     # ------------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """End the session: close windows, detach from the database bus.
+        """End the session: close windows, detach from the kernel.
 
-        Sessions subscribe rule managers (and, with ``auto_refresh``, the
-        dispatcher) to the shared event bus; a long-running embedding must
-        shut sessions down or those subscriptions outlive them. An engine
-        that was *passed in* (shared across sessions) is left attached —
-        its owner shuts it down. Idempotent; also runs via the context
-        manager protocol::
+        A session created without an explicit kernel owns a private one
+        and shuts it down too — detaching its rule manager from the
+        database bus, so the engine stops recording decisions for events
+        raised by *other* sessions on the same database. A session that
+        *joined* a kernel only detaches itself; the kernel (and shared
+        engine) stay up for its siblings. Idempotent; also runs via the
+        context manager protocol::
 
             with GISSession(db, user="u", application="a") as session:
                 ...
@@ -215,11 +257,10 @@ class GISSession:
             return
         for name in list(self.screen.names()):
             self.screen.close(name)
-        if self._owns_engine:
-            self.engine.manager.detach()
-        if self.dispatcher.auto_refresh:
-            self.database.bus.unsubscribe(self.dispatcher._on_mutation)
+        self.kernel._detach(self)
         self._closed = True
+        if self._owns_kernel:
+            self.kernel.shutdown()
 
     def __enter__(self) -> "GISSession":
         return self

@@ -238,14 +238,18 @@ class GeographicDatabase:
     # Exploratory primitives (§3.3): Get_Schema, Get_Class, Get_Value
     # ------------------------------------------------------------------
 
-    def get_schema(self, schema_name: str, context: Any = None) -> dict[str, Any]:
+    def get_schema(self, schema_name: str, context: Any = None,
+                   session_id: str | None = None) -> dict[str, Any]:
         """The ``Get_Schema`` primitive: schema metadata for browsing.
 
         Publishes a :class:`EventKind.GET_SCHEMA` event, then returns the
-        schema description (class names, docs, hierarchy).
+        schema description (class names, docs, hierarchy). ``session_id``
+        tags the event with the originating session so the shared kernel
+        can record decisions per session.
         """
         schema = self.get_schema_object(schema_name)
-        self.bus.publish(Event(EventKind.GET_SCHEMA, schema_name, context=context))
+        self.bus.publish(Event(EventKind.GET_SCHEMA, schema_name,
+                               context=context, session_id=session_id))
         return {
             "name": schema.name,
             "doc": schema.doc,
@@ -262,7 +266,8 @@ class GeographicDatabase:
         }
 
     def get_class(self, schema_name: str, class_name: str,
-                  context: Any = None) -> tuple[GeoClass, list[GeoObject]]:
+                  context: Any = None, session_id: str | None = None
+                  ) -> tuple[GeoClass, list[GeoObject]]:
         """The ``Get_Class`` primitive: a class definition plus extension."""
         schema = self.get_schema_object(schema_name)
         geo_class = schema.get_class(class_name)
@@ -272,11 +277,13 @@ class GeographicDatabase:
                 class_name,
                 payload={"schema": schema_name},
                 context=context,
+                session_id=session_id,
             )
         )
         return geo_class, list(self.extent(schema_name, class_name))
 
-    def get_value(self, oid: str, context: Any = None) -> GeoObject:
+    def get_value(self, oid: str, context: Any = None,
+                  session_id: str | None = None) -> GeoObject:
         """The ``Get_Value`` primitive: one instance for display."""
         obj = self.get_object(oid)
         schema_name, class_name = self._locations[oid]
@@ -286,6 +293,7 @@ class GeographicDatabase:
                 oid,
                 payload={"schema": schema_name, "class": class_name},
                 context=context,
+                session_id=session_id,
             )
         )
         return obj

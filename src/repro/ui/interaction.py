@@ -91,26 +91,36 @@ class InteractionScript:
         return results
 
     def _run_step(self, session: GISSession, step: Step) -> Any:
-        if step.action == "connect":
-            return session.connect(step.args[0])
-        if step.action == "select_class":
-            return session.select_class(step.args[0])
-        if step.action == "select_instance":
-            oid, class_name = step.args
-            return session.select_instance(oid, class_name)
-        if step.action == "pick_map":
-            return session.pick_on_map(*step.args)
-        if step.action == "close":
-            session.close(step.args[0])
-            return None
-        if step.action == "render":
-            return session.render(step.args[0])
-        raise SessionError(f"unknown interaction step {step.action!r}")
+        return run_step(session, step)
 
     def describe(self) -> str:
         return "\n".join(
             f"{i + 1}. {step.describe()}" for i, step in enumerate(self.steps)
         )
+
+
+def run_step(session: GISSession, step: Step) -> Any:
+    """Execute one :class:`Step` against a session.
+
+    Public so multi-session drivers (e.g.
+    :class:`repro.workloads.SessionPool`) can interleave the steps of
+    several scripts round-robin instead of running each to completion.
+    """
+    if step.action == "connect":
+        return session.connect(step.args[0])
+    if step.action == "select_class":
+        return session.select_class(step.args[0])
+    if step.action == "select_instance":
+        oid, class_name = step.args
+        return session.select_instance(oid, class_name)
+    if step.action == "pick_map":
+        return session.pick_on_map(*step.args)
+    if step.action == "close":
+        session.close(step.args[0])
+        return None
+    if step.action == "render":
+        return session.render(step.args[0])
+    raise SessionError(f"unknown interaction step {step.action!r}")
 
 
 def paper_walkthrough_script(schema_name: str, class_name: str,

@@ -13,6 +13,7 @@ from .environment import (
     populate_environment,
     register_environment_methods,
 )
+from .session_pool import SessionPool, browsing_contexts
 from .generators import (
     clustered_points,
     pan_zoom_walk,
@@ -32,6 +33,8 @@ __all__ = [
     "build_environment_database",
     "populate_environment",
     "register_environment_methods",
+    "SessionPool",
+    "browsing_contexts",
     "random_points",
     "clustered_points",
     "random_boxes",

@@ -1,0 +1,176 @@
+"""Multi-session workload driver.
+
+The paper's prototype served one workstation user; its architecture (§3,
+Figure 1) was explicitly designed for many. :class:`SessionPool` replays
+the §4 browsing loop — "iterates through browsing (Schema, {Class,
+{Instance}}) windows, in this order" — across *K* concurrent sessions,
+each in its own interaction context, interleaving their steps round-robin
+the way a server would see interleaved requests.
+
+Two deployment shapes, for the concurrent-session benchmark:
+
+* ``shared_kernel=True`` — one :class:`~repro.core.kernel.GISKernel`
+  holds the library/engine/builder; sessions are lightweight and the
+  customization program is installed once;
+* ``shared_kernel=False`` — the historical one-stack-per-session shape:
+  every :class:`~repro.core.session.GISSession` builds a private kernel
+  and installs the program into its own engine, so every event published
+  on the bus wakes *K* rule managers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..core.context import Context
+from ..core.customization import CustomizationDirective
+from ..core.kernel import GISKernel
+from ..core.session import GISSession
+from ..geodb.database import GeographicDatabase
+from ..ui.interaction import random_browse_script, run_step
+
+#: default rotation for :func:`browsing_contexts`
+_CATEGORIES = ("engineer", "manager", "browser")
+_APPLICATIONS = ("pole_manager", "viewer", "planner")
+
+
+def browsing_contexts(count: int,
+                      categories: Sequence[str] = _CATEGORIES,
+                      applications: Sequence[str] = _APPLICATIONS,
+                      ) -> list[Context]:
+    """``count`` distinct interaction contexts, rotating through the given
+    user categories and application domains (the paper's ``<user class,
+    application domain>`` pairs)."""
+    return [
+        Context(
+            user=f"user{i}",
+            category=categories[i % len(categories)],
+            application=applications[i % len(applications)],
+        )
+        for i in range(count)
+    ]
+
+
+class SessionPool:
+    """K concurrent browsing sessions over one database.
+
+    ``contexts`` fixes the pool size and each session's interaction
+    context. ``program`` (customization-language source) is installed once
+    on the shared kernel, or once per session in legacy mode — matching
+    where the rule set lives in each deployment shape.
+    """
+
+    def __init__(
+        self,
+        database: GeographicDatabase,
+        contexts: Iterable[Context],
+        *,
+        schema_name: str,
+        shared_kernel: bool = True,
+        selection_cache: bool = True,
+        program: str | None = None,
+        directives: Iterable[CustomizationDirective] | None = None,
+        auto_refresh: bool = False,
+    ):
+        self.database = database
+        self.schema_name = schema_name
+        self.shared_kernel = shared_kernel
+        self.kernel: GISKernel | None = None
+        self.sessions: list[GISSession] = []
+        self.steps_run = 0
+        contexts = list(contexts)
+        directives = list(directives or ())
+        if shared_kernel:
+            self.kernel = GISKernel(database,
+                                    selection_cache=selection_cache)
+            if program:
+                self.kernel.install_program(program, persist=False)
+            for directive in directives:
+                self.kernel.install_directive(directive, persist=False)
+            for context in contexts:
+                self.sessions.append(self.kernel.session(
+                    user=context.user,
+                    category=context.category,
+                    application=context.application,
+                    scale_denominator=context.scale_denominator,
+                    time_tag=context.time_tag,
+                    auto_refresh=auto_refresh,
+                ))
+        else:
+            for context in contexts:
+                session = GISSession(
+                    database,
+                    user=context.user,
+                    category=context.category,
+                    application=context.application,
+                    scale_denominator=context.scale_denominator,
+                    time_tag=context.time_tag,
+                    auto_refresh=auto_refresh,
+                    selection_cache=selection_cache,
+                )
+                if program:
+                    session.install_program(program, persist=False)
+                for directive in directives:
+                    session.install_directive(directive, persist=False)
+                self.sessions.append(session)
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def run(self, interactions_per_session: int = 25, seed: int = 0,
+            skip_classes: tuple[str, ...] = ()) -> int:
+        """Replay the §4 browsing loop in every session, round-robin.
+
+        Each session gets its own random script (seeded per session, so
+        runs are reproducible) and the pool advances every session by one
+        step per round — the interleaving a server sees. Returns the total
+        number of steps executed.
+        """
+        scripts = [
+            random_browse_script(
+                self.database, self.schema_name, interactions_per_session,
+                seed=seed + index, skip_classes=skip_classes,
+            )
+            for index, _ in enumerate(self.sessions)
+        ]
+        executed = 0
+        longest = max((len(s.steps) for s in scripts), default=0)
+        for position in range(longest):
+            for session, script in zip(self.sessions, scripts):
+                if position < len(script.steps):
+                    run_step(session, script.steps[position])
+                    executed += 1
+        self.steps_run += executed
+        return executed
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "sessions": len(self.sessions),
+            "shared_kernel": self.shared_kernel,
+            "steps_run": self.steps_run,
+            "events_published": self.database.bus.published_count,
+        }
+        if self.kernel is not None:
+            out["kernel"] = self.kernel.stats()
+        return out
+
+    def shutdown(self) -> None:
+        """End every session (and the shared kernel, when there is one)."""
+        for session in self.sessions:
+            session.shutdown()
+        if self.kernel is not None:
+            self.kernel.shutdown()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,176 @@
+"""The context-keyed decision cache must be semantically invisible.
+
+The cache memoizes *rule selection* on (event kind, subject, schema,
+class, context) and is invalidated by the rule manager's generation
+counter on every rule-set change. Two properties gate it:
+
+* **staleness**: under any interleaving of directive install / enable /
+  disable / uninstall with browsing, a cache-on engine records exactly
+  the decisions a cache-off engine records;
+* **isolation**: with two sessions of one shared kernel in different
+  contexts, cached selections never bleed one session's customization
+  into the other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ClassCustomization,
+    Context,
+    ContextPattern,
+    CustomizationDirective,
+    CustomizationEngine,
+    GISKernel,
+)
+from repro.lang import FIGURE_6_PROGRAM
+from repro.ui.interaction import random_browse_script, run_step
+from repro.workloads import PhoneNetParams, build_phone_net_database
+
+PARAMS = PhoneNetParams(blocks_x=2, blocks_y=2, poles_per_street=2,
+                        duct_count=2, seed=5)
+
+
+def directive_pool() -> list[CustomizationDirective]:
+    """Eight directives over distinct context patterns.
+
+    At most one directive of each specificity tier matches any given
+    context, so HIGHEST_PRIORITY selection is never ambiguous no matter
+    which subset is installed.
+    """
+    pool = []
+    for user in ("u0", "u1", "u2"):
+        pool.append(CustomizationDirective(
+            name=f"user_{user}",
+            pattern=ContextPattern(user=user, application="a"),
+            schema_name="phone_net",
+            schema_display="null" if user == "u0" else "hierarchy",
+            classes=(ClassCustomization("Pole"),),
+        ))
+    for category in ("c0", "c1"):
+        pool.append(CustomizationDirective(
+            name=f"cat_{category}",
+            pattern=ContextPattern(category=category, application="a"),
+            schema_name="phone_net",
+            classes=(ClassCustomization("Pole"),),
+        ))
+    for app in ("a", "b"):
+        pool.append(CustomizationDirective(
+            name=f"app_{app}",
+            pattern=ContextPattern(application=app),
+            schema_name="phone_net",
+            classes=(ClassCustomization("Duct"),),
+        ))
+    pool.append(CustomizationDirective(
+        name="cat_c0_b",
+        pattern=ContextPattern(category="c0", application="b"),
+        schema_name="phone_net",
+        classes=(ClassCustomization("Pole"),),
+    ))
+    return pool
+
+
+CONTEXTS = (
+    Context(user="u0", category="c0", application="a"),
+    Context(user="u1", category="c1", application="a"),
+    Context(user="u2", category="c0", application="a"),
+    Context(user="nobody", category="c1", application="a"),
+    Context(user="u0", category="c0", application="b"),
+)
+
+#: one mutation-or-browse op: (op kind, selector, extra)
+OP = st.tuples(st.integers(0, 3), st.integers(0, 7), st.integers(0, 4))
+
+
+def replay(ops, *, cache: bool) -> list[tuple]:
+    """Apply one op sequence to a fresh database + engine; returns the
+    decision log of every browse."""
+    db = build_phone_net_database(PARAMS)
+    engine = CustomizationEngine(db.bus, selection_cache=cache)
+    pool = directive_pool()
+    pole_oid = db.extent("phone_net", "Pole").oids()[0]
+    installed: dict[str, CustomizationDirective] = {}
+    log: list[tuple] = []
+    try:
+        for kind, selector, extra in ops:
+            if kind == 0:
+                directive = pool[selector % len(pool)]
+                if directive.name not in installed:
+                    engine.register_directive(directive, persist=False)
+                    installed[directive.name] = directive
+            elif kind == 1 and installed:
+                name = sorted(installed)[selector % len(installed)]
+                engine.unregister_directive(name)
+                del installed[name]
+            elif kind == 2 and installed:
+                name = sorted(installed)[selector % len(installed)]
+                engine.set_directive_enabled(name, bool(extra % 2))
+            elif kind == 3:
+                context = CONTEXTS[extra % len(CONTEXTS)]
+                action = selector % 3
+                if action == 0:
+                    db.get_schema("phone_net", context=context)
+                elif action == 1:
+                    db.get_class("phone_net", "Pole", context=context)
+                else:
+                    db.get_value(pole_oid, context=context)
+                event = db.bus.last_event
+                log.append(tuple(
+                    (decision.kind, decision.directive_name)
+                    for decision in engine.decisions_for(event.event_id)
+                ))
+    finally:
+        engine.manager.detach()
+    return log
+
+
+class TestCacheStaleness:
+    @given(ops=st.lists(OP, min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_cache_on_decisions_equal_cache_off(self, ops):
+        assert replay(ops, cache=True) == replay(ops, cache=False)
+
+    def test_invalidation_is_counted(self):
+        db = build_phone_net_database(PARAMS)
+        engine = CustomizationEngine(db.bus, selection_cache=True)
+        directive = directive_pool()[0]
+        engine.register_directive(directive, persist=False)
+        context = CONTEXTS[0]
+        db.get_schema("phone_net", context=context)
+        assert engine.stats()["cached_selections"] > 0
+        generation = engine.manager.generation
+        engine.set_directive_enabled(directive.name, False)
+        assert engine.manager.generation > generation
+        assert engine.stats()["cached_selections"] == 0
+        assert engine.manager.cache_invalidations >= 1
+        # and the disabled directive no longer decides anything
+        db.get_schema("phone_net", context=context)
+        assert engine.decisions_for(db.bus.last_event.event_id) == []
+        engine.manager.detach()
+
+
+class TestCrossSessionIsolation:
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_no_decision_bleed_between_contexts(self, seed):
+        db = build_phone_net_database(PARAMS)
+        with GISKernel(db) as kernel:  # selection cache on by default
+            kernel.install_program(FIGURE_6_PROGRAM, persist=False)
+            juliano = kernel.session(user="juliano",
+                                     application="pole_manager")
+            ana = kernel.session(user="ana", application="browser")
+            script_j = random_browse_script(db, "phone_net", 5, seed=seed)
+            script_a = random_browse_script(db, "phone_net", 5,
+                                            seed=seed + 1)
+            for step_j, step_a in zip(script_j.steps, script_a.steps):
+                run_step(juliano, step_j)
+                run_step(ana, step_a)
+            # juliano's context matches Figure 6; ana's matches nothing —
+            # a cached selection for juliano must never fire for ana
+            assert kernel.engine.session_decisions(juliano.session_id)
+            assert kernel.engine.session_decisions(ana.session_id) == []
+            assert ana.screen.window("schema_phone_net").visible
+            if "classset_Pole" in ana.screen:
+                window = ana.screen.window("classset_Pole")
+                assert window.get_property("presentation_format") == \
+                    "defaultFormat"

@@ -14,7 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import GISSession
+from repro.core import GISKernel
 from repro.lang import FIGURE_6_PROGRAM
 from repro.ui import random_browse_script, summarize_window
 from repro.workloads import PhoneNetParams, build_phone_net_database
@@ -32,30 +32,31 @@ class TestSessionFuzz:
            steps=st.integers(min_value=1, max_value=12))
     @settings(max_examples=25, deadline=None)
     def test_random_browse_keeps_invariants(self, fuzz_db, seed, steps):
-        session = GISSession(fuzz_db, user=f"fuzz_{seed}", application="b")
-        script = random_browse_script(fuzz_db, "phone_net", steps, seed=seed)
-        results = script.run(session)
-        assert all(r.ok for r in results)
-        assert session.dispatcher.interactions >= len(results)
-        # every open window is coherent: renders, describes, summarizes
-        for window in session.screen.windows():
-            assert window.describe()["type"] == "window"
-            summary = summarize_window(window)
-            assert summary.widget_count >= 1
-            text = session.renderer.render(window)
-            assert isinstance(text, str) and text
-        session.engine.manager.detach()
+        with GISKernel(fuzz_db) as kernel:
+            session = kernel.session(user=f"fuzz_{seed}", application="b")
+            script = random_browse_script(fuzz_db, "phone_net", steps,
+                                          seed=seed)
+            results = script.run(session)
+            assert all(r.ok for r in results)
+            assert session.dispatcher.interactions >= len(results)
+            # every open window is coherent: renders, describes, summarizes
+            for window in session.screen.windows():
+                assert window.describe()["type"] == "window"
+                summary = summarize_window(window)
+                assert summary.widget_count >= 1
+                text = session.renderer.render(window)
+                assert isinstance(text, str) and text
 
     @given(seed=st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=15, deadline=None)
     def test_customization_never_leaks_across_contexts(self, fuzz_db, seed):
-        juliano = GISSession(fuzz_db, user="juliano",
-                             application="pole_manager")
-        juliano.install_program(FIGURE_6_PROGRAM, persist=False)
+        kernel = GISKernel(fuzz_db)
+        kernel.install_program(FIGURE_6_PROGRAM, persist=False)
         try:
-            bystander = GISSession(fuzz_db, user=f"bystander_{seed}",
-                                   application="pole_manager",
-                                   engine=juliano.engine)
+            juliano = kernel.session(user="juliano",
+                                     application="pole_manager")
+            bystander = kernel.session(user=f"bystander_{seed}",
+                                       application="pole_manager")
             script = random_browse_script(fuzz_db, "phone_net", 6, seed=seed)
             results = script.run(bystander)
             assert all(r.ok for r in results)
@@ -70,26 +71,26 @@ class TestSessionFuzz:
             juliano.connect("phone_net")
             assert not juliano.screen.window("schema_phone_net").visible
         finally:
-            juliano.engine.manager.detach()
+            kernel.shutdown()
 
     @given(seed=st.integers(min_value=0, max_value=1_000))
     @settings(max_examples=10, deadline=None)
     def test_interleaved_sessions_are_isolated(self, fuzz_db, seed):
         """Two sessions interleave arbitrarily; screens stay separate."""
-        a = GISSession(fuzz_db, user=f"a{seed}", application="x")
-        b = GISSession(fuzz_db, user=f"b{seed}", application="y")
-        script_a = random_browse_script(fuzz_db, "phone_net", 4, seed=seed)
-        script_b = random_browse_script(fuzz_db, "phone_net", 4,
-                                        seed=seed + 1)
-        for step_a, step_b in zip(script_a.steps, script_b.steps):
-            script_one = type(script_a)(steps=[step_a])
-            script_two = type(script_b)(steps=[step_b])
-            assert all(r.ok for r in script_one.run(a))
-            assert all(r.ok for r in script_two.run(b))
-        assert set(a.screen.names()).isdisjoint(set()) or True
-        for window in a.screen.windows():
-            assert window.get_property("context") is a.context
-        for window in b.screen.windows():
-            assert window.get_property("context") is b.context
-        a.engine.manager.detach()
-        b.engine.manager.detach()
+        with GISKernel(fuzz_db) as kernel:
+            a = kernel.session(user=f"a{seed}", application="x")
+            b = kernel.session(user=f"b{seed}", application="y")
+            assert a.session_id != b.session_id
+            script_a = random_browse_script(fuzz_db, "phone_net", 4,
+                                            seed=seed)
+            script_b = random_browse_script(fuzz_db, "phone_net", 4,
+                                            seed=seed + 1)
+            for step_a, step_b in zip(script_a.steps, script_b.steps):
+                script_one = type(script_a)(steps=[step_a])
+                script_two = type(script_b)(steps=[step_b])
+                assert all(r.ok for r in script_one.run(a))
+                assert all(r.ok for r in script_two.run(b))
+            for window in a.screen.windows():
+                assert window.get_property("context") is a.context
+            for window in b.screen.windows():
+                assert window.get_property("context") is b.context

@@ -12,7 +12,7 @@ against one database, then a full consistency audit:
 
 import random
 
-from repro.core import GISSession
+from repro.core import GISKernel
 from repro.errors import ReproError
 from repro.geodb import run_query
 from repro.lang import FIGURE_6_PROGRAM
@@ -24,9 +24,10 @@ def test_long_mixed_session_soak():
     db = build_phone_net_database(PhoneNetParams(blocks_x=3, blocks_y=3,
                                                  poles_per_street=3,
                                                  seed=77))
-    session = GISSession(db, user="juliano", application="pole_manager",
-                         auto_refresh=True)
-    session.install_program(FIGURE_6_PROGRAM, persist=False)
+    kernel = GISKernel(db)
+    session = kernel.session(user="juliano", application="pole_manager",
+                             auto_refresh=True)
+    kernel.install_program(FIGURE_6_PROGRAM, persist=False)
     session.connect("phone_net")
 
     rng = random.Random(777)
@@ -102,4 +103,4 @@ def test_long_mixed_session_soak():
     for open_window in session.screen.windows():
         assert session.renderer.render(open_window)
 
-    session.engine.manager.detach()
+    kernel.shutdown()
