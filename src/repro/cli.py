@@ -23,6 +23,7 @@ Commands (also printed by ``help``)::
     close <window>            close a window
     stats [json]              session statistics + live metrics registry
     trace [json|all]          span tree of the last interaction
+    wal-status [json]         write-ahead log state (sync mode, counters)
     quit                      leave
 
 The loop is IO-parameterized (any line iterator in, any writer out), so
@@ -82,7 +83,8 @@ class CommandLoop:
     def dispatch(self, line: str) -> None:
         command, __, rest = line.partition(" ")
         rest = rest.strip()
-        handler = getattr(self, f"cmd_{command.lower()}", None)
+        handler = getattr(
+            self, f"cmd_{command.lower().replace('-', '_')}", None)
         if handler is None:
             self.emit(f"unknown command {command!r}; try 'help'")
             return
@@ -270,6 +272,21 @@ class CommandLoop:
             self.emit(json.dumps(span.to_dict(), indent=2))
         else:
             self.emit(span.render())
+
+    def cmd_wal_status(self, rest: str) -> None:
+        """Report the database's write-ahead log state."""
+        wal = getattr(self.session.database, "wal", None)
+        if wal is None:
+            self.emit("no write-ahead log attached (in-memory session); "
+                      "open a database with GeographicDatabase.open() "
+                      "for durability")
+            return
+        status = wal.stats()
+        if rest.strip() == "json":
+            self.emit(json.dumps(status, indent=2))
+            return
+        for key, value in status.items():
+            self.emit(f"  {key}: {value}")
 
     def cmd_quit(self, rest: str) -> None:
         self._running = False

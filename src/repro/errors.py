@@ -48,6 +48,19 @@ class StorageError(ReproError):
     """The page store or serializer could not complete an operation."""
 
 
+class WALError(StorageError):
+    """The write-ahead log is unusable (damaged tail, bad configuration)."""
+
+
+class CrashError(StorageError):
+    """A (simulated) process or media crash interrupted a page operation.
+
+    Raised by :class:`repro.geodb.FaultInjectingPager`; real deployments
+    would see the underlying ``OSError`` instead. Either way the database
+    instance must be discarded and reopened, which runs recovery.
+    """
+
+
 class BufferError_(ReproError):
     """The buffer manager could not satisfy a pin/unpin request."""
 

@@ -27,6 +27,7 @@ from .schema import Attribute, GeoClass, Method, Schema
 from .instances import Extent, GeoObject, fresh_oid
 from .storage import FilePager, HeapFile, MemoryPager, RecordId, PAGE_SIZE
 from .buffer import BufferManager, BufferStats
+from .wal import FaultInjectingPager, WriteAheadLog
 from .database import GeographicDatabase
 from .transactions import Transaction, TxnState
 from .query import (
@@ -63,6 +64,7 @@ __all__ = [
     "GeoObject", "Extent", "fresh_oid",
     "MemoryPager", "FilePager", "HeapFile", "RecordId", "PAGE_SIZE",
     "BufferManager", "BufferStats",
+    "WriteAheadLog", "FaultInjectingPager",
     "GeographicDatabase", "Transaction", "TxnState",
     "Predicate", "Comparison", "SpatialPredicate", "WithinDistance",
     "And", "Or", "Not", "TruePredicate", "Query", "RelateMask",

@@ -16,7 +16,9 @@ hit/miss/eviction accounting.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from .. import obs
 from ..errors import BufferError_
@@ -50,6 +52,7 @@ class BufferStats:
             "evictions": self.evictions,
             "write_backs": self.write_backs,
             "hit_ratio": round(self.hit_ratio, 4),
+            "write_allocs": self.extra.get("write_allocs", 0),
         }
 
 
@@ -77,6 +80,8 @@ class BufferManager:
         self.capacity = capacity
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         self.stats = BufferStats()
+        #: depth of nested no-steal scopes (dirty frames pinned in memory)
+        self._no_steal = 0
 
     # -- pager-compatible interface -------------------------------------------
 
@@ -85,9 +90,43 @@ class BufferManager:
         return frame.data
 
     def write_page(self, page_no: int, data: bytes) -> None:
-        frame = self._get_frame(page_no, load=False)
+        frame = self._frames.get(page_no)
+        if frame is None:
+            # Allocating a frame for a full-page write needs no pager read,
+            # so it is neither a hit nor a miss — counted apart so the C4
+            # hit ratio stays a pure read-path signal.
+            self._make_room()
+            frame = _Frame(b"")
+            self._frames[page_no] = frame
+            self.stats.extra["write_allocs"] = (
+                self.stats.extra.get("write_allocs", 0) + 1
+            )
+            rec = obs.RECORDER
+            if rec.enabled:
+                rec.inc("buffer.write_allocs")
+                rec.gauge("buffer.resident_frames", len(self._frames))
+        else:
+            self._frames.move_to_end(page_no)
         frame.data = data.ljust(self.pager.page_size, b"\x00")
         frame.dirty = True
+
+    # -- crash consistency ------------------------------------------------------
+
+    @contextmanager
+    def no_steal(self) -> Iterator["BufferManager"]:
+        """Forbid eviction of dirty frames for the duration of the block.
+
+        The transaction commit path applies mutations under this scope so
+        no half-applied page can reach the pager before the WAL commit
+        record is durable (the "no steal" policy). Clean frames still
+        evict normally; if only dirty or pinned frames remain, the pool
+        temporarily overflows its capacity instead of writing.
+        """
+        self._no_steal += 1
+        try:
+            yield self
+        finally:
+            self._no_steal -= 1
 
     # -- pinning ---------------------------------------------------------------
 
@@ -113,7 +152,7 @@ class BufferManager:
 
     # -- internals -------------------------------------------------------------
 
-    def _get_frame(self, page_no: int, load: bool = True) -> _Frame:
+    def _get_frame(self, page_no: int) -> _Frame:
         rec = obs.RECORDER
         if page_no in self._frames:
             self.stats.hits += 1
@@ -125,8 +164,7 @@ class BufferManager:
         if rec.enabled:
             rec.inc("buffer.misses")
         self._make_room()
-        data = self.pager.read_page(page_no) if load else b"\x00" * self.pager.page_size
-        frame = _Frame(data)
+        frame = _Frame(self.pager.read_page(page_no))
         self._frames[page_no] = frame
         if rec.enabled:
             rec.gauge("buffer.resident_frames", len(self._frames))
@@ -136,10 +174,17 @@ class BufferManager:
         while len(self._frames) >= self.capacity:
             victim_no = None
             for page_no, frame in self._frames.items():  # LRU order
-                if frame.pins == 0:
+                if frame.pins == 0 and not (self._no_steal and frame.dirty):
                     victim_no = page_no
                     break
             if victim_no is None:
+                if self._no_steal:
+                    # Every unpinned frame is dirty mid-commit: overflow the
+                    # pool rather than leak an uncommitted page to the pager.
+                    self.stats.extra["no_steal_overflows"] = (
+                        self.stats.extra.get("no_steal_overflows", 0) + 1
+                    )
+                    return
                 self.stats.pin_denials += 1
                 if obs.RECORDER.enabled:
                     obs.RECORDER.inc("buffer.pin_denials")

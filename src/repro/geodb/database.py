@@ -20,8 +20,10 @@ to the bus.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Iterator
 
+from .. import obs
 from ..active.event_bus import Event, EventBus, EventKind
 from ..errors import (
     ObjectNotFoundError,
@@ -34,8 +36,9 @@ from .attr_index import HashIndex
 from .buffer import BufferManager
 from .instances import Extent, GeoObject
 from .schema import GeoClass, Schema
-from .storage import HeapFile, MemoryPager, Pager, RecordId
-from .transactions import Transaction
+from .storage import FilePager, HeapFile, MemoryPager, Pager, RecordId
+from .transactions import Transaction, _Intent
+from .wal import WriteAheadLog
 
 
 class GeographicDatabase:
@@ -52,13 +55,19 @@ class GeographicDatabase:
     """
 
     def __init__(self, name: str, pager: Pager | None = None,
-                 buffer_capacity: int = 64):
+                 buffer_capacity: int = 64,
+                 wal: WriteAheadLog | None = None):
         self.name = name
         self.bus = EventBus()
         self.pager = pager or MemoryPager()
         self.buffer = BufferManager(self.pager, capacity=buffer_capacity)
         self.heap = HeapFile(self.pager)
         self.heap.attach_buffer(self.buffer)
+        #: write-ahead log; when attached, commits are durable and
+        #: :meth:`recover` replays the log tail on re-open.
+        self.wal = wal
+        #: set by :meth:`open`; plain constructor use leaves it None.
+        self.catalog = None
 
         self._schemas: dict[str, Schema] = {}
         #: (schema, class) -> Extent
@@ -312,16 +321,141 @@ class GeographicDatabase:
         return Scenario(self, schema_name)
 
     def checkpoint(self) -> int:
-        """Flush dirty buffer frames and sync a file-backed pager.
+        """Flush dirty buffer frames, sync the pager, and reset the WAL.
 
-        Returns the number of frames written back. Call before closing a
-        file-backed database (or at any durability point).
+        Returns the number of frames written back. Once the heap pages are
+        durable, every logged transaction is reflected in them, so the
+        write-ahead log truncates to empty (a crash between the sync and
+        the truncation only re-replays idempotent redo records).
         """
         flushed = self.buffer.flush()
         sync = getattr(self.pager, "sync", None)
         if callable(sync):
             sync()
+        if self.wal is not None:
+            self.wal.checkpoint()
         return flushed
+
+    # -- durability (write-ahead log) --------------------------------------
+
+    def attach_wal(self, wal: WriteAheadLog) -> WriteAheadLog:
+        """Route subsequent commits through a write-ahead log."""
+        self.wal = wal
+        return wal
+
+    @classmethod
+    def open(cls, path: str, name: str | None = None,
+             buffer_capacity: int = 64, wal_path: str | None = None,
+             sync_mode: str = "fsync") -> "GeographicDatabase":
+        """Open (or create) a file-backed database with crash recovery.
+
+        Loads the schemas persisted in the metadata catalog, rebuilds the
+        in-memory state from the heap, then replays the write-ahead log
+        tail (``<path>.wal`` unless ``wal_path`` overrides it) so that a
+        crash after a commit fsync loses nothing. Method implementations
+        are not persisted; re-register them after opening. The catalog is
+        exposed as ``db.catalog`` for saving schemas before close.
+        """
+        from .catalog import KIND_SCHEMA, MetadataCatalog
+
+        db = cls(
+            name or os.path.splitext(os.path.basename(path))[0] or "GEO",
+            pager=FilePager(path), buffer_capacity=buffer_capacity,
+        )
+        catalog = MetadataCatalog(db)
+        db.catalog = catalog
+        for schema_name in catalog.names(KIND_SCHEMA):
+            db.register_schema(catalog.load_schema(schema_name))
+        db.load_from_storage()
+        db.attach_wal(
+            WriteAheadLog.open(wal_path or path + ".wal",
+                               page_size=db.pager.page_size,
+                               sync_mode=sync_mode)
+        )
+        db.recover()
+        return db
+
+    def recover(self) -> int:
+        """Replay committed transactions from the WAL tail; returns the count.
+
+        Call after :meth:`load_from_storage` on a freshly opened database
+        (:meth:`open` does both). Replay is idempotent: intents whose
+        effect already reached the heap before the crash are skipped, so
+        a partially flushed committed transaction is completed rather
+        than doubled. Ends with a checkpoint that folds the recovered
+        state into the heap and resets the log.
+        """
+        if self.wal is None:
+            return 0
+        replayed = 0
+        for records in self.wal.replay():
+            for doc in records:
+                if doc.get("t") == "I":
+                    self._replay_intent(doc)
+            replayed += 1
+        self.wal.recovered_txns += replayed
+        if replayed and obs.RECORDER.enabled:
+            obs.RECORDER.inc("wal.recoveries", replayed)
+        if self.wal.pager.page_count:
+            # Always fold the replayed state into the heap and truncate:
+            # a stale (possibly torn) tail left in place would sit in
+            # front of future batches and hide them from the next replay.
+            self.checkpoint()
+        return replayed
+
+    def _replay_intent(self, doc: dict[str, Any]) -> None:
+        """Redo one logged mutation unless its effect is already present."""
+        op, oid = doc["op"], doc["oid"]
+        values = doc["values"]
+        if values is not None:
+            schema = self.get_schema_object(doc["schema"])
+            attrs = {
+                a.name: a
+                for a in schema.effective_attributes(doc["class"])
+            }
+            values = {
+                attr: (None if raw is None else attrs[attr].type.decode(raw))
+                for attr, raw in values.items()
+            }
+        intent = _Intent(op, doc["schema"], doc["class"], oid, values)
+        exists = oid in self._locations
+        if op == "insert" and not exists:
+            self._apply_insert(intent, [])
+        elif op == "update" and exists:
+            self._apply_update(intent, [])
+        elif op == "delete" and exists:
+            self._apply_delete(intent, [])
+
+    def _encode_intent(self, intent: _Intent) -> dict[str, Any]:
+        """A JSON-safe redo record for one staged mutation."""
+        values = intent.values
+        if values is not None:
+            schema = self.get_schema_object(intent.schema_name)
+            attrs = {
+                a.name: a
+                for a in schema.effective_attributes(intent.class_name)
+            }
+            values = {
+                name: (None if value is None
+                       else attrs[name].type.encode(value))
+                for name, value in values.items()
+            }
+        return {
+            "op": intent.op,
+            "schema": intent.schema_name,
+            "class": intent.class_name,
+            "oid": intent.oid,
+            "values": values,
+        }
+
+    def close(self) -> None:
+        """Checkpoint and release a file-backed database and its WAL."""
+        self.checkpoint()
+        close = getattr(self.pager, "close", None)
+        if callable(close):
+            close()
+        if self.wal is not None:
+            self.wal.close()
 
     def insert(self, schema_name: str, class_name: str, values: dict[str, Any],
                oid: str | None = None, context: Any = None) -> str:
@@ -342,47 +476,74 @@ class GeographicDatabase:
 
     def _commit_transaction(self, txn: Transaction) -> None:
         intents = txn.intents
-        # Phase 1: referential integrity over the staged end state.
-        self._check_references(txn)
-        # Phase 2: pre-commit events let integrity rules veto the commit.
-        for intent in intents:
-            self.bus.publish(
-                Event(
-                    EventKind(intent.op),
-                    intent.oid,
-                    payload={
-                        "schema": intent.schema_name,
-                        "class": intent.class_name,
-                        "values": intent.values,
-                        "phase": "validate",
-                        "txn": txn.txn_id,
-                        "staged": txn.staged_value(intent.oid),
-                    },
+        rec = obs.RECORDER
+        with rec.span("txn.commit", txn=txn.txn_id, intents=len(intents)):
+            # Phase 1: referential integrity over the staged end state.
+            self._check_references(txn)
+            # Phase 2: pre-commit events let integrity rules veto the commit.
+            for intent in intents:
+                self.bus.publish(
+                    Event(
+                        EventKind(intent.op),
+                        intent.oid,
+                        payload={
+                            "schema": intent.schema_name,
+                            "class": intent.class_name,
+                            "values": intent.values,
+                            "phase": "validate",
+                            "txn": txn.txn_id,
+                            "staged": txn.staged_value(intent.oid),
+                        },
+                    )
                 )
-            )
-        # Phase 3: apply.
-        for intent in intents:
-            if intent.op == "insert":
-                self._apply_insert(intent)
-            elif intent.op == "update":
-                self._apply_update(intent)
-            else:
-                self._apply_delete(intent)
-        # Phase 4: post-commit events for customization/refresh rules.
-        for intent in intents:
-            self.bus.publish(
-                Event(
-                    EventKind(intent.op),
-                    intent.oid,
-                    payload={
-                        "schema": intent.schema_name,
-                        "class": intent.class_name,
-                        "values": intent.values,
-                        "phase": "commit",
-                        "txn": txn.txn_id,
-                    },
+            # Phase 3: log, then apply with an undo journal. The redo
+            # records are buffered in the WAL and forced by log_commit in
+            # one barrier — the durability point. The buffer's no-steal
+            # scope keeps every page this phase dirties (including the
+            # rollback's restorations) away from the pager until then, so
+            # a crash anywhere in here leaves the heap at the
+            # pre-transaction state and recovery sees no commit record.
+            wal = self.wal
+            if wal is not None:
+                wal.log_begin(txn.txn_id)
+                for intent in intents:
+                    wal.log_intent(txn.txn_id, self._encode_intent(intent))
+            undo: list[Callable[[], None]] = []
+            with self.buffer.no_steal():
+                try:
+                    for intent in intents:
+                        if intent.op == "insert":
+                            self._apply_insert(intent, undo)
+                        elif intent.op == "update":
+                            self._apply_update(intent, undo)
+                        else:
+                            self._apply_delete(intent, undo)
+                    if wal is not None:
+                        wal.log_commit(txn.txn_id)
+                except Exception:
+                    # ABORTED must mean "no observable change": roll the
+                    # extents, heap, indexes and reference maps back to
+                    # the pre-transaction state before re-raising.
+                    while undo:
+                        undo.pop()()
+                    if wal is not None:
+                        wal.log_abort(txn.txn_id)
+                    raise
+            # Phase 4: post-commit events for customization/refresh rules.
+            for intent in intents:
+                self.bus.publish(
+                    Event(
+                        EventKind(intent.op),
+                        intent.oid,
+                        payload={
+                            "schema": intent.schema_name,
+                            "class": intent.class_name,
+                            "values": intent.values,
+                            "phase": "commit",
+                            "txn": txn.txn_id,
+                        },
+                    )
                 )
-            )
 
     def _check_references(self, txn: Transaction) -> None:
         for intent in txn.intents:
@@ -430,38 +591,79 @@ class GeographicDatabase:
         return any(cls.name == expected for cls in schema.ancestry(class_name))
 
     # -- apply helpers -------------------------------------------------------
+    #
+    # Each helper performs its mutations step by step, appending the exact
+    # inverse of every completed step to ``undo``. Rolling back means
+    # popping and running the journal in reverse, which restores the
+    # extents, heap, indexes and reference maps even when an apply failed
+    # half-way through a single intent.
 
-    def _apply_insert(self, intent) -> None:
+    def _apply_insert(self, intent, undo: list) -> None:
         schema = self.get_schema_object(intent.schema_name)
         obj = GeoObject.create(
             schema, intent.class_name, intent.values or {}, oid=intent.oid
         )
-        self.extent(intent.schema_name, intent.class_name).add(obj)
+        extent = self.extent(intent.schema_name, intent.class_name)
+        extent.add(obj)
+        undo.append(lambda: extent.remove(obj.oid))
         self._locations[obj.oid] = (intent.schema_name, intent.class_name)
+        undo.append(lambda: self._locations.pop(obj.oid, None))
         self._rids[obj.oid] = self.heap.insert(self._record_for(obj))
+        undo.append(lambda: self.heap.delete(self._rids.pop(obj.oid)))
         self._index_insert(obj)
+        undo.append(lambda: self._index_delete(obj))
         self._refs_add(obj)
+        undo.append(lambda: self._refs_remove(obj))
 
-    def _apply_update(self, intent) -> None:
+    def _apply_update(self, intent, undo: list) -> None:
         obj = self.get_object(intent.oid)
         schema = self.get_schema_object(intent.schema_name)
+        old_record = self._record_for(obj)
         self._index_delete(obj)
+        undo.append(lambda: self._index_insert(obj))
         self._refs_remove(obj)
-        obj.update(schema, intent.values or {})
+        undo.append(lambda: self._refs_add(obj))
+        previous = obj.update(schema, intent.values or {})
+        undo.append(lambda: obj.update(schema, previous))
         self._index_insert(obj)
+        undo.append(lambda: self._index_delete(obj))
         self._refs_add(obj)
+        undo.append(lambda: self._refs_remove(obj))
         self._rids[obj.oid] = self.heap.overwrite(
             self._rids[obj.oid], self._record_for(obj)
         )
+        undo.append(
+            lambda: self._rids.__setitem__(
+                obj.oid, self.heap.overwrite(self._rids[obj.oid], old_record)
+            )
+        )
 
-    def _apply_delete(self, intent) -> None:
+    def _apply_delete(self, intent, undo: list) -> None:
         obj = self.get_object(intent.oid)
+        old_record = self._record_for(obj)
+        extent = self.extent(intent.schema_name, intent.class_name)
+        location = self._locations[intent.oid]
         self._index_delete(obj)
+        undo.append(lambda: self._index_insert(obj))
         self._refs_remove(obj)
-        self.extent(intent.schema_name, intent.class_name).remove(intent.oid)
+        undo.append(lambda: self._refs_add(obj))
+        extent.remove(intent.oid)
+        undo.append(lambda: extent.add(obj))
         del self._locations[intent.oid]
+        undo.append(
+            lambda: self._locations.__setitem__(intent.oid, location)
+        )
         self.heap.delete(self._rids.pop(intent.oid))
-        self._incoming_refs.pop(intent.oid, None)
+        undo.append(
+            lambda: self._rids.__setitem__(
+                intent.oid, self.heap.insert(old_record)
+            )
+        )
+        incoming = self._incoming_refs.pop(intent.oid, None)
+        if incoming is not None:
+            undo.append(
+                lambda: self._incoming_refs.__setitem__(intent.oid, incoming)
+            )
 
     # -- maintenance of derived structures ------------------------------------
 

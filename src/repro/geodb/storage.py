@@ -104,6 +104,10 @@ class MemoryPager(Pager):
         self._pages.append(b"\x00" * self.page_size)
         return len(self._pages) - 1
 
+    def truncate(self) -> None:
+        """Drop every page (WAL checkpointing resets its log this way)."""
+        self._pages.clear()
+
     @property
     def page_count(self) -> int:
         return len(self._pages)
@@ -151,9 +155,19 @@ class FilePager(Pager):
         self._count += 1
         return self._count - 1
 
+    def truncate(self) -> None:
+        """Drop every page (WAL checkpointing resets its log this way)."""
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._count = 0
+
     @property
     def page_count(self) -> int:
         return self._count
+
+    def flush(self) -> None:
+        """Push buffered writes to the OS cache (no fsync)."""
+        self._file.flush()
 
     def sync(self) -> None:
         self._file.flush()

@@ -131,6 +131,12 @@ class Transaction:
         location = self._locate(oid)
         if location is None:
             raise ObjectNotFoundError(f"object {oid} does not exist")
+        if not self.staged_exists(oid):
+            # Staged-deleted earlier in this transaction: fail at the call
+            # site instead of blowing up (half-applied) at commit.
+            raise ObjectNotFoundError(
+                f"object {oid} is deleted in this transaction"
+            )
         schema_name, class_name = location
         schema = self.database.get_schema_object(schema_name)
         merged = self.staged_value(oid) or {}
@@ -164,6 +170,9 @@ class Transaction:
         try:
             self.database._commit_transaction(self)
         except Exception:
+            # Match abort(): an ABORTED transaction holds no staged writes,
+            # so staged_value()/intents never report phantom state.
+            self._intents.clear()
             self.state = TxnState.ABORTED
             raise
         self.state = TxnState.COMMITTED

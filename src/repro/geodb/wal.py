@@ -1,0 +1,348 @@
+"""Write-ahead logging and crash recovery for the geographic database.
+
+The paper moves GIS data management *into* the DBMS (§2.1), so the geodb
+has to behave like one: a transaction that reports ABORTED must leave no
+observable change, and a committed transaction must survive a process
+crash. This module supplies the durability half of that contract:
+
+* :class:`WriteAheadLog` — an append-only, checksummed redo log in front
+  of any :class:`~repro.geodb.storage.Pager`. A transaction's records
+  (``begin``, one ``intent`` per staged mutation, ``commit``) are
+  buffered in memory while the transaction applies and are forced to the
+  log — packed into whole pages, then flushed and fsynced once — at the
+  commit point. The commit-record fsync *is* the durability point: a
+  crash before it loses the transaction entirely (the buffer manager's
+  no-steal mode guarantees no half-applied heap page reached disk), a
+  crash after it loses nothing because recovery replays the log tail.
+* :class:`FaultInjectingPager` — a pager wrapper that simulates a crash
+  after N successful page writes (optionally tearing the failing write),
+  used by the recovery test matrix and available to any chaos harness.
+
+Log format
+----------
+The log is a sequence of fixed-size pages. Each flush appends one
+*batch* — all records of one committed transaction — as a contiguous run
+of freshly allocated pages, zero-padded to a page boundary. A page never
+mixes records from two batches, so a torn write can only damage the
+batch being flushed, never an earlier committed one. Within a batch,
+records are framed as::
+
+    [4-byte payload length][4-byte CRC32 of payload][payload JSON]
+
+Recovery walks the frames in order; a zero length skips to the next page
+boundary (batch padding) or, at a page boundary, ends the log. A frame
+that is truncated, fails its checksum, or does not decode ends the scan:
+everything before it is the stable prefix, everything after is a torn
+tail from the crash and is discarded. Only transactions whose ``commit``
+record survives inside that prefix are replayed.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any, Iterator
+
+from .. import obs
+from ..errors import CrashError, WALError
+from .storage import PAGE_SIZE, FilePager, Pager
+
+#: frame header: 4-byte payload length + 4-byte CRC32 of the payload
+FRAME_HEADER = 8
+
+REC_BEGIN = "B"
+REC_INTENT = "I"
+REC_COMMIT = "C"
+
+#: durability ladder for the commit-point barrier (cf. SQLite synchronous):
+#: ``fsync`` survives power loss, ``flush`` survives a process crash only
+#: (data reached the OS cache), ``none`` is for tests and benchmarks.
+SYNC_MODES = ("fsync", "flush", "none")
+
+
+def _frame(payload: bytes) -> bytes:
+    return (
+        len(payload).to_bytes(4, "big")
+        + (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "big")
+        + payload
+    )
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, page-framed redo log over a pager.
+
+    Parameters
+    ----------
+    pager:
+        Page backend holding the log (usually a dedicated
+        :class:`~repro.geodb.storage.FilePager` next to the data file).
+    sync_mode:
+        ``"fsync"`` (default), ``"flush"`` or ``"none"`` — how hard the
+        commit barrier pushes the batch toward stable storage.
+    """
+
+    def __init__(self, pager: Pager, sync_mode: str = "fsync"):
+        if sync_mode not in SYNC_MODES:
+            raise WALError(f"unknown sync mode {sync_mode!r}; "
+                           f"expected one of {SYNC_MODES}")
+        self.pager = pager
+        self.sync_mode = sync_mode
+        #: txn_id -> framed records not yet forced to the log
+        self._pending: dict[int, list[bytes]] = {}
+        #: set when a log write failed part-way; the log tail may be torn,
+        #: so further logging is refused until recovery truncates it.
+        self.damaged = False
+        self.appends = 0
+        self.flushes = 0
+        self.fsyncs = 0
+        self.recovered_txns = 0
+
+    @classmethod
+    def open(cls, path: str, page_size: int = PAGE_SIZE,
+             sync_mode: str = "fsync") -> "WriteAheadLog":
+        """Open (or create) a file-backed log at ``path``."""
+        return cls(FilePager(path, page_size=page_size), sync_mode=sync_mode)
+
+    # -- logging ---------------------------------------------------------------
+
+    def _buffer(self, txn_id: int, doc: dict[str, Any]) -> None:
+        if self.damaged:
+            raise WALError(
+                "write-ahead log is damaged (a flush failed part-way); "
+                "reopen and recover the database before committing again"
+            )
+        payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+        self._pending.setdefault(txn_id, []).append(_frame(payload))
+        self.appends += 1
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("wal.appends", type=doc["t"])
+
+    def log_begin(self, txn_id: int) -> None:
+        self._buffer(txn_id, {"t": REC_BEGIN, "txn": txn_id})
+
+    def log_intent(self, txn_id: int, intent_doc: dict[str, Any]) -> None:
+        """Record one staged mutation (already schema-encoded)."""
+        doc = {"t": REC_INTENT, "txn": txn_id}
+        doc.update(intent_doc)
+        self._buffer(txn_id, doc)
+
+    def log_commit(self, txn_id: int) -> None:
+        """Force the transaction's batch to the log — the durability point.
+
+        Appends the commit record, packs the batch into freshly allocated
+        pages and pushes it down with a single barrier. Raises (and marks
+        the log damaged) if the underlying pager fails part-way.
+        """
+        self._buffer(txn_id, {"t": REC_COMMIT, "txn": txn_id})
+        frames = self._pending.pop(txn_id)
+        blob = b"".join(frames)
+        try:
+            size = self.pager.page_size
+            for start in range(0, len(blob), size):
+                page_no = self.pager.allocate_page()
+                self.pager.write_page(page_no, blob[start:start + size])
+            self._barrier()
+        except Exception:
+            self.damaged = True
+            raise
+        self.flushes += 1
+
+    def log_abort(self, txn_id: int) -> None:
+        """Drop a transaction's buffered records; nothing reaches the log."""
+        self._pending.pop(txn_id, None)
+
+    def _barrier(self) -> None:
+        if self.sync_mode == "none":
+            return
+        if self.sync_mode == "flush":
+            flush = getattr(self.pager, "flush", None)
+            if callable(flush):
+                flush()
+            return
+        sync = getattr(self.pager, "sync", None)
+        if callable(sync):
+            sync()
+        # A memory-backed log is trivially "synced"; the barrier still
+        # counts so tests over MemoryPager observe the same protocol.
+        self.fsyncs += 1
+        if obs.RECORDER.enabled:
+            obs.RECORDER.inc("wal.fsyncs")
+
+    # -- recovery --------------------------------------------------------------
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Every intact record, in log order, up to the first torn frame."""
+        size = self.pager.page_size
+        data = b"".join(
+            self.pager.read_page(no) for no in range(self.pager.page_count)
+        )
+        offset, end = 0, len(data)
+        while offset + FRAME_HEADER <= end:
+            length = int.from_bytes(data[offset:offset + 4], "big")
+            if length == 0:
+                if offset % size == 0:
+                    return  # an untouched page: end of log
+                offset = (offset // size + 1) * size  # batch padding
+                continue
+            crc = int.from_bytes(data[offset + 4:offset + 8], "big")
+            start = offset + FRAME_HEADER
+            if start + length > end:
+                return  # torn tail: frame extends past the written pages
+            payload = data[start:start + length]
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                return  # torn or corrupt frame: keep the stable prefix
+            try:
+                doc = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                return
+            yield doc
+            offset = start + length
+
+    def replay(self) -> list[list[dict[str, Any]]]:
+        """Committed transactions in log order, each as its record list.
+
+        Transactions without a surviving ``commit`` record (in-flight at
+        the crash, or cut off by a torn tail) are dropped.
+        """
+        open_txns: dict[Any, list[dict[str, Any]]] = {}
+        committed: list[list[dict[str, Any]]] = []
+        for doc in self.records():
+            kind, txn_id = doc.get("t"), doc.get("txn")
+            if kind == REC_BEGIN:
+                open_txns[txn_id] = [doc]
+            elif kind == REC_INTENT:
+                open_txns.setdefault(txn_id, []).append(doc)
+            elif kind == REC_COMMIT:
+                records = open_txns.pop(txn_id, None)
+                if records is not None:
+                    records.append(doc)
+                    committed.append(records)
+        return committed
+
+    def checkpoint(self) -> None:
+        """Reset the log after the database flushed and synced its pages.
+
+        Every logged transaction is now reflected in the heap, so the log
+        restarts empty; a damaged tail is discarded with it.
+        """
+        if self._pending:
+            raise WALError(
+                "cannot checkpoint the log with in-flight transactions"
+            )
+        truncate = getattr(self.pager, "truncate", None)
+        if not callable(truncate):
+            raise WALError(
+                f"wal pager {type(self.pager).__name__} cannot truncate"
+            )
+        truncate()
+        sync = getattr(self.pager, "sync", None)
+        if callable(sync) and self.sync_mode == "fsync":
+            sync()
+        self.damaged = False
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "pages": self.pager.page_count,
+            "page_size": self.pager.page_size,
+            "sync_mode": self.sync_mode,
+            "appends": self.appends,
+            "flushes": self.flushes,
+            "fsyncs": self.fsyncs,
+            "pending_txns": len(self._pending),
+            "recovered_txns": self.recovered_txns,
+            "damaged": self.damaged,
+        }
+
+    def close(self) -> None:
+        close = getattr(self.pager, "close", None)
+        if callable(close):
+            close()
+
+    def __repr__(self) -> str:
+        return (f"WriteAheadLog(pages={self.pager.page_count}, "
+                f"sync={self.sync_mode}, damaged={self.damaged})")
+
+
+class FaultInjectingPager(Pager):
+    """Pager wrapper that simulates a crash after N successful writes.
+
+    Drives the recovery test matrix: arm it with a write budget, run a
+    workload until :class:`~repro.errors.CrashError` fires, then simulate
+    a restart by wrapping the surviving ``inner`` pager (the "disk") in a
+    fresh database + log — buffer frames and pending WAL batches are the
+    volatile state a real crash would lose.
+
+    ``torn=True`` additionally persists a prefix of the failing write
+    before raising, modeling a torn page write; the WAL's per-record
+    checksums detect and discard such tails.
+    """
+
+    def __init__(self, inner: Pager, fail_after_writes: int | None = None,
+                 torn: bool = False):
+        self.inner = inner
+        self.page_size = inner.page_size
+        self.fail_after_writes = fail_after_writes
+        self.torn = torn
+        #: successful writes so far (the crash index counts from arm())
+        self.writes = 0
+        self.crashed = False
+
+    def arm(self, fail_after_writes: int | None,
+            torn: bool | None = None) -> None:
+        """(Re)arm: fail after this many further successful writes."""
+        self.fail_after_writes = fail_after_writes
+        self.writes = 0
+        self.crashed = False
+        if torn is not None:
+            self.torn = torn
+
+    def _guard(self) -> None:
+        if self.crashed:
+            raise CrashError("pager has crashed; reopen the database "
+                             "over the surviving inner pager to recover")
+
+    def read_page(self, page_no: int) -> bytes:
+        self._guard()
+        return self.inner.read_page(page_no)
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        self._guard()
+        if (self.fail_after_writes is not None
+                and self.writes >= self.fail_after_writes):
+            self.crashed = True
+            if self.torn:
+                self.inner.write_page(page_no, data[:max(1, len(data) // 2)])
+            raise CrashError(
+                f"injected crash at write #{self.writes} "
+                f"(page {page_no}{', torn' if self.torn else ''})"
+            )
+        self.writes += 1
+        self.inner.write_page(page_no, data)
+
+    def allocate_page(self) -> int:
+        self._guard()
+        return self.inner.allocate_page()
+
+    @property
+    def page_count(self) -> int:
+        return self.inner.page_count
+
+    def sync(self) -> None:
+        self._guard()
+        sync = getattr(self.inner, "sync", None)
+        if callable(sync):
+            sync()
+
+    def flush(self) -> None:
+        self._guard()
+        flush = getattr(self.inner, "flush", None)
+        if callable(flush):
+            flush()
+
+    def truncate(self) -> None:
+        self._guard()
+        truncate = getattr(self.inner, "truncate", None)
+        if callable(truncate):
+            truncate()

@@ -14,6 +14,12 @@ from .environment import (
     register_environment_methods,
 )
 from .session_pool import SessionPool, browsing_contexts
+from .txn_mix import (
+    MixOutcome,
+    build_mix_schema,
+    run_transaction_mix,
+    snapshot_state,
+)
 from .generators import (
     clustered_points,
     pan_zoom_walk,
@@ -35,6 +41,10 @@ __all__ = [
     "register_environment_methods",
     "SessionPool",
     "browsing_contexts",
+    "MixOutcome",
+    "build_mix_schema",
+    "run_transaction_mix",
+    "snapshot_state",
     "random_points",
     "clustered_points",
     "random_boxes",

@@ -1,0 +1,170 @@
+"""Seeded randomized transaction mixes for crash-recovery testing.
+
+The durability contract (docs/DURABILITY.md) is stated per transaction:
+after a crash at *any* point, recovery must land on either the state
+before the in-flight transaction or the state after it — never anything
+in between. The fault-injection matrix in ``tests/test_wal_recovery.py``
+checks that by crashing a pager at every write index; this module
+supplies the workload side: a deterministic mix of inserts, updates and
+deletes that tracks, in plain Python dicts, exactly which states are
+acceptable when the crash fires.
+
+The mix runs against its own tiny ``mix`` schema so tests and benchmarks
+don't depend on the phone-net generator's size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import CrashError
+from ..geodb.database import GeographicDatabase
+from ..geodb.schema import Attribute, GeoClass, Schema
+from ..geodb.types import INTEGER, TEXT, GeometryType
+from ..spatial.geometry import Point
+
+MIX_SCHEMA = "mix"
+MIX_CLASS = "Feature"
+
+
+def build_mix_schema() -> Schema:
+    """A one-class schema exercising text, integer and point attributes."""
+    schema = Schema(MIX_SCHEMA, doc="crash-matrix workload schema")
+    schema.add_class(GeoClass(
+        MIX_CLASS,
+        attributes=[
+            Attribute("name", TEXT, required=True),
+            Attribute("size", INTEGER),
+            Attribute("location", GeometryType("point")),
+        ],
+        doc="synthetic feature mutated by the transaction mix",
+    ))
+    return schema
+
+
+def snapshot_state(db: GeographicDatabase) -> dict[str, dict[str, Any]]:
+    """The observable mix state: oid -> attribute values.
+
+    Geometries compare by value, so two snapshots are equal exactly when
+    the databases would answer every query identically.
+    """
+    return {
+        obj.oid: obj.values() for obj in db.extent(MIX_SCHEMA, MIX_CLASS)
+    }
+
+
+@dataclass
+class MixOutcome:
+    """What a (possibly crash-interrupted) mix run observed and expects."""
+
+    committed: int = 0
+    crashed: bool = False
+    #: ``"commit"`` or ``"checkpoint"`` when ``crashed``, else ``None``
+    crash_point: str | None = None
+    #: state before the interrupted operation's transaction
+    pre_state: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: state if the interrupted transaction had fully committed — for a
+    #: checkpoint crash this equals ``pre_state`` (nothing was in flight)
+    post_state: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def acceptable_states(self) -> list[dict[str, dict[str, Any]]]:
+        """Every state recovery is allowed to land on."""
+        if self.pre_state == self.post_state:
+            return [self.post_state]
+        return [self.pre_state, self.post_state]
+
+
+def _copy_state(state: dict[str, dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    return {oid: dict(values) for oid, values in state.items()}
+
+
+def run_transaction_mix(db: GeographicDatabase, *, txns: int = 10,
+                        ops_per_txn: int = 3, seed: int = 0,
+                        oid_prefix: str = "mix",
+                        checkpoint_every: int = 0) -> MixOutcome:
+    """Run a seeded insert/update/delete mix, tracking expected state.
+
+    ``db`` must already hold the :func:`build_mix_schema` schema. Each
+    transaction stages ``ops_per_txn`` operations chosen over the staged
+    state (so a delete is never followed by an update of the same oid).
+    With ``checkpoint_every`` > 0 a checkpoint runs after every that many
+    commits, putting heap-page flushes and log truncation inside the
+    crash window too.
+
+    A :class:`~repro.errors.CrashError` from an injected fault ends the
+    run: the returned outcome carries the two acceptable recovery states.
+    Other exceptions propagate (the mix never stages an invalid
+    operation, so anything else is a real bug).
+    """
+    rng = random.Random(seed)
+    counter = 0
+    expected = snapshot_state(db)
+    outcome = MixOutcome(pre_state=_copy_state(expected),
+                         post_state=_copy_state(expected))
+
+    def fresh_values() -> dict[str, Any]:
+        values: dict[str, Any] = {
+            "name": f"feat-{rng.randrange(1_000_000)}",
+            "size": rng.randrange(1000),
+        }
+        if rng.random() < 0.7:
+            values["location"] = Point(rng.uniform(0, 100),
+                                       rng.uniform(0, 100))
+        return values
+
+    for index in range(txns):
+        staged = _copy_state(expected)
+        plan: list[tuple[str, str, dict[str, Any] | None]] = []
+        for __ in range(ops_per_txn):
+            roll = rng.random()
+            if not staged or roll < 0.5:
+                counter += 1
+                oid = f"{MIX_CLASS}#{oid_prefix}{counter}"
+                values = fresh_values()
+                staged[oid] = dict(values)
+                plan.append(("insert", oid, values))
+            elif roll < 0.8:
+                oid = rng.choice(sorted(staged))
+                changes: dict[str, Any] = {"size": rng.randrange(1000)}
+                if rng.random() < 0.3:
+                    changes["location"] = Point(rng.uniform(0, 100),
+                                                rng.uniform(0, 100))
+                staged[oid].update(changes)
+                plan.append(("update", oid, changes))
+            else:
+                oid = rng.choice(sorted(staged))
+                del staged[oid]
+                plan.append(("delete", oid, None))
+        try:
+            with db.transaction() as txn:
+                for op, oid, values in plan:
+                    if op == "insert":
+                        txn.insert(MIX_SCHEMA, MIX_CLASS, values, oid=oid)
+                    elif op == "update":
+                        txn.update(oid, values)
+                    else:
+                        txn.delete(oid)
+        except CrashError:
+            outcome.crashed = True
+            outcome.crash_point = "commit"
+            outcome.pre_state = _copy_state(expected)
+            outcome.post_state = staged
+            return outcome
+        expected = staged
+        outcome.committed += 1
+        if checkpoint_every and (index + 1) % checkpoint_every == 0:
+            try:
+                db.checkpoint()
+            except CrashError:
+                # A checkpoint moves no logical state: every committed
+                # transaction must survive the crash intact.
+                outcome.crashed = True
+                outcome.crash_point = "checkpoint"
+                outcome.pre_state = _copy_state(expected)
+                outcome.post_state = _copy_state(expected)
+                return outcome
+    outcome.pre_state = _copy_state(expected)
+    outcome.post_state = _copy_state(expected)
+    return outcome

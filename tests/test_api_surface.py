@@ -161,7 +161,7 @@ class TestDatabaseStatsBuffer:
         db = GeographicDatabase("S")
         snap = db.stats_buffer()
         assert set(snap) == {"hits", "misses", "evictions", "write_backs",
-                             "hit_ratio"}
+                             "hit_ratio", "write_allocs"}
 
 
 class TestPresentationRegistryQueries:

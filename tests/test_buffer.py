@@ -132,11 +132,62 @@ class TestStats:
         manager.read_page(0)
         snap = manager.stats.snapshot()
         assert set(snap) == {"hits", "misses", "evictions", "write_backs",
-                             "hit_ratio"}
+                             "hit_ratio", "write_allocs"}
 
     def test_zero_access_ratio(self):
         __, manager = make()
         assert manager.stats.hit_ratio == 0.0
+
+    def test_uncached_write_is_not_a_miss(self):
+        """A full-page write to an uncached page needs no pager read, so it
+        must not dent the hit ratio — it is a ``write_alloc``, not a miss."""
+        pager, manager = make()
+        reads_before = pager.reads
+        manager.write_page(0, b"fresh")
+        assert pager.reads == reads_before          # no read-before-write
+        assert manager.stats.misses == 0
+        assert manager.stats.hits == 0
+        assert manager.stats.extra["write_allocs"] == 1
+        assert manager.stats.hit_ratio == 0.0       # ratio stays read-only
+        manager.write_page(0, b"again")             # cached: no second alloc
+        assert manager.stats.extra["write_allocs"] == 1
+        assert manager.stats.hits == 0
+
+    def test_write_allocs_reported_to_registry(self, obs_recorder):
+        __, manager = make()
+        manager.write_page(0, b"x")
+        manager.write_page(1, b"y")
+        registry = obs_recorder.registry
+        assert registry.counter_value("buffer.write_allocs") == 2
+        assert registry.counter_value("buffer.misses") == 0
+
+
+class TestNoSteal:
+    def test_dirty_frames_survive_no_steal_scope(self):
+        pager, manager = make(capacity=2)
+        with manager.no_steal():
+            manager.write_page(0, b"a")
+            manager.write_page(1, b"b")
+            writes_before = pager.writes
+            manager.write_page(2, b"c")     # no clean victim: overflow
+            assert pager.writes == writes_before
+            assert len(manager) == 3        # over capacity, nothing leaked
+            assert manager.stats.extra["no_steal_overflows"] == 1
+        # Outside the scope dirty frames evict (and write back) again.
+        manager.read_page(3)
+        manager.read_page(4)
+        assert pager.writes > writes_before
+
+    def test_clean_frames_still_evict_under_no_steal(self):
+        pager, manager = make(capacity=2)
+        with manager.no_steal():
+            manager.read_page(0)
+            manager.write_page(1, b"dirty")
+            writes_before = pager.writes
+            manager.read_page(2)            # evicts clean 0, not dirty 1
+            assert pager.writes == writes_before
+            assert 1 in manager.resident_pages()
+            assert 0 not in manager.resident_pages()
 
 
 class TestObservabilityCounters:

@@ -68,6 +68,32 @@ class TestCommands:
         loop, output = loop_io
         loop.run(["help"])
         assert "connect <schema>" in text_of(output)
+        assert "wal-status" in text_of(output)
+
+    def test_wal_status_without_log(self, loop_io):
+        loop, output = loop_io
+        loop.run(["wal-status"])
+        assert "no write-ahead log attached" in text_of(output)
+
+    def test_wal_status_with_log(self, loop_io):
+        import json
+
+        from repro.geodb import MemoryPager, WriteAheadLog
+
+        loop, output = loop_io
+        loop.session.database.attach_wal(
+            WriteAheadLog(MemoryPager(), sync_mode="none"))
+        loop.session.database.insert(
+            "phone_net", "Supplier", {"name": "LogProbe"})
+        loop.run(["wal-status"])
+        text = text_of(output)
+        assert "sync_mode: none" in text
+        assert "appends:" in text
+        output.clear()
+        loop.run(["wal-status json"])
+        status = json.loads(text_of(output))
+        assert status["flushes"] == 1
+        assert status["damaged"] is False
 
 
 class TestErrorHandling:

@@ -1,0 +1,437 @@
+"""Write-ahead log, atomic commit, and crash recovery.
+
+The heart of this suite is the crash matrix: a seeded transaction mix is
+run repeatedly, each time with the fault-injecting pager armed to crash
+at a different write index, and after every crash the database is
+rebuilt from the surviving "disks" and must land on exactly the
+pre-transaction or the fully-committed state — never in between.
+
+Set ``REPRO_CRASH_MATRIX_QUICK=1`` to thin the matrix (used by CI's
+smoke step); the full matrix runs every write index for every seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import CrashError, ObjectNotFoundError, WALError
+from repro.geodb import (
+    FaultInjectingPager,
+    GeographicDatabase,
+    MemoryPager,
+    TxnState,
+    WriteAheadLog,
+)
+from repro.workloads import build_mix_schema, run_transaction_mix, snapshot_state
+from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA
+
+QUICK = bool(os.environ.get("REPRO_CRASH_MATRIX_QUICK"))
+SEEDS = (7,) if QUICK else (7, 23, 91)
+STRIDE = 3 if QUICK else 1
+
+
+# ---------------------------------------------------------------------------
+# WAL unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_commit_forces_a_checksummed_batch(self):
+        wal = WriteAheadLog(MemoryPager(), sync_mode="none")
+        wal.log_begin(1)
+        wal.log_intent(1, {"op": "insert", "oid": "X#1"})
+        assert wal.pager.page_count == 0  # nothing reaches the log yet
+        wal.log_commit(1)
+        assert wal.pager.page_count >= 1
+        kinds = [doc["t"] for doc in wal.records()]
+        assert kinds == ["B", "I", "C"]
+        [txn] = wal.replay()
+        assert [doc["t"] for doc in txn] == ["B", "I", "C"]
+        assert txn[1]["oid"] == "X#1"
+
+    def test_abort_drops_the_buffered_batch(self):
+        wal = WriteAheadLog(MemoryPager(), sync_mode="none")
+        wal.log_begin(1)
+        wal.log_intent(1, {"op": "insert", "oid": "X#1"})
+        wal.log_abort(1)
+        assert wal.pager.page_count == 0
+        assert wal.replay() == []
+
+    def test_batches_never_share_a_page(self):
+        wal = WriteAheadLog(MemoryPager(), sync_mode="none")
+        for txn_id in (1, 2):
+            wal.log_begin(txn_id)
+            wal.log_intent(txn_id, {"op": "insert", "oid": f"X#{txn_id}"})
+            wal.log_commit(txn_id)
+        assert wal.pager.page_count == 2  # one (padded) page per batch
+        assert [t[1]["oid"] for t in wal.replay()] == ["X#1", "X#2"]
+
+    def test_batch_spanning_multiple_pages(self):
+        wal = WriteAheadLog(MemoryPager(), sync_mode="none")
+        wal.log_begin(1)
+        wal.log_intent(1, {"op": "insert", "oid": "X#1",
+                           "blob": "v" * (3 * wal.pager.page_size)})
+        wal.log_commit(1)
+        assert wal.pager.page_count > 3
+        [txn] = wal.replay()
+        assert len(txn[1]["blob"]) == 3 * wal.pager.page_size
+
+    def test_uncommitted_txn_is_not_replayed(self):
+        wal = WriteAheadLog(MemoryPager(), sync_mode="none")
+        wal.log_begin(1)
+        wal.log_intent(1, {"op": "insert", "oid": "X#1"})
+        wal.log_commit(1)
+        wal.log_begin(2)
+        wal.log_intent(2, {"op": "delete", "oid": "X#1"})
+        # txn 2 never commits: its records stay pending, off the log
+        assert [t[0]["txn"] for t in wal.replay()] == [1]
+
+    def test_torn_flush_keeps_the_stable_prefix(self):
+        inner = MemoryPager()
+        fault = FaultInjectingPager(inner)
+        wal = WriteAheadLog(fault, sync_mode="none")
+        wal.log_begin(1)
+        wal.log_intent(1, {"op": "insert", "oid": "X#1"})
+        wal.log_commit(1)
+        fault.arm(0, torn=True)  # tear the very next page write
+        wal.log_begin(2)
+        wal.log_intent(2, {"op": "insert", "oid": "X#2"})
+        with pytest.raises(CrashError):
+            wal.log_commit(2)
+        assert wal.damaged
+        survivor = WriteAheadLog(inner, sync_mode="none")
+        assert [t[1]["oid"] for t in survivor.replay()] == ["X#1"]
+
+    def test_damaged_log_refuses_further_commits(self):
+        fault = FaultInjectingPager(MemoryPager())
+        wal = WriteAheadLog(fault, sync_mode="none")
+        fault.arm(0)
+        wal.log_begin(1)
+        with pytest.raises(CrashError):
+            wal.log_commit(1)
+        with pytest.raises(WALError):
+            wal.log_begin(2)
+
+    def test_checkpoint_truncates_and_clears_damage(self):
+        inner = MemoryPager()
+        fault = FaultInjectingPager(inner)
+        wal = WriteAheadLog(fault, sync_mode="none")
+        wal.log_begin(1)
+        wal.log_commit(1)
+        assert inner.page_count == 1
+        wal.checkpoint()
+        assert inner.page_count == 0
+        assert wal.replay() == []
+
+    def test_checkpoint_with_pending_txn_raises(self):
+        wal = WriteAheadLog(MemoryPager(), sync_mode="none")
+        wal.log_begin(1)
+        with pytest.raises(WALError):
+            wal.checkpoint()
+
+    def test_unknown_sync_mode_rejected(self):
+        with pytest.raises(WALError):
+            WriteAheadLog(MemoryPager(), sync_mode="eventually")
+
+    def test_stats_shape(self):
+        wal = WriteAheadLog(MemoryPager(), sync_mode="fsync")
+        wal.log_begin(1)
+        wal.log_commit(1)
+        stats = wal.stats()
+        assert stats["appends"] == 2
+        assert stats["flushes"] == 1
+        assert stats["fsyncs"] == 1
+        assert stats["pending_txns"] == 0
+        assert stats["damaged"] is False
+
+
+# ---------------------------------------------------------------------------
+# Commit atomicity (rollback on apply/log failure)
+# ---------------------------------------------------------------------------
+
+
+def _mix_db(wal_fault_pager=None, heap_pager=None, capacity=8):
+    db = GeographicDatabase("mix", pager=heap_pager or MemoryPager(),
+                            buffer_capacity=capacity)
+    db.register_schema(build_mix_schema())
+    if wal_fault_pager is not None:
+        db.attach_wal(WriteAheadLog(wal_fault_pager, sync_mode="none"))
+    return db
+
+
+class TestCommitAtomicity:
+    def test_log_failure_rolls_back_every_structure(self):
+        wal_fault = FaultInjectingPager(MemoryPager())
+        db = _mix_db(wal_fault)
+        base = db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "keep", "size": 1})
+        db.checkpoint()
+        before = snapshot_state(db)
+        before_heap = db.verify_storage()
+        wal_fault.arm(0)  # the next commit's log flush crashes
+        txn = db.transaction()
+        txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": "new", "size": 2},
+                   oid="Feature#doomed")
+        txn.update(base, {"size": 99})
+        with pytest.raises(CrashError):
+            txn.commit()
+        # ABORTED means no observable change, anywhere.
+        assert txn.state is TxnState.ABORTED
+        assert snapshot_state(db) == before
+        assert db.find_object("Feature#doomed") is None
+        assert db.verify_storage() == before_heap
+        assert db.get_object(base).get("size") == 1
+
+    def test_aborted_commit_leaves_no_phantom_intents(self):
+        wal_fault = FaultInjectingPager(MemoryPager())
+        db = _mix_db(wal_fault)
+        oid = db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1})
+        wal_fault.arm(0)
+        txn = db.transaction()
+        txn.update(oid, {"size": 42})
+        with pytest.raises(CrashError):
+            txn.commit()
+        # Satellite: commit() must clear the intents like abort() does,
+        # so the dead transaction never reports phantom staged state.
+        assert txn.intents == []
+        assert txn.staged_value(oid) == db.get_object(oid).values()
+
+    def test_rollback_restores_spatial_and_attr_indexes(self):
+        from repro.spatial.geometry import BBox, Point
+
+        wal_fault = FaultInjectingPager(MemoryPager())
+        db = _mix_db(wal_fault)
+        index = db.create_attribute_index(MIX_SCHEMA, MIX_CLASS, "size")
+        oid = db.insert(MIX_SCHEMA, MIX_CLASS,
+                        {"name": "a", "size": 5, "location": Point(10, 10)})
+        wal_fault.arm(0)
+        with pytest.raises(CrashError):
+            with db.transaction() as txn:
+                txn.update(oid, {"size": 6, "location": Point(90, 90)})
+        assert index.lookup(5) == {oid}
+        assert index.lookup(6) == set()
+        rtree = db.spatial_index(MIX_SCHEMA, MIX_CLASS, "location")
+        assert list(rtree.search(BBox(9, 9, 11, 11))) == [oid]
+        assert list(rtree.search(BBox(89, 89, 91, 91))) == []
+
+
+class TestDeleteThenUpdateRegression:
+    def test_update_after_staged_delete_fails_at_stage_time(self):
+        db = _mix_db()
+        oid = db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1})
+        txn = db.transaction()
+        txn.delete(oid)
+        with pytest.raises(ObjectNotFoundError):
+            txn.update(oid, {"size": 2})
+        with pytest.raises(ObjectNotFoundError):
+            txn.delete(oid)
+        # The failed stage must not poison the transaction: the delete
+        # alone still commits, atomically.
+        txn.commit()
+        assert db.find_object(oid) is None
+
+    def test_insert_after_staged_delete_is_allowed(self):
+        db = _mix_db()
+        oid = db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1},
+                        oid="Feature#reborn")
+        with db.transaction() as txn:
+            txn.delete(oid)
+            txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": "b", "size": 2},
+                       oid=oid)
+        assert db.get_object(oid).get("name") == "b"
+
+
+# ---------------------------------------------------------------------------
+# File-backed open / recover
+# ---------------------------------------------------------------------------
+
+
+class TestFileBackedRecovery:
+    def test_clean_close_and_reopen(self, tmp_path):
+        path = str(tmp_path / "geo.db")
+        db = GeographicDatabase.open(path, sync_mode="flush")
+        db.register_schema(build_mix_schema())
+        db.catalog.save_schema(db.get_schema_object(MIX_SCHEMA))
+        db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1},
+                  oid="Feature#f1")
+        state = snapshot_state(db)
+        db.close()
+        db2 = GeographicDatabase.open(path, sync_mode="flush")
+        assert snapshot_state(db2) == state
+        assert db2.wal.pager.page_count == 0  # close checkpointed the log
+        db2.close()
+
+    def test_unclean_shutdown_replays_the_log(self, tmp_path):
+        path = str(tmp_path / "geo.db")
+        db = GeographicDatabase.open(path, sync_mode="flush")
+        db.register_schema(build_mix_schema())
+        db.catalog.save_schema(db.get_schema_object(MIX_SCHEMA))
+        db.checkpoint()  # make the schema durable
+        db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1},
+                  oid="Feature#f1")
+        db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "b", "size": 2},
+                  oid="Feature#f2")
+        db.update("Feature#f2", {"size": 3})
+        db.delete("Feature#f1")
+        state = snapshot_state(db)
+        assert db.wal.pager.page_count > 0
+        # Simulate a crash: drop the handle without close(); the dirty
+        # buffer frames never reach the heap file, only the WAL did.
+        del db
+        db2 = GeographicDatabase.open(path, sync_mode="flush")
+        assert snapshot_state(db2) == state
+        assert db2.get_object("Feature#f2").get("size") == 3
+        assert db2.wal.recovered_txns > 0
+        db2.close()
+
+    def test_recovered_oid_counter_does_not_collide(self, tmp_path):
+        path = str(tmp_path / "geo.db")
+        db = GeographicDatabase.open(path, sync_mode="flush")
+        db.register_schema(build_mix_schema())
+        db.catalog.save_schema(db.get_schema_object(MIX_SCHEMA))
+        db.checkpoint()
+        auto_oid = db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1})
+        del db
+        db2 = GeographicDatabase.open(path, sync_mode="flush")
+        fresh = db2.insert(MIX_SCHEMA, MIX_CLASS, {"name": "b", "size": 2})
+        assert fresh != auto_oid
+        db2.close()
+
+
+# ---------------------------------------------------------------------------
+# The crash matrix
+# ---------------------------------------------------------------------------
+
+
+def _build_crashable(seed):
+    """A mix database over fault-wrapped memory 'disks', base state durable."""
+    heap_inner, wal_inner = MemoryPager(), MemoryPager()
+    heap_fault = FaultInjectingPager(heap_inner)
+    wal_fault = FaultInjectingPager(wal_inner)
+    db = _mix_db(wal_fault, heap_pager=heap_fault)
+    with db.transaction() as txn:
+        for i in range(3):
+            txn.insert(MIX_SCHEMA, MIX_CLASS,
+                       {"name": f"base-{i}", "size": i},
+                       oid=f"Feature#base{seed}_{i}")
+    db.checkpoint()
+    # Zero the write counters so a later arm(n) and the unarmed budget
+    # measurement count from the same point (after base setup).
+    heap_fault.arm(None)
+    wal_fault.arm(None)
+    return db, heap_inner, wal_inner, heap_fault, wal_fault
+
+
+def _recover(heap_inner, wal_inner):
+    """Simulate a restart: fresh database over the surviving 'disks'."""
+    db = GeographicDatabase("mix", pager=heap_inner, buffer_capacity=8)
+    db.register_schema(build_mix_schema())
+    db.load_from_storage()
+    db.attach_wal(WriteAheadLog(wal_inner, sync_mode="none"))
+    db.recover()
+    return db
+
+
+def _run_mix(db, seed):
+    return run_transaction_mix(db, txns=6, ops_per_txn=3, seed=seed,
+                               oid_prefix=f"s{seed}_", checkpoint_every=2)
+
+
+def _assert_recovers(outcome, heap_inner, wal_inner):
+    recovered = _recover(heap_inner, wal_inner)
+    state = snapshot_state(recovered)
+    acceptable = outcome.acceptable_states()
+    assert state in acceptable, (
+        f"recovered state matches neither pre- nor post-transaction state "
+        f"(crash at {outcome.crash_point}, {outcome.committed} committed)"
+    )
+    # Recovery must be stable: a second crash-free reopen changes nothing.
+    again = _recover(heap_inner, wal_inner)
+    assert snapshot_state(again) == state
+
+
+def _write_budget(seed, pager_pick):
+    """Total writes the un-faulted run issues on the picked pager."""
+    db, __, __, heap_fault, wal_fault = _build_crashable(seed)
+    outcome = _run_mix(db, seed)
+    assert not outcome.crashed
+    return pager_pick(heap_fault, wal_fault).writes, outcome
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("torn", [False, True], ids=["clean", "torn"])
+def test_crash_matrix_wal_writes(seed, torn):
+    """Crash on every WAL write index: atomic per-transaction recovery."""
+    budget, clean = _write_budget(seed, lambda h, w: w)
+    assert budget > 0
+    crashes = 0
+    for n in range(0, budget, STRIDE):
+        db, heap_inner, wal_inner, __, wal_fault = _build_crashable(seed)
+        wal_fault.arm(n, torn=torn)
+        outcome = _run_mix(db, seed)
+        assert outcome.crashed and outcome.crash_point == "commit"
+        crashes += 1
+        _assert_recovers(outcome, heap_inner, wal_inner)
+    assert crashes > 0
+    # Sanity: armed beyond the budget, the mix completes and the final
+    # state survives recovery verbatim.
+    db, heap_inner, wal_inner, __, wal_fault = _build_crashable(seed)
+    wal_fault.arm(budget + 1, torn=torn)
+    outcome = _run_mix(db, seed)
+    assert not outcome.crashed
+    assert outcome.post_state == clean.post_state
+    _assert_recovers(outcome, heap_inner, wal_inner)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_matrix_heap_writes(seed):
+    """Crash on every heap write index (checkpoint flushes): no data loss."""
+    budget, __ = _write_budget(seed, lambda h, w: h)
+    assert budget > 0  # checkpoint_every guarantees heap flushes
+    crashes = 0
+    for n in range(0, budget, STRIDE):
+        db, heap_inner, wal_inner, heap_fault, __ = _build_crashable(seed)
+        heap_fault.arm(n)
+        outcome = _run_mix(db, seed)
+        if not outcome.crashed:
+            continue  # arming landed past the last flush of this run
+        assert outcome.crash_point == "checkpoint"
+        # A checkpoint crash loses nothing: every committed transaction
+        # must be recovered exactly.
+        assert outcome.pre_state == outcome.post_state
+        crashes += 1
+        _assert_recovers(outcome, heap_inner, wal_inner)
+    assert crashes > 0
+
+
+# ---------------------------------------------------------------------------
+# Observability surface
+# ---------------------------------------------------------------------------
+
+
+class TestWalObservability:
+    def test_commit_emits_wal_counters_and_span(self, obs_recorder):
+        wal_fault = FaultInjectingPager(MemoryPager())
+        db = _mix_db(wal_fault)
+        db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1})
+        registry = obs_recorder.registry
+        assert registry.counter("wal.appends", type="B").value == 1
+        assert registry.counter("wal.appends", type="I").value == 1
+        assert registry.counter("wal.appends", type="C").value == 1
+        span = obs_recorder.tracer.last_trace("txn.commit")
+        assert span is not None
+        assert span.attrs["intents"] == 1
+
+    def test_recovery_counter(self, obs_recorder):
+        heap_inner, wal_inner = MemoryPager(), MemoryPager()
+        db = GeographicDatabase("mix", pager=heap_inner)
+        db.register_schema(build_mix_schema())
+        db.attach_wal(WriteAheadLog(wal_inner, sync_mode="none"))
+        db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1},
+                  oid="Feature#r1")
+        # Drop without checkpoint; the heap pages are still in the buffer.
+        recovered = _recover(MemoryPager(), wal_inner)
+        assert recovered.find_object("Feature#r1") is not None
+        registry = obs_recorder.registry
+        assert registry.counter("wal.recoveries").value == 1
