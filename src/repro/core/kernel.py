@@ -155,6 +155,32 @@ class GISKernel:
         return list(self._sessions.values())
 
     # ------------------------------------------------------------------
+    # Transactions: isolated snapshots per session
+    # ------------------------------------------------------------------
+
+    def transaction(self, session: "GISSession | None" = None):
+        """Open a snapshot-isolated transaction, optionally for a session.
+
+        Each call takes an independent snapshot, so concurrent sessions
+        read consistent (and mutually invisible) states until commit.
+        When ``session`` is given, the commit's mutation events carry its
+        ``session_id``, and the kernel's refresh fan-out — which only
+        fires for *committed* versions (``phase="commit"``) — can route
+        session-scoped events accordingly.
+        """
+        if self._closed:
+            raise SessionError("kernel is shut down")
+        session_id = None
+        if session is not None:
+            if self._sessions.get(session.session_id) is not session:
+                raise SessionError(
+                    f"session {session.session_id!r} is not attached to "
+                    "this kernel"
+                )
+            session_id = session.session_id
+        return self.database.transaction(session_id=session_id)
+
+    # ------------------------------------------------------------------
     # Customization installation (shared rule set)
     # ------------------------------------------------------------------
 

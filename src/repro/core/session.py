@@ -113,6 +113,17 @@ class GISSession:
         self._closed = False
 
     # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self):
+        """A snapshot-isolated transaction whose commit events carry this
+        session's id (see :meth:`GISKernel.transaction`)."""
+        if self._closed:
+            raise SessionError("session is shut down")
+        return self.kernel.transaction(self)
+
+    # ------------------------------------------------------------------
     # Customization installation
     # ------------------------------------------------------------------
 

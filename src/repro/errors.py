@@ -44,6 +44,21 @@ class TransactionError(ReproError):
     """A transaction was used outside its legal life cycle."""
 
 
+class TransactionConflictError(TransactionError):
+    """First-committer-wins validation rejected a commit.
+
+    Another transaction that committed after this transaction's snapshot
+    wrote one of the objects this transaction also writes. The losing
+    transaction is aborted; callers retry with a fresh snapshot (see
+    :func:`repro.workloads.txn_mix.commit_with_retries`).
+    """
+
+    def __init__(self, message: str, oids: list | None = None):
+        super().__init__(message)
+        #: the contended object ids, for diagnostics and retry policies
+        self.oids = list(oids or [])
+
+
 class StorageError(ReproError):
     """The page store or serializer could not complete an operation."""
 

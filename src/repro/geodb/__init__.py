@@ -29,6 +29,7 @@ from .storage import FilePager, HeapFile, MemoryPager, RecordId, PAGE_SIZE
 from .buffer import BufferManager, BufferStats
 from .wal import FaultInjectingPager, WriteAheadLog
 from .database import GeographicDatabase
+from .mvcc import Version, VersionStore
 from .transactions import Transaction, TxnState
 from .query import (
     And,
@@ -66,6 +67,7 @@ __all__ = [
     "BufferManager", "BufferStats",
     "WriteAheadLog", "FaultInjectingPager",
     "GeographicDatabase", "Transaction", "TxnState",
+    "Version", "VersionStore",
     "Predicate", "Comparison", "SpatialPredicate", "WithinDistance",
     "And", "Or", "Not", "TruePredicate", "Query", "RelateMask",
     "QueryEngine", "QueryResult",

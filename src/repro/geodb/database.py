@@ -21,6 +21,7 @@ to the bus.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Any, Callable, Iterator
 
 from .. import obs
@@ -28,6 +29,7 @@ from ..active.event_bus import Event, EventBus, EventKind
 from ..errors import (
     ObjectNotFoundError,
     SchemaError,
+    TransactionConflictError,
     TransactionError,
 )
 from ..spatial.geometry import BBox
@@ -35,6 +37,7 @@ from ..spatial.rtree import RTree
 from .attr_index import HashIndex
 from .buffer import BufferManager
 from .instances import Extent, GeoObject
+from .mvcc import VersionStore
 from .schema import GeoClass, Schema
 from .storage import FilePager, HeapFile, MemoryPager, Pager, RecordId
 from .transactions import Transaction, _Intent
@@ -84,6 +87,22 @@ class GeographicDatabase:
         self._incoming_refs: dict[str, set[tuple[str, str]]] = {}
         #: (schema, class, method) -> callable(db, obj, *args)
         self._methods: dict[tuple[str, str, str], Callable] = {}
+
+        # -- multi-version concurrency control (snapshot isolation) ----
+        #: per-oid version chains; see repro.geodb.mvcc
+        self._mvcc = VersionStore()
+        #: commit timestamp of the most recently committed transaction
+        self._commit_ts = 0
+        #: txn_id -> snapshot timestamp, for every live transaction
+        self._snapshots: dict[int, int] = {}
+        #: (commit_ts, write set) per committed transaction, ascending,
+        #: kept until the GC watermark passes it — the first-committer-
+        #: wins validation window
+        self._commit_log: list[tuple[int, frozenset[str]]] = []
+        #: serializes begin-snapshot and the whole commit critical
+        #: section (validate -> log -> apply -> version); reentrant so
+        #: rule actions may open nested auto-commit transactions
+        self._commit_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Schema management
@@ -311,8 +330,14 @@ class GeographicDatabase:
     # Transactions
     # ------------------------------------------------------------------
 
-    def transaction(self) -> Transaction:
-        return Transaction(self)
+    def transaction(self, session_id: str | None = None) -> Transaction:
+        """Begin a snapshot-isolated transaction.
+
+        ``session_id`` tags the commit's mutation events with the
+        originating session (the shared kernel passes it through
+        :meth:`repro.core.kernel.GISKernel.transaction`).
+        """
+        return Transaction(self, session_id=session_id)
 
     def scenario(self, schema_name: str):
         """Open a simulation-mode sandbox over one schema (§2.2)."""
@@ -326,7 +351,9 @@ class GeographicDatabase:
         Returns the number of frames written back. Once the heap pages are
         durable, every logged transaction is reflected in them, so the
         write-ahead log truncates to empty (a crash between the sync and
-        the truncation only re-replays idempotent redo records).
+        the truncation only re-replays idempotent redo records). Old MVCC
+        versions below the oldest live snapshot are garbage-collected on
+        the way out.
         """
         flushed = self.buffer.flush()
         sync = getattr(self.pager, "sync", None)
@@ -334,7 +361,71 @@ class GeographicDatabase:
             sync()
         if self.wal is not None:
             self.wal.checkpoint()
+        self.gc_versions()
         return flushed
+
+    # -- MVCC: snapshots, version reads, garbage collection ----------------
+
+    def _begin_snapshot(self, txn: Transaction) -> int:
+        """Pin a new transaction to the current commit timestamp."""
+        with self._commit_lock:
+            ts = self._commit_ts
+            self._snapshots[txn.txn_id] = ts
+            return ts
+
+    def _release_snapshot(self, txn: Transaction) -> None:
+        self._snapshots.pop(txn.txn_id, None)
+
+    def _snapshot_values(self, oid: str, ts: int) -> dict[str, Any] | None:
+        """Attribute values of ``oid`` as of commit timestamp ``ts``.
+
+        The chain-less case is the hot path (objects untouched since the
+        last GC), so it checks the chain dict directly instead of going
+        through :meth:`VersionStore.visible` — the read benchmark's
+        ≤1.5x-of-seed gate leaves no room for an extra call.
+        """
+        if oid not in self._mvcc._chains:
+            obj = self.find_object(oid)
+            return None if obj is None else obj.values()
+        version = self._mvcc.visible(oid, ts)
+        if version is None or version.values is None:
+            return None
+        return dict(version.values)
+
+    def _snapshot_locate(self, oid: str, ts: int) -> tuple[str, str] | None:
+        """(schema, class) of ``oid`` as of ``ts``, or None if absent."""
+        version = self._mvcc.visible(oid, ts)
+        if version is VersionStore.UNKNOWN:
+            return self.locate_object(oid)
+        if version is None or version.values is None:
+            return None
+        return (version.schema_name, version.class_name)
+
+    def oldest_snapshot(self) -> int:
+        """The GC watermark: the oldest live snapshot (or the current ts)."""
+        with self._commit_lock:
+            return min(self._snapshots.values(), default=self._commit_ts)
+
+    def gc_versions(self) -> int:
+        """Drop versions below the watermark; returns how many were freed.
+
+        Runs automatically from :meth:`checkpoint`; callable directly by
+        long-lived servers that checkpoint rarely.
+        """
+        with self._commit_lock:
+            watermark = min(self._snapshots.values(), default=self._commit_ts)
+            reclaimed = self._mvcc.gc(watermark)
+            # Commit-log entries at or below the watermark can no longer
+            # conflict with any live or future snapshot.
+            self._commit_log = [
+                entry for entry in self._commit_log if entry[0] > watermark
+            ]
+        rec = obs.RECORDER
+        if rec.enabled:
+            if reclaimed:
+                rec.inc("mvcc.gc_reclaimed", reclaimed)
+            rec.gauge("mvcc.versions", self._mvcc.total_versions)
+        return reclaimed
 
     # -- durability (write-ahead log) --------------------------------------
 
@@ -389,9 +480,22 @@ class GeographicDatabase:
             return 0
         replayed = 0
         for records in self.wal.replay():
+            commit_ts = self._batch_commit_ts(records)
+            touched: dict[str, tuple[str, str]] = {}
             for doc in records:
                 if doc.get("t") == "I":
                     self._replay_intent(doc)
+                    touched[doc["oid"]] = (doc["schema"], doc["class"])
+            self._commit_ts = max(self._commit_ts, commit_ts)
+            for oid, (schema_name, class_name) in touched.items():
+                obj = self.find_object(oid)
+                if obj is None:
+                    self._mvcc.record(oid, commit_ts, None,
+                                      schema_name, class_name)
+                else:
+                    schema_name, class_name = self._locations[oid]
+                    self._mvcc.record(oid, commit_ts, obj.values(),
+                                      schema_name, class_name)
             replayed += 1
         self.wal.recovered_txns += replayed
         if replayed and obs.RECORDER.enabled:
@@ -402,6 +506,18 @@ class GeographicDatabase:
             # front of future batches and hide them from the next replay.
             self.checkpoint()
         return replayed
+
+    def _batch_commit_ts(self, records: list[dict[str, Any]]) -> int:
+        """Commit timestamp of one replayed WAL batch.
+
+        Logs written before commit records carried timestamps lack the
+        ``ts`` field; those batches are assigned the next free timestamp
+        so recovered versions still land in commit order.
+        """
+        for doc in records:
+            if doc.get("t") == "C" and doc.get("ts") is not None:
+                return doc["ts"]
+        return self._commit_ts + 1
 
     def _replay_intent(self, doc: dict[str, Any]) -> None:
         """Redo one logged mutation unless its effect is already present."""
@@ -478,58 +594,12 @@ class GeographicDatabase:
         intents = txn.intents
         rec = obs.RECORDER
         with rec.span("txn.commit", txn=txn.txn_id, intents=len(intents)):
-            # Phase 1: referential integrity over the staged end state.
-            self._check_references(txn)
-            # Phase 2: pre-commit events let integrity rules veto the commit.
-            for intent in intents:
-                self.bus.publish(
-                    Event(
-                        EventKind(intent.op),
-                        intent.oid,
-                        payload={
-                            "schema": intent.schema_name,
-                            "class": intent.class_name,
-                            "values": intent.values,
-                            "phase": "validate",
-                            "txn": txn.txn_id,
-                            "staged": txn.staged_value(intent.oid),
-                        },
-                    )
-                )
-            # Phase 3: log, then apply with an undo journal. The redo
-            # records are buffered in the WAL and forced by log_commit in
-            # one barrier — the durability point. The buffer's no-steal
-            # scope keeps every page this phase dirties (including the
-            # rollback's restorations) away from the pager until then, so
-            # a crash anywhere in here leaves the heap at the
-            # pre-transaction state and recovery sees no commit record.
-            wal = self.wal
-            if wal is not None:
-                wal.log_begin(txn.txn_id)
-                for intent in intents:
-                    wal.log_intent(txn.txn_id, self._encode_intent(intent))
-            undo: list[Callable[[], None]] = []
-            with self.buffer.no_steal():
-                try:
-                    for intent in intents:
-                        if intent.op == "insert":
-                            self._apply_insert(intent, undo)
-                        elif intent.op == "update":
-                            self._apply_update(intent, undo)
-                        else:
-                            self._apply_delete(intent, undo)
-                    if wal is not None:
-                        wal.log_commit(txn.txn_id)
-                except Exception:
-                    # ABORTED must mean "no observable change": roll the
-                    # extents, heap, indexes and reference maps back to
-                    # the pre-transaction state before re-raising.
-                    while undo:
-                        undo.pop()()
-                    if wal is not None:
-                        wal.log_abort(txn.txn_id)
-                    raise
-            # Phase 4: post-commit events for customization/refresh rules.
+            with self._commit_lock:
+                commit_ts = self._commit_locked(txn, intents, rec)
+            # Phase 5: post-commit events for customization/refresh rules.
+            # Outside the commit lock: subscribers only ever observe fully
+            # committed versions, and refresh fan-out must not extend the
+            # critical section other writers serialize on.
             for intent in intents:
                 self.bus.publish(
                     Event(
@@ -541,9 +611,146 @@ class GeographicDatabase:
                             "values": intent.values,
                             "phase": "commit",
                             "txn": txn.txn_id,
+                            "ts": commit_ts,
                         },
+                        session_id=txn.session_id,
                     )
                 )
+
+    def _commit_locked(self, txn: Transaction, intents: list[_Intent],
+                       rec) -> int:
+        """The serialized commit critical section; returns the commit ts."""
+        write_set = frozenset(intent.oid for intent in intents)
+        # Phase 0: first-committer-wins validation. Any transaction that
+        # committed after our snapshot and wrote one of our oids makes
+        # the staged intents (computed against the snapshot) stale.
+        contended = self._conflicting_oids(txn.snapshot_ts, write_set)
+        if contended:
+            if rec.enabled:
+                rec.inc("txn.conflicts")
+            raise TransactionConflictError(
+                f"transaction {txn.txn_id} (snapshot {txn.snapshot_ts}) "
+                f"lost first-committer-wins on {sorted(contended)}",
+                oids=sorted(contended),
+            )
+        # Phase 1: referential integrity over the staged end state.
+        self._check_references(txn)
+        # Phase 2: pre-commit events let integrity rules veto the commit.
+        for intent in intents:
+            self.bus.publish(
+                Event(
+                    EventKind(intent.op),
+                    intent.oid,
+                    payload={
+                        "schema": intent.schema_name,
+                        "class": intent.class_name,
+                        "values": intent.values,
+                        "phase": "validate",
+                        "txn": txn.txn_id,
+                        "staged": txn.staged_value(intent.oid),
+                    },
+                    session_id=txn.session_id,
+                )
+            )
+        # Phase 3: log, then apply with an undo journal. The redo
+        # records are buffered in the WAL and forced by log_commit in
+        # one barrier — the durability point. The buffer's no-steal
+        # scope keeps every page this phase dirties (including the
+        # rollback's restorations) away from the pager until then, so
+        # a crash anywhere in here leaves the heap at the
+        # pre-transaction state and recovery sees no commit record.
+        # The commit timestamp is only published (to the counter, the
+        # commit log and the version store) after the durability point,
+        # so a failed attempt leaves no trace and the ts is reused.
+        commit_ts = self._commit_ts + 1
+        wal = self.wal
+        if wal is not None:
+            wal.log_begin(txn.txn_id)
+            for intent in intents:
+                wal.log_intent(txn.txn_id, self._encode_intent(intent))
+        pre_images = self._capture_pre_images(write_set)
+        undo: list[Callable[[], None]] = []
+        with self.buffer.no_steal():
+            try:
+                for intent in intents:
+                    if intent.op == "insert":
+                        self._apply_insert(intent, undo)
+                    elif intent.op == "update":
+                        self._apply_update(intent, undo)
+                    else:
+                        self._apply_delete(intent, undo)
+                if wal is not None:
+                    wal.log_commit(txn.txn_id, commit_ts=commit_ts)
+            except Exception:
+                # ABORTED must mean "no observable change": roll the
+                # extents, heap, indexes and reference maps back to
+                # the pre-transaction state before re-raising.
+                while undo:
+                    undo.pop()()
+                if wal is not None:
+                    wal.log_abort(txn.txn_id)
+                raise
+        # Phase 4: publish the new versions under the commit timestamp.
+        self._commit_ts = commit_ts
+        if write_set:
+            self._commit_log.append((commit_ts, write_set))
+            self._record_versions(write_set, commit_ts, intents, pre_images)
+            if rec.enabled:
+                rec.gauge("mvcc.versions", self._mvcc.total_versions)
+        return commit_ts
+
+    def _conflicting_oids(self, snapshot_ts: int,
+                          write_set: frozenset[str]) -> set[str]:
+        """Oids in ``write_set`` written by commits after ``snapshot_ts``."""
+        if not write_set:
+            return set()
+        contended: set[str] = set()
+        for ts, oids in reversed(self._commit_log):
+            if ts <= snapshot_ts:
+                break
+            contended |= oids & write_set
+        return contended
+
+    def _capture_pre_images(
+        self, write_set: frozenset[str]
+    ) -> dict[str, tuple[dict[str, Any], str, str]]:
+        """Pre-commit state of soon-to-be-written oids with no chain yet.
+
+        Objects written for the first time since process start (or since
+        their chain was garbage-collected) need a timestamp-0 base
+        version so older live snapshots keep reading the pre-image.
+        """
+        pre_images: dict[str, tuple[dict[str, Any], str, str]] = {}
+        for oid in write_set:
+            if self._mvcc.has_chain(oid):
+                continue
+            obj = self.find_object(oid)
+            if obj is not None:
+                schema_name, class_name = self._locations[oid]
+                pre_images[oid] = (obj.values(), schema_name, class_name)
+        return pre_images
+
+    def _record_versions(
+        self,
+        write_set: frozenset[str],
+        commit_ts: int,
+        intents: list[_Intent],
+        pre_images: dict[str, tuple[dict[str, Any], str, str]],
+    ) -> None:
+        """Append one version per written oid at ``commit_ts``."""
+        last_intent = {intent.oid: intent for intent in intents}
+        for oid, (values, schema_name, class_name) in pre_images.items():
+            self._mvcc.seed_base(oid, values, schema_name, class_name)
+        for oid in write_set:
+            obj = self.find_object(oid)
+            if obj is None:
+                intent = last_intent[oid]
+                self._mvcc.record(oid, commit_ts, None,
+                                  intent.schema_name, intent.class_name)
+            else:
+                schema_name, class_name = self._locations[oid]
+                self._mvcc.record(oid, commit_ts, obj.values(),
+                                  schema_name, class_name)
 
     def _check_references(self, txn: Transaction) -> None:
         for intent in txn.intents:
@@ -818,6 +1025,7 @@ class GeographicDatabase:
             "spatial_indexes": len(self._spatial),
             "buffer": self.stats_buffer(),
             "heap": self.heap.stats(),
+            "mvcc": self._mvcc.stats(),
         }
 
     def stats_buffer(self) -> dict[str, Any]:

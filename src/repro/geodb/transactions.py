@@ -1,15 +1,30 @@
 """Transactions over the geographic database.
 
+Every transaction runs under **snapshot isolation**: at begin it takes a
+snapshot timestamp from the database, and all of its reads
+(:meth:`Transaction.read`, :meth:`Transaction.query`,
+:meth:`Transaction.staged_value`) observe the database exactly as of
+that timestamp — concurrent commits stay invisible — merged with the
+transaction's *own* staged writes (read-your-writes).
+
 Updates are buffered as *write intents* and applied atomically at commit:
 
-1. every intent is validated against schema types and referential
+1. **first-committer-wins validation**: if any transaction that
+   committed after this one's snapshot wrote an overlapping oid, commit
+   raises :class:`~repro.errors.TransactionConflictError` and the
+   transaction aborts (callers retry with a fresh snapshot);
+2. every intent is validated against schema types and referential
    integrity;
-2. *pre-commit* mutation events (``phase="validate"``) are published so
+3. *pre-commit* mutation events (``phase="validate"``) are published so
    active integrity rules — the paper's [11] prototype "maintaining
    topological constraints in the gis" — can veto the transaction by
    raising :class:`~repro.errors.ConstraintViolationError`;
-3. intents are applied to extents, the heap file and the spatial indexes;
-4. *post-commit* mutation events (``phase="commit"``) are published for
+4. intents are applied to extents, the heap file and the spatial
+   indexes, a new version per touched oid is recorded at the commit
+   timestamp, and the write-ahead log's commit record carries that
+   timestamp;
+5. *post-commit* mutation events (``phase="commit"``, tagged with the
+   commit timestamp and the originating session) are published for
    customization and refresh rules.
 
 Aborting simply drops the intent buffer; nothing was applied.
@@ -17,14 +32,25 @@ Aborting simply drops the intent buffer; nothing was applied.
 
 from __future__ import annotations
 
-import itertools
+import threading
 from enum import Enum
 from typing import Any
 
 from ..errors import ObjectNotFoundError, TransactionError
 from .instances import GeoObject, fresh_oid
 
-_txn_ids = itertools.count(1)
+# Transaction ids must stay unique when sessions commit from worker
+# threads; a plain ``itertools.count`` offers no such guarantee across
+# implementations, so allocation takes a (tiny) explicit lock.
+_txn_id_lock = threading.Lock()
+_next_txn_id = 0
+
+
+def _allocate_txn_id() -> int:
+    global _next_txn_id
+    with _txn_id_lock:
+        _next_txn_id += 1
+        return _next_txn_id
 
 
 class TxnState(Enum):
@@ -58,13 +84,34 @@ class Transaction:
 
         with db.transaction() as txn:
             txn.insert("phone_net", "Pole", {...})
+
+    ``snapshot_ts`` is the commit timestamp the transaction's reads are
+    pinned to; ``session_id`` (set by
+    :meth:`repro.core.kernel.GISKernel.transaction`) tags the commit's
+    mutation events with the originating session.
     """
 
-    def __init__(self, database):
+    __slots__ = ("database", "txn_id", "session_id", "state", "_intents",
+                 "snapshot_ts", "_fast", "_chains", "_db_locations",
+                 "_db_extents")
+
+    def __init__(self, database, session_id: str | None = None):
         self.database = database
-        self.txn_id = next(_txn_ids)
+        self.txn_id = _allocate_txn_id()
+        self.session_id = session_id
         self.state = TxnState.ACTIVE
         self._intents: list[_Intent] = []
+        #: all reads observe the database as of this commit timestamp
+        self.snapshot_ts: int = database._begin_snapshot(self)
+        # Hot-path read support: ``_fast`` is True exactly while the
+        # transaction is ACTIVE with no staged writes (the read-only
+        # common case); the dict references let :meth:`read` skip the
+        # attribute chains through the database. All three dicts are
+        # mutated in place, never replaced, so the aliases stay valid.
+        self._fast = True
+        self._chains = database._mvcc._chains
+        self._db_locations = database._locations
+        self._db_extents = database._extents
 
     # -- protocol guards ------------------------------------------------------
 
@@ -75,18 +122,72 @@ class Transaction:
                 "no further operations are allowed"
             )
 
-    # -- staged view -----------------------------------------------------------
+    # -- snapshot + staged view ------------------------------------------------
+
+    def read(self, oid: str) -> dict[str, Any] | None:
+        """The attribute values of ``oid`` as this transaction sees them.
+
+        Snapshot-consistent: concurrent commits are invisible; the
+        transaction's own staged writes are visible (read-your-writes).
+        ``None`` when the object does not exist in this view.
+        """
+        # Hot path — a read-only transaction over chain-less (stable)
+        # objects must stay within 1.5x of the raw extent read, so the
+        # common case is inlined: active, no staged writes (one flag
+        # check), no version chain — answer from the current committed
+        # state, which chain-lessness proves equals the snapshot state.
+        if self._fast:
+            if oid not in self._chains:
+                location = self._db_locations.get(oid)
+                if location is None:
+                    return None
+                obj = self._db_extents[location].get(oid)
+                return None if obj is None else obj.values()
+            return self.database._snapshot_values(oid, self.snapshot_ts)
+        self._require_active()
+        return self.staged_value(oid)
+
+    def exists(self, oid: str) -> bool:
+        """Whether ``oid`` exists in this transaction's view."""
+        return self.read(oid) is not None
+
+    def query(self, schema_name: str, class_name: str
+              ) -> dict[str, dict[str, Any]]:
+        """All live objects of one class in this transaction's view.
+
+        Returns ``oid -> values`` over the snapshot, overlaid with this
+        transaction's staged inserts/updates/deletes of that class.
+        Subclass extents are not merged in; query each class explicitly.
+        """
+        self._require_active()
+        db = self.database
+        db.get_schema_object(schema_name).get_class(class_name)
+        candidates = set(db.extent(schema_name, class_name).oids())
+        candidates |= db._mvcc.class_oids(schema_name, class_name)
+        out: dict[str, dict[str, Any]] = {}
+        for oid in candidates:
+            values = db._snapshot_values(oid, self.snapshot_ts)
+            if values is not None:
+                out[oid] = values
+        for intent in self._intents:
+            if (intent.schema_name, intent.class_name) != (schema_name,
+                                                           class_name):
+                continue
+            merged = self.staged_value(intent.oid)
+            if merged is None:
+                out.pop(intent.oid, None)
+            else:
+                out[intent.oid] = merged
+        return out
 
     def staged_value(self, oid: str) -> dict[str, Any] | None:
         """The attribute values ``oid`` would have after this transaction.
 
-        ``None`` when the object would not exist (deleted, or never created).
-        Reads through to committed state for untouched objects.
+        ``None`` when the object would not exist (deleted, or never
+        created). Reads through to the transaction's *snapshot* for
+        untouched objects — never to state committed after begin.
         """
-        values: dict[str, Any] | None = None
-        committed = self.database.find_object(oid)
-        if committed is not None:
-            values = committed.values()
+        values = self.database._snapshot_values(oid, self.snapshot_ts)
         for intent in self._intents:
             if intent.oid != oid:
                 continue
@@ -118,6 +219,7 @@ class Transaction:
         new_oid = oid or fresh_oid(class_name)
         if self.staged_exists(new_oid):
             raise TransactionError(f"oid {new_oid} already exists")
+        self._fast = False
         self._intents.append(
             _Intent("insert", schema_name, class_name, new_oid, dict(values))
         )
@@ -142,6 +244,7 @@ class Transaction:
         merged = self.staged_value(oid) or {}
         probe = GeoObject(oid, class_name, merged)
         probe.update(schema, changes)  # type-checks and required-attr checks
+        self._fast = False
         self._intents.append(
             _Intent("update", schema_name, class_name, oid, dict(changes))
         )
@@ -154,19 +257,21 @@ class Transaction:
         schema_name, class_name = location
         if not self.staged_exists(oid):
             raise ObjectNotFoundError(f"object {oid} is already deleted")
+        self._fast = False
         self._intents.append(_Intent("delete", schema_name, class_name, oid, None))
 
     def _locate(self, oid: str) -> tuple[str, str] | None:
-        """(schema, class) of an object, considering staged inserts."""
+        """(schema, class) of an object in this transaction's view."""
         for intent in reversed(self._intents):
             if intent.oid == oid and intent.op == "insert":
                 return (intent.schema_name, intent.class_name)
-        return self.database.locate_object(oid)
+        return self.database._snapshot_locate(oid, self.snapshot_ts)
 
     # -- termination -------------------------------------------------------------
 
     def commit(self) -> None:
         self._require_active()
+        self._fast = False
         try:
             self.database._commit_transaction(self)
         except Exception:
@@ -174,13 +279,17 @@ class Transaction:
             # so staged_value()/intents never report phantom state.
             self._intents.clear()
             self.state = TxnState.ABORTED
+            self.database._release_snapshot(self)
             raise
         self.state = TxnState.COMMITTED
+        self.database._release_snapshot(self)
 
     def abort(self) -> None:
         self._require_active()
+        self._fast = False
         self._intents.clear()
         self.state = TxnState.ABORTED
+        self.database._release_snapshot(self)
 
     @property
     def intents(self) -> list[_Intent]:
@@ -199,6 +308,6 @@ class Transaction:
 
     def __repr__(self) -> str:
         return (
-            f"<Transaction {self.txn_id} {self.state.value}, "
-            f"{len(self._intents)} intents>"
+            f"<Transaction {self.txn_id} {self.state.value} "
+            f"snap={self.snapshot_ts}, {len(self._intents)} intents>"
         )

@@ -40,6 +40,7 @@ record survives inside that prefix are replayed.
 from __future__ import annotations
 
 import json
+import threading
 import zlib
 from typing import Any, Iterator
 
@@ -87,6 +88,11 @@ class WriteAheadLog:
                            f"expected one of {SYNC_MODES}")
         self.pager = pager
         self.sync_mode = sync_mode
+        # Serializes buffering, batch flushes and checkpoints so commits
+        # from concurrent sessions append whole batches in order (the log
+        # tail — allocate_page + write_page — is not atomic by itself).
+        # Reentrant because log_commit buffers its own commit record.
+        self._lock = threading.RLock()
         #: txn_id -> framed records not yet forced to the log
         self._pending: dict[int, list[bytes]] = {}
         #: set when a log write failed part-way; the log tail may be torn,
@@ -106,14 +112,15 @@ class WriteAheadLog:
     # -- logging ---------------------------------------------------------------
 
     def _buffer(self, txn_id: int, doc: dict[str, Any]) -> None:
-        if self.damaged:
-            raise WALError(
-                "write-ahead log is damaged (a flush failed part-way); "
-                "reopen and recover the database before committing again"
-            )
-        payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
-        self._pending.setdefault(txn_id, []).append(_frame(payload))
-        self.appends += 1
+        with self._lock:
+            if self.damaged:
+                raise WALError(
+                    "write-ahead log is damaged (a flush failed part-way); "
+                    "reopen and recover the database before committing again"
+                )
+            payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+            self._pending.setdefault(txn_id, []).append(_frame(payload))
+            self.appends += 1
         if obs.RECORDER.enabled:
             obs.RECORDER.inc("wal.appends", type=doc["t"])
 
@@ -126,30 +133,37 @@ class WriteAheadLog:
         doc.update(intent_doc)
         self._buffer(txn_id, doc)
 
-    def log_commit(self, txn_id: int) -> None:
+    def log_commit(self, txn_id: int, commit_ts: int | None = None) -> None:
         """Force the transaction's batch to the log — the durability point.
 
-        Appends the commit record, packs the batch into freshly allocated
-        pages and pushes it down with a single barrier. Raises (and marks
-        the log damaged) if the underlying pager fails part-way.
+        Appends the commit record (carrying ``commit_ts`` when given, so
+        recovery can rebuild the version store at the original
+        timestamps), packs the batch into freshly allocated pages and
+        pushes it down with a single barrier. Raises (and marks the log
+        damaged) if the underlying pager fails part-way.
         """
-        self._buffer(txn_id, {"t": REC_COMMIT, "txn": txn_id})
-        frames = self._pending.pop(txn_id)
-        blob = b"".join(frames)
-        try:
-            size = self.pager.page_size
-            for start in range(0, len(blob), size):
-                page_no = self.pager.allocate_page()
-                self.pager.write_page(page_no, blob[start:start + size])
-            self._barrier()
-        except Exception:
-            self.damaged = True
-            raise
-        self.flushes += 1
+        doc: dict[str, Any] = {"t": REC_COMMIT, "txn": txn_id}
+        if commit_ts is not None:
+            doc["ts"] = commit_ts
+        with self._lock:
+            self._buffer(txn_id, doc)
+            frames = self._pending.pop(txn_id)
+            blob = b"".join(frames)
+            try:
+                size = self.pager.page_size
+                for start in range(0, len(blob), size):
+                    page_no = self.pager.allocate_page()
+                    self.pager.write_page(page_no, blob[start:start + size])
+                self._barrier()
+            except Exception:
+                self.damaged = True
+                raise
+            self.flushes += 1
 
     def log_abort(self, txn_id: int) -> None:
         """Drop a transaction's buffered records; nothing reaches the log."""
-        self._pending.pop(txn_id, None)
+        with self._lock:
+            self._pending.pop(txn_id, None)
 
     def _barrier(self) -> None:
         if self.sync_mode == "none":
@@ -225,20 +239,21 @@ class WriteAheadLog:
         Every logged transaction is now reflected in the heap, so the log
         restarts empty; a damaged tail is discarded with it.
         """
-        if self._pending:
-            raise WALError(
-                "cannot checkpoint the log with in-flight transactions"
-            )
-        truncate = getattr(self.pager, "truncate", None)
-        if not callable(truncate):
-            raise WALError(
-                f"wal pager {type(self.pager).__name__} cannot truncate"
-            )
-        truncate()
-        sync = getattr(self.pager, "sync", None)
-        if callable(sync) and self.sync_mode == "fsync":
-            sync()
-        self.damaged = False
+        with self._lock:
+            if self._pending:
+                raise WALError(
+                    "cannot checkpoint the log with in-flight transactions"
+                )
+            truncate = getattr(self.pager, "truncate", None)
+            if not callable(truncate):
+                raise WALError(
+                    f"wal pager {type(self.pager).__name__} cannot truncate"
+                )
+            truncate()
+            sync = getattr(self.pager, "sync", None)
+            if callable(sync) and self.sync_mode == "fsync":
+                sync()
+            self.damaged = False
 
     # -- introspection ---------------------------------------------------------
 

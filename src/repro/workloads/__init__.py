@@ -17,6 +17,7 @@ from .session_pool import SessionPool, browsing_contexts
 from .txn_mix import (
     MixOutcome,
     build_mix_schema,
+    commit_with_retries,
     run_transaction_mix,
     snapshot_state,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "browsing_contexts",
     "MixOutcome",
     "build_mix_schema",
+    "commit_with_retries",
     "run_transaction_mix",
     "snapshot_state",
     "random_points",

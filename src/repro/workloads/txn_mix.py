@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
-from ..errors import CrashError
+from ..errors import CrashError, TransactionConflictError
 from ..geodb.database import GeographicDatabase
 from ..geodb.schema import Attribute, GeoClass, Schema
 from ..geodb.types import INTEGER, TEXT, GeometryType
@@ -78,6 +78,40 @@ class MixOutcome:
 
 def _copy_state(state: dict[str, dict[str, Any]]) -> dict[str, dict[str, Any]]:
     return {oid: dict(values) for oid, values in state.items()}
+
+
+def commit_with_retries(db: GeographicDatabase,
+                        body: Callable[[Any], Any], *,
+                        attempts: int = 8,
+                        session_id: str | None = None) -> tuple[Any, int]:
+    """Run ``body(txn)`` + commit, retrying on first-committer-wins losses.
+
+    Each attempt opens a fresh transaction (and therefore a fresh
+    snapshot), so a retry observes the state committed by whoever won the
+    conflict — the standard optimistic-concurrency loop. Returns
+    ``(body_result, retries)`` where ``retries`` counts the *failed*
+    attempts before the successful one. Raises the last
+    :class:`~repro.errors.TransactionConflictError` once ``attempts``
+    commits in a row were rejected; any other exception aborts the
+    transaction and propagates immediately.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    last_conflict: TransactionConflictError | None = None
+    for attempt in range(attempts):
+        txn = db.transaction(session_id=session_id)
+        try:
+            result = body(txn)
+        except BaseException:
+            txn.abort()
+            raise
+        try:
+            txn.commit()
+        except TransactionConflictError as exc:
+            last_conflict = exc
+            continue
+        return result, attempt
+    raise last_conflict
 
 
 def run_transaction_mix(db: GeographicDatabase, *, txns: int = 10,

@@ -1,0 +1,422 @@
+"""Deterministic interleaving harness for transaction isolation tests.
+
+Wall-clock thread races make terrible isolation tests: the schedule that
+exposes a dirty read may fire once in ten thousand runs. This harness
+removes the clock entirely — N *scripted* transactions are advanced one
+operation at a time under an explicit **schedule** (a sequence of script
+indices), so a test can enumerate or sample interleavings and assert the
+isolation oracles over every one of them.
+
+Vocabulary
+----------
+script
+    A list of operations for one transaction::
+
+        ("read", oid)          # observe the oid's counter value
+        ("write", oid, value)  # set the counter to an absolute value
+        ("write_incr", oid)    # set it to last-read-value + 1 (the
+                               # classic lost-update probe; reads as 0
+                               # when the object was never read/absent)
+        ("commit",)            # terminal
+        ("abort",)             # terminal
+
+schedule
+    A tuple of script indices; each entry advances that script by one
+    operation. :func:`interleavings` enumerates every legal schedule,
+    :func:`seeded_schedules` samples them reproducibly.
+
+backend
+    The system under test. :class:`MVCCBackend` drives the real geodb
+    through its snapshot-isolated transactions; :class:`BrokenBackend`
+    is a deliberately unsound stand-in (writes apply immediately to
+    shared state, commit is a no-op) used to prove each oracle *can*
+    fail — an oracle that passes on the broken backend tests nothing.
+
+oracles
+    Pure functions over the :class:`ScheduleResult`:
+    :func:`check_snapshot_reads` (no dirty reads, repeatable reads,
+    read-your-writes), :func:`check_no_lost_updates`,
+    :func:`check_first_committer_wins`, :func:`check_final_state`.
+    Each raises :class:`OracleViolation` with the offending schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+from typing import Any, Sequence
+
+from repro.errors import TransactionConflictError
+from repro.geodb.database import GeographicDatabase
+from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA, build_mix_schema
+
+#: set REPRO_SCHED_QUICK=1 to run the sampled subset (CI smoke mode)
+QUICK = os.environ.get("REPRO_SCHED_QUICK", "") not in ("", "0")
+
+
+class OracleViolation(AssertionError):
+    """An isolation oracle failed; the message names the schedule."""
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class MVCCBackend:
+    """The real geodb: snapshot-isolated transactions over one database.
+
+    Counters are mix-schema ``Feature`` objects; ``read`` returns the
+    ``size`` attribute (``None`` when the object does not exist in the
+    transaction's view).
+    """
+
+    conflict_errors = (TransactionConflictError,)
+
+    def __init__(self, initial: dict[str, int] | None = None):
+        self.db = GeographicDatabase("sched")
+        self.db.register_schema(build_mix_schema())
+        for oid, value in (initial or {}).items():
+            self.db.insert(MIX_SCHEMA, MIX_CLASS,
+                           {"name": oid, "size": value}, oid=oid)
+
+    def begin(self):
+        return self.db.transaction()
+
+    def read(self, txn, oid: str):
+        values = txn.read(oid)
+        return None if values is None else values.get("size")
+
+    def write(self, txn, oid: str, value: int) -> None:
+        if txn.read(oid) is None:
+            txn.insert(MIX_SCHEMA, MIX_CLASS,
+                       {"name": oid, "size": value}, oid=oid)
+        else:
+            txn.update(oid, {"size": value})
+
+    def commit(self, txn) -> None:
+        txn.commit()
+
+    def abort(self, txn) -> None:
+        txn.abort()
+
+    def committed_value(self, oid: str):
+        obj = self.db.find_object(oid)
+        return None if obj is None else obj.get("size")
+
+
+class BrokenBackend:
+    """A deliberately unsound backend: no isolation whatsoever.
+
+    Writes hit the shared state immediately (dirty writes), reads always
+    see the shared state (dirty reads, no repeatable reads), commit and
+    abort are no-ops (no atomicity, no first-committer-wins). Exists so
+    tests can prove every oracle actually fires on a bad implementation.
+    """
+
+    conflict_errors = ()
+
+    def __init__(self, initial: dict[str, int] | None = None):
+        self.state: dict[str, int] = dict(initial or {})
+
+    def begin(self):
+        return object()  # no per-transaction state at all
+
+    def read(self, txn, oid: str):
+        return self.state.get(oid)
+
+    def write(self, txn, oid: str, value: int) -> None:
+        self.state[oid] = value
+
+    def commit(self, txn) -> None:
+        pass
+
+    def abort(self, txn) -> None:
+        pass
+
+    def committed_value(self, oid: str):
+        return self.state.get(oid)
+
+
+# ---------------------------------------------------------------------------
+# Schedule execution
+# ---------------------------------------------------------------------------
+
+
+class ScriptRun:
+    """Execution record of one script under one schedule."""
+
+    __slots__ = ("index", "script", "begin_seq", "end_seq", "outcome",
+                 "reads", "writes", "last_read")
+
+    def __init__(self, index: int, script: Sequence[tuple]):
+        self.index = index
+        self.script = list(script)
+        self.begin_seq: int | None = None
+        self.end_seq: int | None = None
+        #: "committed" | "aborted" | "conflict" | None (never finished)
+        self.outcome: str | None = None
+        #: (seq, oid, observed_value)
+        self.reads: list[tuple[int, str, Any]] = []
+        #: (seq, oid, value)
+        self.writes: list[tuple[int, str, int]] = []
+        self.last_read: dict[str, Any] = {}
+
+
+class ScheduleResult:
+    """Everything the oracles need about one executed schedule."""
+
+    def __init__(self, backend, initial: dict[str, int],
+                 schedule: tuple[int, ...], runs: list[ScriptRun]):
+        self.backend = backend
+        self.initial = dict(initial)
+        self.schedule = schedule
+        self.runs = runs
+
+    def committed(self) -> list[ScriptRun]:
+        return [run for run in self.runs if run.outcome == "committed"]
+
+    def describe(self) -> str:
+        parts = [f"schedule={self.schedule}"]
+        for run in self.runs:
+            parts.append(f"T{run.index}:{run.outcome} {run.script}")
+        return " | ".join(parts)
+
+
+def run_schedule(backend, scripts: Sequence[Sequence[tuple]],
+                 schedule: Sequence[int],
+                 initial: dict[str, int] | None = None) -> ScheduleResult:
+    """Advance ``scripts`` step-by-step in ``schedule`` order.
+
+    Each schedule entry runs the next operation of that script; a
+    transaction begins lazily at its first scheduled step (so
+    ``begin_seq`` reflects the schedule, not script order). A backend
+    conflict error during commit marks the run ``"conflict"`` —
+    first-committer-wins losses are an expected outcome, not a test
+    failure. Entries for finished scripts are skipped, so padded or
+    sampled schedules need no legality repairs.
+    """
+    runs = [ScriptRun(i, script) for i, script in enumerate(scripts)]
+    cursors = [0] * len(scripts)
+    txns: list[Any] = [None] * len(scripts)
+    seq = 0
+    for index in schedule:
+        run = runs[index]
+        if run.outcome is not None or cursors[index] >= len(run.script):
+            continue
+        seq += 1
+        if txns[index] is None:
+            run.begin_seq = seq
+            txns[index] = backend.begin()
+        op = run.script[cursors[index]]
+        cursors[index] += 1
+        kind = op[0]
+        if kind == "read":
+            value = backend.read(txns[index], op[1])
+            run.reads.append((seq, op[1], value))
+            run.last_read[op[1]] = value
+        elif kind == "write":
+            backend.write(txns[index], op[1], op[2])
+            run.writes.append((seq, op[1], op[2]))
+        elif kind == "write_incr":
+            base = run.last_read.get(op[1])
+            value = (0 if base is None else base) + 1
+            backend.write(txns[index], op[1], value)
+            run.writes.append((seq, op[1], value))
+        elif kind == "commit":
+            run.end_seq = seq
+            try:
+                backend.commit(txns[index])
+            except backend.conflict_errors:
+                run.outcome = "conflict"
+            else:
+                run.outcome = "committed"
+        elif kind == "abort":
+            run.end_seq = seq
+            backend.abort(txns[index])
+            run.outcome = "aborted"
+        else:
+            raise ValueError(f"unknown scheduler op {op!r}")
+    # Terminate anything the schedule left hanging so the database holds
+    # no open snapshots (and GC/watermark tests see a clean backend).
+    for index, run in enumerate(runs):
+        if txns[index] is not None and run.outcome is None:
+            backend.abort(txns[index])
+    return ScheduleResult(backend, initial or {}, tuple(schedule), runs)
+
+
+# ---------------------------------------------------------------------------
+# Schedule generation
+# ---------------------------------------------------------------------------
+
+
+def interleavings(lengths: Sequence[int]):
+    """Every interleaving of scripts with the given step counts.
+
+    Yields tuples of script indices. The count is the multinomial
+    coefficient — keep scripts short (the 3+3 case already yields 20,
+    4+4 yields 70, 3+3+3 yields 1680).
+    """
+    pool = [i for i, length in enumerate(lengths) for _ in range(length)]
+    seen = set()
+    for perm in itertools.permutations(pool):
+        if perm not in seen:
+            seen.add(perm)
+            yield perm
+
+
+def seeded_schedules(lengths: Sequence[int], count: int,
+                     seed: int) -> list[tuple[int, ...]]:
+    """``count`` reproducible random interleavings of the given lengths."""
+    rng = random.Random(seed)
+    schedules = []
+    for _ in range(count):
+        pool = [i for i, length in enumerate(lengths)
+                for _ in range(length)]
+        rng.shuffle(pool)
+        schedules.append(tuple(pool))
+    return schedules
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+
+def _committed_prefix_value(result: ScheduleResult, oid: str,
+                            before_seq: int):
+    """The committed value of ``oid`` just before ``before_seq``.
+
+    Replays the initial state plus every write of a transaction that
+    committed strictly before ``before_seq``, in commit order — the
+    state a snapshot taken at ``before_seq`` must observe.
+    """
+    value = result.initial.get(oid)
+    for run in sorted(result.committed(), key=lambda r: r.end_seq):
+        if run.end_seq >= before_seq:
+            break
+        for _, write_oid, write_value in run.writes:
+            if write_oid == oid:
+                value = write_value
+    return value
+
+
+def check_snapshot_reads(result: ScheduleResult) -> None:
+    """Every read must equal the begin-time committed state, overlaid
+    with the transaction's own earlier writes.
+
+    This single invariant subsumes three anomalies: a *dirty read*
+    observes an uncommitted (or later-aborted) write, a *non-repeatable
+    read* observes a commit that landed after begin, and broken
+    *read-your-writes* misses the transaction's own staged write. In all
+    three cases the observed value differs from the snapshot replay.
+    """
+    for run in result.runs:
+        own: dict[str, int] = {}
+        write_cursor = 0
+        for seq, oid, observed in run.reads:
+            while (write_cursor < len(run.writes)
+                   and run.writes[write_cursor][0] < seq):
+                _, w_oid, w_value = run.writes[write_cursor]
+                own[w_oid] = w_value
+                write_cursor += 1
+            if oid in own:
+                expected = own[oid]
+            else:
+                expected = _committed_prefix_value(result, oid,
+                                                   run.begin_seq)
+            if observed != expected:
+                raise OracleViolation(
+                    f"T{run.index} read {oid}={observed!r} at seq {seq}, "
+                    f"but its snapshot (begin seq {run.begin_seq}) holds "
+                    f"{expected!r} — {result.describe()}"
+                )
+
+
+def check_first_committer_wins(result: ScheduleResult) -> None:
+    """No two overlapping committed transactions may write the same oid.
+
+    Two committed runs whose active windows ``[begin_seq, end_seq]``
+    overlap could not see each other's writes, so if their write sets
+    intersect, the later committer had to lose — its outcome should
+    have been ``"conflict"``.
+    """
+    committed = result.committed()
+    for a, b in itertools.combinations(committed, 2):
+        if a.begin_seq <= b.end_seq and b.begin_seq <= a.end_seq:
+            a_oids = {oid for _, oid, _ in a.writes}
+            b_oids = {oid for _, oid, _ in b.writes}
+            clash = a_oids & b_oids
+            if clash:
+                raise OracleViolation(
+                    f"T{a.index} and T{b.index} ran concurrently, both "
+                    f"wrote {sorted(clash)} and both committed — "
+                    f"first-committer-wins was not enforced — "
+                    f"{result.describe()}"
+                )
+
+
+def check_no_lost_updates(result: ScheduleResult) -> None:
+    """Committed read-modify-write increments must all be reflected.
+
+    Applies to every oid that is a pure *counter* across all scripts:
+    never the target of an absolute ``write``, and every ``write_incr``
+    immediately preceded by a ``read`` of the same oid (a blind
+    increment is a write of last-read + 1 with no read — not a counter
+    bump, so such oids are excluded). For counters, the final committed
+    value must equal the initial value plus the number of committed
+    increment operations — an update disappears exactly when two
+    increments read the same base value and both commit.
+    """
+    counters: set[str] = set()
+    excluded: set[str] = set()
+    for run in result.runs:
+        prev: tuple | None = None
+        for step in run.script:
+            if step[0] == "write":
+                excluded.add(step[1])
+            elif step[0] == "write_incr":
+                counters.add(step[1])
+                if prev is None or prev[:2] != ("read", step[1]):
+                    excluded.add(step[1])
+            prev = step
+    for oid in sorted(counters - excluded):
+        expected = result.initial.get(oid, 0)
+        for run in result.committed():
+            expected += sum(
+                1 for _, w_oid, _ in run.writes if w_oid == oid
+            )
+        actual = result.backend.committed_value(oid)
+        if actual != expected:
+            raise OracleViolation(
+                f"lost update on {oid}: expected {expected} after "
+                f"{len(result.committed())} commits, found {actual!r} — "
+                f"{result.describe()}"
+            )
+
+
+def check_final_state(result: ScheduleResult) -> None:
+    """The database must equal the committed writes replayed in commit
+    order over the initial state — aborted and conflicted transactions
+    leave no trace."""
+    expected = dict(result.initial)
+    for run in sorted(result.committed(), key=lambda r: r.end_seq):
+        for _, oid, value in run.writes:
+            expected[oid] = value
+    for oid in sorted(set(expected) | set(result.initial)):
+        actual = result.backend.committed_value(oid)
+        if actual != expected.get(oid):
+            raise OracleViolation(
+                f"final state of {oid}: expected {expected.get(oid)!r}, "
+                f"found {actual!r} — {result.describe()}"
+            )
+
+
+ALL_ORACLES = (check_snapshot_reads, check_first_committer_wins,
+               check_no_lost_updates, check_final_state)
+
+
+def check_all(result: ScheduleResult) -> None:
+    for oracle in ALL_ORACLES:
+        oracle(result)

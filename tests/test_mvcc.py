@@ -1,0 +1,470 @@
+"""MVCC snapshot isolation: snapshots, conflicts, recovery, GC, kernel.
+
+The deterministic interleaving suite (``test_mvcc_interleavings.py``)
+covers the anomaly space; this file pins the concrete API contracts —
+read-your-writes, first-committer-wins errors, the retry helper, WAL
+commit timestamps, version garbage collection, the kernel/session
+transaction entry points, and thread safety of id allocation and WAL
+appends.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import GISKernel
+from repro.errors import (
+    ObjectNotFoundError,
+    SessionError,
+    TransactionConflictError,
+    TransactionError,
+)
+from repro.geodb import GeographicDatabase, MemoryPager, WriteAheadLog
+from repro.geodb.transactions import _Intent
+from repro.workloads import build_mix_schema, commit_with_retries
+from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA
+
+
+@pytest.fixture()
+def db():
+    database = GeographicDatabase("mvcc-test")
+    database.register_schema(build_mix_schema())
+    return database
+
+
+def _insert(db, oid, size=0):
+    db.insert(MIX_SCHEMA, MIX_CLASS, {"name": oid, "size": size}, oid=oid)
+
+
+def _size(db, oid):
+    obj = db.find_object(oid)
+    return None if obj is None else obj.get("size")
+
+
+# ---------------------------------------------------------------------------
+# Snapshot reads
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotReads:
+    def test_reader_pinned_to_begin_state(self, db):
+        _insert(db, "Feature#a", size=1)
+        reader = db.transaction()
+        assert reader.read("Feature#a")["size"] == 1
+        db.update("Feature#a", {"size": 2})
+        assert reader.read("Feature#a")["size"] == 1  # repeatable
+        assert db.get_object("Feature#a").get("size") == 2
+        reader.abort()
+        assert db.transaction().read("Feature#a")["size"] == 2
+
+    def test_concurrent_insert_and_delete_invisible(self, db):
+        _insert(db, "Feature#old")
+        reader = db.transaction()
+        _insert(db, "Feature#new")
+        db.delete("Feature#old")
+        assert reader.read("Feature#new") is None
+        assert not reader.exists("Feature#new")
+        assert reader.read("Feature#old") is not None
+        assert set(reader.query(MIX_SCHEMA, MIX_CLASS)) == {"Feature#old"}
+        reader.abort()
+
+    def test_snapshot_query_sees_begin_extent(self, db):
+        for i in range(3):
+            _insert(db, f"Feature#q{i}", size=i)
+        reader = db.transaction()
+        db.update("Feature#q1", {"size": 99})
+        result = reader.query(MIX_SCHEMA, MIX_CLASS)
+        assert {oid: v["size"] for oid, v in result.items()} == {
+            "Feature#q0": 0, "Feature#q1": 1, "Feature#q2": 2,
+        }
+        reader.abort()
+
+    def test_read_requires_active_transaction(self, db):
+        txn = db.transaction()
+        txn.abort()
+        with pytest.raises(TransactionError):
+            txn.read("Feature#a")
+
+
+class TestReadYourWrites:
+    """Satellite 1: a transaction's reads see its own staged writes."""
+
+    def test_read_sees_staged_insert_update_delete(self, db):
+        _insert(db, "Feature#u", size=1)
+        _insert(db, "Feature#d", size=1)
+        txn = db.transaction()
+        new_oid = txn.insert(MIX_SCHEMA, MIX_CLASS,
+                             {"name": "n", "size": 7})
+        txn.update("Feature#u", {"size": 42})
+        txn.delete("Feature#d")
+        assert txn.read(new_oid)["size"] == 7
+        assert txn.read("Feature#u")["size"] == 42
+        assert txn.read("Feature#d") is None
+        # ... while the database itself is unchanged until commit
+        assert _size(db, new_oid) is None
+        assert _size(db, "Feature#u") == 1
+        assert _size(db, "Feature#d") == 1
+        txn.abort()
+
+    def test_query_overlays_staged_writes(self, db):
+        _insert(db, "Feature#u", size=1)
+        _insert(db, "Feature#d", size=1)
+        with db.transaction() as txn:
+            new_oid = txn.insert(MIX_SCHEMA, MIX_CLASS,
+                                 {"name": "n", "size": 7})
+            txn.update("Feature#u", {"size": 42})
+            txn.delete("Feature#d")
+            result = txn.query(MIX_SCHEMA, MIX_CLASS)
+            assert {oid: v["size"] for oid, v in result.items()} == {
+                new_oid: 7, "Feature#u": 42,
+            }
+            txn.abort()
+
+    def test_update_of_own_staged_insert(self, db):
+        with db.transaction() as txn:
+            oid = txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": "x", "size": 1})
+            txn.update(oid, {"size": 2})
+            assert txn.read(oid)["size"] == 2
+        assert _size(db, oid) == 2
+
+
+# ---------------------------------------------------------------------------
+# First-committer-wins
+# ---------------------------------------------------------------------------
+
+
+class TestFirstCommitterWins:
+    def test_update_update_conflict(self, db, obs_recorder):
+        _insert(db, "Feature#c", size=0)
+        loser = db.transaction()
+        loser.update("Feature#c", {"size": 1})
+        db.update("Feature#c", {"size": 2})  # winner commits first
+        with pytest.raises(TransactionConflictError) as exc_info:
+            loser.commit()
+        assert exc_info.value.oids == ["Feature#c"]
+        assert loser.state.value == "aborted"
+        assert _size(db, "Feature#c") == 2  # loser left no trace
+        assert obs_recorder.registry.counter_total("txn.conflicts") == 1
+
+    def test_insert_insert_conflict_on_same_oid(self, db):
+        loser = db.transaction()
+        loser.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1},
+                     oid="Feature#dup")
+        _insert(db, "Feature#dup", size=2)
+        with pytest.raises(TransactionConflictError):
+            loser.commit()
+        assert _size(db, "Feature#dup") == 2
+
+    def test_delete_vs_update_conflict(self, db):
+        _insert(db, "Feature#c", size=0)
+        loser = db.transaction()
+        loser.delete("Feature#c")
+        db.update("Feature#c", {"size": 5})
+        with pytest.raises(TransactionConflictError):
+            loser.commit()
+        assert _size(db, "Feature#c") == 5
+
+    def test_disjoint_write_sets_do_not_conflict(self, db):
+        _insert(db, "Feature#a")
+        _insert(db, "Feature#b")
+        txn = db.transaction()
+        txn.update("Feature#a", {"size": 1})
+        db.update("Feature#b", {"size": 2})
+        txn.commit()
+        assert _size(db, "Feature#a") == 1
+        assert _size(db, "Feature#b") == 2
+
+    def test_read_only_transactions_never_conflict(self, db):
+        _insert(db, "Feature#a")
+        reader = db.transaction()
+        reader.read("Feature#a")
+        db.update("Feature#a", {"size": 9})
+        reader.commit()  # writes nothing: always wins
+
+    def test_conflict_checked_against_commits_not_snapshots(self, db):
+        # An *uncommitted* concurrent writer is not a conflict.
+        _insert(db, "Feature#a", size=0)
+        first = db.transaction()
+        second = db.transaction()
+        first.update("Feature#a", {"size": 1})
+        second.update("Feature#a", {"size": 2})
+        first.commit()
+        with pytest.raises(TransactionConflictError):
+            second.commit()
+        assert _size(db, "Feature#a") == 1
+
+
+class TestCommitWithRetries:
+    def test_retries_until_success(self, db):
+        _insert(db, "Feature#ctr", size=0)
+        attempts = {"n": 0}
+
+        def body(txn):
+            attempts["n"] += 1
+            value = txn.read("Feature#ctr")["size"]
+            if attempts["n"] == 1:
+                # Sneak a conflicting commit in between read and commit.
+                db.update("Feature#ctr", {"size": value + 10})
+            txn.update("Feature#ctr", {"size": value + 1})
+            return value
+
+        result, retries = commit_with_retries(db, body)
+        assert retries == 1
+        assert attempts["n"] == 2
+        assert result == 10  # second attempt saw the winner's value
+        assert _size(db, "Feature#ctr") == 11
+
+    def test_gives_up_after_attempts(self, db):
+        _insert(db, "Feature#ctr", size=0)
+
+        def body(txn):
+            value = txn.read("Feature#ctr")["size"]
+            db.update("Feature#ctr", {"size": value + 10})  # always loses
+            txn.update("Feature#ctr", {"size": value + 1})
+
+        with pytest.raises(TransactionConflictError):
+            commit_with_retries(db, body, attempts=3)
+
+    def test_body_errors_propagate_and_abort(self, db):
+        with pytest.raises(ObjectNotFoundError):
+            commit_with_retries(db, lambda txn: txn.delete("Feature#nope"))
+
+
+# ---------------------------------------------------------------------------
+# WAL integration and recovery
+# ---------------------------------------------------------------------------
+
+
+class TestWALTimestamps:
+    def _db_with_wal(self):
+        db = GeographicDatabase("mvcc-wal")
+        db.register_schema(build_mix_schema())
+        db.attach_wal(WriteAheadLog(MemoryPager(), sync_mode="none"))
+        return db
+
+    def test_commit_records_carry_timestamps(self):
+        db = self._db_with_wal()
+        _insert(db, "Feature#a")
+        db.update("Feature#a", {"size": 5})
+        batches = db.wal.replay()
+        timestamps = [batch[-1]["ts"] for batch in batches]
+        assert all(doc["t"] == "C" for batch in batches
+                   for doc in batch[-1:])
+        assert timestamps == [1, 2]
+        assert db._commit_ts == 2
+
+    def test_recovery_rebuilds_versions_at_logged_timestamps(self):
+        db = self._db_with_wal()
+        _insert(db, "Feature#a", size=1)
+        db.update("Feature#a", {"size": 2})
+        _insert(db, "Feature#b", size=3)
+        wal = db.wal  # simulate crash: fresh db over the surviving log
+        fresh = GeographicDatabase("mvcc-wal-2")
+        fresh.register_schema(build_mix_schema())
+        fresh.attach_wal(wal)
+        assert fresh.recover() == 3
+        assert fresh._commit_ts == 3  # advanced to the logged maximum
+        assert _size(fresh, "Feature#a") == 2
+        assert _size(fresh, "Feature#b") == 3
+        # New snapshots observe the recovered state.
+        with fresh.transaction() as txn:
+            assert txn.read("Feature#a")["size"] == 2
+            txn.abort()
+
+    def test_legacy_commit_records_without_ts(self):
+        # Logs written before commit records carried timestamps must
+        # still recover; batches get synthetic ascending timestamps.
+        db = self._db_with_wal()
+        wal = db.wal
+        intent = _Intent("insert", MIX_SCHEMA, MIX_CLASS, "Feature#old",
+                         {"name": "o", "size": 4})
+        wal.log_begin(77)
+        wal.log_intent(77, db._encode_intent(intent))
+        wal.log_commit(77)  # no commit_ts
+        fresh = GeographicDatabase("legacy")
+        fresh.register_schema(build_mix_schema())
+        fresh.attach_wal(wal)
+        assert fresh.recover() == 1
+        assert _size(fresh, "Feature#old") == 4
+        assert fresh._commit_ts == 1
+
+
+# ---------------------------------------------------------------------------
+# Garbage collection
+# ---------------------------------------------------------------------------
+
+
+class TestVersionGC:
+    def test_live_snapshot_pins_versions(self, db, obs_recorder):
+        _insert(db, "Feature#a", size=1)
+        reader = db.transaction()
+        for size in (2, 3, 4):
+            db.update("Feature#a", {"size": size})
+        assert db._mvcc.chain_length("Feature#a") >= 3
+        db.checkpoint()  # GC runs at the watermark = reader's snapshot
+        assert db._mvcc.has_chain("Feature#a")
+        assert reader.read("Feature#a")["size"] == 1  # still readable
+        reader.abort()
+        reclaimed = db.gc_versions()
+        assert reclaimed > 0
+        assert not db._mvcc.has_chain("Feature#a")  # falls through to extent
+        assert obs_recorder.registry.counter_total("mvcc.gc_reclaimed") > 0
+        with db.transaction() as txn:
+            assert txn.read("Feature#a")["size"] == 4
+            txn.abort()
+
+    def test_commit_log_trimmed_at_watermark(self, db):
+        _insert(db, "Feature#a")
+        for size in range(5):
+            db.update("Feature#a", {"size": size})
+        assert len(db._commit_log) == 6
+        db.checkpoint()
+        assert db._commit_log == []
+        # Conflict detection still works after the trim.
+        txn = db.transaction()
+        txn.update("Feature#a", {"size": 100})
+        db.update("Feature#a", {"size": 200})
+        with pytest.raises(TransactionConflictError):
+            txn.commit()
+
+    def test_stats_expose_version_store(self, db):
+        _insert(db, "Feature#a")
+        reader = db.transaction()
+        db.update("Feature#a", {"size": 1})
+        stats = db.stats()["mvcc"]
+        assert stats["chains"] == 1
+        assert stats["versions"] == 2
+        reader.abort()
+
+
+# ---------------------------------------------------------------------------
+# Kernel / session integration
+# ---------------------------------------------------------------------------
+
+
+class TestKernelTransactions:
+    def test_sessions_get_isolated_snapshots(self, db):
+        with GISKernel(db) as kernel:
+            ana = kernel.session(user="ana")
+            ben = kernel.session(user="ben")
+            _insert(db, "Feature#s", size=1)
+            txn_a = ana.transaction()
+            with ben.transaction() as txn_b:
+                txn_b.update("Feature#s", {"size": 2})
+            assert txn_a.read("Feature#s")["size"] == 1
+            assert ana.transaction().read("Feature#s")["size"] == 2
+            txn_a.abort()
+
+    def test_commit_events_carry_session_and_ts(self, db):
+        events = []
+        db.bus.subscribe(
+            lambda e: events.append(e)
+            if e.payload.get("phase") == "commit" else None
+        )
+        with GISKernel(db) as kernel:
+            session = kernel.session(user="ana")
+            with session.transaction() as txn:
+                txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": "e", "size": 1})
+        assert len(events) == 1
+        assert events[0].session_id == session.session_id
+        assert events[0].payload["ts"] == db._commit_ts
+
+    def test_foreign_session_rejected(self, db):
+        other_db = GeographicDatabase("other")
+        with GISKernel(db) as kernel, GISKernel(other_db) as other:
+            foreign = other.session(user="eve")
+            with pytest.raises(SessionError):
+                kernel.transaction(foreign)
+
+    def test_detached_session_rejected(self, db):
+        with GISKernel(db) as kernel:
+            session = kernel.session(user="ana")
+            session.shutdown()
+            with pytest.raises(SessionError):
+                kernel.transaction(session)
+            with pytest.raises(SessionError):
+                session.transaction()
+
+    def test_kernel_transaction_without_session(self, db):
+        with GISKernel(db) as kernel:
+            with kernel.transaction() as txn:
+                oid = txn.insert(MIX_SCHEMA, MIX_CLASS,
+                                 {"name": "k", "size": 1})
+        assert _size(db, oid) == 1
+
+
+# ---------------------------------------------------------------------------
+# Thread safety (satellite 2)
+# ---------------------------------------------------------------------------
+
+
+class TestThreadSafety:
+    def test_threaded_commits_allocate_unique_ids_and_ordered_wal(self):
+        db = GeographicDatabase("threads")
+        db.register_schema(build_mix_schema())
+        db.attach_wal(WriteAheadLog(MemoryPager(), sync_mode="none"))
+        threads_n, per_thread = 8, 10
+        txn_ids: list[list[int]] = [[] for _ in range(threads_n)]
+        errors: list[BaseException] = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                for i in range(per_thread):
+                    txn = db.transaction()
+                    txn.insert(MIX_SCHEMA, MIX_CLASS,
+                               {"name": f"w{worker_id}", "size": i},
+                               oid=f"Feature#w{worker_id}_{i}")
+                    txn.commit()
+                    txn_ids[worker_id].append(txn.txn_id)
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        flat = [txn_id for ids in txn_ids for txn_id in ids]
+        assert len(flat) == len(set(flat)) == threads_n * per_thread
+        # Every object committed, and the log holds one intact,
+        # well-formed batch per commit (no interleaved tails).
+        for worker_id in range(threads_n):
+            for i in range(per_thread):
+                assert db.find_object(f"Feature#w{worker_id}_{i}")
+        batches = db.wal.replay()
+        assert len(batches) == threads_n * per_thread
+        for batch in batches:
+            kinds = [doc["t"] for doc in batch]
+            assert kinds == ["B", "I", "C"]
+            assert batch[-1]["ts"] > 0
+
+    def test_threaded_contended_counter_with_retries(self):
+        db = GeographicDatabase("contended")
+        db.register_schema(build_mix_schema())
+        _insert(db, "Feature#ctr", size=0)
+        threads_n, per_thread = 4, 5
+        errors: list[BaseException] = []
+
+        def bump(txn):
+            txn.update("Feature#ctr",
+                       {"size": txn.read("Feature#ctr")["size"] + 1})
+
+        def worker() -> None:
+            try:
+                for _ in range(per_thread):
+                    commit_with_retries(db, bump, attempts=500)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert _size(db, "Feature#ctr") == threads_n * per_thread

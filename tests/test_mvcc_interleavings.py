@@ -1,0 +1,250 @@
+"""Isolation anomalies over enumerated and sampled interleavings.
+
+Every test here asserts two things about an anomaly:
+
+1. **soundness** — the geodb (:class:`MVCCBackend`) passes the oracle on
+   *every* enumerated interleaving of the anomaly's probe scripts, and
+2. **oracle power** — at least one of those same interleavings makes the
+   oracle raise on :class:`BrokenBackend`, the deliberately unsound
+   scheduler stub. An oracle that cannot fail proves nothing.
+
+The property-style sweep at the bottom runs seeded random script sets ×
+seeded random schedules: ≥200 schedules in full mode, a small subset
+under ``REPRO_SCHED_QUICK=1`` (CI smoke).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests._scheduler import (
+    QUICK,
+    BrokenBackend,
+    MVCCBackend,
+    OracleViolation,
+    check_all,
+    check_final_state,
+    check_first_committer_wins,
+    check_no_lost_updates,
+    check_snapshot_reads,
+    interleavings,
+    run_schedule,
+    seeded_schedules,
+)
+
+X, Y = "Feature#X", "Feature#Y"
+
+
+def _assert_sound_and_falsifiable(scripts, initial, oracle):
+    """The MVCC backend passes ``oracle`` on every interleaving; the
+    broken backend fails it on at least one of the same schedules."""
+    lengths = [len(s) for s in scripts]
+    schedules = list(interleavings(lengths))
+    assert schedules, "empty schedule space"
+    for schedule in schedules:
+        result = run_schedule(MVCCBackend(initial), scripts, schedule,
+                              initial=initial)
+        oracle(result)  # must not raise
+    broken_failures = 0
+    for schedule in schedules:
+        result = run_schedule(BrokenBackend(initial), scripts, schedule,
+                              initial=initial)
+        try:
+            oracle(result)
+        except OracleViolation:
+            broken_failures += 1
+    assert broken_failures > 0, (
+        f"oracle {oracle.__name__} never fired on the broken backend — "
+        "it cannot detect this anomaly"
+    )
+
+
+class TestDirtyReads:
+    scripts = [
+        [("write", X, 99), ("abort",)],
+        [("read", X), ("read", X), ("commit",)],
+    ]
+
+    def test_no_dirty_reads(self):
+        _assert_sound_and_falsifiable(self.scripts, {X: 1},
+                                      check_snapshot_reads)
+
+    def test_aborted_write_leaves_no_trace(self):
+        _assert_sound_and_falsifiable(self.scripts, {X: 1},
+                                      check_final_state)
+
+
+class TestLostUpdates:
+    scripts = [
+        [("read", X), ("write_incr", X), ("commit",)],
+        [("read", X), ("write_incr", X), ("commit",)],
+    ]
+
+    def test_no_lost_updates(self):
+        _assert_sound_and_falsifiable(self.scripts, {X: 0},
+                                      check_no_lost_updates)
+
+    def test_concurrent_increments_conflict_not_clobber(self):
+        # The fully interleaved schedule: both read 0, both try to write
+        # 1 — exactly one may commit.
+        result = run_schedule(MVCCBackend({X: 0}), self.scripts,
+                              (0, 1, 0, 1, 0, 1), initial={X: 0})
+        outcomes = sorted(run.outcome for run in result.runs)
+        assert outcomes == ["committed", "conflict"]
+        assert result.backend.committed_value(X) == 1
+
+
+class TestRepeatableReads:
+    scripts = [
+        [("read", X), ("read", X), ("commit",)],
+        [("write", X, 50), ("commit",)],
+    ]
+
+    def test_snapshot_reads_are_repeatable(self):
+        _assert_sound_and_falsifiable(self.scripts, {X: 1},
+                                      check_snapshot_reads)
+
+    def test_both_reads_see_begin_value(self):
+        # Writer commits between the two reads: the second read must
+        # still see the snapshot value.
+        result = run_schedule(MVCCBackend({X: 1}), self.scripts,
+                              (0, 1, 1, 0, 0), initial={X: 1})
+        reader = result.runs[0]
+        assert [value for _, _, value in reader.reads] == [1, 1]
+        assert result.backend.committed_value(X) == 50
+
+
+class TestFirstCommitterWins:
+    scripts = [
+        [("read", X), ("write", X, 10), ("commit",)],
+        [("read", X), ("write", X, 20), ("commit",)],
+    ]
+
+    def test_overlapping_writers_cannot_both_commit(self):
+        _assert_sound_and_falsifiable(self.scripts, {X: 1},
+                                      check_first_committer_wins)
+
+    def test_serial_schedules_both_commit(self):
+        result = run_schedule(MVCCBackend({X: 1}), self.scripts,
+                              (0, 0, 0, 1, 1, 1), initial={X: 1})
+        assert [run.outcome for run in result.runs] == \
+            ["committed", "committed"]
+        assert result.backend.committed_value(X) == 20
+
+
+class TestWriteSkewDisjointOids:
+    """Disjoint write sets never conflict under snapshot isolation —
+    the schedule space where SI admits write skew. The oracles assert
+    what SI *does* promise (snapshot reads, final state); both
+    transactions committing is the expected outcome, not a bug."""
+
+    scripts = [
+        [("read", X), ("read", Y), ("write", X, 10), ("commit",)],
+        [("read", X), ("read", Y), ("write", Y, 20), ("commit",)],
+    ]
+
+    def test_all_interleavings_commit_cleanly(self):
+        for schedule in interleavings([4, 4]):
+            result = run_schedule(MVCCBackend({X: 1, Y: 2}), self.scripts,
+                                  schedule, initial={X: 1, Y: 2})
+            assert [run.outcome for run in result.runs] == \
+                ["committed", "committed"], result.describe()
+            check_snapshot_reads(result)
+            check_final_state(result)
+
+
+class TestThreeWayInterleavings:
+    """A writer, an incrementer and a reader — all oracles, all
+    schedules (1680 of them; a sampled subset in quick mode)."""
+
+    scripts = [
+        [("read", X), ("write", X, 10), ("commit",)],
+        [("read", X), ("write_incr", X), ("commit",)],
+        [("read", X), ("read", X), ("abort",)],
+    ]
+
+    def test_all_oracles_over_all_schedules(self):
+        schedules = list(interleavings([3, 3, 3]))
+        if QUICK:
+            schedules = schedules[::40]
+        for schedule in schedules:
+            result = run_schedule(MVCCBackend({X: 1}), self.scripts,
+                                  schedule, initial={X: 1})
+            check_all(result)
+
+
+# ---------------------------------------------------------------------------
+# Property-style sweep: seeded random scripts × seeded random schedules
+# ---------------------------------------------------------------------------
+
+
+def _random_scripts(rng, script_count=3, max_ops=3):
+    """Small random read/write/incr scripts over two oids.
+
+    Increments are emitted as read-then-``write_incr`` pairs — separate
+    schedule steps, so interleavings can split them — which also keeps
+    the oid eligible for the lost-update oracle.
+    """
+    scripts = []
+    for _ in range(script_count):
+        ops = []
+        for _ in range(rng.randrange(1, max_ops + 1)):
+            oid = rng.choice((X, Y))
+            kind = rng.choice(("read", "write", "write_incr"))
+            if kind == "write":
+                ops.append(("write", oid, rng.randrange(100)))
+            elif kind == "write_incr":
+                ops.append(("read", oid))
+                ops.append(("write_incr", oid))
+            else:
+                ops.append(("read", oid))
+        ops.append(rng.choice((("commit",), ("commit",), ("abort",))))
+        scripts.append(ops)
+    return scripts
+
+
+# 8 script sets × 30 schedules = 240 runs in full mode (≥200 required);
+# 2 × 20 = 40 in quick mode.
+_SCRIPT_SEEDS = (11, 23) if QUICK else (11, 23, 37, 41, 53, 67, 79, 97)
+_SCHEDULES_PER_SET = 20 if QUICK else 30
+
+
+@pytest.mark.parametrize("script_seed", _SCRIPT_SEEDS)
+def test_property_random_schedules_uphold_all_oracles(script_seed):
+    import random
+
+    rng = random.Random(script_seed)
+    scripts = _random_scripts(rng)
+    initial = {X: rng.randrange(10), Y: rng.randrange(10)}
+    lengths = [len(s) for s in scripts]
+    for schedule in seeded_schedules(lengths, _SCHEDULES_PER_SET,
+                                     seed=script_seed * 1000 + 1):
+        result = run_schedule(MVCCBackend(initial), scripts, schedule,
+                              initial=initial)
+        check_all(result)
+
+
+def test_property_oracles_catch_broken_backend():
+    """Across the same seeded sweep, the broken backend must be caught
+    repeatedly — the property test is not vacuous."""
+    import random
+
+    caught = 0
+    total = 0
+    for script_seed in _SCRIPT_SEEDS:
+        rng = random.Random(script_seed)
+        scripts = _random_scripts(rng)
+        initial = {X: rng.randrange(10), Y: rng.randrange(10)}
+        lengths = [len(s) for s in scripts]
+        for schedule in seeded_schedules(lengths, _SCHEDULES_PER_SET,
+                                         seed=script_seed * 1000 + 1):
+            total += 1
+            result = run_schedule(BrokenBackend(initial), scripts,
+                                  schedule, initial=initial)
+            try:
+                check_all(result)
+            except OracleViolation:
+                caught += 1
+    assert caught > total * 0.1, (
+        f"oracles caught the broken backend on only {caught}/{total} runs"
+    )

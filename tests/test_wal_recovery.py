@@ -385,6 +385,41 @@ def test_crash_matrix_wal_writes(seed, torn):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+def test_crash_matrix_with_concurrent_snapshot_reader(seed):
+    """Crash on every WAL write index while a snapshot reader is mid-scan.
+
+    The reader opens its transaction before the mix starts; whatever
+    write index the crash lands on, the reader's snapshot must keep
+    answering with the exact pre-mix state — never a blend of pre- and
+    post-crash values, and never a mix-created object. Recovery of the
+    crashed 'disks' must still land on an acceptable state.
+    """
+    budget, __ = _write_budget(seed, lambda h, w: w)
+    assert budget > 0
+    base_oids = [f"Feature#base{seed}_{i}" for i in range(3)]
+    crashes = 0
+    for n in range(0, budget, STRIDE):
+        db, heap_inner, wal_inner, __, wal_fault = _build_crashable(seed)
+        reader = db.transaction()
+        baseline = {oid: reader.read(oid) for oid in base_oids}
+        assert all(values is not None for values in baseline.values())
+        wal_fault.arm(n)
+        outcome = _run_mix(db, seed)
+        assert outcome.crashed and outcome.crash_point == "commit"
+        crashes += 1
+        # The reader's snapshot is pinned to the pre-mix state: the same
+        # values as before the crash, and none of the mix's objects.
+        for oid in base_oids:
+            assert reader.read(oid) == baseline[oid]
+        view = reader.query(MIX_SCHEMA, MIX_CLASS)
+        assert set(view) == set(base_oids)
+        assert {oid: values for oid, values in view.items()} == baseline
+        reader.abort()
+        _assert_recovers(outcome, heap_inner, wal_inner)
+    assert crashes > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 def test_crash_matrix_heap_writes(seed):
     """Crash on every heap write index (checkpoint flushes): no data loss."""
     budget, __ = _write_budget(seed, lambda h, w: h)
