@@ -103,6 +103,13 @@ class GeographicDatabase:
         #: section (validate -> log -> apply -> version); reentrant so
         #: rule actions may open nested auto-commit transactions
         self._commit_lock = threading.RLock()
+        #: seqlock guarding lock-free snapshot reads against the commit
+        #: apply phase: odd while a commit is mutating the extents /
+        #: locations / indexes, even otherwise. Chain-less readers
+        #: re-check it around their extent fall-through and retry on a
+        #: change (see :meth:`_snapshot_values`); only ever written
+        #: under :attr:`_commit_lock`.
+        self._mutation_seq = 0
 
     # ------------------------------------------------------------------
     # Schema management
@@ -354,14 +361,22 @@ class GeographicDatabase:
         the truncation only re-replays idempotent redo records). Old MVCC
         versions below the oldest live snapshot are garbage-collected on
         the way out.
+
+        Runs under the commit lock: a checkpoint racing a worker-thread
+        commit could otherwise flush half-applied pages to the heap
+        before the WAL commit record is durable — a crash would then
+        leave a partial transaction on disk with no commit record to
+        complete it (and ``wal.checkpoint()`` would refuse while the
+        racing commit's records are still pending).
         """
-        flushed = self.buffer.flush()
-        sync = getattr(self.pager, "sync", None)
-        if callable(sync):
-            sync()
-        if self.wal is not None:
-            self.wal.checkpoint()
-        self.gc_versions()
+        with self._commit_lock:
+            flushed = self.buffer.flush()
+            sync = getattr(self.pager, "sync", None)
+            if callable(sync):
+                sync()
+            if self.wal is not None:
+                self.wal.checkpoint()
+            self.gc_versions()
         return flushed
 
     # -- MVCC: snapshots, version reads, garbage collection ----------------
@@ -374,7 +389,21 @@ class GeographicDatabase:
             return ts
 
     def _release_snapshot(self, txn: Transaction) -> None:
-        self._snapshots.pop(txn.txn_id, None)
+        self._release_snapshot_id(txn.txn_id)
+
+    def _release_snapshot_id(self, txn_id: int) -> None:
+        """Unpin a snapshot by transaction id.
+
+        Also the target of each transaction's ``weakref.finalize``
+        callback, so an abandoned (never committed/aborted) transaction
+        releases its snapshot at garbage collection instead of pinning
+        the GC watermark forever. Idempotent; takes the commit lock so
+        a finalizer firing mid-``gc_versions`` cannot mutate
+        ``_snapshots`` under the watermark ``min()`` scan (reentrant,
+        so a finalizer triggered while this thread commits is fine).
+        """
+        with self._commit_lock:
+            self._snapshots.pop(txn_id, None)
 
     def _snapshot_values(self, oid: str, ts: int) -> dict[str, Any] | None:
         """Attribute values of ``oid`` as of commit timestamp ``ts``.
@@ -383,23 +412,65 @@ class GeographicDatabase:
         last GC), so it checks the chain dict directly instead of going
         through :meth:`VersionStore.visible` — the read benchmark's
         ≤1.5x-of-seed gate leaves no room for an extra call.
+
+        Lock-free but commit-safe: the mutation seqlock is sampled
+        before the chain check and re-checked after the extent
+        fall-through. A commit seeds a base version for every chain-less
+        oid in its write set *before* bumping the seqlock and mutating
+        the extents, so either the chain routes this read to the
+        pre-commit version, or the seqlock re-check catches the
+        transition and retries. After a few failed rounds (a stream of
+        back-to-back commits) the read resolves under the commit lock.
         """
-        if oid not in self._mvcc._chains:
+        seq = self._mutation_seq
+        if oid in self._mvcc._chains:
+            version = self._mvcc.visible(oid, ts)
+            if version is None or version.values is None:
+                return None
+            return dict(version.values)
+        obj = self.find_object(oid)
+        values = None if obj is None else obj.values()
+        if self._mutation_seq == seq:
+            return values
+        return self._snapshot_values_contended(oid, ts)
+
+    def _snapshot_values_contended(self, oid: str,
+                                   ts: int) -> dict[str, Any] | None:
+        """Retry path when a commit moved the seqlock around a read."""
+        chains = self._mvcc._chains
+        for __ in range(8):
+            seq = self._mutation_seq
+            if oid in chains:
+                version = self._mvcc.visible(oid, ts)
+                if version is None or version.values is None:
+                    return None
+                return dict(version.values)
             obj = self.find_object(oid)
-            return None if obj is None else obj.values()
-        version = self._mvcc.visible(oid, ts)
-        if version is None or version.values is None:
-            return None
-        return dict(version.values)
+            values = None if obj is None else obj.values()
+            if self._mutation_seq == seq:
+                return values
+        with self._commit_lock:
+            return self._snapshot_values(oid, ts)
 
     def _snapshot_locate(self, oid: str, ts: int) -> tuple[str, str] | None:
-        """(schema, class) of ``oid`` as of ``ts``, or None if absent."""
-        version = self._mvcc.visible(oid, ts)
-        if version is VersionStore.UNKNOWN:
-            return self.locate_object(oid)
-        if version is None or version.values is None:
-            return None
-        return (version.schema_name, version.class_name)
+        """(schema, class) of ``oid`` as of ``ts``, or None if absent.
+
+        Same seqlock protocol as :meth:`_snapshot_values`: the
+        chain-less fall-through to the live ``_locations`` map is only
+        trusted when no commit mutated the extents around it.
+        """
+        for __ in range(8):
+            seq = self._mutation_seq
+            version = self._mvcc.visible(oid, ts)
+            if version is not VersionStore.UNKNOWN:
+                if version is None or version.values is None:
+                    return None
+                return (version.schema_name, version.class_name)
+            location = self.locate_object(oid)
+            if self._mutation_seq == seq:
+                return location
+        with self._commit_lock:
+            return self._snapshot_locate(oid, ts)
 
     def oldest_snapshot(self) -> int:
         """The GC watermark: the oldest live snapshot (or the current ts)."""
@@ -662,41 +733,67 @@ class GeographicDatabase:
         # The commit timestamp is only published (to the counter, the
         # commit log and the version store) after the durability point,
         # so a failed attempt leaves no trace and the ts is reused.
+        #
+        # Concurrent snapshot readers are lock-free, so before the
+        # extents mutate, every chain-less oid in the write set gets a
+        # base version seeded (the pre-image, or a tombstone for fresh
+        # inserts) — readers resolve through the chain instead of
+        # observing the half-applied (or later rolled-back) extent. The
+        # mutation seqlock goes odd across the apply and stays odd until
+        # the commit-ts versions are recorded (or the rollback
+        # completes), so the extent fall-through for oids *outside* the
+        # write set detects the window and retries. Seeding is skipped
+        # when no other snapshot is live: new transactions serialize on
+        # the commit lock at begin, so no reader can exist that the
+        # chain would need to protect.
         commit_ts = self._commit_ts + 1
         wal = self.wal
         if wal is not None:
             wal.log_begin(txn.txn_id)
             for intent in intents:
                 wal.log_intent(txn.txn_id, self._encode_intent(intent))
-        pre_images = self._capture_pre_images(write_set)
+        other_snapshots = len(self._snapshots)
+        if txn.txn_id in self._snapshots:
+            other_snapshots -= 1
+        if other_snapshots:
+            self._seed_write_set(write_set, intents)
         undo: list[Callable[[], None]] = []
-        with self.buffer.no_steal():
-            try:
-                for intent in intents:
-                    if intent.op == "insert":
-                        self._apply_insert(intent, undo)
-                    elif intent.op == "update":
-                        self._apply_update(intent, undo)
-                    else:
-                        self._apply_delete(intent, undo)
-                if wal is not None:
-                    wal.log_commit(txn.txn_id, commit_ts=commit_ts)
-            except Exception:
-                # ABORTED must mean "no observable change": roll the
-                # extents, heap, indexes and reference maps back to
-                # the pre-transaction state before re-raising.
-                while undo:
-                    undo.pop()()
-                if wal is not None:
-                    wal.log_abort(txn.txn_id)
-                raise
-        # Phase 4: publish the new versions under the commit timestamp.
-        self._commit_ts = commit_ts
-        if write_set:
-            self._commit_log.append((commit_ts, write_set))
-            self._record_versions(write_set, commit_ts, intents, pre_images)
-            if rec.enabled:
-                rec.gauge("mvcc.versions", self._mvcc.total_versions)
+        self._mutation_seq += 1
+        try:
+            with self.buffer.no_steal():
+                try:
+                    for intent in intents:
+                        if intent.op == "insert":
+                            self._apply_insert(intent, undo)
+                        elif intent.op == "update":
+                            self._apply_update(intent, undo)
+                        else:
+                            self._apply_delete(intent, undo)
+                    if wal is not None:
+                        wal.log_commit(txn.txn_id, commit_ts=commit_ts)
+                except Exception:
+                    # ABORTED must mean "no observable change": roll the
+                    # extents, heap, indexes and reference maps back to
+                    # the pre-transaction state before re-raising.
+                    # Seeded base versions stay — they equal the
+                    # restored extent state, so reads agree either way.
+                    while undo:
+                        undo.pop()()
+                    if wal is not None:
+                        wal.log_abort(txn.txn_id)
+                    raise
+            # Phase 4: publish the new versions under the commit
+            # timestamp (still inside the odd seqlock window — readers
+            # must not fall through to the extent before the version
+            # store reflects the commit).
+            self._commit_ts = commit_ts
+            if write_set:
+                self._commit_log.append((commit_ts, write_set))
+                self._record_versions(write_set, commit_ts, intents)
+                if rec.enabled:
+                    rec.gauge("mvcc.versions", self._mvcc.total_versions)
+        finally:
+            self._mutation_seq += 1
         return commit_ts
 
     def _conflicting_oids(self, snapshot_ts: int,
@@ -711,36 +808,38 @@ class GeographicDatabase:
             contended |= oids & write_set
         return contended
 
-    def _capture_pre_images(
-        self, write_set: frozenset[str]
-    ) -> dict[str, tuple[dict[str, Any], str, str]]:
-        """Pre-commit state of soon-to-be-written oids with no chain yet.
+    def _seed_write_set(self, write_set: frozenset[str],
+                        intents: list[_Intent]) -> None:
+        """Seed a base version for every chain-less oid in the write set.
 
-        Objects written for the first time since process start (or since
-        their chain was garbage-collected) need a timestamp-0 base
-        version so older live snapshots keep reading the pre-image.
+        Runs *before* the apply phase mutates the extents, so concurrent
+        lock-free snapshot readers resolve these oids through the
+        version chain (the pre-image at timestamp 0, or a base tombstone
+        for an oid being freshly inserted) instead of the mid-commit —
+        and possibly later rolled-back — extent.
         """
-        pre_images: dict[str, tuple[dict[str, Any], str, str]] = {}
+        last_intent = {intent.oid: intent for intent in intents}
         for oid in write_set:
             if self._mvcc.has_chain(oid):
                 continue
             obj = self.find_object(oid)
-            if obj is not None:
+            if obj is None:
+                intent = last_intent[oid]
+                self._mvcc.seed_base(oid, None, intent.schema_name,
+                                     intent.class_name)
+            else:
                 schema_name, class_name = self._locations[oid]
-                pre_images[oid] = (obj.values(), schema_name, class_name)
-        return pre_images
+                self._mvcc.seed_base(oid, obj.values(),
+                                     schema_name, class_name)
 
     def _record_versions(
         self,
         write_set: frozenset[str],
         commit_ts: int,
         intents: list[_Intent],
-        pre_images: dict[str, tuple[dict[str, Any], str, str]],
     ) -> None:
         """Append one version per written oid at ``commit_ts``."""
         last_intent = {intent.oid: intent for intent in intents}
-        for oid, (values, schema_name, class_name) in pre_images.items():
-            self._mvcc.seed_base(oid, values, schema_name, class_name)
         for oid in write_set:
             obj = self.find_object(oid)
             if obj is None:

@@ -23,6 +23,13 @@ Design notes
   dropped entirely (the extent fallback gives the same answer); chains
   with newer versions keep exactly one base version at or below the
   watermark.
+* Readers are **lock-free** while commits and GC run under the
+  database's commit lock, so every chain mutation here must be safe
+  against a concurrent reader holding a reference to the chain list:
+  chains are installed fully built (never empty), same-timestamp
+  rewrites replace ``chain[-1]`` in place instead of pop-then-append,
+  and GC publishes a trimmed *copy* rather than deleting slices out of
+  a list a reader may be iterating.
 """
 
 from __future__ import annotations
@@ -76,36 +83,51 @@ class VersionStore:
 
     # -- recording -------------------------------------------------------------
 
-    def seed_base(self, oid: str, values: dict[str, Any],
+    def seed_base(self, oid: str, values: dict[str, Any] | None,
                   schema_name: str, class_name: str) -> None:
         """Install a timestamp-0 pre-image for a previously unversioned oid.
 
-        Called just before the first versioned write of an object that
-        already existed (loaded from storage, or written before chains
-        were garbage-collected away), so snapshots older than that write
-        keep reading the pre-image.
+        Called *before* a commit's first versioned write of a chain-less
+        oid mutates the extents, so concurrent snapshot readers resolve
+        through the chain instead of the mid-mutation extent. ``values``
+        is the pre-commit state: the existing object's attributes, or
+        ``None`` (a base tombstone) when the commit is inserting an oid
+        that did not exist — older snapshots must keep reading "absent".
         """
         if oid in self._chains:
             return
-        self._append(oid, Version(0, dict(values), schema_name, class_name))
+        self._append(
+            oid,
+            Version(0, None if values is None else dict(values),
+                    schema_name, class_name),
+        )
 
     def record(self, oid: str, ts: int, values: dict[str, Any] | None,
                schema_name: str, class_name: str) -> None:
         """Append the state of ``oid`` as of commit timestamp ``ts``."""
         chain = self._chains.get(oid)
+        version = Version(ts, None if values is None else dict(values),
+                          schema_name, class_name)
         if chain and chain[-1].ts == ts:
             # One transaction may touch an oid several times; the final
-            # state per commit wins.
-            self._version_count -= 1
-            chain.pop()
-        self._append(
-            oid,
-            Version(ts, None if values is None else dict(values),
-                    schema_name, class_name),
-        )
+            # state per commit wins. Replace in place — a pop would
+            # momentarily shrink the list under a lock-free reader's
+            # reverse iterator, which could then miss older versions.
+            chain[-1] = version
+            self._by_class.setdefault(
+                (schema_name, class_name), set()
+            ).add(oid)
+            return
+        self._append(oid, version)
 
     def _append(self, oid: str, version: Version) -> None:
-        self._chains.setdefault(oid, []).append(version)
+        chain = self._chains.get(oid)
+        if chain is None:
+            # Install fully built: a reader must never observe an empty
+            # chain (it would read as "object did not exist at ts").
+            self._chains[oid] = [version]
+        else:
+            chain.append(version)
         self._by_class.setdefault(
             (version.schema_name, version.class_name), set()
         ).add(oid)
@@ -162,10 +184,14 @@ class VersionStore:
                     break
             if keep_from:
                 removed = chain[:keep_from]
-                del chain[:keep_from]
+                # Publish a trimmed copy instead of deleting in place: a
+                # lock-free reader still iterating the old list keeps a
+                # consistent (if stale-but-visible) chain.
+                remaining = chain[keep_from:]
+                self._chains[oid] = remaining
                 reclaimed += len(removed)
                 self._version_count -= len(removed)
-                self._unindex(oid, removed, chain)
+                self._unindex(oid, removed, remaining)
         return reclaimed
 
     def _drop_chain(self, oid: str, chain: list[Version]) -> None:

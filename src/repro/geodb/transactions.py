@@ -33,6 +33,7 @@ Aborting simply drops the intent buffer; nothing was applied.
 from __future__ import annotations
 
 import threading
+import weakref
 from enum import Enum
 from typing import Any
 
@@ -93,7 +94,7 @@ class Transaction:
 
     __slots__ = ("database", "txn_id", "session_id", "state", "_intents",
                  "snapshot_ts", "_fast", "_chains", "_db_locations",
-                 "_db_extents")
+                 "_db_extents", "_finalizer", "__weakref__")
 
     def __init__(self, database, session_id: str | None = None):
         self.database = database
@@ -103,6 +104,13 @@ class Transaction:
         self._intents: list[_Intent] = []
         #: all reads observe the database as of this commit timestamp
         self.snapshot_ts: int = database._begin_snapshot(self)
+        # A transaction abandoned without commit()/abort() must not pin
+        # the GC watermark forever: release the snapshot when the object
+        # is collected. commit()/abort() call the finalizer explicitly
+        # (it runs once, whichever comes first).
+        self._finalizer = weakref.finalize(
+            self, database._release_snapshot_id, self.txn_id
+        )
         # Hot-path read support: ``_fast`` is True exactly while the
         # transaction is ACTIVE with no staged writes (the read-only
         # common case); the dict references let :meth:`read` skip the
@@ -136,14 +144,28 @@ class Transaction:
         # common case is inlined: active, no staged writes (one flag
         # check), no version chain — answer from the current committed
         # state, which chain-lessness proves equals the snapshot state.
+        # The extent fall-through is bracketed by the database's
+        # mutation seqlock (sampled *before* the chain check): a commit
+        # seeds chains for its write set before going odd, so either
+        # the chain routes the read to the snapshot version, or the
+        # re-check sees the seqlock move and retries; a persistent
+        # commit stream degrades to a locked read.
         if self._fast:
-            if oid not in self._chains:
-                location = self._db_locations.get(oid)
-                if location is None:
-                    return None
+            db = self.database
+            seq = db._mutation_seq
+            if oid in self._chains:
+                return db._snapshot_values(oid, self.snapshot_ts)
+            location = self._db_locations.get(oid)
+            if location is None:
+                values = None
+            else:
                 obj = self._db_extents[location].get(oid)
-                return None if obj is None else obj.values()
-            return self.database._snapshot_values(oid, self.snapshot_ts)
+                values = None if obj is None else obj.values()
+            if db._mutation_seq == seq:
+                return values
+            # Contended: a commit moved the seqlock mid-read. Resolve
+            # through the database's retrying snapshot read.
+            return db._snapshot_values(oid, self.snapshot_ts)
         self._require_active()
         return self.staged_value(oid)
 
@@ -162,8 +184,24 @@ class Transaction:
         self._require_active()
         db = self.database
         db.get_schema_object(schema_name).get_class(class_name)
-        candidates = set(db.extent(schema_name, class_name).oids())
-        candidates |= db._mvcc.class_oids(schema_name, class_name)
+        # Candidate collection scans the live extent dict, which a
+        # concurrent commit may be mutating: validate the scan with the
+        # mutation seqlock (retrying on a change or a mid-resize
+        # RuntimeError), falling back to the commit lock. Per-oid value
+        # resolution below is snapshot-safe on its own.
+        for __ in range(8):
+            seq = db._mutation_seq
+            try:
+                candidates = set(db.extent(schema_name, class_name).oids())
+                candidates |= db._mvcc.class_oids(schema_name, class_name)
+            except RuntimeError:
+                continue
+            if db._mutation_seq == seq:
+                break
+        else:
+            with db._commit_lock:
+                candidates = set(db.extent(schema_name, class_name).oids())
+                candidates |= db._mvcc.class_oids(schema_name, class_name)
         out: dict[str, dict[str, Any]] = {}
         for oid in candidates:
             values = db._snapshot_values(oid, self.snapshot_ts)
@@ -279,17 +317,17 @@ class Transaction:
             # so staged_value()/intents never report phantom state.
             self._intents.clear()
             self.state = TxnState.ABORTED
-            self.database._release_snapshot(self)
+            self._finalizer()
             raise
         self.state = TxnState.COMMITTED
-        self.database._release_snapshot(self)
+        self._finalizer()
 
     def abort(self) -> None:
         self._require_active()
         self._fast = False
         self._intents.clear()
         self.state = TxnState.ABORTED
-        self.database._release_snapshot(self)
+        self._finalizer()
 
     @property
     def intents(self) -> list[_Intent]:

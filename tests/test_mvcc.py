@@ -10,6 +10,7 @@ appends.
 
 from __future__ import annotations
 
+import gc
 import threading
 
 import pytest
@@ -20,6 +21,7 @@ from repro.errors import (
     SessionError,
     TransactionConflictError,
     TransactionError,
+    WALError,
 )
 from repro.geodb import GeographicDatabase, MemoryPager, WriteAheadLog
 from repro.geodb.transactions import _Intent
@@ -468,3 +470,240 @@ class TestThreadSafety:
             t.join()
         assert not errors
         assert _size(db, "Feature#ctr") == threads_n * per_thread
+
+
+# ---------------------------------------------------------------------------
+# Commit-vs-reader visibility (review fixes: seeded chains + seqlock)
+# ---------------------------------------------------------------------------
+
+
+class TestCommitReadRace:
+    """A snapshot reader must never observe the commit apply window.
+
+    Deterministic probes: hooks planted inside the commit critical
+    section (after the extents mutate, before versions are recorded —
+    or before an injected commit failure) perform a concurrent-snapshot
+    read at exactly the point the seeded base versions must cover.
+    """
+
+    def test_update_invisible_mid_apply(self, db, monkeypatch):
+        _insert(db, "Feature#a", size=1)
+        reader = db.transaction()
+        observed = {}
+        real_record = GeographicDatabase._record_versions
+
+        def probing_record(database, *args, **kwargs):
+            # Extents already hold size=2 here; the reader's snapshot
+            # must still resolve to 1 through the seeded pre-image.
+            observed["mid"] = reader.read("Feature#a")["size"]
+            return real_record(database, *args, **kwargs)
+
+        monkeypatch.setattr(GeographicDatabase, "_record_versions",
+                            probing_record)
+        with db.transaction() as txn:
+            txn.update("Feature#a", {"size": 2})
+        assert observed["mid"] == 1
+        assert reader.read("Feature#a")["size"] == 1
+        reader.abort()
+        with db.transaction() as after:
+            assert after.read("Feature#a")["size"] == 2
+            after.abort()
+
+    def test_insert_invisible_mid_apply(self, db, monkeypatch):
+        reader = db.transaction()
+        observed = {}
+        real_record = GeographicDatabase._record_versions
+
+        def probing_record(database, *args, **kwargs):
+            # The new object is already in the extent; the seeded base
+            # tombstone must keep it absent from the reader's snapshot.
+            observed["mid"] = reader.read("Feature#new")
+            return real_record(database, *args, **kwargs)
+
+        monkeypatch.setattr(GeographicDatabase, "_record_versions",
+                            probing_record)
+        _insert(db, "Feature#new", size=5)
+        assert observed["mid"] is None
+        assert reader.read("Feature#new") is None
+        assert reader.exists("Feature#new") is False
+        reader.abort()
+
+    def test_failed_commit_is_never_observed(self, db):
+        """No dirty reads: a commit that fails after mutating the
+        extents (WAL barrier failure -> rollback) must be invisible to a
+        concurrent snapshot reader probing inside the failure window."""
+        _insert(db, "Feature#a", size=1)
+        reader = db.transaction()
+        observed = {}
+
+        class ExplodingWAL:
+            def log_begin(self, txn_id):
+                pass
+
+            def log_intent(self, txn_id, doc):
+                pass
+
+            def log_commit(self, txn_id, commit_ts=None):
+                # Extents hold the uncommitted size=2 right now.
+                observed["mid"] = reader.read("Feature#a")["size"]
+                raise WALError("injected barrier failure")
+
+            def log_abort(self, txn_id):
+                pass
+
+        db.wal = ExplodingWAL()
+        txn = db.transaction()
+        txn.update("Feature#a", {"size": 2})
+        with pytest.raises(WALError):
+            txn.commit()
+        db.wal = None
+        assert observed["mid"] == 1
+        assert reader.read("Feature#a")["size"] == 1
+        reader.abort()
+        assert _size(db, "Feature#a") == 1  # rollback restored the extent
+        with db.transaction() as after:
+            assert after.read("Feature#a")["size"] == 1
+            after.abort()
+
+    def test_seeding_skipped_without_concurrent_snapshots(self, db):
+        """With no other live snapshot there is nobody to protect: a
+        fresh insert records exactly one version (no base tombstone), so
+        the single-writer memory profile matches the pre-fix behaviour."""
+        _insert(db, "Feature#solo", size=1)
+        assert db._mvcc.chain_length("Feature#solo") == 1
+
+    def test_seeded_tombstone_survives_for_old_snapshots(self, db):
+        reader = db.transaction()
+        _insert(db, "Feature#late", size=7)
+        # base tombstone + committed version
+        assert db._mvcc.chain_length("Feature#late") == 2
+        assert reader.read("Feature#late") is None
+        reader.abort()
+
+    def test_snapshot_reads_stable_under_concurrent_commits(self):
+        """Wall-clock smoke: lock-free readers re-reading their snapshot
+        while a writer thread commits must never see the value move."""
+        db = GeographicDatabase("race-smoke")
+        db.register_schema(build_mix_schema())
+        _insert(db, "Feature#hot", size=0)
+        stop = threading.Event()
+        errors: list = []
+
+        def reader_loop():
+            try:
+                while not stop.is_set():
+                    txn = db.transaction()
+                    first = txn.read("Feature#hot")["size"]
+                    for __ in range(4):
+                        again = txn.read("Feature#hot")["size"]
+                        if again != first:
+                            errors.append((first, again))
+                            return
+                    txn.abort()
+            except BaseException as exc:
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader_loop) for __ in range(3)]
+        for t in readers:
+            t.start()
+        for i in range(200):
+            db.update("Feature#hot", {"size": i + 1})
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert _size(db, "Feature#hot") == 200
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint serialization (review fix: checkpoint takes the commit lock)
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointSerialization:
+    def test_checkpoint_waits_for_the_commit_lock(self, db):
+        _insert(db, "Feature#a", size=1)
+        held = threading.Event()
+        release = threading.Event()
+        done = threading.Event()
+
+        def hold_lock():
+            with db._commit_lock:
+                held.set()
+                release.wait(10)
+
+        def run_checkpoint():
+            db.checkpoint()
+            done.set()
+
+        holder = threading.Thread(target=hold_lock)
+        holder.start()
+        assert held.wait(10)
+        worker = threading.Thread(target=run_checkpoint)
+        worker.start()
+        # While a "commit" holds the lock, checkpoint must not proceed
+        # (it would flush half-applied no-steal pages to the heap).
+        assert not done.wait(0.3)
+        release.set()
+        assert done.wait(10)
+        holder.join()
+        worker.join()
+
+    def test_checkpoint_reentrant_from_recovery_path(self):
+        """recover() -> checkpoint() must still work now that checkpoint
+        locks: the commit lock is reentrant and recover is unlocked."""
+        pager = MemoryPager()
+        wal = WriteAheadLog(pager, sync_mode="none")
+        db = GeographicDatabase("reentrant", wal=wal)
+        db.register_schema(build_mix_schema())
+        _insert(db, "Feature#a", size=1)
+        # recover() replays the logged insert batch, then checkpoints —
+        # which now takes the (reentrant) commit lock without deadlock.
+        assert db.recover() == 1
+        assert db.checkpoint() >= 0
+        assert _size(db, "Feature#a") == 1
+
+
+# ---------------------------------------------------------------------------
+# Abandoned transactions (review fix: weakref-released snapshots)
+# ---------------------------------------------------------------------------
+
+
+class TestAbandonedTransactions:
+    def test_dropped_transaction_releases_its_snapshot(self, db):
+        _insert(db, "Feature#a", size=1)
+        txn = db.transaction()
+        txn_id = txn.txn_id
+        assert txn_id in db._snapshots
+        del txn
+        gc.collect()
+        assert txn_id not in db._snapshots
+        assert db.oldest_snapshot() == db._commit_ts
+
+    def test_dropped_transaction_unpins_the_gc_watermark(self, db):
+        _insert(db, "Feature#a", size=0)
+        leaked = db.transaction()
+        leaked.read("Feature#a")
+        for size in (1, 2, 3):
+            db.update("Feature#a", {"size": size})
+        # The leaked snapshot pins the watermark: nothing reclaimable.
+        assert db.gc_versions() == 0
+        assert db._mvcc.has_chain("Feature#a")
+        del leaked
+        gc.collect()
+        reclaimed = db.gc_versions()
+        assert reclaimed > 0
+        assert not db._mvcc.has_chain("Feature#a")
+        assert db._mvcc.total_versions == 0
+
+    def test_commit_and_abort_still_release_exactly_once(self, db):
+        _insert(db, "Feature#a", size=1)
+        committed = db.transaction()
+        committed.update("Feature#a", {"size": 2})
+        committed.commit()
+        aborted = db.transaction()
+        aborted.abort()
+        assert committed.txn_id not in db._snapshots
+        assert aborted.txn_id not in db._snapshots
+        gc.collect()  # finalizers already ran; nothing double-fires
+        assert db.oldest_snapshot() == db._commit_ts
