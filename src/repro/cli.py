@@ -40,7 +40,6 @@ from typing import Callable, Iterable
 from . import obs
 from .core.session import GISSession
 from .errors import ReproError
-from .geodb.query_language import run_query
 
 PROMPT = "gis> "
 
@@ -177,7 +176,7 @@ class CommandLoop:
         if not rest:
             self.emit("usage: query select ... from ...")
             return
-        result = run_query(self.session.database, schema_name, rest)
+        result = self.session.query(schema_name, rest)
         self.emit(result.explain())
         shown = (result.rows if result.rows is not None
                  else [{"oid": o.oid} for o in result.objects])

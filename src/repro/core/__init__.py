@@ -19,6 +19,7 @@ from .builder import (
 )
 from .dispatcher import Dispatcher, Screen
 from .kernel import GISKernel
+from .query_cache import QueryResultCache
 from .session import GISSession
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "Dispatcher", "Screen",
     "GISKernel",
     "GISSession",
+    "QueryResultCache",
 ]

@@ -43,6 +43,7 @@ from ..uilib.library import InterfaceObjectLibrary
 from ..uilib.presentation import PresentationRegistry
 from .builder import GenericInterfaceBuilder
 from .customization import CustomizationDirective
+from .query_cache import QueryResultCache
 from .rule_engine import CustomizationEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with session.py
@@ -83,6 +84,7 @@ class GISKernel:
         )
         self.presentations = presentations or PresentationRegistry()
         self.builder = GenericInterfaceBuilder(library, self.presentations)
+        self.query_cache = QueryResultCache(database)
         self._sessions: dict[str, "GISSession"] = {}
         self._refresh_subscribed = False
         self._closed = False
@@ -181,6 +183,31 @@ class GISKernel:
         return self.database.transaction(session_id=session_id)
 
     # ------------------------------------------------------------------
+    # Queries: shared, snapshot-consistent result cache
+    # ------------------------------------------------------------------
+
+    def query(self, schema_name: str, query, *, use_cache: bool = True):
+        """Execute an analysis-mode query against the latest commit.
+
+        ``query`` is a :class:`~repro.geodb.query.Query` or query-language
+        text. Results come from the kernel-wide
+        :class:`~repro.core.query_cache.QueryResultCache`, so repeated
+        queries from any session are served without re-scanning until a
+        commit touches one of the classes they read
+        (``report["cache"]`` says which happened). ``use_cache=False``
+        bypasses the cache without populating it.
+        """
+        if self._closed:
+            raise SessionError("kernel is shut down")
+        if isinstance(query, str):
+            from ..geodb.query_language import parse_query
+
+            query = parse_query(query)
+        if not use_cache:
+            return self.query_cache.engine.execute(schema_name, query)
+        return self.query_cache.execute(schema_name, query)
+
+    # ------------------------------------------------------------------
     # Customization installation (shared rule set)
     # ------------------------------------------------------------------
 
@@ -225,6 +252,7 @@ class GISKernel:
             "sessions": len(self._sessions),
             "engine": self.engine.stats(),
             "events_published": self.database.bus.published_count,
+            "query_cache": self.query_cache.stats(),
         }
 
     def shutdown(self) -> None:

@@ -1,0 +1,119 @@
+"""Snapshot-consistent query result cache for the shared kernel.
+
+Analysis-mode panels re-issue the same queries constantly (the paper's
+§2.2 explanation mode literally replays the query that produced a
+window). A :class:`QueryResultCache` memoizes whole
+:class:`~repro.geodb.query_engine.QueryResult` objects keyed by
+``(schema, query fingerprint)`` and validates every lookup against the
+MVCC commit state of the classes the query touches:
+
+* ``GeographicDatabase._commit_locked`` bumps a per-class commit
+  version (``class_version``) for every class a commit writes;
+* an entry stores the version of *every class in the query's closure*
+  at execution time;
+* a lookup recomputes the closure (so a newly created subclass is
+  noticed) and compares versions — any drift evicts the entry and
+  re-executes.
+
+Because versions only move inside the commit critical section, a cached
+result is exactly the result a fresh execution against the latest
+committed state would produce: the cache can never serve a read that an
+MVCC snapshot opened *now* would not also see. Results are shared
+objects — callers must treat them as immutable.
+
+The cache is owned by the :class:`~repro.core.kernel.GISKernel`, so all
+sessions of one kernel share hits (and all of them see invalidations,
+whichever session committed).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from .. import obs
+from ..geodb.database import GeographicDatabase
+from ..geodb.query import Query
+from ..geodb.query_engine import QueryEngine, QueryResult
+
+
+class _Entry:
+    __slots__ = ("result", "versions")
+
+    def __init__(self, result: QueryResult, versions: dict[str, int]):
+        self.result = result
+        #: class name -> commit version observed when the entry was built
+        self.versions = versions
+
+
+class QueryResultCache:
+    """LRU of query results, validated against per-class commit versions."""
+
+    def __init__(self, database: GeographicDatabase, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.database = database
+        self.engine = QueryEngine(database)
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def execute(self, schema_name: str, query: Query) -> QueryResult:
+        """The query's result — cached when still commit-consistent."""
+        key = (schema_name, query.fingerprint())
+        planner = self.engine.planner
+        closure = planner.class_closure(schema_name, query)
+        db = self.database
+        versions = {
+            class_name: db.class_version(schema_name, class_name)
+            for class_name in closure
+        }
+        rec = obs.RECORDER
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.versions == versions:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    if rec.enabled:
+                        rec.inc("query.cache.hit")
+                    entry.result.report["cache"] = "hit"
+                    return entry.result
+                # A commit moved one of the touched classes (or the
+                # closure itself changed): the entry is stale.
+                del self._entries[key]
+                self.invalidations += 1
+                if rec.enabled:
+                    rec.inc("query.cache.invalidation")
+
+        self.misses += 1
+        if rec.enabled:
+            rec.inc("query.cache.miss")
+        result = self.engine.execute(schema_name, query)
+        result.report["cache"] = "miss"
+        with self._lock:
+            self._entries[key] = _Entry(result, versions)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }

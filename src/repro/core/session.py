@@ -124,6 +124,20 @@ class GISSession:
         return self.kernel.transaction(self)
 
     # ------------------------------------------------------------------
+    # Analysis-mode queries (kernel-cached)
+    # ------------------------------------------------------------------
+
+    def query(self, schema_name: str, query, *, use_cache: bool = True):
+        """Run an analysis-mode query through the kernel's result cache.
+
+        ``query`` is query-language text or a
+        :class:`~repro.geodb.query.Query`; see :meth:`GISKernel.query`.
+        """
+        if self._closed:
+            raise SessionError("session is shut down")
+        return self.kernel.query(schema_name, query, use_cache=use_cache)
+
+    # ------------------------------------------------------------------
     # Customization installation
     # ------------------------------------------------------------------
 

@@ -23,6 +23,11 @@ def _indexable(value: Any) -> bool:
     return isinstance(value, (int, float, str, bool)) and value is not None
 
 
+#: Shared empty bucket returned by :meth:`HashIndex.lookup_view` misses;
+#: frozen so an accidental mutation raises instead of corrupting state.
+_EMPTY_BUCKET: frozenset = frozenset()
+
+
 class HashIndex:
     """value -> set of oids, for one attribute of one class."""
 
@@ -56,14 +61,29 @@ class HashIndex:
         self._size -= 1
 
     def lookup(self, value: Any) -> set[str]:
+        """A **copy** of the bucket for ``value`` (safe to mutate)."""
         if not _indexable(value):
             return set()
         return set(self._buckets.get(value, ()))
 
+    def lookup_view(self, value: Any) -> "frozenset[str] | set[str]":
+        """The bucket for ``value`` without copying it.
+
+        This is the executor's path: the query engine iterates the
+        bucket once per probe and materializing a per-call copy showed
+        up in the C11 profile. The returned object is the index's
+        **live internal set** (or a shared empty frozenset) — callers
+        must not mutate it and must not hold it across index mutations;
+        external code should use :meth:`lookup` instead.
+        """
+        if not _indexable(value):
+            return _EMPTY_BUCKET
+        return self._buckets.get(value, _EMPTY_BUCKET)
+
     def lookup_many(self, values: Iterable[Any]) -> set[str]:
         out: set[str] = set()
         for value in values:
-            out |= self.lookup(value)
+            out |= self.lookup_view(value)
         return out
 
     def __len__(self) -> int:

@@ -87,6 +87,12 @@ class GeographicDatabase:
         self._incoming_refs: dict[str, set[tuple[str, str]]] = {}
         #: (schema, class, method) -> callable(db, obj, *args)
         self._methods: dict[tuple[str, str, str], Callable] = {}
+        #: (schema, class) -> commit ts of the last commit touching the
+        #: class; drives planner-statistics refresh and query-result-
+        #: cache invalidation (see repro.geodb.planner / core.query_cache)
+        self._class_versions: dict[tuple[str, str], int] = {}
+        #: lazily created planner statistics (repro.geodb.planner)
+        self._statistics = None
 
         # -- multi-version concurrency control (snapshot isolation) ----
         #: per-oid version chains; see repro.geodb.mvcc
@@ -199,8 +205,45 @@ class GeographicDatabase:
     def locate_object(self, oid: str) -> tuple[str, str] | None:
         return self._locations.get(oid)
 
+    def fetch_objects(self, schema_name: str, class_name: str,
+                      oids) -> list[GeoObject]:
+        """Resolve many oids of **one known class** in a single batch.
+
+        The per-oid :meth:`find_object` pays a location lookup plus an
+        extent lookup per call; index scans already know the class, so
+        this grabs the extent once and probes it directly. Oids no
+        longer live in the extent are skipped.
+        """
+        extent = self._extents.get((schema_name, class_name))
+        if extent is None:
+            return []
+        return extent.get_many(oids)
+
     def count(self, schema_name: str, class_name: str) -> int:
         return len(self.extent(schema_name, class_name))
+
+    # ------------------------------------------------------------------
+    # Planner statistics and class versions
+    # ------------------------------------------------------------------
+
+    def class_version(self, schema_name: str, class_name: str) -> int:
+        """Commit timestamp of the last commit that touched the class.
+
+        ``0`` for classes never written through the commit path. The
+        query planner keys its statistics snapshots on this value, and
+        the kernel's query-result cache validates entries against it —
+        both refresh lazily after any commit touching the class.
+        """
+        return self._class_versions.get((schema_name, class_name), 0)
+
+    @property
+    def statistics(self):
+        """The planner's :class:`~repro.geodb.planner.Statistics`."""
+        if self._statistics is None:
+            from .planner import Statistics
+
+            self._statistics = Statistics(self)
+        return self._statistics
 
     # ------------------------------------------------------------------
     # Spatial index access
@@ -558,6 +601,11 @@ class GeographicDatabase:
                     self._replay_intent(doc)
                     touched[doc["oid"]] = (doc["schema"], doc["class"])
             self._commit_ts = max(self._commit_ts, commit_ts)
+            for schema_name, class_name in set(touched.values()):
+                self._class_versions[(schema_name, class_name)] = max(
+                    self._class_versions.get((schema_name, class_name), 0),
+                    commit_ts,
+                )
             for oid, (schema_name, class_name) in touched.items():
                 obj = self.find_object(oid)
                 if obj is None:
@@ -789,6 +837,10 @@ class GeographicDatabase:
             self._commit_ts = commit_ts
             if write_set:
                 self._commit_log.append((commit_ts, write_set))
+                for intent in intents:
+                    self._class_versions[
+                        (intent.schema_name, intent.class_name)
+                    ] = commit_ts
                 self._record_versions(write_set, commit_ts, intents)
                 if rec.enabled:
                     rec.gauge("mvcc.versions", self._mvcc.total_versions)

@@ -13,6 +13,15 @@ properties and relationships." The model mirrors that split:
 
 Predicates are pure descriptions; execution (and index selection) lives in
 :mod:`repro.geodb.query_engine`.
+
+Each predicate also **compiles** (:meth:`Predicate.compile`) into a
+plain ``obj -> bool`` closure for the executor's refine loop: attribute
+paths are resolved, operator dispatch is bound, and ``like`` needles are
+lowercased *once per query* instead of once per row. The interpreted
+:meth:`Predicate.matches` path is kept for external callers and as the
+compilation fallback for predicate subclasses that do not override
+``compile``; both paths implement identical semantics (unresolvable
+paths and uncomparable values are non-matches, never errors).
 """
 
 from __future__ import annotations
@@ -27,11 +36,96 @@ from .instances import GeoObject
 from .schema import GeoClass
 
 
+class _Missing:
+    """Sentinel for "the attribute path does not resolve on this object"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+#: Returned by compiled accessors where the interpreted path would have
+#: raised :class:`~repro.errors.QueryError` (dotted path into a
+#: non-tuple, or a missing tuple field).
+MISSING = _Missing()
+
+
+def match_all(obj: GeoObject) -> bool:
+    """The compiled form of :class:`TruePredicate`.
+
+    Exposed as a well-known function object so the executor can detect
+    "no filtering needed" (``compiled is match_all``) and skip the
+    refine loop entirely on browse queries.
+    """
+    return True
+
+
+def compile_path(path: str, geo_class: GeoClass):
+    """Compile an attribute path into an ``obj -> value`` accessor.
+
+    The path is parsed and the class-level default lookup is resolved
+    **once**; the returned closure does one dict probe per call. Where
+    :func:`_resolve_path` raises :class:`~repro.errors.QueryError`
+    (dotted path through a non-tuple value, missing tuple field) the
+    accessor returns :data:`MISSING` instead — callers translate that to
+    "no match" / ``None`` exactly like their interpreted counterparts.
+    """
+    head, __, rest = path.partition(".")
+    if geo_class.has_attribute(head):
+        default = geo_class.attribute(head).type.default
+    else:
+        default = None
+    if not rest:
+        if default is None:
+            def accessor(obj: GeoObject):
+                return obj._values.get(head)
+        else:
+            def accessor(obj: GeoObject):
+                values = obj._values
+                if head in values:
+                    return values[head]
+                return default()
+        return accessor
+
+    fields = rest.split(".")
+
+    def dotted(obj: GeoObject):
+        values = obj._values
+        if head in values:
+            value = values[head]
+        elif default is not None:
+            value = default()
+        else:
+            value = None
+        for field in fields:
+            if not isinstance(value, dict) or field not in value:
+                return MISSING
+            value = value[field]
+        return value
+
+    return dotted
+
+
 class Predicate:
     """Base class for all predicate nodes."""
 
     def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
         raise NotImplementedError
+
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        """An ``obj -> bool`` closure with paths/operators pre-resolved.
+
+        The base implementation falls back to the interpreted
+        :meth:`matches`, so predicate subclasses defined outside this
+        module keep working unchanged.
+        """
+        matches = self.matches
+
+        def fallback(obj: GeoObject) -> bool:
+            return matches(obj, geo_class)
+
+        return fallback
 
     def spatial_prefilter(self) -> "tuple[str, BBox] | None":
         """``(attr_name, bbox)`` usable as an index prefilter, or None.
@@ -117,6 +211,63 @@ class Comparison(Predicate):
         except TypeError:
             return False
 
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        value = self.value
+        if self.op == "like":
+            accessor = compile_path(self.path, geo_class)
+            # Needle lowercasing happens here, once — not per row.
+            if not isinstance(value, str):
+                return lambda obj: False
+            needle = value.lower()
+
+            def like(obj: GeoObject) -> bool:
+                actual = accessor(obj)
+                return isinstance(actual, str) and needle in actual.lower()
+
+            return like
+
+        op = _OPS[self.op]
+        head, __, rest = self.path.partition(".")
+        if not rest:
+            # Plain path: inline the dict probe into the comparison —
+            # one closure call per candidate instead of two. The class
+            # default is evaluated once; comparisons only read it.
+            if geo_class.has_attribute(head):
+                default_value = geo_class.attribute(head).type.default()
+            else:
+                default_value = None
+            if self.op == "=":
+                def eq(obj: GeoObject) -> bool:
+                    return obj._values.get(head, default_value) == value
+
+                return eq
+            if self.op == "!=":
+                def ne(obj: GeoObject) -> bool:
+                    return obj._values.get(head, default_value) != value
+
+                return ne
+
+            def plain(obj: GeoObject) -> bool:
+                try:
+                    return op(obj._values.get(head, default_value), value)
+                except TypeError:
+                    return False
+
+            return plain
+
+        accessor = compile_path(self.path, geo_class)
+
+        def compare(obj: GeoObject) -> bool:
+            actual = accessor(obj)
+            if actual is MISSING:
+                return False
+            try:
+                return op(actual, value)
+            except TypeError:
+                return False
+
+        return compare
+
     def equality_prefilter(self) -> tuple[str, list] | None:
         if "." in self.path:
             return None
@@ -153,6 +304,18 @@ class SpatialPredicate(Predicate):
         if geom is None:
             return False
         return PREDICATES[self.relation](geom, self.probe)
+
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        attr, probe = self.attr, self.probe
+        relation = PREDICATES[self.relation]
+
+        def spatial(obj: GeoObject) -> bool:
+            geom = obj._values.get(attr)
+            if not isinstance(geom, Geometry):
+                return False
+            return relation(geom, probe)
+
+        return spatial
 
     def spatial_prefilter(self) -> tuple[str, BBox] | None:
         # Everything but 'disjoint' implies bbox interaction with the probe.
@@ -194,6 +357,19 @@ class RelateMask(Predicate):
             return False
         return relate_with_mask(geom, self.probe, self.mask)
 
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        from ..spatial.de9im import relate_with_mask
+
+        attr, probe, mask = self.attr, self.probe, self.mask
+
+        def relate(obj: GeoObject) -> bool:
+            geom = obj._values.get(attr)
+            if not isinstance(geom, Geometry):
+                return False
+            return relate_with_mask(geom, probe, mask)
+
+        return relate
+
     def spatial_prefilter(self) -> tuple[str, BBox] | None:
         # A mask requiring any interior/boundary intersection implies the
         # bboxes interact; masks that *permit* disjointness cannot be
@@ -225,6 +401,17 @@ class WithinDistance(Predicate):
             return False
         return geometry_distance(geom, self.probe) <= self.radius
 
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        attr, probe, radius = self.attr, self.probe, self.radius
+
+        def within(obj: GeoObject) -> bool:
+            geom = obj._values.get(attr)
+            if not isinstance(geom, Geometry):
+                return False
+            return geometry_distance(geom, probe) <= radius
+
+        return within
+
     def spatial_prefilter(self) -> tuple[str, BBox] | None:
         return (self.attr, self.probe.bbox().expanded(self.radius))
 
@@ -240,6 +427,20 @@ class And(Predicate):
 
     def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
         return all(p.matches(obj, geo_class) for p in self.parts)
+
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        compiled = [p.compile(geo_class) for p in self.parts]
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda obj: first(obj) and second(obj)
+
+        def conjunction(obj: GeoObject) -> bool:
+            for part in compiled:
+                if not part(obj):
+                    return False
+            return True
+
+        return conjunction
 
     def spatial_prefilter(self) -> tuple[str, BBox] | None:
         for part in self.parts:
@@ -268,6 +469,20 @@ class Or(Predicate):
     def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
         return any(p.matches(obj, geo_class) for p in self.parts)
 
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        compiled = [p.compile(geo_class) for p in self.parts]
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda obj: first(obj) or second(obj)
+
+        def disjunction(obj: GeoObject) -> bool:
+            for part in compiled:
+                if part(obj):
+                    return True
+            return False
+
+        return disjunction
+
     def describe(self) -> str:
         return "(" + " or ".join(p.describe() for p in self.parts) + ")"
 
@@ -279,6 +494,10 @@ class Not(Predicate):
     def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
         return not self.inner.matches(obj, geo_class)
 
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        inner = self.inner.compile(geo_class)
+        return lambda obj: not inner(obj)
+
     def describe(self) -> str:
         return f"not {self.inner.describe()}"
 
@@ -288,6 +507,9 @@ class TruePredicate(Predicate):
 
     def matches(self, obj: GeoObject, geo_class: GeoClass) -> bool:
         return True
+
+    def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
+        return match_all
 
     def describe(self) -> str:
         return "true"
@@ -354,6 +576,17 @@ class Query:
         self.order_by = order_by
         self.limit = limit
         self.include_subclasses = include_subclasses
+
+    def fingerprint(self) -> tuple:
+        """A hashable identity for result caching.
+
+        Two queries with equal fingerprints request the same rows:
+        :meth:`describe` covers the predicate tree (operator + literal
+        reprs), projection/aggregates, ordering and limit;
+        ``include_subclasses`` changes the scanned closure, so it is
+        keyed explicitly (``describe`` omits it).
+        """
+        return (self.class_name, self.include_subclasses, self.describe())
 
     def describe(self) -> str:
         text = f"from {self.class_name} where {self.where.describe()}"

@@ -1,19 +1,26 @@
-"""Query execution with spatial index pushdown.
+"""Query execution: cost-based planning, compiled refine, shaping.
 
 The engine evaluates a :class:`repro.geodb.query.Query` against a
 :class:`repro.geodb.database.GeographicDatabase`:
 
-1. **Plan** — if the predicate tree exposes a spatial prefilter
-   (``SpatialPredicate`` / ``WithinDistance`` at top level or inside a
-   conjunction), the candidate set is fetched from the class's R-tree by
-   bounding box; otherwise the full extent is scanned.
-2. **Refine** — every candidate is checked against the full predicate
-   (exact geometry tests run only on index survivors).
-3. **Shape** — ordering, limiting and projection.
+1. **Plan** — the :class:`~repro.geodb.planner.QueryPlanner` chooses,
+   per class of the query's closure, the cheapest of R-tree scan, hash
+   scan and full extent scan from catalog statistics (extent
+   cardinality, bucket sizes, R-tree coverage). Mixed closures mix
+   access paths; every per-class decision lands in the execution
+   report.
+2. **Refine** — the predicate tree is compiled once
+   (:meth:`~repro.geodb.query.Predicate.compile`) into a closure chain,
+   and every candidate — batch-fetched from its class extent, not
+   resolved oid-by-oid — is checked against it. Browse queries
+   (``TruePredicate``) skip the refine loop entirely.
+3. **Shape** — ordering, limiting and projection/aggregation, all
+   through the same compiled accessors.
 
 The returned :class:`QueryResult` carries the rows plus an execution
-report (plan chosen, candidates examined) used by the explanation
-interaction mode and by benchmark C5.
+report (overall plan, truthful per-class plan list, candidates
+examined) used by the explanation interaction mode, the CLI ``query``
+command and benchmarks C5/C11.
 """
 
 from __future__ import annotations
@@ -24,7 +31,8 @@ from .. import obs
 from ..errors import QueryError
 from .database import GeographicDatabase
 from .instances import GeoObject
-from .query import Query, _resolve_path
+from .planner import FULL_SCAN, HASH_SCAN, INDEX_SCAN, QueryPlanner
+from .query import MISSING, Query, compile_path, match_all
 from .schema import GeoClass
 
 
@@ -59,6 +67,17 @@ class QueryResult:
         ]
         if r.get("index"):
             lines.insert(2, f"index: {r['index']}")
+        for class_plan in r.get("plans", ()):
+            detail = f"  {class_plan['class']}: {class_plan['plan']}"
+            if class_plan.get("index"):
+                detail += f" via {class_plan['index']}"
+            detail += (f" (cost ~{class_plan['est_cost']}, "
+                       f"rows ~{class_plan['est_rows']})")
+            if class_plan.get("reason"):
+                detail += f" — {class_plan['reason']}"
+            lines.append(detail)
+        if r.get("cache"):
+            lines.append(f"cache: {r['cache']}")
         return "\n".join(lines)
 
 
@@ -67,6 +86,7 @@ class QueryEngine:
 
     def __init__(self, database: GeographicDatabase):
         self.database = database
+        self.planner = QueryPlanner(database)
 
     def execute(self, schema_name: str, query: Query) -> QueryResult:
         rec = obs.RECORDER
@@ -79,101 +99,91 @@ class QueryEngine:
                           candidates=result.report["candidates"],
                           matches=result.report["matches"])
         rec.inc("query.executed", plan=result.report["plan"])
+        for class_plan in result.report["plans"]:
+            rec.inc("query.plan", choice=class_plan["plan"])
         rec.registry.histogram(
             "query.candidates", buckets=obs.COUNT_BUCKETS
         ).observe(result.report["candidates"])
         return result
 
     def _execute(self, schema_name: str, query: Query) -> QueryResult:
-        schema = self.database.get_schema_object(schema_name)
+        db = self.database
+        schema = db.get_schema_object(schema_name)
         geo_class = schema.get_class(query.class_name)
-        candidates, plan, index_name = self._candidates(schema_name, query)
-
-        matches = [
-            obj for obj in candidates if query.where.matches(obj, geo_class)
+        planner = self.planner
+        prefilter, equality = planner.prefilters(query)
+        plans = [
+            planner.plan_class(schema_name, class_name, prefilter, equality)
+            for class_name in planner.class_closure(schema_name, query)
         ]
+        matcher = self._compile(query, geo_class)
+
+        candidates = 0
+        matches: list[GeoObject] = []
+        for class_plan in plans:
+            class_name = class_plan.class_name
+            if class_plan.kind == INDEX_SCAN:
+                attr, box = prefilter
+                index = db.spatial_index(schema_name, class_name, attr)
+                objects = db.fetch_objects(schema_name, class_name,
+                                           index.search(box))
+            elif class_plan.kind == HASH_SCAN:
+                attr, values = equality
+                index = db.attribute_index(schema_name, class_name, attr)
+                if len(values) == 1:
+                    oids = index.lookup_view(values[0])
+                else:
+                    oids = index.lookup_many(values)
+                objects = db.fetch_objects(schema_name, class_name,
+                                           sorted(oids))
+            else:
+                objects = db.extent(schema_name, class_name)
+            candidates += len(objects)
+            if matcher is match_all:
+                matches.extend(objects)
+            else:
+                # filter() keeps the per-candidate loop in C.
+                matches.extend(filter(matcher, objects))
+
+        report = self._report(plans, candidates)
         if query.aggregates:
             # aggregates reduce the full matching set; limit is moot
             rows = [self._aggregate(matches, geo_class, query)]
-            report = {
-                "plan": plan,
-                "index": index_name,
-                "candidates": len(candidates),
-                "matches": len(matches),
-            }
+            report["matches"] = len(matches)
             return QueryResult(query, matches, rows, report)
         matches = self._order(matches, geo_class, query)
         if query.limit is not None:
             matches = matches[: query.limit]
         rows = self._project(matches, geo_class, query)
-        report = {
-            "plan": plan,
-            "index": index_name,
-            "candidates": len(candidates),
-            "matches": len(matches),
-        }
+        report["matches"] = len(matches)
         return QueryResult(query, matches, rows, report)
 
-    # -- planning -------------------------------------------------------------
+    def _compile(self, query: Query, geo_class: GeoClass):
+        """The query's compiled refine closure (timed when observable)."""
+        rec = obs.RECORDER
+        if not rec.enabled:
+            return query.where.compile(geo_class)
+        # Compilation is sub-microsecond; declare the fine-grained
+        # bucket layout before the family is auto-created coarse.
+        rec.registry.histogram("query.compile.seconds",
+                               buckets=obs.MICRO_BUCKETS)
+        with rec.timed("query.compile.seconds"):
+            return query.where.compile(geo_class)
 
-    def _candidates(
-        self, schema_name: str, query: Query
-    ) -> tuple[list[GeoObject], str, str | None]:
-        prefilter = query.where.spatial_prefilter()
-        class_names = [query.class_name]
-        if query.include_subclasses:
-            schema = self.database.get_schema_object(schema_name)
-            pending = [query.class_name]
-            class_names = []
-            while pending:
-                current = pending.pop()
-                class_names.append(current)
-                pending.extend(schema.subclasses(current))
-
-        if prefilter is not None:
-            attr, box = prefilter
-            if not box.is_empty():
-                out: list[GeoObject] = []
-                used_index = None
-                for cname in class_names:
-                    try:
-                        index = self.database.spatial_index(schema_name, cname, attr)
-                    except Exception:
-                        # attribute not spatial on this class: fall back
-                        out.extend(self.database.extent(schema_name, cname))
-                        continue
-                    used_index = f"rtree({cname}.{attr})"
-                    for oid in index.search(box):
-                        obj = self.database.find_object(oid)
-                        if obj is not None:
-                            out.append(obj)
-                return out, "index-scan", used_index
-
-        equality = query.where.equality_prefilter()
-        if equality is not None:
-            attr, values = equality
-            hash_indexes = [
-                (cname, self.database.attribute_index(schema_name, cname,
-                                                      attr))
-                for cname in class_names
-            ]
-            # Only use the hash path when every touched class is indexed;
-            # a partial answer would silently drop candidates.
-            if all(index is not None for __, index in hash_indexes):
-                out = []
-                for cname, index in hash_indexes:
-                    for oid in sorted(index.lookup_many(values)):
-                        obj = self.database.find_object(oid)
-                        if obj is not None:
-                            out.append(obj)
-                used_index = ", ".join(
-                    f"hash({cname}.{attr})" for cname, __ in hash_indexes)
-                return out, "hash-scan", used_index
-
-        out = []
-        for cname in class_names:
-            out.extend(self.database.extent(schema_name, cname))
-        return out, "full-scan", None
+    @staticmethod
+    def _report(plans, candidates: int) -> dict[str, Any]:
+        """The execution report skeleton, truthful about mixed plans."""
+        kinds = {class_plan.kind for class_plan in plans}
+        overall = kinds.pop() if len(kinds) == 1 else "mixed"
+        index_names = [class_plan.index for class_plan in plans
+                       if class_plan.index]
+        return {
+            "plan": overall if plans else FULL_SCAN,
+            "index": ", ".join(index_names) if index_names else None,
+            "plans": [class_plan.describe() for class_plan in plans],
+            "candidates": candidates,
+            "matches": 0,
+        }
 
     # -- shaping ---------------------------------------------------------------
 
@@ -185,11 +195,11 @@ class QueryEngine:
         descending = path.startswith("-")
         if descending:
             path = path[1:]
+        accessor = compile_path(path, geo_class)
 
         def key(obj: GeoObject):
-            try:
-                value = _resolve_path(obj, geo_class, path)
-            except QueryError:
+            value = accessor(obj)
+            if value is MISSING:
                 value = None
             # None sorts last regardless of direction.
             return (value is None, value)
@@ -216,13 +226,11 @@ class QueryEngine:
             if op == "count" and path is None:
                 row[label] = len(matches)
                 continue
+            accessor = compile_path(path, geo_class)
             values = []
             for obj in matches:
-                try:
-                    value = _resolve_path(obj, geo_class, path)
-                except QueryError:
-                    continue
-                if value is not None:
+                value = accessor(obj)
+                if value is not MISSING and value is not None:
                     values.append(value)
             if op == "count":
                 row[label] = len(values)
@@ -242,13 +250,14 @@ class QueryEngine:
                  query: Query) -> list[dict[str, Any]] | None:
         if query.projection is None:
             return None
+        accessors = [
+            (path, compile_path(path, geo_class)) for path in query.projection
+        ]
         rows = []
         for obj in matches:
             row: dict[str, Any] = {"oid": obj.oid}
-            for path in query.projection:
-                try:
-                    row[path] = _resolve_path(obj, geo_class, path)
-                except QueryError:
-                    row[path] = None
+            for path, accessor in accessors:
+                value = accessor(obj)
+                row[path] = None if value is MISSING else value
             rows.append(row)
         return rows

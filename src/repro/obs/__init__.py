@@ -26,6 +26,7 @@ from __future__ import annotations
 from .metrics import (
     COUNT_BUCKETS,
     DEFAULT_BUCKETS,
+    MICRO_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -37,6 +38,7 @@ from .tracing import Span, Tracer
 __all__ = [
     "COUNT_BUCKETS",
     "DEFAULT_BUCKETS",
+    "MICRO_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

@@ -38,6 +38,28 @@ class TestHashIndex:
         assert len(index) == 0
         index.delete(None, "P#1")   # symmetric no-op
 
+    def test_lookup_view_is_live_and_protected(self):
+        index = HashIndex("kind")
+        index.insert("wood", "P#1")
+        view = index.lookup_view("wood")
+        assert view == {"P#1"}
+        # The view is the live bucket: later mutations show through it.
+        index.insert("wood", "P#2")
+        assert view == {"P#1", "P#2"}
+        # Misses share one frozen empty bucket; mutating it raises
+        # instead of corrupting the shared sentinel.
+        miss = index.lookup_view("steel")
+        with pytest.raises(AttributeError):
+            miss.add("P#3")
+        assert index.lookup_view("steel") == frozenset()
+        # The public APIs still hand out copies safe to mutate.
+        copied = index.lookup("wood")
+        copied.add("P#999")
+        assert index.lookup("wood") == {"P#1", "P#2"}
+        union = index.lookup_many(["wood"])
+        union.add("P#999")
+        assert index.lookup("wood") == {"P#1", "P#2"}
+
     def test_stats(self):
         index = HashIndex("kind")
         index.insert("a", "1")
@@ -114,13 +136,21 @@ class TestPlanner:
         assert result.report["candidates"] <= phone_db.count("phone_net",
                                                              "Pole")
 
-    def test_spatial_prefilter_takes_priority(self, phone_db):
+    def test_cost_picks_cheapest_prefilter(self, phone_db):
+        # Both prefilters are available; the bbox covers the whole
+        # extent while the hash bucket holds only the pole_type=1 rows,
+        # so the cost-based planner must pick the hash scan.
         phone_db.create_attribute_index("phone_net", "Pole", "pole_type")
         result = run_query(
             phone_db, "phone_net",
             "select * from Pole where pole_type = 1 and "
             "within(pole_location, bbox(-1, -1, 500, 500))")
-        assert result.report["plan"] == "index-scan"
+        assert result.report["plan"] == "hash-scan"
+        assert result.report["candidates"] < phone_db.count("phone_net",
+                                                            "Pole")
+        expected = [o.oid for o in phone_db.extent("phone_net", "Pole")
+                    if o.get("pole_type") == 1]
+        assert sorted(result.oids()) == sorted(expected)
 
     def test_no_index_falls_back_to_scan(self, phone_db):
         result = run_query(phone_db, "phone_net",
@@ -142,11 +172,17 @@ class TestPlanner:
             "select * from Pole where pole_type = 1 or install_year > 0")
         assert result.report["plan"] == "full-scan"
 
-    def test_subclass_query_requires_all_indexed(self, phone_db):
+    def test_subclass_query_mixes_per_class_plans(self, phone_db):
         # NetworkElement subclasses: Pole, Duct, Cable. Index only Pole.
+        # Each class picks its own access path: Pole uses its hash
+        # index, the unindexed classes scan — and the report says so.
         phone_db.create_attribute_index("phone_net", "Pole", "status")
         result = run_query(
             phone_db, "phone_net",
             "select * from NetworkElement where status = 'ok' "
             "including subclasses")
-        assert result.report["plan"] == "full-scan"   # partial → no hash
+        assert result.report["plan"] == "mixed"
+        by_class = {p["class"]: p["plan"] for p in result.report["plans"]}
+        assert by_class["Pole"] == "hash-scan"
+        assert by_class["Duct"] == "full-scan"
+        assert by_class["Cable"] == "full-scan"
