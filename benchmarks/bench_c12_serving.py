@@ -1,0 +1,226 @@
+"""Experiment C12 — the serving layer: remote clients and group commit.
+
+Two questions about the network daemon (docs/SERVING.md):
+
+* **Request throughput** — one kernel, one event loop, many blocking
+  clients. Each of N client threads runs a fixed mixed workload (ping,
+  cached query, session browse) over its own connection; we report
+  aggregate requests/second and the p99 per-request latency at
+  N = 16 / 64 / 256 connections. The interesting shape is that
+  throughput should *hold* as N grows (the kernel executor is the
+  bottleneck, not the loop), while p99 grows roughly linearly with N.
+
+* **Group commit** — 64 threads committing concurrently through one
+  file-backed WAL in ``fsync`` mode. With ``group_commit=False`` every
+  commit pays its own device sync under the log lock; with grouping, a
+  leader's single barrier covers every batch staged while the previous
+  barrier was in flight. The acceptance gate is the whole point of the
+  subsystem: grouped commit throughput must be at least **1.8x** the
+  per-commit-fsync baseline at 64 committers.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke step) shrinks client
+counts and op counts and skips the ratio assertions.
+"""
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.core.kernel import GISKernel
+from repro.geodb import FilePager, GeographicDatabase, WriteAheadLog
+from repro.net import GISClient, ServerThread
+from repro.workloads import (
+    PhoneNetParams,
+    build_mix_schema,
+    build_phone_net_database,
+)
+from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA
+
+from _support import print_header, print_table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+CLIENT_COUNTS = (8, 16) if QUICK else (16, 64, 256)
+REQUESTS_PER_CLIENT = 6 if QUICK else 40
+COMMITTERS = 16 if QUICK else 64
+COMMITS_PER_THREAD = 3 if QUICK else 10
+
+
+# ---------------------------------------------------------------------------
+# Serving throughput
+# ---------------------------------------------------------------------------
+
+
+def _client_workload(host, port, latencies, errors, requests):
+    """One remote client: session browse + cached queries + pings."""
+    try:
+        with GISClient(host, port, timeout=120) as client:
+            client.open_session(user="bench")
+            client.open_schema("phone_net")
+            per_loop = 4
+            for i in range(requests // per_loop):
+                t0 = time.perf_counter()
+                client.ping()
+                latencies.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                client.query("phone_net", "select * from Pole")
+                latencies.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                client.select_class("Pole")
+                latencies.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                client.stats()
+                latencies.append(time.perf_counter() - t0)
+            client.close_session()
+    except Exception as exc:  # noqa: BLE001 - report, don't hang the bench
+        errors.append(exc)
+
+
+def run_serving(clients: int) -> dict:
+    db = build_phone_net_database(
+        PhoneNetParams(blocks_x=2, blocks_y=2, poles_per_street=3,
+                       duct_count=3, seed=11)
+    )
+    kernel = GISKernel(db)
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    with ServerThread(kernel) as (host, port):
+        threads = [
+            threading.Thread(target=_client_workload,
+                             args=(host, port, latencies, errors,
+                                   REQUESTS_PER_CLIENT))
+            for _ in range(clients)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        elapsed = time.perf_counter() - start
+    kernel.shutdown()
+    assert not errors, f"{len(errors)} client errors: {errors[:3]}"
+    latencies.sort()
+    total = len(latencies)
+    return {
+        "clients": clients,
+        "requests": total,
+        "rps": total / elapsed,
+        "p50_ms": latencies[total // 2] * 1e3,
+        "p99_ms": latencies[min(total - 1, int(total * 0.99))] * 1e3,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Group commit vs per-commit fsync
+# ---------------------------------------------------------------------------
+
+
+def run_committers(group_commit: bool) -> dict:
+    """COMMITTERS threads, COMMITS_PER_THREAD single-insert txns each."""
+    tmp = tempfile.mkdtemp(prefix="bench_c12_")
+    try:
+        path = os.path.join(tmp, "bench.db")
+        db = GeographicDatabase("bench", pager=FilePager(path))
+        db.register_schema(build_mix_schema())
+        wal = db.attach_wal(
+            WriteAheadLog.open(path + ".wal", sync_mode="fsync",
+                               group_commit=group_commit)
+        )
+        start_gate = threading.Barrier(COMMITTERS)
+        errors: list[Exception] = []
+
+        def commit_loop(w):
+            try:
+                start_gate.wait(timeout=60)
+                for i in range(COMMITS_PER_THREAD):
+                    with db.transaction() as txn:
+                        txn.insert(MIX_SCHEMA, MIX_CLASS,
+                                   {"name": f"w{w}:{i}", "size": i},
+                                   oid=f"Feature#w{w}_{i}")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=commit_loop, args=(w,))
+                   for w in range(COMMITTERS)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        elapsed = time.perf_counter() - start
+        assert not errors, f"committer errors: {errors[:3]}"
+        stats = wal.stats()
+        commits = COMMITTERS * COMMITS_PER_THREAD
+        db.close()
+        return {
+            "commits": commits,
+            "cps": commits / elapsed,
+            "fsyncs": stats["fsyncs"],
+            "group_commits": stats["group_commits"],
+            "group_batches": stats["group_commit_batches"],
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# The experiment
+# ---------------------------------------------------------------------------
+
+
+def test_c12_serving(capsys):
+    serving = [run_serving(n) for n in CLIENT_COUNTS]
+    solo = run_committers(group_commit=False)
+    grouped = run_committers(group_commit=True)
+    speedup = grouped["cps"] / solo["cps"]
+
+    with capsys.disabled():
+        print_header("C12", "serving layer: remote request throughput "
+                            "and WAL group commit")
+        print_table(
+            ["clients", "requests", "req/s", "p50", "p99"],
+            [[r["clients"], r["requests"], f"{r['rps']:.0f}",
+              f"{r['p50_ms']:.2f}ms", f"{r['p99_ms']:.2f}ms"]
+             for r in serving],
+        )
+        print(f"\ngroup commit at {COMMITTERS} committers x "
+              f"{COMMITS_PER_THREAD} txns (fsync WAL, file-backed):")
+        print_table(
+            ["mode", "commits", "commits/s", "fsyncs", "barriers",
+             "batches"],
+            [
+                ["per-commit", solo["commits"], f"{solo['cps']:.0f}",
+                 solo["fsyncs"], "-", "-"],
+                ["grouped", grouped["commits"], f"{grouped['cps']:.0f}",
+                 grouped["fsyncs"], grouped["group_commits"],
+                 grouped["group_batches"]],
+            ],
+        )
+        print(f"\ngrouped/per-commit speedup: {speedup:.2f}x "
+              f"({solo['fsyncs']} syncs collapsed to "
+              f"{grouped['fsyncs']})")
+
+    # every commit must be covered by a batch, whatever the timing
+    assert grouped["group_batches"] == grouped["commits"]
+    if not QUICK:
+        # Acceptance: the barrier sharing must actually pay off.
+        assert speedup >= 1.8, (
+            f"group commit speedup {speedup:.2f}x below the 1.8x gate"
+        )
+        assert grouped["fsyncs"] < solo["fsyncs"]
+
+
+if __name__ == "__main__":
+    class _Capsys:
+        class _Ctx:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        def disabled(self):
+            return self._Ctx()
+
+    test_c12_serving(_Capsys())

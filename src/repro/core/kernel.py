@@ -238,6 +238,12 @@ class GISKernel:
         if event.payload.get("phase") != "commit":
             return
         for session in list(self._sessions.values()):
+            # A session mid-shutdown (another thread flipped _closed but
+            # has not finished detaching) must not have windows reopened
+            # under it — refreshing would re-register interest the close
+            # path just released.
+            if session._closed:
+                continue
             dispatcher = session.dispatcher
             if dispatcher.auto_refresh and dispatcher.interested_in(event):
                 dispatcher._on_mutation(event)

@@ -280,10 +280,14 @@ class GISSession:
         """
         if self._closed:
             return
+        # Flip the flag first: concurrent mutation fan-out (kernel or
+        # server) checks it, so no refresh can reopen a window — and
+        # thereby re-register interest — while we are tearing down.
+        self._closed = True
         for name in list(self.screen.names()):
             self.screen.close(name)
+        self.dispatcher._origins.clear()
         self.kernel._detach(self)
-        self._closed = True
         if self._owns_kernel:
             self.kernel.shutdown()
 

@@ -141,6 +141,33 @@ class SemanticError(LanguageError):
     schema or the interface objects library."""
 
 
+class NetError(ReproError):
+    """Base class for the network serving layer's errors."""
+
+
+class ProtocolError(NetError):
+    """A wire frame violates the framing or contract rules.
+
+    Raised by the frame codec (bad length, checksum mismatch, oversized
+    or non-JSON payload) and by contract validation (unknown request
+    kind, missing or mistyped fields). The server answers with an error
+    frame when it still can, and drops the connection when the stream
+    itself is unreadable.
+    """
+
+
+class NetClientError(NetError):
+    """The server answered a client request with an error frame.
+
+    ``code`` carries the server-side error class name (e.g.
+    ``"SchemaError"``) so callers can branch without string matching.
+    """
+
+    def __init__(self, message: str, code: str | None = None):
+        super().__init__(message)
+        self.code = code
+
+
 class DispatchError(ReproError):
     """The dispatcher received an interaction it cannot route."""
 

@@ -82,6 +82,11 @@ class BufferManager:
         self.stats = BufferStats()
         #: depth of nested no-steal scopes (dirty frames pinned in memory)
         self._no_steal = 0
+        #: called before a dirty frame is written back by eviction; the
+        #: database points this at ``wal.force`` so staged (group-commit)
+        #: log batches reach stable storage before the data pages they
+        #: cover (write-ahead rule)
+        self.pre_steal_hook = None
 
     # -- pager-compatible interface -------------------------------------------
 
@@ -200,6 +205,12 @@ class BufferManager:
         if rec.enabled:
             rec.inc("buffer.evictions")
         if frame.dirty:
+            # The WAL rule: a dirty page may cover a commit whose staged
+            # log batch has not been fsynced yet (group commit); the
+            # hook forces the log durable before the data page can
+            # overtake it to stable storage.
+            if self.pre_steal_hook is not None:
+                self.pre_steal_hook()
             self.pager.write_page(page_no, frame.data)
             self.stats.write_backs += 1
             if rec.enabled:

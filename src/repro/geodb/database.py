@@ -413,6 +413,10 @@ class GeographicDatabase:
         racing commit's records are still pending).
         """
         with self._commit_lock:
+            if self.wal is not None:
+                # WAL rule: staged (group-commit) batches must be on
+                # stable storage before the heap pages they cover.
+                self.wal.force()
             flushed = self.buffer.flush()
             sync = getattr(self.pager, "sync", None)
             if callable(sync):
@@ -546,6 +550,10 @@ class GeographicDatabase:
     def attach_wal(self, wal: WriteAheadLog) -> WriteAheadLog:
         """Route subsequent commits through a write-ahead log."""
         self.wal = wal
+        # WAL rule for group commit: a stolen dirty heap page must never
+        # reach the pager ahead of the (possibly still staged) log batch
+        # that covers it.
+        self.buffer.pre_steal_hook = wal.force
         return wal
 
     @classmethod
@@ -709,12 +717,32 @@ class GeographicDatabase:
 
     # -- commit machinery (called by Transaction) --------------------------
 
-    def _commit_transaction(self, txn: Transaction) -> None:
+    def _commit_transaction(self, txn: Transaction,
+                            wait_durable: bool = True) -> int | None:
+        """Commit ``txn``; returns a WAL durability ticket or ``None``.
+
+        With ``wait_durable=True`` (the default) the call blocks in the
+        WAL's group commit until the transaction's log batch is covered
+        by a barrier, so ``commit()`` keeps its historical meaning:
+        returned means durable. ``wait_durable=False`` returns the
+        ticket instead — the commit is applied and visible but not yet
+        guaranteed on disk until :meth:`WriteAheadLog.wait_durable` is
+        called with the ticket (servers overlap that wait with other
+        work; see :meth:`Transaction.commit`).
+        """
         intents = txn.intents
         rec = obs.RECORDER
+        ticket: int | None = None
         with rec.span("txn.commit", txn=txn.txn_id, intents=len(intents)):
             with self._commit_lock:
-                commit_ts = self._commit_locked(txn, intents, rec)
+                commit_ts, ticket = self._commit_locked(txn, intents, rec)
+            # The durability wait runs *outside* the commit lock: while
+            # this committer waits on the group barrier, other sessions
+            # stage their own commits, and one leader fsyncs for all of
+            # them — commit throughput scales with connection count.
+            if ticket is not None and wait_durable:
+                self.wal.wait_durable(ticket)
+                ticket = None
             # Phase 5: post-commit events for customization/refresh rules.
             # Outside the commit lock: subscribers only ever observe fully
             # committed versions, and refresh fan-out must not extend the
@@ -735,10 +763,15 @@ class GeographicDatabase:
                         session_id=txn.session_id,
                     )
                 )
+        return ticket
 
     def _commit_locked(self, txn: Transaction, intents: list[_Intent],
-                       rec) -> int:
-        """The serialized commit critical section; returns the commit ts."""
+                       rec) -> tuple[int, int | None]:
+        """The serialized commit critical section.
+
+        Returns ``(commit_ts, durability_ticket)``; the ticket is
+        ``None`` when the WAL already ran its barrier inline (group
+        commit off, or no WAL attached)."""
         write_set = frozenset(intent.oid for intent in intents)
         # Phase 0: first-committer-wins validation. Any transaction that
         # committed after our snapshot and wrote one of our oids makes
@@ -806,6 +839,7 @@ class GeographicDatabase:
         if other_snapshots:
             self._seed_write_set(write_set, intents)
         undo: list[Callable[[], None]] = []
+        ticket: int | None = None
         self._mutation_seq += 1
         try:
             with self.buffer.no_steal():
@@ -818,7 +852,15 @@ class GeographicDatabase:
                         else:
                             self._apply_delete(intent, undo)
                     if wal is not None:
-                        wal.log_commit(txn.txn_id, commit_ts=commit_ts)
+                        if getattr(wal, "group_commit", False):
+                            # Pages only — the group barrier runs after
+                            # the commit lock is released (see
+                            # _commit_transaction).
+                            ticket = wal.log_commit_staged(
+                                txn.txn_id, commit_ts=commit_ts
+                            )
+                        else:
+                            wal.log_commit(txn.txn_id, commit_ts=commit_ts)
                 except Exception:
                     # ABORTED must mean "no observable change": roll the
                     # extents, heap, indexes and reference maps back to
@@ -846,7 +888,7 @@ class GeographicDatabase:
                     rec.gauge("mvcc.versions", self._mvcc.total_versions)
         finally:
             self._mutation_seq += 1
-        return commit_ts
+        return commit_ts, ticket
 
     def _conflicting_oids(self, snapshot_ts: int,
                           write_set: frozenset[str]) -> set[str]:

@@ -94,7 +94,8 @@ class Transaction:
 
     __slots__ = ("database", "txn_id", "session_id", "state", "_intents",
                  "snapshot_ts", "_fast", "_chains", "_db_locations",
-                 "_db_extents", "_finalizer", "__weakref__")
+                 "_db_extents", "_finalizer", "_durable_ticket",
+                 "__weakref__")
 
     def __init__(self, database, session_id: str | None = None):
         self.database = database
@@ -102,6 +103,8 @@ class Transaction:
         self.session_id = session_id
         self.state = TxnState.ACTIVE
         self._intents: list[_Intent] = []
+        #: group-commit ticket of a commit(wait_durable=False), until waited
+        self._durable_ticket = None
         #: all reads observe the database as of this commit timestamp
         self.snapshot_ts: int = database._begin_snapshot(self)
         # A transaction abandoned without commit()/abort() must not pin
@@ -307,11 +310,23 @@ class Transaction:
 
     # -- termination -------------------------------------------------------------
 
-    def commit(self) -> None:
+    def commit(self, wait_durable: bool = True) -> None:
+        """Apply the staged intents atomically.
+
+        ``wait_durable=False`` returns as soon as the commit is applied
+        and its log batch is *staged* in the write-ahead log, without
+        waiting for the group-commit barrier; call :meth:`wait_durable`
+        afterwards to block until the batch is on stable storage. The
+        serving layer uses this to overlap one connection's fsync wait
+        with other connections' commits.
+        """
         self._require_active()
         self._fast = False
+        self._durable_ticket = None
         try:
-            self.database._commit_transaction(self)
+            self._durable_ticket = self.database._commit_transaction(
+                self, wait_durable=wait_durable
+            )
         except Exception:
             # Match abort(): an ABORTED transaction holds no staged writes,
             # so staged_value()/intents never report phantom state.
@@ -321,6 +336,18 @@ class Transaction:
             raise
         self.state = TxnState.COMMITTED
         self._finalizer()
+
+    def wait_durable(self) -> None:
+        """Block until a ``commit(wait_durable=False)`` is on disk.
+
+        No-op for a transaction committed with the default blocking
+        commit, without a WAL, or already waited on. Raises
+        :class:`~repro.errors.WALError` if the log was damaged before
+        the batch could be covered by a barrier.
+        """
+        ticket, self._durable_ticket = self._durable_ticket, None
+        if ticket is not None:
+            self.database.wal.wait_durable(ticket)
 
     def abort(self) -> None:
         self._require_active()

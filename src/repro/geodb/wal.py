@@ -35,6 +35,25 @@ that is truncated, fails its checksum, or does not decode ends the scan:
 everything before it is the stable prefix, everything after is a torn
 tail from the crash and is discarded. Only transactions whose ``commit``
 record survives inside that prefix are replayed.
+
+Group commit
+------------
+Commit throughput under many concurrent committers is bounded by the
+fsync, not the page writes. :meth:`WriteAheadLog.log_commit_staged`
+therefore splits the commit barrier in two: under the log lock it
+appends the batch's pages (cheap) and hands back a monotonically
+increasing *ticket*; :meth:`WriteAheadLog.wait_durable` then blocks
+until a barrier covering that ticket has run. The first waiter to find
+undone work becomes the **group leader** — it snapshots the highest
+staged ticket, runs one barrier for every batch staged so far, and
+wakes the whole group. Committers that arrive while a barrier is in
+flight queue up and are covered by the *next* barrier, so the fsync
+count scales with disk latency, not with committer count.
+
+Because batches reach the log pages strictly in ticket order, a crash
+always leaves a *prefix* of whole batches: a barrier covering ticket N
+necessarily made every earlier ticket durable too. Recovery semantics
+are unchanged — the damaged-tail scan applies verbatim.
 """
 
 from __future__ import annotations
@@ -82,12 +101,17 @@ class WriteAheadLog:
         commit barrier pushes the batch toward stable storage.
     """
 
-    def __init__(self, pager: Pager, sync_mode: str = "fsync"):
+    def __init__(self, pager: Pager, sync_mode: str = "fsync",
+                 group_commit: bool = True):
         if sync_mode not in SYNC_MODES:
             raise WALError(f"unknown sync mode {sync_mode!r}; "
                            f"expected one of {SYNC_MODES}")
         self.pager = pager
         self.sync_mode = sync_mode
+        #: when True the database stages commits via
+        #: :meth:`log_commit_staged` and groups their barriers through
+        #: :meth:`wait_durable`; False forces one barrier per commit.
+        self.group_commit = group_commit
         # Serializes buffering, batch flushes and checkpoints so commits
         # from concurrent sessions append whole batches in order (the log
         # tail — allocate_page + write_page — is not atomic by itself).
@@ -102,12 +126,26 @@ class WriteAheadLog:
         self.flushes = 0
         self.fsyncs = 0
         self.recovered_txns = 0
+        # -- group-commit state (guarded by _group_cond's lock) ---------
+        self._group_cond = threading.Condition()
+        #: highest ticket whose pages are written (in ticket order)
+        self._staged_ticket = 0
+        #: highest ticket covered by a completed barrier
+        self._durable_ticket = 0
+        #: True while one leader's barrier is in flight
+        self._flushing = False
+        #: barriers run through wait_durable
+        self.group_commits = 0
+        #: batches made durable through those barriers
+        self.group_commit_batches = 0
 
     @classmethod
     def open(cls, path: str, page_size: int = PAGE_SIZE,
-             sync_mode: str = "fsync") -> "WriteAheadLog":
+             sync_mode: str = "fsync",
+             group_commit: bool = True) -> "WriteAheadLog":
         """Open (or create) a file-backed log at ``path``."""
-        return cls(FilePager(path, page_size=page_size), sync_mode=sync_mode)
+        return cls(FilePager(path, page_size=page_size), sync_mode=sync_mode,
+                   group_commit=group_commit)
 
     # -- logging ---------------------------------------------------------------
 
@@ -142,23 +180,120 @@ class WriteAheadLog:
         pushes it down with a single barrier. Raises (and marks the log
         damaged) if the underlying pager fails part-way.
         """
-        doc: dict[str, Any] = {"t": REC_COMMIT, "txn": txn_id}
-        if commit_ts is not None:
-            doc["ts"] = commit_ts
         with self._lock:
-            self._buffer(txn_id, doc)
-            frames = self._pending.pop(txn_id)
-            blob = b"".join(frames)
+            self._stage_batch(txn_id, commit_ts)
             try:
-                size = self.pager.page_size
-                for start in range(0, len(blob), size):
-                    page_no = self.pager.allocate_page()
-                    self.pager.write_page(page_no, blob[start:start + size])
                 self._barrier()
             except Exception:
                 self.damaged = True
                 raise
-            self.flushes += 1
+            # The inline barrier covered every staged batch, including
+            # any a concurrent staged committer wrote before us; let
+            # their wait_durable return without a second barrier.
+            with self._group_cond:
+                self._durable_ticket = max(self._durable_ticket,
+                                           self._staged_ticket)
+                self._group_cond.notify_all()
+
+    def log_commit_staged(self, txn_id: int,
+                          commit_ts: int | None = None) -> int:
+        """Append the transaction's batch to the log pages *without* a
+        barrier; returns the durability ticket for :meth:`wait_durable`.
+
+        The page writes run under the log lock, so batches land in
+        strictly increasing ticket order — the prefix property group
+        commit's crash semantics rest on. The batch is **not durable**
+        until a barrier covering the returned ticket has completed.
+        """
+        with self._lock:
+            self._stage_batch(txn_id, commit_ts)
+            with self._group_cond:
+                self._staged_ticket += 1
+                return self._staged_ticket
+
+    def _stage_batch(self, txn_id: int, commit_ts: int | None) -> None:
+        """Write one commit's batch onto fresh log pages (caller locks)."""
+        doc: dict[str, Any] = {"t": REC_COMMIT, "txn": txn_id}
+        if commit_ts is not None:
+            doc["ts"] = commit_ts
+        self._buffer(txn_id, doc)
+        frames = self._pending.pop(txn_id)
+        blob = b"".join(frames)
+        try:
+            size = self.pager.page_size
+            for start in range(0, len(blob), size):
+                page_no = self.pager.allocate_page()
+                self.pager.write_page(page_no, blob[start:start + size])
+        except Exception:
+            self.damaged = True
+            raise
+        self.flushes += 1
+
+    def wait_durable(self, ticket: int) -> None:
+        """Block until a barrier has covered ``ticket`` (group commit).
+
+        The first waiter to find its ticket uncovered while no barrier
+        is in flight becomes the leader: it snapshots the highest staged
+        ticket, runs one barrier outside the condition lock, and wakes
+        every waiter at or below that ticket. Waiters arriving during a
+        barrier sleep until it finishes, then elect the next leader —
+        so any number of concurrent committers cost at most two
+        barriers per disk round-trip.
+        """
+        rec = obs.RECORDER
+        with self._group_cond:
+            while True:
+                if self.damaged:
+                    raise WALError(
+                        "write-ahead log is damaged (a flush failed "
+                        "part-way); staged commits may not be durable — "
+                        "reopen and recover the database"
+                    )
+                if self._durable_ticket >= ticket:
+                    return
+                if not self._flushing:
+                    self._flushing = True
+                    target = self._staged_ticket
+                    break
+                self._group_cond.wait()
+        try:
+            self._barrier()
+        except Exception:
+            with self._group_cond:
+                self.damaged = True
+                self._flushing = False
+                self._group_cond.notify_all()
+            raise
+        with self._group_cond:
+            self._flushing = False
+            covered = target - self._durable_ticket
+            self._durable_ticket = max(self._durable_ticket, target)
+            self.group_commits += 1
+            self.group_commit_batches += max(covered, 0)
+            self._group_cond.notify_all()
+        if rec.enabled:
+            rec.inc("wal.group_commits")
+            rec.observe("wal.group_size", max(covered, 1))
+
+    def force(self) -> None:
+        """Make every staged batch durable (the WAL rule helper).
+
+        The buffer manager calls this before writing a dirty data page
+        back to the heap pager, and :meth:`GeographicDatabase.checkpoint`
+        before flushing the pool — log records must reach stable storage
+        before any data page they cover.
+        """
+        with self._group_cond:
+            if self.damaged:
+                # A damaged tail is refused by further commits and
+                # truncated by the next checkpoint; there is nothing
+                # left worth forcing (and recovery's own checkpoint
+                # must not trip over it).
+                return
+            ticket = self._staged_ticket
+            if self._durable_ticket >= ticket:
+                return
+        self.wait_durable(ticket)
 
     def log_abort(self, txn_id: int) -> None:
         """Drop a transaction's buffered records; nothing reaches the log."""
@@ -268,6 +403,9 @@ class WriteAheadLog:
             "pending_txns": len(self._pending),
             "recovered_txns": self.recovered_txns,
             "damaged": self.damaged,
+            "group_commit": self.group_commit,
+            "group_commits": self.group_commits,
+            "group_commit_batches": self.group_commit_batches,
         }
 
     def close(self) -> None:

@@ -1,0 +1,32 @@
+"""The network serving layer: one kernel, many remote clients.
+
+The paper's architecture has one active DBMS driving many interactive
+users; this package is the transport that makes "many users" literal
+processes on other machines instead of threads in one. It layers:
+
+* :mod:`repro.net.protocol` — length-prefixed, CRC-checked JSON frames;
+* :mod:`repro.net.contracts` — typed request/response/push envelopes;
+* :mod:`repro.net.router` — requests → kernel/session operations;
+* :mod:`repro.net.server` — the asyncio TCP daemon + thread host;
+* :mod:`repro.net.client` — a small synchronous client.
+
+See ``docs/SERVING.md`` for the wire specification.
+"""
+
+from .client import GISClient
+from .contracts import PROTOCOL_VERSION
+from .protocol import MAX_FRAME, FrameDecoder, encode_frame
+from .router import ClientState, Router
+from .server import GISServer, ServerThread
+
+__all__ = [
+    "GISClient",
+    "GISServer",
+    "ServerThread",
+    "Router",
+    "ClientState",
+    "FrameDecoder",
+    "encode_frame",
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+]

@@ -1,0 +1,149 @@
+"""The wire protocol: length-prefixed, checksummed JSON frames.
+
+One frame is one message — a request, a response, or a server push. The
+layout mirrors the WAL's record framing (the other place this codebase
+already survives torn byte streams)::
+
+    [4-byte payload length, big-endian]
+    [4-byte CRC32 of the payload, big-endian]
+    [payload: UTF-8 JSON object]
+
+Rules the codec enforces on both sides:
+
+* the length must be between 1 and :data:`MAX_FRAME` — a zero length or
+  an absurd one means the stream is desynchronized or hostile, and the
+  connection must be dropped rather than the peer waiting forever on a
+  body that never comes;
+* the CRC must match — a torn or bit-flipped frame is detected before
+  JSON parsing ever sees it;
+* the payload must decode to a JSON **object** (the envelope carries
+  the routing fields; scalars and arrays have nowhere to put them).
+
+Every violation raises :class:`~repro.errors.ProtocolError` with a
+message naming the rule broken; the server's fault-injection suite
+asserts each one surfaces as an error frame or a clean disconnect, never
+as a hang or corrupted kernel state.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any
+
+from ..errors import ProtocolError
+
+#: frame header: payload length + CRC32, both 4-byte big-endian
+HEADER = struct.Struct(">II")
+
+#: refuse frames larger than this (a length prefix of e.g. 2**31 would
+#: otherwise make the reader wait on — or allocate — gigabytes)
+MAX_FRAME = 4 * 1024 * 1024
+
+
+def encode_frame(doc: dict[str, Any]) -> bytes:
+    """Serialize one message into its wire frame."""
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(doc).__name__}"
+        )
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte limit"
+        )
+    return HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def decode_payload(payload: bytes, crc: int) -> dict[str, Any]:
+    """Validate and parse one frame body (header already consumed)."""
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise ProtocolError("frame checksum mismatch (torn or corrupt frame)")
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def check_length(length: int) -> int:
+    """Validate a header's payload length before reading the body."""
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME}-byte limit"
+        )
+    return length
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream of frames.
+
+    Feed it whatever chunks arrive; it yields complete messages and
+    keeps partial frames buffered. The sync client uses it over a plain
+    socket; tests use it to decode captured streams.
+
+    Raises :class:`~repro.errors.ProtocolError` as soon as the buffered
+    prefix is provably invalid (bad length, bad CRC, bad JSON) — the
+    stream cannot be resynchronized after that and must be closed.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Consume a chunk; returns every message it completed."""
+        self._buffer.extend(data)
+        out: list[dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return out
+            length, crc = HEADER.unpack_from(self._buffer)
+            check_length(length)
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                return out
+            payload = bytes(self._buffer[HEADER.size:end])
+            del self._buffer[:end]
+            out.append(decode_payload(payload, crc))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+
+async def read_frame(reader) -> dict[str, Any] | None:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean EOF at a frame boundary. A connection
+    cut mid-frame raises :class:`~repro.errors.ProtocolError` (the
+    server treats both as a disconnect, but tells them apart in its
+    metrics).
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)}/8 bytes)"
+        ) from exc
+    length, crc = HEADER.unpack(header)
+    check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_payload(payload, crc)

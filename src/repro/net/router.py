@@ -1,0 +1,353 @@
+"""The request router: frames in, kernel operations out.
+
+One :class:`Router` serves every connection of a
+:class:`~repro.net.server.GISServer`. It owns no sockets and no event
+loop — it is a plain synchronous object mapping one validated request
+document to one response document, so the whole dispatch surface is
+testable without networking.
+
+Per-connection state lives in :class:`ClientState`: the sessions the
+connection opened (a remote client may hold several, mirroring a user
+with several windowsets) and its mutation-push subscriptions. The
+server guarantees one connection's requests are handled serially, so
+``ClientState`` needs no locking; the kernel and database underneath
+are shared across connections and rely on their own synchronization.
+
+Error policy: every :class:`~repro.errors.ReproError` raised while
+handling a request becomes an ``ok: false`` response whose ``code`` is
+the error class name — the connection survives, because a rejected
+request leaves the kernel untouched (contract validation runs first,
+and database mutations are transactional). Only stream-level framing
+errors cost the client its connection (see ``server.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .. import obs
+from ..errors import ProtocolError, ReproError, SessionError
+from ..core.kernel import GISKernel
+from ..core.session import GISSession
+from . import contracts
+from .contracts import make_response
+
+#: subscription wildcard: push every committed mutation
+ALL_CLASSES = "*"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of a result structure to JSON-safe types.
+
+    Stats and scene dictionaries are mostly scalars already; anything
+    exotic (geometries in projected rows, enum members) degrades to its
+    ``str()`` form rather than failing the whole response.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class ClientState:
+    """Everything the server remembers about one connection."""
+
+    __slots__ = ("conn_id", "sessions", "subscriptions", "peer")
+
+    def __init__(self, conn_id: int, peer: str = "?"):
+        self.conn_id = conn_id
+        self.peer = peer
+        #: session_id -> the GISSession this connection opened
+        self.sessions: dict[str, GISSession] = {}
+        #: class names whose committed mutations this connection wants
+        #: pushed (may contain :data:`ALL_CLASSES`)
+        self.subscriptions: set[str] = set()
+
+    def close_sessions(self) -> int:
+        """Shut down every session this connection still holds.
+
+        Idempotent (``GISSession.shutdown`` is); used both by the
+        ``close_session`` request and by the disconnect path, in either
+        order. Returns the number of sessions that were still open.
+        """
+        closed = 0
+        for session in list(self.sessions.values()):
+            if not session._closed:
+                closed += 1
+            session.shutdown()
+        self.sessions.clear()
+        return closed
+
+
+class Router:
+    """Maps validated request documents onto kernel/session operations."""
+
+    def __init__(self, kernel: GISKernel, server_name: str = "repro"):
+        self.kernel = kernel
+        self.server_name = server_name
+        self._handlers: dict[str, Callable] = {
+            "hello": self._handle_hello,
+            "open_session": self._handle_open_session,
+            "close_session": self._handle_close_session,
+            "event": self._handle_event,
+            "query": self._handle_query,
+            "render": self._handle_render,
+            "scene": self._handle_scene,
+            "txn": self._handle_txn,
+            "subscribe": self._handle_subscribe,
+            "unsubscribe": self._handle_unsubscribe,
+            "stats": self._handle_stats,
+            "ping": self._handle_ping,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, state: ClientState, doc: dict[str, Any]
+               ) -> dict[str, Any]:
+        """Validate and execute one request; always returns a response.
+
+        Never raises for request-level problems — those become error
+        responses. (A bug in a handler itself would propagate, which the
+        server turns into a disconnect rather than masking it.)
+        """
+        request_id = doc.get("id") if isinstance(doc.get("id"), int) else None
+        try:
+            contracts.validate_request(doc)
+        except ProtocolError as exc:
+            return contracts.make_error(request_id, str(exc),
+                                        type(exc).__name__)
+        kind = doc["kind"]
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.inc("net.requests", kind=kind)
+        try:
+            return self._handlers[kind](state, doc)
+        except ReproError as exc:
+            return contracts.make_error(doc["id"], str(exc),
+                                        type(exc).__name__)
+
+    def _session(self, state: ClientState, doc: dict[str, Any]) -> GISSession:
+        session = state.sessions.get(doc["session"])
+        if session is None:
+            raise SessionError(
+                f"this connection has no open session {doc['session']!r}"
+            )
+        return session
+
+    # ------------------------------------------------------------------
+    # Handlers (one per request kind)
+    # ------------------------------------------------------------------
+
+    def _handle_hello(self, state: ClientState, doc: dict) -> dict:
+        return make_response(
+            doc["id"],
+            server=self.server_name,
+            database=self.kernel.database.name,
+            protocol=contracts.PROTOCOL_VERSION,
+            schemas=self.kernel.database.schema_names(),
+        )
+
+    def _handle_open_session(self, state: ClientState, doc: dict) -> dict:
+        session = self.kernel.session(
+            user=doc.get("user"),
+            category=doc.get("category"),
+            application=doc.get("application"),
+            scale_denominator=doc.get("scale_denominator"),
+            time_tag=doc.get("time_tag"),
+            auto_refresh=bool(doc.get("auto_refresh", False)),
+        )
+        state.sessions[session.session_id] = session
+        return make_response(doc["id"], session=session.session_id)
+
+    def _handle_close_session(self, state: ClientState, doc: dict) -> dict:
+        session = state.sessions.pop(doc["session"], None)
+        if session is None:
+            # closing twice is legal: the disconnect path may have won
+            return make_response(doc["id"], closed=False)
+        was_open = not session._closed
+        session.shutdown()
+        return make_response(doc["id"], closed=was_open)
+
+    def _handle_event(self, state: ClientState, doc: dict) -> dict:
+        session = self._session(state, doc)
+        op = doc["op"]
+        if op == "open_schema":
+            window = session.connect(doc["schema"])
+            return make_response(doc["id"], window=window.name,
+                                 visible=window.visible)
+        if op == "select_class":
+            window = session.select_class(doc["name"])
+            return make_response(doc["id"], window=window.name,
+                                 visible=window.visible)
+        if op == "select_instance":
+            window = session.select_instance(doc["oid"], doc.get("class"))
+            return make_response(doc["id"], window=window.name,
+                                 visible=window.visible)
+        if op == "pick":
+            oid = session.pick_on_map(doc["class"], doc["col"], doc["row"])
+            return make_response(doc["id"], oid=oid)
+        # op == "close_window" (the contract already rejected anything else)
+        session.close(doc["window"])
+        return make_response(doc["id"], window=doc["window"])
+
+    def _handle_query(self, state: ClientState, doc: dict) -> dict:
+        result = self.kernel.query(
+            doc["schema"], doc["text"],
+            use_cache=bool(doc.get("use_cache", True)),
+        )
+        report = result.report
+        return make_response(
+            doc["id"],
+            oids=result.oids(),
+            count=len(result),
+            rows=_jsonable(result.rows) if result.rows is not None else None,
+            plan=report.get("plan"),
+            cache=report.get("cache"),
+        )
+
+    def _handle_render(self, state: ClientState, doc: dict) -> dict:
+        session = self._session(state, doc)
+        return make_response(doc["id"],
+                             text=session.render(doc.get("window")))
+
+    def _handle_scene(self, state: ClientState, doc: dict) -> dict:
+        session = self._session(state, doc)
+        return make_response(doc["id"], windows=_jsonable(session.scene()))
+
+    def _handle_txn(self, state: ClientState, doc: dict) -> dict:
+        """Apply one mutation batch as a single transaction.
+
+        Wire values arrive in each attribute type's JSON encoding (the
+        same one the WAL uses) and are decoded against the schema before
+        staging. The commit itself is staged-only
+        (``wait_durable=False``); the caller — normally the server's
+        executor — is responsible for :func:`wait` before answering, so
+        concurrent connections' fsyncs collapse into one group barrier.
+        """
+        session = None
+        if doc.get("session") is not None:
+            session = self._session(state, doc)
+        wait = bool(doc.get("wait_durable", True))
+        txn = self.kernel.transaction(session)
+        oids: list[str] = []
+        try:
+            for entry in doc["ops"]:
+                op = entry["op"]
+                if op == "insert":
+                    values = self._decode_values(
+                        entry["schema"], entry["class"], entry["values"]
+                    )
+                    oids.append(txn.insert(
+                        entry["schema"], entry["class"], values,
+                        oid=entry.get("oid"),
+                    ))
+                elif op == "update":
+                    location = self.kernel.database.locate_object(
+                        entry["oid"]
+                    )
+                    if location is None:
+                        # let txn.update raise its canonical error
+                        txn.update(entry["oid"], entry["changes"])
+                    changes = self._decode_values(
+                        location[0], location[1], entry["changes"]
+                    )
+                    txn.update(entry["oid"], changes)
+                else:
+                    txn.delete(entry["oid"])
+            txn.commit(wait_durable=False)
+        except Exception:
+            if txn.state.name == "ACTIVE":
+                txn.abort()
+            raise
+        response = make_response(doc["id"], committed=True, oids=oids)
+        if wait:
+            # hand the barrier wait back to the caller so it can happen
+            # off the event loop; see GISServer._process
+            response["_wait_durable"] = txn.wait_durable
+        return response
+
+    def _decode_values(self, schema_name: str, class_name: str,
+                       raw: dict[str, Any]) -> dict[str, Any]:
+        schema = self.kernel.database.get_schema_object(schema_name)
+        attrs = {
+            a.name: a for a in schema.effective_attributes(class_name)
+        }
+        decoded = {}
+        for name, value in raw.items():
+            attr = attrs.get(name)
+            if value is None or attr is None:
+                # unknown attribute: pass through so the transaction
+                # layer raises its canonical SchemaError
+                decoded[name] = value
+            else:
+                decoded[name] = attr.type.decode(value)
+        return decoded
+
+    def _handle_subscribe(self, state: ClientState, doc: dict) -> dict:
+        classes = doc["classes"]
+        for name in classes:
+            if not isinstance(name, str):
+                raise ProtocolError("'subscribe' classes must be strings")
+        state.subscriptions.update(classes)
+        return make_response(doc["id"],
+                             subscribed=sorted(state.subscriptions))
+
+    def _handle_unsubscribe(self, state: ClientState, doc: dict) -> dict:
+        classes = doc.get("classes")
+        if classes is None:
+            state.subscriptions.clear()
+        else:
+            state.subscriptions.difference_update(classes)
+        return make_response(doc["id"],
+                             subscribed=sorted(state.subscriptions))
+
+    def _handle_stats(self, state: ClientState, doc: dict) -> dict:
+        return make_response(doc["id"], kernel=_jsonable(self.kernel.stats()))
+
+    def _handle_ping(self, state: ClientState, doc: dict) -> dict:
+        return make_response(doc["id"], pong=True)
+
+    # ------------------------------------------------------------------
+    # Push fan-out
+    # ------------------------------------------------------------------
+
+    def pushes_for(self, state: ClientState, event) -> list[dict[str, Any]]:
+        """The push frames a committed mutation owes this connection.
+
+        A connection hears about a mutation through either channel:
+
+        * an explicit class subscription (``subscribe``), or
+        * a session it holds whose dispatcher is *interested* — the same
+          ``auto_refresh`` + open-window test the kernel's in-process
+          fan-out uses, so remote clients see exactly the refreshes a
+          local screen would.
+        """
+        touched = event.payload.get("class")
+        reasons = []
+        if (ALL_CLASSES in state.subscriptions
+                or touched in state.subscriptions):
+            reasons.append("subscription")
+        interested = [
+            sid for sid, session in state.sessions.items()
+            if not session._closed
+            and session.dispatcher.auto_refresh
+            and session.dispatcher.interested_in(event)
+        ]
+        if interested:
+            reasons.append("interest")
+        if not reasons:
+            return []
+        return [contracts.make_push(
+            "mutation",
+            kind=event.kind.value,
+            **{"class": touched},
+            oid=event.subject,
+            session=event.session_id,
+            sessions=interested,
+            reason=reasons[0],
+        )]

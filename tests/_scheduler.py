@@ -18,6 +18,8 @@ script
                                # classic lost-update probe; reads as 0
                                # when the object was never read/absent)
         ("commit",)            # terminal
+        ("commit_stage",)      # two-phase: apply + stage the WAL batch
+        ("commit_wait",)       # two-phase: wait on the group barrier
         ("abort",)             # terminal
 
 schedule
@@ -98,6 +100,14 @@ class MVCCBackend:
     def commit(self, txn) -> None:
         txn.commit()
 
+    def commit_stage(self, txn) -> None:
+        """Phase one of a group commit: apply and stage, don't wait."""
+        txn.commit(wait_durable=False)
+
+    def commit_wait(self, txn) -> None:
+        """Phase two: block until the staged batch's barrier has run."""
+        txn.wait_durable()
+
     def abort(self, txn) -> None:
         txn.abort()
 
@@ -130,6 +140,12 @@ class BrokenBackend:
         self.state[oid] = value
 
     def commit(self, txn) -> None:
+        pass
+
+    def commit_stage(self, txn) -> None:
+        pass
+
+    def commit_wait(self, txn) -> None:
         pass
 
     def abort(self, txn) -> None:
@@ -232,6 +248,23 @@ def run_schedule(backend, scripts: Sequence[Sequence[tuple]],
                 run.outcome = "conflict"
             else:
                 run.outcome = "committed"
+        elif kind == "commit_stage":
+            # Two-phase commit, phase one: conflicts surface here (the
+            # commit validates and applies); success leaves the script
+            # alive so a later commit_wait can join a group barrier.
+            run.end_seq = seq
+            try:
+                backend.commit_stage(txns[index])
+            except backend.conflict_errors:
+                run.outcome = "conflict"
+        elif kind == "commit_wait":
+            # The *commit point* (visibility to later snapshots) is the
+            # stage; the wait only adds durability. Keep end_seq at the
+            # stage seq so the isolation oracles window on visibility.
+            if run.end_seq is None:
+                run.end_seq = seq
+            backend.commit_wait(txns[index])
+            run.outcome = "committed"
         elif kind == "abort":
             run.end_seq = seq
             backend.abort(txns[index])

@@ -1,0 +1,428 @@
+"""WAL group commit: deterministic interleavings, accounting, crashes.
+
+Three layers of assurance:
+
+1. **Deterministic schedules** (via ``tests/_scheduler.py``): the commit
+   is split into ``commit_stage`` / ``commit_wait`` scheduler ops, so a
+   single-threaded schedule can stage any number of transactions before
+   the first waiter runs — the group formation is exact, not a race.
+   Every isolation oracle holds across the full interleaving matrix,
+   plus a durability oracle: replaying the WAL into a fresh database
+   reproduces exactly the committed transactions.
+2. **Real concurrency**: N threads committing together must produce
+   fewer barriers than commits (the whole point), every commit durable.
+3. **Crashes**: a crash while a group is staged recovers to a prefix of
+   *whole* transactions; a failed barrier damages the log for every
+   waiter, not just the leader.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import CrashError, WALError
+from repro.geodb import (
+    FaultInjectingPager,
+    GeographicDatabase,
+    MemoryPager,
+    WriteAheadLog,
+)
+from repro.workloads import build_mix_schema
+from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA
+
+from ._scheduler import (
+    QUICK,
+    MVCCBackend,
+    check_all,
+    interleavings,
+    run_schedule,
+    seeded_schedules,
+)
+
+
+class GroupCommitBackend(MVCCBackend):
+    """The scheduler's MVCC backend with a group-commit WAL attached."""
+
+    def __init__(self, initial=None):
+        super().__init__(initial)
+        self.wal_pager = MemoryPager()
+        self.wal = self.db.attach_wal(
+            WriteAheadLog(self.wal_pager, sync_mode="none",
+                          group_commit=True)
+        )
+
+
+def check_wal_replay(result, backend, oids):
+    """Durability oracle: a fresh database recovering from the log must
+    land on exactly the backend's committed state."""
+    fresh = MVCCBackend(result.initial)
+    fresh.db.attach_wal(WriteAheadLog(backend.wal_pager,
+                                      sync_mode="none"))
+    fresh.db.recover()
+    for oid in oids:
+        assert fresh.committed_value(oid) == backend.committed_value(oid), (
+            f"replayed state diverges on {oid} — {result.describe()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic group formation
+# ---------------------------------------------------------------------------
+
+
+STAGE_THEN_WAIT = [("write", "a", 1), ("commit_stage",), ("commit_wait",)]
+
+
+class TestDeterministicGrouping:
+    def test_two_staged_commits_share_one_barrier(self):
+        backend = GroupCommitBackend()
+        scripts = [
+            [("write", "a", 1), ("commit_stage",), ("commit_wait",)],
+            [("write", "b", 2), ("commit_stage",), ("commit_wait",)],
+        ]
+        # stage both, then let T0's wait lead a barrier covering both
+        result = run_schedule(backend, scripts,
+                              (0, 1, 0, 1, 0, 1))
+        assert [r.outcome for r in result.runs] == ["committed"] * 2
+        stats = backend.wal.stats()
+        assert stats["group_commits"] == 1
+        assert stats["group_commit_batches"] == 2
+        check_wal_replay(result, backend, ["a", "b"])
+
+    def test_serial_commits_get_one_barrier_each(self):
+        backend = GroupCommitBackend()
+        scripts = [
+            [("write", "a", 1), ("commit_stage",), ("commit_wait",)],
+            [("write", "b", 2), ("commit_stage",), ("commit_wait",)],
+        ]
+        result = run_schedule(backend, scripts,
+                              (0, 0, 0, 1, 1, 1))
+        assert [r.outcome for r in result.runs] == ["committed"] * 2
+        stats = backend.wal.stats()
+        assert stats["group_commits"] == 2
+        assert stats["group_commit_batches"] == 2
+        check_wal_replay(result, backend, ["a", "b"])
+
+    def test_five_way_group_is_one_barrier(self):
+        backend = GroupCommitBackend()
+        scripts = [
+            [("write", f"k{i}", i), ("commit_stage",), ("commit_wait",)]
+            for i in range(5)
+        ]
+        # all five stage before anyone waits
+        schedule = tuple(i for i in range(5) for _ in range(2)) + tuple(
+            range(5)
+        )
+        result = run_schedule(backend, scripts, schedule)
+        assert all(r.outcome == "committed" for r in result.runs)
+        stats = backend.wal.stats()
+        assert stats["group_commits"] == 1
+        assert stats["group_commit_batches"] == 5
+        check_wal_replay(result, backend, [f"k{i}" for i in range(5)])
+
+    def test_conflicting_commit_stages_no_batch(self):
+        backend = GroupCommitBackend(initial={"a": 0})
+        scripts = [
+            [("read", "a"), ("write_incr", "a"), ("commit_stage",),
+             ("commit_wait",)],
+            [("read", "a"), ("write_incr", "a"), ("commit_stage",),
+             ("commit_wait",)],
+        ]
+        # both read, both increment, both try to stage: second loses
+        result = run_schedule(backend, scripts,
+                              (0, 1, 0, 1, 0, 1, 0, 1),
+                              initial={"a": 0})
+        outcomes = sorted(r.outcome for r in result.runs)
+        assert outcomes == ["committed", "conflict"]
+        stats = backend.wal.stats()
+        assert stats["group_commit_batches"] == 1  # loser staged nothing
+        assert backend.committed_value("a") == 1
+        check_wal_replay(result, backend, ["a"])
+
+
+class TestInterleavingMatrix:
+    """Every interleaving of two two-phase committers upholds the
+    isolation oracles, the WAL accounting invariants, and replayability.
+    """
+
+    SCRIPTS = [
+        [("read", "a"), ("write_incr", "a"), ("commit_stage",),
+         ("commit_wait",)],
+        [("read", "b"), ("write_incr", "b"), ("commit_stage",),
+         ("commit_wait",)],
+    ]
+    CONTENDED = [
+        [("read", "a"), ("write_incr", "a"), ("commit_stage",),
+         ("commit_wait",)],
+        [("read", "a"), ("write_incr", "a"), ("commit_stage",),
+         ("commit_wait",)],
+    ]
+
+    def _schedules(self):
+        lengths = [len(s) for s in self.SCRIPTS]
+        if QUICK:
+            return seeded_schedules(lengths, 25, seed=421)
+        return list(interleavings(lengths))
+
+    @staticmethod
+    def _check_accounting(result, backend):
+        committed = len(result.committed())
+        stats = backend.wal.stats()
+        assert stats["group_commit_batches"] == committed
+        if committed:
+            assert 1 <= stats["group_commits"] <= committed
+        # nothing staged may be left uncovered once every script ended
+        backend.wal.force()
+        assert backend.wal.stats()["group_commits"] == \
+            stats["group_commits"], "force() found uncovered batches"
+
+    def test_disjoint_writers_all_interleavings(self):
+        for schedule in self._schedules():
+            backend = GroupCommitBackend(initial={"a": 0, "b": 0})
+            result = run_schedule(backend, self.SCRIPTS, schedule,
+                                  initial={"a": 0, "b": 0})
+            assert all(r.outcome == "committed" for r in result.runs), (
+                result.describe()
+            )
+            check_all(result)
+            self._check_accounting(result, backend)
+            check_wal_replay(result, backend, ["a", "b"])
+
+    def test_contended_writers_all_interleavings(self):
+        for schedule in self._schedules():
+            backend = GroupCommitBackend(initial={"a": 0})
+            result = run_schedule(backend, self.CONTENDED, schedule,
+                                  initial={"a": 0})
+            check_all(result)
+            self._check_accounting(result, backend)
+            check_wal_replay(result, backend, ["a"])
+
+    def test_three_writers_sampled_schedules(self):
+        scripts = [
+            [("read", "a"), ("write_incr", "a"), ("commit_stage",),
+             ("commit_wait",)],
+            [("read", "b"), ("write_incr", "b"), ("commit_stage",),
+             ("commit_wait",)],
+            [("read", "a"), ("write_incr", "a"), ("commit_stage",),
+             ("commit_wait",)],
+        ]
+        lengths = [len(s) for s in scripts]
+        count = 40 if QUICK else 200
+        for schedule in seeded_schedules(lengths, count, seed=97):
+            backend = GroupCommitBackend(initial={"a": 0, "b": 0})
+            result = run_schedule(backend, scripts, schedule,
+                                  initial={"a": 0, "b": 0})
+            check_all(result)
+            self._check_accounting(result, backend)
+            check_wal_replay(result, backend, ["a", "b"])
+
+
+# ---------------------------------------------------------------------------
+# Real concurrency: barriers must be shared
+# ---------------------------------------------------------------------------
+
+
+def _threaded_db():
+    db = GeographicDatabase("grp", pager=MemoryPager(), buffer_capacity=64)
+    db.register_schema(build_mix_schema())
+    wal = db.attach_wal(WriteAheadLog(MemoryPager(), sync_mode="fsync",
+                                      group_commit=True))
+    return db, wal
+
+
+class TestConcurrentCommitters:
+    def test_concurrent_commits_share_barriers(self):
+        db, wal = _threaded_db()
+        committers = 16
+        start = threading.Barrier(committers)
+        errors = []
+
+        def commit_one(i):
+            try:
+                start.wait(timeout=30)
+                with db.transaction() as txn:
+                    txn.insert(MIX_SCHEMA, MIX_CLASS,
+                               {"name": f"c{i}", "size": i},
+                               oid=f"Feature#c{i}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=commit_one, args=(i,))
+                   for i in range(committers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        stats = wal.stats()
+        assert stats["group_commit_batches"] == committers
+        assert stats["group_commits"] <= committers
+        # every commit is durable: a fresh db replays all sixteen
+        fresh = GeographicDatabase("grp2", pager=MemoryPager(),
+                                   buffer_capacity=64)
+        fresh.register_schema(build_mix_schema())
+        fresh.attach_wal(WriteAheadLog(wal.pager, sync_mode="none"))
+        fresh.recover()
+        for i in range(committers):
+            assert fresh.get_object(f"Feature#c{i}").get("size") == i
+
+    def test_wait_durable_is_idempotent(self):
+        db, wal = _threaded_db()
+        txn = db.transaction()
+        txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": "x", "size": 1})
+        txn.commit(wait_durable=False)
+        txn.wait_durable()
+        barriers = wal.stats()["group_commits"]
+        txn.wait_durable()      # second wait is a no-op
+        txn.wait_durable()
+        assert wal.stats()["group_commits"] == barriers
+
+    def test_blocking_commit_still_works_with_grouping_disabled(self):
+        db = GeographicDatabase("nogrp", pager=MemoryPager())
+        db.register_schema(build_mix_schema())
+        wal = db.attach_wal(WriteAheadLog(MemoryPager(), sync_mode="fsync",
+                                          group_commit=False))
+        db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "x", "size": 1})
+        db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "y", "size": 2})
+        stats = wal.stats()
+        assert stats["group_commits"] == 0      # classic path, no tickets
+        assert stats["fsyncs"] == 2             # one barrier per commit
+
+
+# ---------------------------------------------------------------------------
+# Failure: a broken barrier poisons the whole group
+# ---------------------------------------------------------------------------
+
+
+class _FailingSyncPager:
+    """MemoryPager whose sync() can be armed to raise — the barrier
+    itself fails while every page write succeeded."""
+
+    def __init__(self):
+        self.inner = MemoryPager()
+        self.fail_sync = False
+        self.page_size = self.inner.page_size
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def sync(self):
+        if self.fail_sync:
+            raise OSError("simulated fsync failure")
+        sync = getattr(self.inner, "sync", None)
+        if callable(sync):
+            sync()
+
+
+class TestBarrierFailure:
+    def test_failed_barrier_damages_log_for_every_waiter(self):
+        pager = _FailingSyncPager()
+        db = GeographicDatabase("bar", pager=MemoryPager())
+        db.register_schema(build_mix_schema())
+        db.attach_wal(WriteAheadLog(pager, sync_mode="fsync",
+                                    group_commit=True))
+        txn1 = db.transaction()
+        txn1.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1})
+        txn2 = db.transaction()
+        txn2.insert(MIX_SCHEMA, MIX_CLASS, {"name": "b", "size": 2})
+        txn1.commit(wait_durable=False)
+        txn2.commit(wait_durable=False)
+        pager.fail_sync = True
+        with pytest.raises(OSError):
+            txn1.wait_durable()     # leader: the barrier blows up
+        with pytest.raises(WALError):
+            txn2.wait_durable()     # follower: damaged log, not a hang
+        # and the log refuses new commits until recovery
+        with pytest.raises(WALError):
+            db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "c", "size": 3})
+
+
+# ---------------------------------------------------------------------------
+# Crashes while a group is staged
+# ---------------------------------------------------------------------------
+
+
+class TestGroupCrashRecovery:
+    def _staged_group_db(self):
+        wal_inner = MemoryPager()
+        wal_fault = FaultInjectingPager(wal_inner)
+        db = GeographicDatabase("gc", pager=MemoryPager(),
+                                buffer_capacity=32)
+        db.register_schema(build_mix_schema())
+        db.attach_wal(WriteAheadLog(wal_fault, sync_mode="none",
+                                    group_commit=True))
+        return db, wal_inner, wal_fault
+
+    def _recovered(self, wal_inner):
+        fresh = GeographicDatabase("gc2", pager=MemoryPager(),
+                                   buffer_capacity=32)
+        fresh.register_schema(build_mix_schema())
+        fresh.attach_wal(WriteAheadLog(wal_inner, sync_mode="none"))
+        fresh.recover()
+        return fresh
+
+    @pytest.mark.parametrize("torn", [False, True], ids=["clean", "torn"])
+    def test_crash_on_every_stage_write_recovers_whole_prefix(self, torn):
+        """Crash at every WAL page-write index while a sequence of
+        multi-intent transactions stages: recovery must always see a
+        prefix of *whole* transactions — each txn's two objects appear
+        together or not at all, and the durable prefix is in ticket
+        order (txn k+1 never survives a crash that lost txn k)."""
+        txn_count = 4
+        # measure the write budget with an unarmed run
+        db, _, fault = self._staged_group_db()
+        tickets = []
+        for k in range(txn_count):
+            txn = db.transaction()
+            txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": f"x{k}", "size": k},
+                       oid=f"Feature#x{k}")
+            txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": f"y{k}", "size": k},
+                       oid=f"Feature#y{k}")
+            txn.commit(wait_durable=False)
+            tickets.append(txn)
+        for txn in tickets:
+            txn.wait_durable()
+        budget = fault.writes
+        assert budget >= txn_count  # at least one page per staged batch
+
+        for n in range(budget):
+            db, wal_inner, fault = self._staged_group_db()
+            fault.arm(n, torn=torn)
+            staged = []
+            crashed = False
+            for k in range(txn_count):
+                txn = db.transaction()
+                txn.insert(MIX_SCHEMA, MIX_CLASS,
+                           {"name": f"x{k}", "size": k},
+                           oid=f"Feature#x{k}")
+                txn.insert(MIX_SCHEMA, MIX_CLASS,
+                           {"name": f"y{k}", "size": k},
+                           oid=f"Feature#y{k}")
+                try:
+                    txn.commit(wait_durable=False)
+                except (CrashError, WALError):
+                    crashed = True
+                    break
+                staged.append(txn)
+            if not crashed:
+                for txn in staged:
+                    txn.wait_durable()
+            assert crashed, f"arming write {n} of {budget} must crash"
+
+            fresh = self._recovered(wal_inner)
+            present = []
+            for k in range(txn_count):
+                has_x = fresh.find_object(f"Feature#x{k}") is not None
+                has_y = fresh.find_object(f"Feature#y{k}") is not None
+                assert has_x == has_y, (
+                    f"crash at write {n}: transaction {k} recovered "
+                    f"half-applied (x={has_x}, y={has_y})"
+                )
+                present.append(has_x)
+            # prefix property: no gaps in ticket order
+            assert present == sorted(present, reverse=True), (
+                f"crash at write {n}: durable set {present} is not a "
+                f"prefix of whole batches"
+            )

@@ -1,0 +1,212 @@
+"""The wire codec and the request contracts, without any sockets."""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import FrameDecoder, encode_frame
+from repro.net.contracts import (
+    CONTRACTS,
+    make_error,
+    make_push,
+    make_response,
+    validate_request,
+)
+from repro.net.protocol import HEADER, MAX_FRAME
+
+
+def frame_of(doc):
+    return encode_frame(doc)
+
+
+def raw_frame(payload: bytes, crc: int | None = None,
+              length: int | None = None) -> bytes:
+    """Hand-build a frame, optionally with a lying header."""
+    if crc is None:
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if length is None:
+        length = len(payload)
+    return HEADER.pack(length, crc) + payload
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        doc = {"id": 1, "kind": "ping", "nested": {"a": [1, 2, None]}}
+        [out] = FrameDecoder().feed(frame_of(doc))
+        assert out == doc
+
+    def test_byte_at_a_time_reassembly(self):
+        doc = {"id": 7, "kind": "hello", "pad": "x" * 300}
+        decoder = FrameDecoder()
+        frames = []
+        for byte in frame_of(doc):
+            frames.extend(decoder.feed(bytes([byte])))
+        assert frames == [doc]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_chunk(self):
+        docs = [{"id": i, "kind": "ping"} for i in range(20)]
+        blob = b"".join(frame_of(d) for d in docs)
+        assert FrameDecoder().feed(blob) == docs
+
+    def test_split_across_chunks_keeps_pending(self):
+        data = frame_of({"id": 1, "kind": "ping"})
+        decoder = FrameDecoder()
+        assert decoder.feed(data[:5]) == []
+        assert decoder.pending_bytes == 5
+        [doc] = decoder.feed(data[5:])
+        assert doc["id"] == 1
+
+    def test_checksum_mismatch_raises(self):
+        payload = json.dumps({"id": 1}).encode()
+        bad = raw_frame(payload, crc=zlib.crc32(payload) ^ 0xDEAD)
+        with pytest.raises(ProtocolError, match="checksum"):
+            FrameDecoder().feed(bad)
+
+    def test_flipped_payload_bit_is_detected(self):
+        data = bytearray(frame_of({"id": 1, "kind": "ping"}))
+        data[HEADER.size + 3] ^= 0x40
+        with pytest.raises(ProtocolError, match="checksum"):
+            FrameDecoder().feed(bytes(data))
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="zero-length"):
+            FrameDecoder().feed(HEADER.pack(0, 0))
+
+    def test_oversized_length_rejected_before_body_arrives(self):
+        # Only the 8 header bytes exist; the decoder must refuse rather
+        # than wait for (or allocate) 2 GiB.
+        header = HEADER.pack(2**31 - 1, 0)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            FrameDecoder().feed(header)
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            FrameDecoder().feed(raw_frame(b"\xff\xfe{{{{"))
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            FrameDecoder().feed(raw_frame(b"[1,2,3]"))
+
+    def test_encode_rejects_non_dict(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(["not", "an", "object"])
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * MAX_FRAME})
+
+    def test_garbage_prefix_poisons_the_stream(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"GET / HTTP/1.1\r\n\r\n")
+
+
+class TestEnvelopes:
+    def test_response_shape(self):
+        assert make_response(3, value=1) == {"id": 3, "ok": True, "value": 1}
+
+    def test_error_shape(self):
+        doc = make_error(3, "boom", "SchemaError")
+        assert doc == {"id": 3, "ok": False, "error": "boom",
+                       "code": "SchemaError"}
+
+    def test_push_has_no_id(self):
+        doc = make_push("mutation", oid="Pole#1")
+        assert doc == {"push": "mutation", "oid": "Pole#1"}
+        assert "id" not in doc
+
+
+class TestContracts:
+    def test_every_kind_validates_a_minimal_request(self):
+        minimal = {
+            "hello": {},
+            "open_session": {},
+            "close_session": {"session": "s1"},
+            "event": {"session": "s1", "op": "open_schema",
+                      "schema": "phone_net"},
+            "query": {"schema": "phone_net", "text": "select * from Pole"},
+            "render": {"session": "s1"},
+            "scene": {"session": "s1"},
+            "txn": {"ops": [{"op": "delete", "oid": "Pole#1"}]},
+            "subscribe": {"classes": ["Pole"]},
+            "unsubscribe": {},
+            "stats": {},
+            "ping": {},
+        }
+        assert set(minimal) == set(CONTRACTS)
+        for kind, fields in minimal.items():
+            validate_request({"id": 1, "kind": kind, **fields})
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ProtocolError, match="'id'"):
+            validate_request({"kind": "ping"})
+
+    def test_bool_id_rejected(self):
+        with pytest.raises(ProtocolError, match="'id'"):
+            validate_request({"id": True, "kind": "ping"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request kind"):
+            validate_request({"id": 1, "kind": "drop_table"})
+
+    def test_missing_required_field(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            validate_request({"id": 1, "kind": "close_session"})
+
+    def test_wrong_field_type(self):
+        with pytest.raises(ProtocolError, match="must be string"):
+            validate_request({"id": 1, "kind": "close_session",
+                              "session": 42})
+
+    def test_bool_does_not_pass_as_integer(self):
+        with pytest.raises(ProtocolError, match="boolean"):
+            validate_request({"id": 1, "kind": "event", "session": "s1",
+                              "op": "pick", "class": "Pole",
+                              "col": True, "row": 0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown field"):
+            validate_request({"id": 1, "kind": "ping", "inject": "x"})
+
+    def test_event_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown event op"):
+            validate_request({"id": 1, "kind": "event", "session": "s1",
+                              "op": "drop_everything"})
+
+    def test_event_missing_op_field(self):
+        with pytest.raises(ProtocolError, match="requires field"):
+            validate_request({"id": 1, "kind": "event", "session": "s1",
+                              "op": "select_instance"})
+
+    def test_txn_empty_batch(self):
+        with pytest.raises(ProtocolError, match="empty 'ops'"):
+            validate_request({"id": 1, "kind": "txn", "ops": []})
+
+    def test_txn_bad_entry_shape(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            validate_request({"id": 1, "kind": "txn", "ops": ["insert"]})
+
+    def test_txn_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"id": 1, "kind": "txn",
+                              "ops": [{"op": "truncate"}]})
+
+    def test_txn_insert_missing_values(self):
+        with pytest.raises(ProtocolError, match="missing 'values'"):
+            validate_request({
+                "id": 1, "kind": "txn",
+                "ops": [{"op": "insert", "schema": "s", "class": "C"}],
+            })
+
+    def test_txn_update_needs_changes_object(self):
+        with pytest.raises(ProtocolError, match="'changes' must be"):
+            validate_request({
+                "id": 1, "kind": "txn",
+                "ops": [{"op": "update", "oid": "C#1", "changes": 5}],
+            })

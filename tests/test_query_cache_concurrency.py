@@ -1,0 +1,207 @@
+"""QueryResultCache under concurrent committers (satellite of the
+serving-layer PR: many remote connections now share one kernel cache).
+
+The cache's contract is *snapshot consistency*: a lookup may never
+return a result that a fresh execution against the latest committed
+state would not also produce. These tests hammer that contract from
+multiple threads — readers spinning on cached queries while writers
+commit — and then assert the strong oracles that survive nondeterminism:
+
+* **freshness**: once a thread's own commit has returned, its next
+  cached query reflects that commit (read-your-own-commit through the
+  cache, not just through MVCC);
+* **monotonicity**: under insert-only writers, observed counts never
+  go backwards;
+* **convergence**: after the dust settles, the cached result equals an
+  uncached execution, entry versions are current, and further lookups
+  are hits.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.query_cache import QueryResultCache
+from repro.geodb import GeographicDatabase
+from repro.geodb.query_language import parse_query
+from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA, build_mix_schema
+
+QUERY_ALL = "select * from Feature"
+
+
+@pytest.fixture()
+def db():
+    database = GeographicDatabase("cachetest")
+    database.register_schema(build_mix_schema())
+    for i in range(8):
+        database.insert(MIX_SCHEMA, MIX_CLASS,
+                        {"name": f"seed{i}", "size": i},
+                        oid=f"Feature#seed{i}")
+    return database
+
+
+@pytest.fixture()
+def cache(db):
+    return QueryResultCache(db, capacity=32)
+
+
+def cached_count(cache, text=QUERY_ALL):
+    return len(cache.execute(MIX_SCHEMA, parse_query(text)))
+
+
+def fresh_count(cache, text=QUERY_ALL):
+    return len(cache.engine.execute(MIX_SCHEMA, parse_query(text)))
+
+
+class TestReadYourOwnCommit:
+    def test_every_commit_is_visible_to_its_thread(self, db, cache):
+        """Each writer thread alternates commit → cached query and must
+        see its own insert immediately, no matter how the other writers
+        interleave with it."""
+        writers, per_writer = 6, 12
+        failures: list[str] = []
+
+        def writer(w):
+            for i in range(per_writer):
+                oid = f"Feature#w{w}:{i}"
+                with db.transaction() as txn:
+                    txn.insert(MIX_SCHEMA, MIX_CLASS,
+                               {"name": oid, "size": i}, oid=oid)
+                result = cache.execute(MIX_SCHEMA, parse_query(QUERY_ALL))
+                oids = set(result.oids())
+                if oid not in oids:
+                    failures.append(
+                        f"{oid} committed but absent from cached result "
+                        f"(cache={result.report.get('cache')})"
+                    )
+                    return
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert failures == []
+        assert cached_count(cache) == 8 + writers * per_writer
+        assert cached_count(cache) == fresh_count(cache)
+
+
+class TestMonotonicity:
+    def test_counts_never_go_backwards_under_inserts(self, db, cache):
+        """Insert-only committers: a reader spinning on the cached query
+        must observe a non-decreasing count (a regression here means the
+        cache served an entry from before a commit it had already
+        revealed)."""
+        stop = threading.Event()
+        violations: list[tuple[int, int]] = []
+        observed: list[int] = []
+
+        def reader():
+            last = -1
+            while not stop.is_set():
+                count = cached_count(cache)
+                if count < last:
+                    violations.append((last, count))
+                    return
+                last = count
+                observed.append(count)
+
+        def writer(w):
+            for i in range(25):
+                with db.transaction() as txn:
+                    txn.insert(MIX_SCHEMA, MIX_CLASS,
+                               {"name": f"m{w}:{i}", "size": i},
+                               oid=f"Feature#m{w}:{i}")
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        writers = [threading.Thread(target=writer, args=(w,))
+                   for w in range(4)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join(timeout=60)
+        stop.set()
+        for t in readers:
+            t.join(timeout=60)
+        assert violations == [], f"count went backwards: {violations[:3]}"
+        assert observed, "readers never completed a query"
+        assert cached_count(cache) == 8 + 4 * 25
+
+
+class TestConvergence:
+    def test_cache_converges_and_serves_hits(self, db, cache):
+        """After mixed insert/update/delete churn from many threads, the
+        cached result matches an uncached execution, and with writers
+        quiesced the next lookups are pure hits."""
+        def churner(w):
+            oid = f"Feature#churn{w}"
+            with db.transaction() as txn:
+                txn.insert(MIX_SCHEMA, MIX_CLASS,
+                           {"name": oid, "size": 0}, oid=oid)
+            for i in range(10):
+                cached_count(cache)
+                with db.transaction() as txn:
+                    txn.update(oid, {"size": i})
+                cached_count(cache, "select name from Feature")
+            if w % 2:
+                with db.transaction() as txn:
+                    txn.delete(oid)
+
+        threads = [threading.Thread(target=churner, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        assert cached_count(cache) == fresh_count(cache) == 8 + 4
+        # writers quiesced: the entry is current, so lookups hit
+        hits_before = cache.hits
+        for _ in range(5):
+            result = cache.execute(MIX_SCHEMA, parse_query(QUERY_ALL))
+            assert result.report["cache"] == "hit"
+        assert cache.hits == hits_before + 5
+
+    def test_stats_are_consistent_after_hammering(self, db, cache):
+        """hits + misses equals lookups, invalidations never exceeds
+        misses' entry builds, and the entry table respects capacity —
+        even when 8 threads hammer 40 distinct fingerprints through a
+        capacity-32 cache while commits invalidate under them."""
+        queries = [QUERY_ALL, "select name from Feature"] + [
+            f"select * from Feature where size = {i}" for i in range(38)
+        ]
+        lookups = threading.local()
+        totals: list[int] = []
+        lock = threading.Lock()
+
+        def worker(w):
+            mine = 0
+            for i in range(30):
+                cache.execute(MIX_SCHEMA,
+                              parse_query(queries[(w * 7 + i) % len(queries)]))
+                mine += 1
+                if i % 10 == 5:
+                    with db.transaction() as txn:
+                        txn.insert(MIX_SCHEMA, MIX_CLASS,
+                                   {"name": f"s{w}:{i}", "size": i},
+                                   oid=f"Feature#s{w}:{i}")
+            with lock:
+                totals.append(mine)
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        stats = cache.stats()
+        assert sum(totals) == 8 * 30
+        assert stats["hits"] + stats["misses"] == sum(totals)
+        assert stats["invalidations"] <= stats["misses"]
+        assert stats["entries"] <= cache.capacity
+        # and the cache still answers correctly
+        assert cached_count(cache) == fresh_count(cache)

@@ -13,6 +13,7 @@ smoke step); the full matrix runs every write index for every seed.
 from __future__ import annotations
 
 import os
+import threading
 
 import pytest
 
@@ -145,6 +146,58 @@ class TestWriteAheadLog:
         assert stats["fsyncs"] == 1
         assert stats["pending_txns"] == 0
         assert stats["damaged"] is False
+        # group-commit surface (the direct log_commit above groups
+        # nothing, but the keys must always be present for dashboards)
+        assert stats["group_commit"] is True
+        assert stats["group_commits"] == 0
+        assert stats["group_commit_batches"] == 0
+
+
+class TestGroupCommitDamagedTail:
+    """A torn/failed staged write must poison the whole log, not just
+    the transaction that tripped it: staged-but-unbarriered batches may
+    sit in front of the tear, so nothing may be trusted until recovery
+    truncates the tail."""
+
+    def test_damage_refuses_staged_commits_and_waits(self):
+        fault = FaultInjectingPager(MemoryPager())
+        wal = WriteAheadLog(fault, sync_mode="none", group_commit=True)
+        wal.log_begin(1)
+        ticket = wal.log_commit_staged(1)
+        fault.arm(0)
+        wal.log_begin(2)
+        with pytest.raises(CrashError):
+            wal.log_commit_staged(2)
+        assert wal.damaged
+        # the earlier staged batch may not claim durability either
+        with pytest.raises(WALError):
+            wal.wait_durable(ticket)
+        with pytest.raises(WALError):
+            wal.log_begin(3)
+        # the WAL-rule helper must be a quiet no-op on a damaged log
+        # (the buffer manager calls it mid-steal; raising there would
+        # turn a log fault into a buffer-pool crash)
+        wal.force()
+
+    def test_recovery_truncates_damaged_tail_and_resumes(self):
+        wal_inner = MemoryPager()
+        wal_fault = FaultInjectingPager(wal_inner)
+        db = _mix_db(wal_fault, capacity=64)
+        db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "a", "size": 1},
+                  oid="Feature#gd_a")
+        wal_fault.arm(0, torn=True)
+        with pytest.raises(CrashError):
+            db.insert(MIX_SCHEMA, MIX_CLASS, {"name": "b", "size": 2},
+                      oid="Feature#gd_b")
+        assert db.wal.damaged
+        recovered = _recover(MemoryPager(), wal_inner)
+        assert recovered.find_object("Feature#gd_a") is not None
+        assert recovered.find_object("Feature#gd_b") is None
+        # recovery checkpointed the damaged tail away: commits flow again
+        assert recovered.wal.pager.page_count == 0
+        recovered.insert(MIX_SCHEMA, MIX_CLASS, {"name": "c", "size": 3},
+                         oid="Feature#gd_c")
+        assert recovered.find_object("Feature#gd_c") is not None
 
 
 # ---------------------------------------------------------------------------
@@ -437,6 +490,88 @@ def test_crash_matrix_heap_writes(seed):
         assert outcome.pre_state == outcome.post_state
         crashes += 1
         _assert_recovers(outcome, heap_inner, wal_inner)
+    assert crashes > 0
+
+
+def _run_group_committers(committers, arm_at=None, torn=False):
+    """``committers`` threads each commit one two-object transaction
+    through a group-commit WAL; returns the surviving log 'disk', the
+    fault pager and each thread's outcome."""
+    wal_inner = MemoryPager()
+    wal_fault = FaultInjectingPager(wal_inner)
+    db = _mix_db(wal_fault, capacity=64)
+    if arm_at is not None:
+        wal_fault.arm(arm_at, torn=torn)
+    start = threading.Barrier(committers)
+    outcomes: list[str | None] = [None] * committers
+
+    def work(i):
+        try:
+            start.wait(timeout=30)
+            txn = db.transaction()
+            txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": f"g{i}a", "size": i},
+                       oid=f"Feature#g{i}a")
+            txn.insert(MIX_SCHEMA, MIX_CLASS, {"name": f"g{i}b", "size": i},
+                       oid=f"Feature#g{i}b")
+            txn.commit()
+            outcomes[i] = "committed"
+        except (CrashError, WALError):
+            outcomes[i] = "crashed"
+
+    threads = [threading.Thread(target=work, args=(i,))
+               for i in range(committers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not any(t.is_alive() for t in threads), "hung committer"
+    return wal_inner, wal_fault, outcomes
+
+
+@pytest.mark.parametrize("torn", [False, True], ids=["clean", "torn"])
+def test_crash_matrix_concurrent_group_committers(torn):
+    """Crash on every WAL write index under *threaded* group committers.
+
+    Whatever batch the crash lands in, recovery must show every
+    transaction either fully present (both its objects) or fully absent
+    — a half-replayed batch would mean a commit record survived ahead
+    of its intents or a torn page slipped past the checksums. Threads
+    that reported success before the crash must always be present:
+    with the staged-batch protocol their pages reached the 'disk'
+    before commit() returned.
+    """
+    committers = 6
+    wal_inner, wal_fault, outcomes = _run_group_committers(committers)
+    assert outcomes == ["committed"] * committers
+    budget = wal_fault.writes
+    assert budget >= committers  # each batch stages at least one page
+
+    crashes = 0
+    for n in range(0, budget, STRIDE):
+        wal_inner, __, outcomes = _run_group_committers(
+            committers, arm_at=n, torn=torn
+        )
+        assert "crashed" in outcomes, f"arming write {n} must crash someone"
+        crashes += 1
+        heap_disk = MemoryPager()
+        recovered = _recover(heap_disk, wal_inner)
+        for i in range(committers):
+            has_a = recovered.find_object(f"Feature#g{i}a") is not None
+            has_b = recovered.find_object(f"Feature#g{i}b") is not None
+            assert has_a == has_b, (
+                f"crash at write {n}: committer {i} recovered "
+                f"half-applied (a={has_a}, b={has_b})"
+            )
+            if outcomes[i] == "committed":
+                assert has_a, (
+                    f"crash at write {n}: committer {i} reported success "
+                    f"but its transaction is gone after recovery"
+                )
+        # stability: a second reopen of the same disks changes nothing
+        # (the first recovery checkpointed the replayed state into
+        # heap_disk and truncated the log; the reopen reads it back)
+        again = _recover(heap_disk, wal_inner)
+        assert snapshot_state(again) == snapshot_state(recovered)
     assert crashes > 0
 
 
