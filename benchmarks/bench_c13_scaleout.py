@@ -1,0 +1,293 @@
+"""Experiment C13 — scale-out reads: sharded scatter-gather and replicas.
+
+Three questions about the scale-out layer (docs/REPLICATION.md):
+
+* **Shard pruning** — windowed aggregate queries over a class extent
+  partitioned into 1 / 2 / 4 / 8 spatial cells. A query's window
+  intersects a constant-size region, so with more cells the scatter
+  executes a smaller fraction of the extent. The acceptance gate is the
+  point of the planner change: aggregate read throughput at 8 cells
+  must be at least **3x** the 1-cell partition (the same scatter
+  machinery with nothing to prune). On one core the gain is pure
+  pruning, not parallelism.
+
+* **Scatter overhead** — the gather is not free: per-shard candidate
+  fetch and k-way merge cost something over the single-extent path.
+  On scan-bound queries no shard can be pruned (no window), so the
+  sharded run does the same logical work plus the scatter machinery.
+  Gate: the single-extent path may be at most **2.5x** faster — beyond
+  that the gather is wasting its pruning budget.
+
+* **Replica fan-out** — the same read workload spread round-robin over
+  0 / 1 / 2 attached followers via ``read_preference="replica"``.
+  Under the GIL this buys isolation (a replica serves reads while the
+  leader commits) rather than CPU parallelism, so we report throughput
+  and verify the invariant that matters: while a writer commits
+  concurrently, every follower read observes exactly the leader state
+  at the follower's replication LSN — each commit inserts one row, so
+  a snapshot at LSN L must count ``base + L`` rows, for every L the
+  poller lands on.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke step) shrinks the
+extent and repetition counts and skips the ratio assertions.
+"""
+
+import os
+import threading
+import time
+
+from repro.core.kernel import GISKernel
+from repro.geodb import (
+    GeographicDatabase,
+    LocalReplicationSource,
+    MemoryPager,
+    QueryEngine,
+    WriteAheadLog,
+)
+from repro.geodb.query_language import parse_query
+from repro.spatial import Point
+from repro.workloads import build_mix_schema
+from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA
+
+from _support import print_header, print_table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+EXTENT = 600 if QUICK else 3000
+WORLD = 1000.0
+WINDOW = 250.0
+SCALING_REPS = 2 if QUICK else 8
+OVERHEAD_REPS = 4 if QUICK else 15
+REPLICA_READS = 40 if QUICK else 200
+WRITER_COMMITS = 15 if QUICK else 60
+
+#: (label, grid) — cells = gx * gy; 1 cell still scatters (the residual
+#: shard makes two), it just has nothing to prune
+SHARD_CONFIGS = [("1", (1, 1)), ("2", (2, 1)), ("4", (2, 2)),
+                 ("8", (4, 2))]
+
+
+def make_db(name="c13", wal=False) -> GeographicDatabase:
+    db = GeographicDatabase(name, pager=MemoryPager())
+    db.register_schema(build_mix_schema())
+    if wal:
+        db.attach_wal(WriteAheadLog(MemoryPager(), sync_mode="none"))
+    with db.transaction() as txn:
+        for i in range(EXTENT):
+            located = i % 50 != 0   # a few rows land in the residual
+            txn.insert(MIX_SCHEMA, MIX_CLASS, {
+                "name": f"f{i:05d}",
+                "size": (i * 7) % 97,
+                "location": Point((i * 13) % WORLD, (i * 29) % WORLD)
+                            if located else None,
+            })
+    return db
+
+
+def windowed_queries():
+    """Constant-size windows tiling the world: each hits ~1/16 of it."""
+    queries = []
+    for x in (0, 250, 500, 700):
+        for y in (0, 250, 500, 700):
+            queries.append(parse_query(
+                "select count(*), avg(size) from Feature where "
+                f"within(location, bbox({x}, {y}, {x + WINDOW}, "
+                f"{y + WINDOW}))"))
+    return queries
+
+
+SCAN_QUERIES = [
+    "select count(*), avg(size), max(size) from Feature",
+    "select * from Feature where size > 90 order by desc size limit 10",
+]
+
+
+def run_queries(engine, queries, reps) -> float:
+    """Throughput (queries/s) after one warm-up pass."""
+    for query in queries:
+        engine.execute(MIX_SCHEMA, query)
+    executed = 0
+    start = time.perf_counter()
+    for _ in range(reps):
+        for query in queries:
+            engine.execute(MIX_SCHEMA, query)
+            executed += 1
+    return executed / (time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# Shard pruning: throughput vs cell count
+# ---------------------------------------------------------------------------
+
+
+def run_scaling() -> list[dict]:
+    db = make_db()
+    queries = windowed_queries()
+    engine = QueryEngine(db)
+    rows = []
+    for label, grid in SHARD_CONFIGS:
+        db.shard_extent(MIX_SCHEMA, MIX_CLASS, "location", grid=grid)
+        rate = run_queries(engine, queries, SCALING_REPS)
+        report = engine.execute(MIX_SCHEMA, queries[0]).report
+        rows.append({
+            "cells": label,
+            "qps": rate,
+            "live": report["scatter"]["shards"],
+            "pruned": report["scatter"]["pruned"],
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Scatter overhead on scan-bound queries (nothing prunable)
+# ---------------------------------------------------------------------------
+
+
+def run_overhead() -> dict:
+    db = make_db()
+    queries = [parse_query(text) for text in SCAN_QUERIES]
+    single = run_queries(QueryEngine(db), queries, OVERHEAD_REPS)
+    db.shard_extent(MIX_SCHEMA, MIX_CLASS, "location", grid=(4, 2))
+    scatter = run_queries(QueryEngine(db), queries, OVERHEAD_REPS)
+    return {"single_qps": single, "scatter_qps": scatter,
+            "factor": single / scatter}
+
+
+# ---------------------------------------------------------------------------
+# Replica fan-out and snapshot consistency under writes
+# ---------------------------------------------------------------------------
+
+
+def run_replicas(count: int) -> dict:
+    """REPLICA_READS queries routed by preference over `count` replicas,
+    while a writer commits on the leader; every follower read must see
+    exactly the leader state at the follower's own replication LSN."""
+    leader = make_db(wal=True)
+    base = leader.count(MIX_SCHEMA, MIX_CLASS)
+    kernel = GISKernel(leader)
+    followers = []
+    for i in range(count):
+        follower = GeographicDatabase.follow(
+            LocalReplicationSource(leader), name=f"r{i}")
+        followers.append(follower)
+        kernel.attach_replica(follower)
+
+    stop = threading.Event()
+    consistency_errors: list[str] = []
+
+    def writer():
+        for i in range(WRITER_COMMITS):
+            leader.insert(MIX_SCHEMA, MIX_CLASS,
+                          {"name": f"live{i:03d}", "size": i})
+            time.sleep(0.001)
+        stop.set()
+
+    lsn0 = followers[0].replication_lsn if followers else 0
+
+    def poller():
+        # a read txn's snapshot_ts IS the follower's commit LSN; every
+        # leader commit adds one row, so a snapshot at LSN L must hold
+        # exactly base + (L - bootstrap) rows — whatever the kernel's
+        # replica reads and the shipping poller do concurrently
+        while not stop.is_set():
+            for follower in followers:
+                follower.poll_replication()
+                txn = follower.transaction()
+                seen = sum(1 for _ in txn.query(MIX_SCHEMA, MIX_CLASS))
+                expected = base + (txn.snapshot_ts - lsn0)
+                txn.abort()
+                if seen != expected:
+                    consistency_errors.append(
+                        f"follower {follower.name} snapshot at lsn "
+                        f"{txn.snapshot_ts} sees {seen} rows, expected "
+                        f"{expected}")
+            time.sleep(0.001)
+
+    threads = [threading.Thread(target=writer)]
+    if followers:
+        threads.append(threading.Thread(target=poller))
+    preference = "replica" if followers else "leader"
+    for t in threads:
+        t.start()
+    executed = 0
+    start = time.perf_counter()
+    for i in range(REPLICA_READS):
+        kernel.query(MIX_SCHEMA,
+                     "select count(*), max(size) from Feature",
+                     use_cache=False, read_preference=preference)
+        executed += 1
+    elapsed = time.perf_counter() - start
+    for t in threads:
+        t.join(timeout=600)
+    for follower in followers:
+        follower.poll_replication()
+    lags = [follower.replication_lag() for follower in followers]
+    kernel.shutdown()
+    assert not consistency_errors, consistency_errors[:3]
+    return {
+        "replicas": count,
+        "qps": executed / elapsed,
+        "final_lag": max(lags) if lags else 0,
+        "checks": "ok",
+    }
+
+
+# ---------------------------------------------------------------------------
+# The experiment
+# ---------------------------------------------------------------------------
+
+
+def test_c13_scaleout(capsys):
+    scaling = run_scaling()
+    overhead = run_overhead()
+    replicas = [run_replicas(n) for n in (0, 1, 2)]
+    speedup = scaling[-1]["qps"] / scaling[0]["qps"]
+
+    with capsys.disabled():
+        print_header("C13", "scale-out reads: shard pruning, scatter "
+                            "overhead, replica routing")
+        print(f"\nwindowed aggregates over {EXTENT} objects "
+              f"(window ~1/16 of the world):")
+        print_table(
+            ["cells", "queries/s", "live shards", "pruned"],
+            [[r["cells"], f"{r['qps']:.0f}", r["live"], r["pruned"]]
+             for r in scaling],
+        )
+        print(f"\n8-cell vs 1-cell speedup: {speedup:.2f}x "
+              "(pure pruning; one core)")
+        print(f"\nscan-bound overhead: single-extent "
+              f"{overhead['single_qps']:.0f} q/s vs scatter "
+              f"{overhead['scatter_qps']:.0f} q/s "
+              f"({overhead['factor']:.2f}x)")
+        print("\nreplica routing under a concurrent writer "
+              f"({WRITER_COMMITS} commits):")
+        print_table(
+            ["replicas", "reads/s", "final lag", "snapshot checks"],
+            [[r["replicas"], f"{r['qps']:.0f}", r["final_lag"],
+              r["checks"]] for r in replicas],
+        )
+
+    if not QUICK:
+        # Acceptance: pruning must actually scale reads out...
+        assert speedup >= 3.0, (
+            f"8-cell speedup {speedup:.2f}x below the 3x gate"
+        )
+        # ...and the gather machinery must not eat the budget.
+        assert overhead["factor"] <= 2.5, (
+            f"scatter overhead {overhead['factor']:.2f}x beyond the "
+            "2.5x gate on scan-bound queries"
+        )
+
+
+if __name__ == "__main__":
+    class _Capsys:
+        class _Ctx:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        def disabled(self):
+            return self._Ctx()
+
+    test_c13_scaleout(_Capsys())

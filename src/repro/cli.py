@@ -24,6 +24,7 @@ Commands (also printed by ``help``)::
     stats [json]              session statistics + live metrics registry
     trace [json|all]          span tree of the last interaction
     wal-status [json]         write-ahead log state (sync mode, counters)
+    repl-status [json]        replication state (per-follower LSN and lag)
     quit                      leave
 
 The loop is IO-parameterized (any line iterator in, any writer out), so
@@ -286,6 +287,31 @@ class CommandLoop:
             return
         for key, value in status.items():
             self.emit(f"  {key}: {value}")
+
+    def cmd_repl_status(self, rest: str) -> None:
+        """Report leader shipping state and per-follower LSN/lag."""
+        status = self.session.kernel.replication_status()
+        if rest.strip() == "json":
+            self.emit(json.dumps(status, indent=2))
+            return
+        leader = status["leader"]
+        self.emit(f"  leader: {leader['name']}  lsn={leader['lsn']}")
+        shipper = leader.get("shipper")
+        if shipper:
+            self.emit(f"    shipped batches: {shipper['shipped_batches']}"
+                      f"  retained: {shipper['retained']}"
+                      f"  snapshot handoffs: {shipper['snapshot_handoffs']}")
+        else:
+            self.emit("    (log shipping not enabled)")
+        replicas = status["replicas"]
+        if not replicas:
+            self.emit("  no replicas attached")
+            return
+        for replica in replicas:
+            self.emit(f"  replica: {replica['name']}  lsn={replica['lsn']}"
+                      f"  lag={replica['lag']}"
+                      f"  applied={replica['applied_batches']}"
+                      f"  resyncs={replica['resyncs']}")
 
     def cmd_quit(self, rest: str) -> None:
         self._running = False

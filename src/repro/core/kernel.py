@@ -31,11 +31,12 @@ session behavior (and its engine isolation) for existing callers.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import TYPE_CHECKING, Any
 
 from .. import obs
 from ..active.event_bus import Event, MUTATION_KINDS
-from ..errors import SessionError
+from ..errors import ReplicationError, SessionError
 from ..geodb.catalog import MetadataCatalog
 from ..geodb.database import GeographicDatabase
 from ..uilib.composite import install_standard_composites
@@ -86,6 +87,10 @@ class GISKernel:
         self.builder = GenericInterfaceBuilder(library, self.presentations)
         self.query_cache = QueryResultCache(database)
         self._sessions: dict[str, "GISSession"] = {}
+        #: read replicas: name -> (follower db, its private result cache)
+        self._replicas: dict[str, tuple[GeographicDatabase,
+                                        QueryResultCache]] = {}
+        self._replica_rr = 0
         self._refresh_subscribed = False
         self._closed = False
 
@@ -180,13 +185,98 @@ class GISKernel:
                     "this kernel"
                 )
             session_id = session.session_id
-        return self.database.transaction(session_id=session_id)
+        txn = self.database.transaction(session_id=session_id)
+        if session is not None:
+            # Read-your-writes: the session remembers its newest commit
+            # LSN, and replica-routed queries wait for it (see `query`).
+            txn._on_commit = session._note_commit
+        return txn
+
+    # ------------------------------------------------------------------
+    # Read replicas: attach followers, route reads
+    # ------------------------------------------------------------------
+
+    def attach_replica(self, replica: GeographicDatabase,
+                       name: str | None = None) -> str:
+        """Register a follower database as a read target.
+
+        ``replica`` must be in follower mode (created by
+        :meth:`GeographicDatabase.follow` against this kernel's leader).
+        Replica-routed queries get their own snapshot-consistent result
+        cache, validated against the *follower's* class versions — the
+        replay path bumps them exactly like leader commits do.
+        """
+        if self._closed:
+            raise SessionError("kernel is shut down")
+        status = replica.replication_status()
+        if status.get("role") != "follower":
+            raise ReplicationError(
+                f"database {replica.name!r} is not a follower — only "
+                "follower-mode databases can serve as read replicas"
+            )
+        name = name or replica.name
+        if name in self._replicas:
+            raise ReplicationError(f"replica {name!r} is already attached")
+        self._replicas[name] = (replica, QueryResultCache(replica))
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.gauge("kernel.replicas", len(self._replicas),
+                      database=self.database.name)
+        return name
+
+    def detach_replica(self, name: str) -> None:
+        self._replicas.pop(name, None)
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.gauge("kernel.replicas", len(self._replicas),
+                      database=self.database.name)
+
+    def replicas(self) -> list[str]:
+        return list(self._replicas)
+
+    def replication_status(self) -> dict[str, Any]:
+        """Leader status plus per-replica LSN/lag (CLI ``repl-status``)."""
+        return {
+            "leader": self.database.replication_status(),
+            "replicas": [db.replication_status()
+                         for db, _cache in self._replicas.values()],
+        }
+
+    def _pick_replica(self) -> tuple[GeographicDatabase, QueryResultCache]:
+        names = list(self._replicas)
+        name = names[self._replica_rr % len(names)]
+        self._replica_rr += 1
+        return self._replicas[name]
+
+    @staticmethod
+    def _await_lsn(replica: GeographicDatabase, min_lsn: int | None,
+                   timeout: float) -> None:
+        """Catch the follower up to ``min_lsn`` (read-your-writes wait).
+
+        Always polls at least once, so even an unconstrained replica
+        read reflects everything the leader had shipped when the query
+        arrived.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            replica.poll_replication()
+            if min_lsn is None or replica.replication_lsn >= min_lsn:
+                return
+            if time.monotonic() >= deadline:
+                raise ReplicationError(
+                    f"replica {replica.name!r} did not reach LSN "
+                    f"{min_lsn} within {timeout:.1f}s "
+                    f"(at {replica.replication_lsn})"
+                )
+            time.sleep(0.002)
 
     # ------------------------------------------------------------------
     # Queries: shared, snapshot-consistent result cache
     # ------------------------------------------------------------------
 
-    def query(self, schema_name: str, query, *, use_cache: bool = True):
+    def query(self, schema_name: str, query, *, use_cache: bool = True,
+              read_preference: str = "leader", min_lsn: int | None = None,
+              replica_wait_timeout: float = 5.0):
         """Execute an analysis-mode query against the latest commit.
 
         ``query`` is a :class:`~repro.geodb.query.Query` or query-language
@@ -196,16 +286,36 @@ class GISKernel:
         commit touches one of the classes they read
         (``report["cache"]`` says which happened). ``use_cache=False``
         bypasses the cache without populating it.
+
+        ``read_preference="replica"`` routes the read to an attached
+        follower (round-robin), falling back to the leader when none is
+        attached. ``min_lsn`` is the read-your-writes bound: the chosen
+        follower first catches up to that LSN (sessions pass their last
+        commit LSN automatically), raising
+        :class:`~repro.errors.ReplicationError` if it cannot within
+        ``replica_wait_timeout`` seconds.
         """
         if self._closed:
             raise SessionError("kernel is shut down")
+        if read_preference not in ("leader", "replica"):
+            raise SessionError(
+                f"unknown read preference {read_preference!r} "
+                "(expected 'leader' or 'replica')"
+            )
         if isinstance(query, str):
             from ..geodb.query_language import parse_query
 
             query = parse_query(query)
+        cache = self.query_cache
+        if read_preference == "replica" and self._replicas:
+            replica, cache = self._pick_replica()
+            self._await_lsn(replica, min_lsn, replica_wait_timeout)
+            rec = obs.RECORDER
+            if rec.enabled:
+                rec.inc("query.routed", target="replica")
         if not use_cache:
-            return self.query_cache.engine.execute(schema_name, query)
-        return self.query_cache.execute(schema_name, query)
+            return cache.engine.execute(schema_name, query)
+        return cache.execute(schema_name, query)
 
     # ------------------------------------------------------------------
     # Customization installation (shared rule set)
@@ -256,6 +366,7 @@ class GISKernel:
         return {
             "database": self.database.name,
             "sessions": len(self._sessions),
+            "replicas": list(self._replicas),
             "engine": self.engine.stats(),
             "events_published": self.database.bus.published_count,
             "query_cache": self.query_cache.stats(),

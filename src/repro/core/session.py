@@ -110,6 +110,9 @@ class GISSession:
         kernel._session_ready(self)
         self._schema_name: str | None = None
         self.renderer = TextRenderer()
+        #: LSN of this session's newest commit (0 = never committed);
+        #: replica-routed queries wait for it (read-your-writes).
+        self.last_commit_lsn = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -123,19 +126,31 @@ class GISSession:
             raise SessionError("session is shut down")
         return self.kernel.transaction(self)
 
+    def _note_commit(self, lsn: int) -> None:
+        """Commit hook installed by :meth:`GISKernel.transaction`."""
+        self.last_commit_lsn = max(self.last_commit_lsn, lsn)
+
     # ------------------------------------------------------------------
     # Analysis-mode queries (kernel-cached)
     # ------------------------------------------------------------------
 
-    def query(self, schema_name: str, query, *, use_cache: bool = True):
+    def query(self, schema_name: str, query, *, use_cache: bool = True,
+              read_preference: str = "leader", min_lsn: int | None = None):
         """Run an analysis-mode query through the kernel's result cache.
 
         ``query`` is query-language text or a
         :class:`~repro.geodb.query.Query`; see :meth:`GISKernel.query`.
+        With ``read_preference="replica"`` the session's last commit LSN
+        is the default read-your-writes bound, so a session always sees
+        its own writes no matter which follower serves the read.
         """
         if self._closed:
             raise SessionError("session is shut down")
-        return self.kernel.query(schema_name, query, use_cache=use_cache)
+        if read_preference == "replica" and min_lsn is None:
+            min_lsn = self.last_commit_lsn or None
+        return self.kernel.query(schema_name, query, use_cache=use_cache,
+                                 read_preference=read_preference,
+                                 min_lsn=min_lsn)
 
     # ------------------------------------------------------------------
     # Customization installation

@@ -67,6 +67,16 @@ class WALError(StorageError):
     """The write-ahead log is unusable (damaged tail, bad configuration)."""
 
 
+class ReplicationError(StorageError):
+    """The replication stream or a follower is in an unusable state.
+
+    Raised when log shipping is requested without a WAL, when a shipped
+    batch fails validation (damaged frame, missing commit timestamp),
+    when a follower is driven like a leader (write attempted, recovery
+    requested), or when a read-your-writes wait cannot be satisfied.
+    """
+
+
 class CrashError(StorageError):
     """A (simulated) process or media crash interrupted a page operation.
 

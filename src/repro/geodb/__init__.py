@@ -27,9 +27,11 @@ from .schema import Attribute, GeoClass, Method, Schema
 from .instances import Extent, GeoObject, fresh_oid
 from .storage import FilePager, HeapFile, MemoryPager, RecordId, PAGE_SIZE
 from .buffer import BufferManager, BufferStats
-from .wal import FaultInjectingPager, WriteAheadLog
+from .wal import FaultInjectingPager, LogShipper, WriteAheadLog
 from .database import GeographicDatabase
 from .mvcc import Version, VersionStore
+from .replication import LocalReplicationSource, RemoteReplicationSource
+from .sharding import Shard, ShardMap, build_shard_map
 from .transactions import Transaction, TxnState
 from .query import (
     And,
@@ -65,9 +67,11 @@ __all__ = [
     "GeoObject", "Extent", "fresh_oid",
     "MemoryPager", "FilePager", "HeapFile", "RecordId", "PAGE_SIZE",
     "BufferManager", "BufferStats",
-    "WriteAheadLog", "FaultInjectingPager",
+    "WriteAheadLog", "FaultInjectingPager", "LogShipper",
     "GeographicDatabase", "Transaction", "TxnState",
     "Version", "VersionStore",
+    "LocalReplicationSource", "RemoteReplicationSource",
+    "Shard", "ShardMap", "build_shard_map",
     "Predicate", "Comparison", "SpatialPredicate", "WithinDistance",
     "And", "Or", "Not", "TruePredicate", "Query", "RelateMask",
     "QueryEngine", "QueryResult",

@@ -28,6 +28,7 @@ from .. import obs
 from ..active.event_bus import Event, EventBus, EventKind
 from ..errors import (
     ObjectNotFoundError,
+    ReplicationError,
     SchemaError,
     TransactionConflictError,
     TransactionError,
@@ -41,7 +42,7 @@ from .mvcc import VersionStore
 from .schema import GeoClass, Schema
 from .storage import FilePager, HeapFile, MemoryPager, Pager, RecordId
 from .transactions import Transaction, _Intent
-from .wal import WriteAheadLog
+from .wal import REC_INTENT, LogShipper, WriteAheadLog, verify_envelope
 
 
 class GeographicDatabase:
@@ -93,6 +94,26 @@ class GeographicDatabase:
         self._class_versions: dict[tuple[str, str], int] = {}
         #: lazily created planner statistics (repro.geodb.planner)
         self._statistics = None
+        #: (schema, class) -> {"attr": ..., "grid": (gx, gy)} — classes
+        #: whose extents are spatially partitioned for scatter-gather
+        #: query execution (see repro.geodb.sharding)
+        self._shard_configs: dict[tuple[str, str], dict[str, Any]] = {}
+        #: (schema, class) -> cached ShardMap, keyed like planner stats
+        #: on (class commit version, cardinality)
+        self._shard_maps: dict[tuple[str, str], Any] = {}
+
+        # -- replication (leader/follower) ------------------------------
+        #: True for follower instances created by :meth:`follow` — all
+        #: write paths are refused, state changes arrive only through
+        #: :meth:`apply_replicated`
+        self._read_only = False
+        #: the follower's replication source (LocalReplicationSource /
+        #: RemoteReplicationSource); None on leaders
+        self._repl_source = None
+        #: batches applied through :meth:`apply_replicated`
+        self._applied_batches = 0
+        #: snapshot re-bootstraps performed by :meth:`poll_replication`
+        self._resyncs = 0
 
         # -- multi-version concurrency control (snapshot isolation) ----
         #: per-oid version chains; see repro.geodb.mvcc
@@ -598,32 +619,19 @@ class GeographicDatabase:
         than doubled. Ends with a checkpoint that folds the recovered
         state into the heap and resets the log.
         """
+        if self._read_only:
+            raise ReplicationError(
+                f"database {self.name!r} is a read-only follower; it has "
+                "no log to recover — re-follow its leader instead"
+            )
         if self.wal is None:
             return 0
         replayed = 0
-        for records in self.wal.replay():
-            commit_ts = self._batch_commit_ts(records)
-            touched: dict[str, tuple[str, str]] = {}
-            for doc in records:
-                if doc.get("t") == "I":
-                    self._replay_intent(doc)
-                    touched[doc["oid"]] = (doc["schema"], doc["class"])
-            self._commit_ts = max(self._commit_ts, commit_ts)
-            for schema_name, class_name in set(touched.values()):
-                self._class_versions[(schema_name, class_name)] = max(
-                    self._class_versions.get((schema_name, class_name), 0),
-                    commit_ts,
-                )
-            for oid, (schema_name, class_name) in touched.items():
-                obj = self.find_object(oid)
-                if obj is None:
-                    self._mvcc.record(oid, commit_ts, None,
-                                      schema_name, class_name)
-                else:
-                    schema_name, class_name = self._locations[oid]
-                    self._mvcc.record(oid, commit_ts, obj.values(),
-                                      schema_name, class_name)
-            replayed += 1
+        with self._commit_lock:
+            for records in self.wal.replay():
+                commit_ts = self._batch_commit_ts(records)
+                self._replay_batch(records, commit_ts)
+                replayed += 1
         self.wal.recovered_txns += replayed
         if replayed and obs.RECORDER.enabled:
             obs.RECORDER.inc("wal.recoveries", replayed)
@@ -633,6 +641,40 @@ class GeographicDatabase:
             # front of future batches and hide them from the next replay.
             self.checkpoint()
         return replayed
+
+    def _replay_batch(self, records: list[dict[str, Any]],
+                      commit_ts: int) -> dict[str, tuple[str, str]]:
+        """Replay one committed batch at ``commit_ts`` (caller locks).
+
+        The single replay path shared by crash recovery and follower
+        replication: redoes every intent idempotently, advances the
+        commit timestamp, bumps the commit version of **every touched
+        class** (the invariant planner statistics and the query-result
+        cache rely on — a replayed commit must invalidate cached
+        cardinalities exactly like a live one), and records the MVCC
+        versions at the logged timestamp. Returns the touched oids.
+        """
+        touched: dict[str, tuple[str, str]] = {}
+        for doc in records:
+            if doc.get("t") == REC_INTENT:
+                self._replay_intent(doc)
+                touched[doc["oid"]] = (doc["schema"], doc["class"])
+        self._commit_ts = max(self._commit_ts, commit_ts)
+        for schema_name, class_name in set(touched.values()):
+            self._class_versions[(schema_name, class_name)] = max(
+                self._class_versions.get((schema_name, class_name), 0),
+                commit_ts,
+            )
+        for oid, (schema_name, class_name) in touched.items():
+            obj = self.find_object(oid)
+            if obj is None:
+                self._mvcc.record(oid, commit_ts, None,
+                                  schema_name, class_name)
+            else:
+                schema_name, class_name = self._locations[oid]
+                self._mvcc.record(oid, commit_ts, obj.values(),
+                                  schema_name, class_name)
+        return touched
 
     def _batch_commit_ts(self, records: list[dict[str, Any]]) -> int:
         """Commit timestamp of one replayed WAL batch.
@@ -649,17 +691,8 @@ class GeographicDatabase:
     def _replay_intent(self, doc: dict[str, Any]) -> None:
         """Redo one logged mutation unless its effect is already present."""
         op, oid = doc["op"], doc["oid"]
-        values = doc["values"]
-        if values is not None:
-            schema = self.get_schema_object(doc["schema"])
-            attrs = {
-                a.name: a
-                for a in schema.effective_attributes(doc["class"])
-            }
-            values = {
-                attr: (None if raw is None else attrs[attr].type.decode(raw))
-                for attr, raw in values.items()
-            }
+        values = self._decode_record_values(doc["schema"], doc["class"],
+                                            doc["values"])
         intent = _Intent(op, doc["schema"], doc["class"], oid, values)
         exists = oid in self._locations
         if op == "insert" and not exists:
@@ -690,6 +723,370 @@ class GeographicDatabase:
             "oid": intent.oid,
             "values": values,
         }
+
+    # ------------------------------------------------------------------
+    # Replication: leader-side shipping, follower mode
+    # ------------------------------------------------------------------
+
+    def enable_shipping(self, retain: int = 256) -> LogShipper:
+        """Attach (or return) the WAL's :class:`LogShipper`.
+
+        ``retain`` bounds how many durable batches stay pollable; a
+        follower that falls further behind gets a snapshot handoff. The
+        shipper's ``base_lsn`` is seeded with the current commit
+        timestamp under the commit lock, so a follower bootstrapped from
+        :meth:`replication_snapshot` can always resume from its LSN.
+        """
+        if self._read_only:
+            raise ReplicationError(
+                f"database {self.name!r} is a follower; followers do not "
+                "ship their log (chain replication is not supported)"
+            )
+        if self.wal is None:
+            raise ReplicationError(
+                f"database {self.name!r} has no write-ahead log; attach "
+                "one before enabling log shipping"
+            )
+        with self._commit_lock:
+            if self.wal.shipper is None:
+                self.wal.attach_shipper(
+                    LogShipper(base_lsn=self._commit_ts, retain=retain)
+                )
+            return self.wal.shipper
+
+    def replication_snapshot(self) -> dict[str, Any]:
+        """A consistent full-state export for follower bootstrap.
+
+        Taken under the commit lock, so the object set, the class
+        versions and the LSN all describe the same commit point. Values
+        are schema-encoded (JSON-safe), making the document wire-ready.
+        """
+        with self._commit_lock:
+            objects = []
+            for extent in self._extents.values():
+                for obj in extent:
+                    objects.append(self._record_for(obj))
+            return {
+                "name": self.name,
+                "lsn": self._commit_ts,
+                "schemas": [s.describe() for s in self._schemas.values()],
+                "objects": objects,
+                "class_versions": [
+                    [s, c, v] for (s, c), v in self._class_versions.items()
+                ],
+                "shard_configs": [
+                    [s, c, {"attr": cfg["attr"], "grid": list(cfg["grid"])}]
+                    for (s, c), cfg in self._shard_configs.items()
+                ],
+            }
+
+    @classmethod
+    def follow(cls, source, name: str | None = None,
+               buffer_capacity: int = 64) -> "GeographicDatabase":
+        """Create a read-only follower bootstrapped from ``source``.
+
+        ``source`` is a replication source (see
+        :mod:`repro.geodb.replication`): ``snapshot()`` yields the
+        bootstrap document, ``poll(cursor)`` yields shipped batches.
+        The follower replays batches idempotently at their logged commit
+        timestamps, so its MVCC history matches the leader's and any
+        read-only transaction on it is snapshot-consistent with the
+        leader at the follower's current LSN. Drive it with
+        :meth:`poll_replication`.
+        """
+        snapshot = source.snapshot()
+        db = cls(name or f"{snapshot.get('name', 'GEO')}-replica",
+                 buffer_capacity=buffer_capacity)
+        db._repl_source = source
+        db._install_snapshot(snapshot)
+        db._read_only = True
+        return db
+
+    def _install_snapshot(self, doc: dict[str, Any]) -> int:
+        """Adopt a snapshot document's schemas and objects (caller is a
+        fresh or just-reset follower)."""
+        from ..spatial.rtree import bulk_load
+
+        for schema_desc in doc.get("schemas", []):
+            if schema_desc["name"] not in self._schemas:
+                self.register_schema(Schema.from_description(schema_desc))
+        spatial_batches: dict[tuple[str, str, str], list] = {}
+        for record in doc.get("objects", []):
+            schema = self.get_schema_object(record["schema"])
+            attrs = {
+                a.name: a
+                for a in schema.effective_attributes(record["class"])
+            }
+            values = {
+                name: attrs[name].type.decode(value)
+                for name, value in record["values"].items()
+            }
+            obj = GeoObject.create(schema, record["class"], values,
+                                   oid=record["oid"])
+            self.extent(record["schema"], record["class"]).add(obj)
+            self._locations[obj.oid] = (record["schema"], record["class"])
+            self._rids[obj.oid] = self.heap.insert(self._record_for(obj))
+            for attr in self._spatial_attrs(obj):
+                geom = obj.geometry(attr)
+                if geom is not None:
+                    key = (record["schema"], record["class"], attr)
+                    spatial_batches.setdefault(key, []).append(
+                        (geom.bbox(), obj.oid)
+                    )
+            for (s, c, attr), index in self._attr_indexes.items():
+                if (s, c) == (record["schema"], record["class"]):
+                    index.insert(obj.get(attr), obj.oid)
+            self._refs_add(obj)
+        for key, entries in spatial_batches.items():
+            self._spatial[key] = bulk_load(entries, max_entries=16)
+        for schema_name, class_name, version in doc.get("class_versions", []):
+            self._class_versions[(schema_name, class_name)] = version
+        for schema_name, class_name, cfg in doc.get("shard_configs", []):
+            self._shard_configs[(schema_name, class_name)] = {
+                "attr": cfg["attr"], "grid": tuple(cfg["grid"]),
+            }
+        self._shard_maps.clear()
+        self._commit_ts = doc["lsn"]
+        return len(doc.get("objects", []))
+
+    def apply_replicated(self, envelope: dict[str, Any]) -> bool:
+        """Apply one shipped batch; returns False when already applied.
+
+        The follower half of log shipping. The envelope is verified
+        first (checksum, exactly one timestamped commit record) — a
+        damaged frame is refused with :class:`ReplicationError` and the
+        follower keeps its last consistent state. Replay is idempotent
+        by LSN: a batch at or below the applied LSN is skipped outright,
+        so a follower that crashed mid-stream and re-follows never
+        records duplicate versions. Runs under the commit lock with the
+        same seqlock + pre-image seeding protocol as a live commit, so
+        concurrent read-only transactions on the follower stay
+        snapshot-consistent throughout.
+        """
+        records = verify_envelope(envelope)
+        lsn = envelope["lsn"]
+        with self._commit_lock:
+            if lsn <= self._commit_ts:
+                return False
+            if lsn > self._commit_ts + 1:
+                raise ReplicationError(
+                    f"replication gap: follower {self.name!r} is at lsn "
+                    f"{self._commit_ts} but the next shipped batch is "
+                    f"{lsn}; re-bootstrap from a snapshot"
+                )
+            intent_docs = [doc for doc in records
+                           if doc.get("t") == REC_INTENT]
+            if self._snapshots:
+                self._seed_write_set(
+                    frozenset(doc["oid"] for doc in intent_docs),
+                    [_Intent(doc["op"], doc["schema"], doc["class"],
+                             doc["oid"], None) for doc in intent_docs],
+                )
+            self._mutation_seq += 1
+            try:
+                self._replay_batch(records, lsn)
+            finally:
+                self._mutation_seq += 1
+            self._applied_batches += 1
+        # Post-apply events mirror the leader's post-commit phase, so a
+        # kernel serving sessions off this follower fans out refreshes
+        # and invalidates caches exactly like on the leader.
+        for doc in intent_docs:
+            self.bus.publish(
+                Event(
+                    EventKind(doc["op"]),
+                    doc["oid"],
+                    payload={
+                        "schema": doc["schema"],
+                        "class": doc["class"],
+                        "values": self._decode_record_values(
+                            doc["schema"], doc["class"], doc["values"]),
+                        "phase": "commit",
+                        "txn": doc.get("txn"),
+                        "ts": lsn,
+                        "replicated": True,
+                    },
+                )
+            )
+        return True
+
+    def poll_replication(self, max_batches: int = 64) -> int:
+        """Pull and apply pending batches from the follower's source.
+
+        Returns the number of batches applied. Handles the snapshot
+        handoff transparently: when the source reports the cursor has
+        fallen behind the retained window (leader checkpointed/evicted
+        past us), the follower re-bootstraps from a fresh snapshot and
+        resumes. Updates the ``repl.lag_records`` gauge.
+        """
+        source = self._require_follower()
+        applied = 0
+        while True:
+            result = source.poll(self._commit_ts, max_batches=max_batches)
+            if result.get("snapshot_required"):
+                self.resync()
+                self._resyncs += 1
+                continue
+            batches = result.get("batches", [])
+            for envelope in batches:
+                if self.apply_replicated(envelope):
+                    applied += 1
+            if len(batches) < max_batches:
+                lag = max(result.get("lsn", self._commit_ts)
+                          - self._commit_ts, 0)
+                if obs.RECORDER.enabled:
+                    obs.RECORDER.gauge("repl.lag_records", lag,
+                                       follower=self.name)
+                return applied
+
+    def resync(self) -> int:
+        """Re-bootstrap the follower from a fresh leader snapshot.
+
+        The snapshot-handoff path for a follower that outlived the
+        shipper's retention window. State is cleared *in place* (live
+        transactions alias the extent/chain dicts) under the commit lock
+        and seqlock; snapshots pinned before the resync are abandoned —
+        their reads resolve against the new bootstrap state, which is
+        the only consistent state the follower still has.
+        """
+        source = self._require_follower()
+        snapshot = source.snapshot()
+        with self._commit_lock:
+            self._mutation_seq += 1
+            try:
+                for extent in self._extents.values():
+                    extent._objects.clear()
+                self._locations.clear()
+                self._rids.clear()
+                self._incoming_refs.clear()
+                for index in self._attr_indexes.values():
+                    index._buckets.clear()
+                    index._size = 0
+                self._spatial.clear()
+                self._mvcc._chains.clear()
+                self._commit_log.clear()
+                self._statistics = None
+                self._shard_maps.clear()
+                self.heap = HeapFile(self.pager)
+                self.heap.attach_buffer(self.buffer)
+                installed = self._install_snapshot(snapshot)
+            finally:
+                self._mutation_seq += 1
+        return installed
+
+    @property
+    def replication_lsn(self) -> int:
+        """The commit timestamp this instance has applied up to.
+
+        On a leader this is simply the current commit timestamp; on a
+        follower it is the LSN of the last replicated batch (or the
+        bootstrap snapshot).
+        """
+        return self._commit_ts
+
+    def replication_lag(self) -> int | None:
+        """Records behind the source's shipped head; None on leaders."""
+        if self._repl_source is None:
+            return None
+        head = self._repl_source.head_lsn()
+        return max(head - self._commit_ts, 0)
+
+    def replication_status(self) -> dict[str, Any]:
+        """LSN/lag/shipping summary for CLI and net ``repl_status``."""
+        status: dict[str, Any] = {
+            "name": self.name,
+            "role": "follower" if self._read_only else "leader",
+            "lsn": self.replication_lsn,
+        }
+        if self._read_only:
+            status["lag"] = self.replication_lag()
+            status["applied_batches"] = self._applied_batches
+            status["resyncs"] = self._resyncs
+        elif self.wal is not None and self.wal.shipper is not None:
+            status["shipper"] = self.wal.shipper.stats()
+        return status
+
+    def _require_follower(self):
+        if self._repl_source is None:
+            raise ReplicationError(
+                f"database {self.name!r} is not a follower (no "
+                "replication source attached)"
+            )
+        return self._repl_source
+
+    def _require_writable(self, op: str) -> None:
+        """Raise on any write path of a read-only follower."""
+        if self._read_only:
+            raise TransactionError(
+                f"cannot {op} on {self.name!r}: read-only follower "
+                "(writes go to the leader; use read_preference='leader')"
+            )
+
+    def _decode_record_values(self, schema_name: str, class_name: str,
+                              values: dict[str, Any] | None
+                              ) -> dict[str, Any] | None:
+        if values is None:
+            return None
+        schema = self.get_schema_object(schema_name)
+        attrs = {
+            a.name: a for a in schema.effective_attributes(class_name)
+        }
+        return {
+            attr: (None if raw is None else attrs[attr].type.decode(raw))
+            for attr, raw in values.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Spatial sharding (scatter-gather query execution)
+    # ------------------------------------------------------------------
+
+    def shard_extent(self, schema_name: str, class_name: str, attr: str,
+                     grid: tuple[int, int] = (2, 2)) -> None:
+        """Partition a class extent spatially for scatter-gather queries.
+
+        ``attr`` must be a geometry attribute; ``grid`` is the (x, y)
+        cell split of the extent's bounding box. The partition itself is
+        computed lazily and re-computed whenever the class's commit
+        version moves (same caching rule as planner statistics). The
+        config replicates to followers via the bootstrap snapshot.
+        """
+        schema = self.get_schema_object(schema_name)
+        attrs = {a.name: a for a in schema.effective_attributes(class_name)}
+        if attr not in attrs or not attrs[attr].is_spatial():
+            raise SchemaError(
+                f"{class_name}.{attr} is not a geometry attribute; "
+                "shards partition on a spatial attribute"
+            )
+        gx, gy = grid
+        if gx < 1 or gy < 1:
+            raise SchemaError(f"shard grid must be >= 1x1, got {grid}")
+        self._shard_configs[(schema_name, class_name)] = {
+            "attr": attr, "grid": (int(gx), int(gy)),
+        }
+        self._shard_maps.pop((schema_name, class_name), None)
+
+    def shard_map(self, schema_name: str, class_name: str):
+        """The class's current :class:`~repro.geodb.sharding.ShardMap`,
+        or None when the class is not sharded. Cached on (class commit
+        version, cardinality) and rebuilt lazily after any commit or
+        replicated batch touching the class."""
+        config = self._shard_configs.get((schema_name, class_name))
+        if config is None:
+            return None
+        from .sharding import build_shard_map
+
+        version = self.class_version(schema_name, class_name)
+        cardinality = len(self.extent(schema_name, class_name))
+        cached = self._shard_maps.get((schema_name, class_name))
+        if (cached is not None and cached.version == version
+                and cached.cardinality == cardinality):
+            return cached
+        shard_map = build_shard_map(
+            self, schema_name, class_name, config["attr"], config["grid"],
+            version=version,
+        )
+        self._shard_maps[(schema_name, class_name)] = shard_map
+        return shard_map
 
     def close(self) -> None:
         """Checkpoint and release a file-backed database and its WAL."""
@@ -731,11 +1128,16 @@ class GeographicDatabase:
         work; see :meth:`Transaction.commit`).
         """
         intents = txn.intents
+        if intents:
+            self._require_writable("commit writes")
         rec = obs.RECORDER
         ticket: int | None = None
         with rec.span("txn.commit", txn=txn.txn_id, intents=len(intents)):
             with self._commit_lock:
                 commit_ts, ticket = self._commit_locked(txn, intents, rec)
+            txn.commit_ts = commit_ts
+            if txn._on_commit is not None:
+                txn._on_commit(commit_ts)
             # The durability wait runs *outside* the commit lock: while
             # this committer waits on the group barrier, other sessions
             # stage their own commits, and one leader fsyncs for all of

@@ -17,21 +17,35 @@ The engine evaluates a :class:`repro.geodb.query.Query` against a
 3. **Shape** — ordering, limiting and projection/aggregation, all
    through the same compiled accessors.
 
+When a closure class's extent is partitioned into shards
+(:meth:`~repro.geodb.database.GeographicDatabase.shard_extent`), the
+engine switches to **scatter-gather**: the planner prunes the shard set
+against the query's spatial prefilter
+(:meth:`~repro.geodb.planner.QueryPlanner.plan_scatter`), each live
+shard runs as an independent sub-query (sequentially, or on a thread
+pool when ``scatter_workers`` is set), and the per-shard results are
+gathered — ordered queries by a k-way merge of locally sorted runs,
+aggregates by combining per-shard partial states — so the shaped result
+is byte-identical to the single-extent path's.
+
 The returned :class:`QueryResult` carries the rows plus an execution
 report (overall plan, truthful per-class plan list, candidates
-examined) used by the explanation interaction mode, the CLI ``query``
-command and benchmarks C5/C11.
+examined, scatter fan-out) used by the explanation interaction mode,
+the CLI ``query`` command and benchmarks C5/C11/C13.
 """
 
 from __future__ import annotations
 
+import heapq
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from .. import obs
 from ..errors import QueryError
 from .database import GeographicDatabase
 from .instances import GeoObject
-from .planner import FULL_SCAN, HASH_SCAN, INDEX_SCAN, QueryPlanner
+from .planner import (FULL_SCAN, HASH_SCAN, INDEX_SCAN, SCATTER, ClassPlan,
+                      QueryPlanner, ShardPlan)
 from .query import MISSING, Query, compile_path, match_all
 from .schema import GeoClass
 
@@ -76,6 +90,13 @@ class QueryResult:
             if class_plan.get("reason"):
                 detail += f" — {class_plan['reason']}"
             lines.append(detail)
+        if r.get("scatter"):
+            scatter = r["scatter"]
+            lines.append(
+                f"scatter: {scatter['shards']} shard(s) executed, "
+                f"{scatter['pruned']} pruned, "
+                f"workers={scatter['workers']}"
+            )
         if r.get("cache"):
             lines.append(f"cache: {r['cache']}")
         return "\n".join(lines)
@@ -84,9 +105,15 @@ class QueryResult:
 class QueryEngine:
     """Executes queries against one database."""
 
-    def __init__(self, database: GeographicDatabase):
+    def __init__(self, database: GeographicDatabase,
+                 scatter_workers: int = 0):
         self.database = database
         self.planner = QueryPlanner(database)
+        #: thread-pool width for scatter sub-queries; 0/1 = sequential.
+        #: Sub-queries are pure reads, so threading is always safe; it
+        #: only pays off when candidate fetch releases the GIL or the
+        #: host has cores to spare.
+        self.scatter_workers = scatter_workers
 
     def execute(self, schema_name: str, query: Query) -> QueryResult:
         rec = obs.RECORDER
@@ -112,32 +139,28 @@ class QueryEngine:
         geo_class = schema.get_class(query.class_name)
         planner = self.planner
         prefilter, equality = planner.prefilters(query)
+        closure = planner.class_closure(schema_name, query)
+        shard_plans = [
+            shard_plan for class_name in closure
+            if (shard_plan := planner.plan_scatter(
+                schema_name, class_name, prefilter)) is not None
+        ]
+        sharded = {shard_plan.class_name for shard_plan in shard_plans}
         plans = [
             planner.plan_class(schema_name, class_name, prefilter, equality)
-            for class_name in planner.class_closure(schema_name, query)
+            for class_name in closure if class_name not in sharded
         ]
         matcher = self._compile(query, geo_class)
+        if shard_plans:
+            return self._execute_scatter(schema_name, geo_class, query,
+                                         plans, shard_plans, prefilter,
+                                         equality, matcher)
 
         candidates = 0
         matches: list[GeoObject] = []
         for class_plan in plans:
-            class_name = class_plan.class_name
-            if class_plan.kind == INDEX_SCAN:
-                attr, box = prefilter
-                index = db.spatial_index(schema_name, class_name, attr)
-                objects = db.fetch_objects(schema_name, class_name,
-                                           index.search(box))
-            elif class_plan.kind == HASH_SCAN:
-                attr, values = equality
-                index = db.attribute_index(schema_name, class_name, attr)
-                if len(values) == 1:
-                    oids = index.lookup_view(values[0])
-                else:
-                    oids = index.lookup_many(values)
-                objects = db.fetch_objects(schema_name, class_name,
-                                           sorted(oids))
-            else:
-                objects = db.extent(schema_name, class_name)
+            objects = self._class_candidates(schema_name, class_plan,
+                                             prefilter, equality)
             candidates += len(objects)
             if matcher is match_all:
                 matches.extend(objects)
@@ -157,6 +180,167 @@ class QueryEngine:
         rows = self._project(matches, geo_class, query)
         report["matches"] = len(matches)
         return QueryResult(query, matches, rows, report)
+
+    def _class_candidates(self, schema_name: str, class_plan: ClassPlan,
+                          prefilter, equality):
+        """Candidates for one class via its planned access path."""
+        db = self.database
+        class_name = class_plan.class_name
+        if class_plan.kind == INDEX_SCAN:
+            attr, box = prefilter
+            index = db.spatial_index(schema_name, class_name, attr)
+            return db.fetch_objects(schema_name, class_name,
+                                    index.search(box))
+        if class_plan.kind == HASH_SCAN:
+            attr, values = equality
+            index = db.attribute_index(schema_name, class_name, attr)
+            if len(values) == 1:
+                oids = index.lookup_view(values[0])
+            else:
+                oids = index.lookup_many(values)
+            return db.fetch_objects(schema_name, class_name, sorted(oids))
+        return db.extent(schema_name, class_name)
+
+    # -- scatter-gather --------------------------------------------------------
+
+    def _execute_scatter(self, schema_name: str, geo_class: GeoClass,
+                         query: Query, plans: list[ClassPlan],
+                         shard_plans: list[ShardPlan], prefilter, equality,
+                         matcher) -> QueryResult:
+        """Scatter the query over live shards, gather shaped results.
+
+        Each *unit* — a live shard of a sharded class, or the whole
+        candidate set of an unsharded closure class — refines
+        independently. The gather step is shape-aware: ordered queries
+        merge locally sorted runs (k-way, via :func:`heapq.merge`),
+        aggregates combine per-unit partial states, and plain queries
+        concatenate in unit order.
+        """
+        db = self.database
+        units: list[list[GeoObject]] = []
+        candidates = 0
+        for class_plan in plans:
+            objects = self._class_candidates(schema_name, class_plan,
+                                             prefilter, equality)
+            candidates += len(objects)
+            units.append(list(objects) if matcher is match_all
+                         else list(filter(matcher, objects)))
+
+        def run_shard(task):
+            class_name, shard = task
+            objects = db.fetch_objects(schema_name, class_name, shard.oids)
+            matched = list(objects) if matcher is match_all \
+                else list(filter(matcher, objects))
+            return len(objects), matched
+
+        tasks = [(shard_plan.class_name, shard)
+                 for shard_plan in shard_plans
+                 for shard in shard_plan.shards]
+        workers = min(self.scatter_workers or 1, max(len(tasks), 1))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(run_shard, tasks))
+        else:
+            results = [run_shard(task) for task in tasks]
+        for examined, matched in results:
+            candidates += examined
+            units.append(matched)
+
+        report = self._report(
+            plans + [shard_plan.as_class_plan()
+                     for shard_plan in shard_plans],
+            candidates,
+        )
+        report["plan"] = SCATTER
+        report["scatter"] = {
+            "classes": [shard_plan.describe() for shard_plan in shard_plans],
+            "shards": len(tasks),
+            "pruned": sum(shard_plan.pruned for shard_plan in shard_plans),
+            "workers": workers,
+        }
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.inc("query.scatter.shards", amount=len(tasks))
+            rec.inc("query.scatter.merges")
+
+        if query.aggregates:
+            rows = [self._merge_aggregates(units, geo_class, query)]
+            matches = [obj for unit in units for obj in unit]
+            report["matches"] = len(matches)
+            return QueryResult(query, matches, rows, report)
+        if query.order_by:
+            matches = self._merge_ordered(units, geo_class, query)
+        else:
+            matches = [obj for unit in units for obj in unit]
+        if query.limit is not None:
+            matches = matches[: query.limit]
+        rows = self._project(matches, geo_class, query)
+        report["matches"] = len(matches)
+        return QueryResult(query, matches, rows, report)
+
+    def _merge_ordered(self, units: list[list[GeoObject]],
+                       geo_class: GeoClass, query: Query) -> list[GeoObject]:
+        """K-way merge of per-unit runs, each sorted locally first."""
+        key, descending = self._order_key(geo_class, query)
+        try:
+            runs = [sorted(unit, key=key, reverse=descending)
+                    for unit in units]
+            return list(heapq.merge(*runs, key=key, reverse=descending))
+        except TypeError as exc:
+            raise QueryError(
+                f"order by {query.order_by!r}: values are not comparable ({exc})"
+            ) from exc
+
+    def _merge_aggregates(self, units: list[list[GeoObject]],
+                          geo_class: GeoClass,
+                          query: Query) -> dict[str, Any]:
+        """Combine per-unit partial aggregate states into one row.
+
+        Each unit contributes only its partial (count, sum, min, max)
+        over non-None resolved values; the combine step is the algebra
+        those partials close under, so the final row matches
+        :meth:`_aggregate` over the concatenated set exactly —
+        including the SQL-style empty-input conventions.
+        """
+        row: dict[str, Any] = {}
+        for op, path in query.aggregates or ():
+            label = f"{op}({path or '*'})"
+            if op == "count" and path is None:
+                row[label] = sum(len(unit) for unit in units)
+                continue
+            accessor = compile_path(path, geo_class)
+            n = 0
+            total: Any = None
+            low: Any = None
+            high: Any = None
+            for unit in units:
+                values = [value for value in map(accessor, unit)
+                          if value is not MISSING and value is not None]
+                if not values:
+                    continue
+                n += len(values)
+                if op in ("sum", "avg"):
+                    part = sum(values)
+                    total = part if total is None else total + part
+                elif op == "min":
+                    part = min(values)
+                    low = part if low is None else min(low, part)
+                elif op == "max":
+                    part = max(values)
+                    high = part if high is None else max(high, part)
+            if op == "count":
+                row[label] = n
+            elif n == 0:
+                row[label] = None
+            elif op == "min":
+                row[label] = low
+            elif op == "max":
+                row[label] = high
+            elif op == "sum":
+                row[label] = total
+            else:  # avg
+                row[label] = total / n
+        return row
 
     def _compile(self, query: Query, geo_class: GeoClass):
         """The query's compiled refine closure (timed when observable)."""
@@ -191,6 +375,22 @@ class QueryEngine:
                query: Query) -> list[GeoObject]:
         if not query.order_by:
             return matches
+        key, descending = self._order_key(geo_class, query)
+        try:
+            ordered = sorted(matches, key=key, reverse=descending)
+        except TypeError as exc:
+            raise QueryError(
+                f"order by {query.order_by!r}: values are not comparable ({exc})"
+            ) from exc
+        return ordered
+
+    @staticmethod
+    def _order_key(geo_class: GeoClass, query: Query):
+        """The (key function, descending) pair for ``order_by``.
+
+        Shared by the single-extent sort and the scatter path's k-way
+        merge, so both shapes order identically.
+        """
         path = query.order_by
         descending = path.startswith("-")
         if descending:
@@ -201,16 +401,12 @@ class QueryEngine:
             value = accessor(obj)
             if value is MISSING:
                 value = None
-            # None sorts last regardless of direction.
-            return (value is None, value)
+            # None sorts last regardless of direction; the oid breaks
+            # ties so the ordering is total — the scatter merge then
+            # reproduces the single-extent sort byte for byte.
+            return (value is None, value, obj.oid)
 
-        try:
-            ordered = sorted(matches, key=key, reverse=descending)
-        except TypeError as exc:
-            raise QueryError(
-                f"order by {query.order_by!r}: values are not comparable ({exc})"
-            ) from exc
-        return ordered
+        return key, descending
 
     def _aggregate(self, matches: list[GeoObject], geo_class: GeoClass,
                    query: Query) -> dict[str, Any]:

@@ -1,0 +1,168 @@
+"""Spatial partitioning of class extents into shards.
+
+A :class:`ShardMap` splits one class's extent into grid-cell shards by
+the centroid of each object's geometry bbox, plus one *residual* shard
+for objects without a geometry on the partition attribute. The planner
+uses the map to emit scatter-gather plans: a windowed query only
+executes on shards whose bounding box intersects the query's spatial
+prefilter, and the residual shard is skipped whenever the prefilter is a
+*necessary* condition of the predicate (an object with no geometry
+cannot satisfy it) — the exact eligibility rule the single-extent
+index-scan path already applies.
+
+Soundness of pruning rests on one invariant: a shard's ``bbox`` is the
+union of its members' geometry bboxes. The single-extent path answers a
+windowed query via ``index.search(window)``, i.e. member-bbox-vs-window
+intersection; a shard whose union box is disjoint from the window can
+contain no member whose own box intersects it, so dropping the shard
+drops nothing the R-tree path would have returned.
+
+Maps are cached by :meth:`GeographicDatabase.shard_map` on (class commit
+version, cardinality) — the same freshness rule as planner statistics —
+so any commit or replicated batch touching the class rebuilds the
+partition lazily on the next scatter query.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..spatial.geometry import BBox
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .database import GeographicDatabase
+
+#: shard id of the no-geometry residual shard
+RESIDUAL = "residual"
+
+
+class Shard:
+    """One partition cell: member oids plus their tight bounding box."""
+
+    __slots__ = ("shard_id", "bbox", "oids")
+
+    def __init__(self, shard_id: str, bbox: BBox | None, oids: list[str]):
+        self.shard_id = shard_id
+        #: union of member geometry bboxes; None for the residual shard
+        #: (no geometry — never prunable by a window)
+        self.bbox = bbox
+        self.oids = oids
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.oids)
+
+    def __repr__(self) -> str:
+        return f"Shard({self.shard_id}, {len(self.oids)} oids)"
+
+
+class ShardMap:
+    """The spatial partition of one class extent."""
+
+    __slots__ = ("schema_name", "class_name", "attr", "grid", "version",
+                 "cardinality", "shards", "extent_bbox")
+
+    def __init__(self, schema_name: str, class_name: str, attr: str,
+                 grid: tuple[int, int], version: int, cardinality: int,
+                 shards: list[Shard], extent_bbox: BBox):
+        self.schema_name = schema_name
+        self.class_name = class_name
+        self.attr = attr
+        self.grid = grid
+        #: class commit version the partition was computed at
+        self.version = version
+        #: extent cardinality at compute time (with version, the cache key)
+        self.cardinality = cardinality
+        self.shards = shards
+        self.extent_bbox = extent_bbox
+
+    def live_shards(self, window: BBox | None,
+                    prune_residual: bool) -> list[Shard]:
+        """Shards a query must execute on.
+
+        ``window`` is the query's spatial prefilter on the partition
+        attribute (None → no pruning, every shard runs).
+        ``prune_residual`` states the prefilter is a necessary condition
+        of the predicate, so no-geometry objects cannot match and the
+        residual shard may be skipped with the disjoint cells.
+        """
+        if window is None:
+            return list(self.shards)
+        live = []
+        for shard in self.shards:
+            if shard.bbox is None:
+                if not prune_residual:
+                    live.append(shard)
+            elif shard.bbox.intersects(window):
+                live.append(shard)
+        return live
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "class": self.class_name,
+            "attr": self.attr,
+            "grid": list(self.grid),
+            "version": self.version,
+            "cardinality": self.cardinality,
+            "shards": [
+                {"id": s.shard_id, "cardinality": s.cardinality}
+                for s in self.shards
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (f"ShardMap({self.schema_name}.{self.class_name} on "
+                f"{self.attr}, {self.grid[0]}x{self.grid[1]}, "
+                f"{len(self.shards)} shards, v{self.version})")
+
+
+def build_shard_map(db: "GeographicDatabase", schema_name: str,
+                    class_name: str, attr: str, grid: tuple[int, int],
+                    version: int) -> ShardMap:
+    """Partition the class extent into grid-cell shards.
+
+    Objects land in the cell containing their geometry's bbox center;
+    objects without a geometry on ``attr`` land in the residual shard.
+    Cell membership uses the center (not overlap), so every object is in
+    exactly one shard — gathers never deduplicate. Each shard's bbox is
+    the union of its members' actual bboxes (tight, for honest pruning:
+    a long line assigned by center to one cell still extends that
+    shard's box to wherever the line reaches).
+    """
+    extent = db.extent(schema_name, class_name)
+    members: list[tuple[str, BBox | None]] = []
+    extent_bbox = BBox.empty()
+    for obj in extent:
+        geom = obj.geometry(attr)
+        if geom is None:
+            members.append((obj.oid, None))
+        else:
+            box = geom.bbox()
+            members.append((obj.oid, box))
+            extent_bbox = extent_bbox.union(box)
+    gx, gy = grid
+    cells = gx * gy
+    cell_oids: list[list[str]] = [[] for _ in range(cells)]
+    cell_boxes: list[BBox] = [BBox.empty() for _ in range(cells)]
+    residual: list[str] = []
+    width = extent_bbox.width or 1.0
+    height = extent_bbox.height or 1.0
+    for oid, box in members:
+        if box is None or extent_bbox.is_empty():
+            residual.append(oid)
+            continue
+        cx, cy = box.center()
+        col = min(int((cx - extent_bbox.min_x) / width * gx), gx - 1)
+        row = min(int((cy - extent_bbox.min_y) / height * gy), gy - 1)
+        cell = row * gx + col
+        cell_oids[cell].append(oid)
+        cell_boxes[cell] = cell_boxes[cell].union(box)
+    shards = [
+        Shard(f"cell-{i % gx}-{i // gx}", cell_boxes[i], cell_oids[i])
+        for i in range(cells)
+        if cell_oids[i]
+    ]
+    if residual:
+        shards.append(Shard(RESIDUAL, None, residual))
+    return ShardMap(schema_name, class_name, attr, (gx, gy), version,
+                    len(members), shards, extent_bbox)

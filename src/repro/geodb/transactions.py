@@ -95,7 +95,7 @@ class Transaction:
     __slots__ = ("database", "txn_id", "session_id", "state", "_intents",
                  "snapshot_ts", "_fast", "_chains", "_db_locations",
                  "_db_extents", "_finalizer", "_durable_ticket",
-                 "__weakref__")
+                 "commit_ts", "_on_commit", "__weakref__")
 
     def __init__(self, database, session_id: str | None = None):
         self.database = database
@@ -105,6 +105,13 @@ class Transaction:
         self._intents: list[_Intent] = []
         #: group-commit ticket of a commit(wait_durable=False), until waited
         self._durable_ticket = None
+        #: commit timestamp (the replication LSN) once committed; the
+        #: kernel's read-your-writes routing waits for a replica to reach
+        #: it before serving the session's next replica read
+        self.commit_ts: int | None = None
+        #: optional callable(commit_ts) invoked right after a successful
+        #: commit (set by GISKernel.transaction to track session LSNs)
+        self._on_commit = None
         #: all reads observe the database as of this commit timestamp
         self.snapshot_ts: int = database._begin_snapshot(self)
         # A transaction abandoned without commit()/abort() must not pin
@@ -253,6 +260,7 @@ class Transaction:
                values: dict[str, Any], oid: str | None = None) -> str:
         """Stage the creation of a new object; returns its oid."""
         self._require_active()
+        self.database._require_writable("insert")
         schema = self.database.get_schema_object(schema_name)
         schema.get_class(class_name)  # existence check, raises SchemaError
         # Validate types eagerly so errors surface at the call site.
@@ -269,6 +277,7 @@ class Transaction:
     def update(self, oid: str, changes: dict[str, Any]) -> None:
         """Stage attribute changes; ``None`` values unset optional attributes."""
         self._require_active()
+        self.database._require_writable("update")
         if not changes:
             raise TransactionError("update needs at least one change")
         location = self._locate(oid)
@@ -292,6 +301,7 @@ class Transaction:
 
     def delete(self, oid: str) -> None:
         self._require_active()
+        self.database._require_writable("delete")
         location = self._locate(oid)
         if location is None:
             raise ObjectNotFoundError(f"object {oid} does not exist")

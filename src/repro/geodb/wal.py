@@ -54,6 +54,31 @@ Because batches reach the log pages strictly in ticket order, a crash
 always leaves a *prefix* of whole batches: a barrier covering ticket N
 necessarily made every earlier ticket durable too. Recovery semantics
 are unchanged — the damaged-tail scan applies verbatim.
+
+Log shipping
+------------
+:class:`LogShipper` turns the log into a replication stream. Attached via
+:meth:`WriteAheadLog.attach_shipper`, it retains every committed batch —
+keyed by its LSN, which is the MVCC commit timestamp carried in the
+commit record — and hands them to followers through :meth:`LogShipper.poll`.
+Two rules keep the stream safe:
+
+* **Durable-only shipping.** A staged batch is parked until a barrier
+  covering its ticket completes; only then does it become pollable. A
+  follower can therefore never apply a transaction the leader could still
+  lose in a crash.
+* **Bounded retention with snapshot handoff.** The shipper keeps the last
+  ``retain`` durable batches in memory, independent of checkpoint
+  truncation of the log pages. A cursor that has fallen behind the
+  retained window (slow follower, or a fresh follower attaching mid-life)
+  gets ``snapshot_required`` instead of a gap — the follower re-bootstraps
+  from :meth:`GeographicDatabase.replication_snapshot` and resumes polling
+  from the snapshot's LSN.
+
+Each shipped batch travels inside an envelope carrying a CRC32 over the
+canonical JSON of its records; followers re-verify it before replaying,
+so a frame damaged in transit (or tampered with) is refused, mirroring
+the log's own torn-tail refusal.
 """
 
 from __future__ import annotations
@@ -61,10 +86,11 @@ from __future__ import annotations
 import json
 import threading
 import zlib
+from collections import deque
 from typing import Any, Iterator
 
 from .. import obs
-from ..errors import CrashError, WALError
+from ..errors import CrashError, ReplicationError, WALError
 from .storage import PAGE_SIZE, FilePager, Pager
 
 #: frame header: 4-byte payload length + 4-byte CRC32 of the payload
@@ -86,6 +112,180 @@ def _frame(payload: bytes) -> bytes:
         + (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "big")
         + payload
     )
+
+
+def batch_checksum(records: list[dict[str, Any]]) -> int:
+    """CRC32 over the canonical JSON of a batch's records.
+
+    Canonical means compact separators and sorted keys, so leader and
+    follower — and both sides of a JSON wire hop — compute the same value
+    for the same logical records.
+    """
+    payload = json.dumps(records, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def make_envelope(lsn: int, records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Wrap one committed batch for shipping (LSN + integrity checksum)."""
+    return {"lsn": lsn, "records": records, "crc": batch_checksum(records)}
+
+
+def verify_envelope(envelope: dict[str, Any]) -> list[dict[str, Any]]:
+    """Validate a shipped envelope; returns its records or raises.
+
+    Refuses anything a follower must not replay: a malformed envelope, a
+    checksum mismatch (damaged frame), a batch without exactly one commit
+    record, or a commit record without a timestamp (the LSN).
+    """
+    if not isinstance(envelope, dict):
+        raise ReplicationError("shipped batch is not an envelope object")
+    records = envelope.get("records")
+    lsn = envelope.get("lsn")
+    crc = envelope.get("crc")
+    if not isinstance(records, list) or not all(
+            isinstance(rec, dict) for rec in records):
+        raise ReplicationError("shipped batch has no record list")
+    if not isinstance(lsn, int) or not isinstance(crc, int):
+        raise ReplicationError("shipped batch is missing its lsn or checksum")
+    if batch_checksum(records) != crc:
+        raise ReplicationError(
+            f"shipped batch at lsn {lsn} failed its checksum — damaged "
+            "frame refused (the follower keeps its last applied state)"
+        )
+    commits = [rec for rec in records if rec.get("t") == REC_COMMIT]
+    if len(commits) != 1:
+        raise ReplicationError(
+            f"shipped batch at lsn {lsn} does not contain exactly one "
+            f"commit record ({len(commits)} found)"
+        )
+    if commits[0].get("ts") != lsn:
+        raise ReplicationError(
+            f"shipped batch envelope lsn {lsn} disagrees with its commit "
+            f"record timestamp {commits[0].get('ts')!r}"
+        )
+    return records
+
+
+class LogShipper:
+    """Subscribable stream of committed *and durable* log batches.
+
+    One shipper serves any number of followers: each follower keeps its
+    own cursor (the LSN of the last batch it applied) and calls
+    :meth:`poll` to fetch everything newer. The shipper never pushes —
+    pull keeps slow followers from back-pressuring the commit path.
+
+    Thread-safety: every method takes the shipper's own lock; the WAL
+    calls the ``on_*`` hooks from inside its commit paths, while
+    followers poll from arbitrary threads.
+    """
+
+    def __init__(self, base_lsn: int = 0, retain: int = 256):
+        if retain < 1:
+            raise ReplicationError(f"shipper retention must be >= 1 "
+                                   f"(got {retain})")
+        self._lock = threading.Lock()
+        #: staged but not yet durable: (ticket, envelope), ticket order
+        self._staged: deque[tuple[int, dict[str, Any]]] = deque()
+        #: durable and pollable envelopes, LSN order
+        self._durable: deque[dict[str, Any]] = deque()
+        #: cursors strictly below this need a snapshot handoff
+        self.base_lsn = base_lsn
+        #: LSN of the newest durable batch
+        self.head_lsn = base_lsn
+        self.retain = retain
+        self.shipped_batches = 0
+        self.polls = 0
+        self.snapshot_handoffs = 0
+
+    # -- WAL-side hooks (called by WriteAheadLog) -----------------------------
+
+    def on_staged(self, ticket: int, lsn: int | None,
+                  records: list[dict[str, Any]]) -> None:
+        """Park a staged batch until a barrier covers ``ticket``."""
+        if lsn is None:
+            raise ReplicationError(
+                "cannot ship a commit without a timestamp: log shipping "
+                "requires commit_ts (the replication LSN) on every commit"
+            )
+        with self._lock:
+            self._staged.append((ticket, make_envelope(lsn, records)))
+
+    def on_durable(self, ticket: int) -> None:
+        """Release parked batches covered by a completed barrier."""
+        with self._lock:
+            while self._staged and self._staged[0][0] <= ticket:
+                _, envelope = self._staged.popleft()
+                self._release(envelope)
+
+    def on_batch(self, lsn: int | None, records: list[dict[str, Any]]) -> None:
+        """Ship a batch that is already durable (inline-barrier commit)."""
+        if lsn is None:
+            raise ReplicationError(
+                "cannot ship a commit without a timestamp: log shipping "
+                "requires commit_ts (the replication LSN) on every commit"
+            )
+        with self._lock:
+            self._release(make_envelope(lsn, records))
+
+    def on_damaged(self) -> None:
+        """Drop staged batches after a failed barrier — never shipped, so
+        followers simply never see the transactions the leader lost."""
+        with self._lock:
+            self._staged.clear()
+
+    def _release(self, envelope: dict[str, Any]) -> None:
+        self._durable.append(envelope)
+        self.head_lsn = max(self.head_lsn, envelope["lsn"])
+        self.shipped_batches += 1
+        while len(self._durable) > self.retain:
+            evicted = self._durable.popleft()
+            self.base_lsn = max(self.base_lsn, evicted["lsn"])
+
+    # -- follower-side API ----------------------------------------------------
+
+    def poll(self, cursor: int, max_batches: int = 64) -> dict[str, Any]:
+        """Fetch durable batches with LSN > ``cursor``.
+
+        Returns ``{"batches": [...], "lsn": head, "base_lsn": base,
+        "snapshot_required": bool}``. ``snapshot_required`` means the
+        cursor predates the retained window — the follower must
+        re-bootstrap from a full snapshot before polling again.
+        """
+        with self._lock:
+            self.polls += 1
+            if cursor < self.base_lsn:
+                self.snapshot_handoffs += 1
+                return {"batches": [], "lsn": self.head_lsn,
+                        "base_lsn": self.base_lsn, "snapshot_required": True}
+            batches = []
+            for envelope in self._durable:
+                if envelope["lsn"] > cursor:
+                    batches.append(envelope)
+                    if len(batches) >= max_batches:
+                        break
+            result = {"batches": batches, "lsn": self.head_lsn,
+                      "base_lsn": self.base_lsn, "snapshot_required": False}
+        if batches and obs.RECORDER.enabled:
+            obs.RECORDER.inc("repl.ship_batches", len(batches))
+        return result
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "head_lsn": self.head_lsn,
+                "base_lsn": self.base_lsn,
+                "retained": len(self._durable),
+                "staged": len(self._staged),
+                "retain": self.retain,
+                "shipped_batches": self.shipped_batches,
+                "polls": self.polls,
+                "snapshot_handoffs": self.snapshot_handoffs,
+            }
+
+    def __repr__(self) -> str:
+        return (f"LogShipper(head={self.head_lsn}, base={self.base_lsn}, "
+                f"retained={len(self._durable)})")
 
 
 class WriteAheadLog:
@@ -119,6 +319,12 @@ class WriteAheadLog:
         self._lock = threading.RLock()
         #: txn_id -> framed records not yet forced to the log
         self._pending: dict[int, list[bytes]] = {}
+        #: txn_id -> decoded record docs, kept alongside the frames so an
+        #: attached shipper can hand whole batches to followers without
+        #: re-reading (and re-parsing) the log pages
+        self._pending_docs: dict[int, list[dict[str, Any]]] = {}
+        #: attached :class:`LogShipper`, or None when not replicating
+        self.shipper: LogShipper | None = None
         #: set when a log write failed part-way; the log tail may be torn,
         #: so further logging is refused until recovery truncates it.
         self.damaged = False
@@ -158,6 +364,7 @@ class WriteAheadLog:
                 )
             payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
             self._pending.setdefault(txn_id, []).append(_frame(payload))
+            self._pending_docs.setdefault(txn_id, []).append(doc)
             self.appends += 1
         if obs.RECORDER.enabled:
             obs.RECORDER.inc("wal.appends", type=doc["t"])
@@ -181,19 +388,26 @@ class WriteAheadLog:
         damaged) if the underlying pager fails part-way.
         """
         with self._lock:
-            self._stage_batch(txn_id, commit_ts)
+            lsn, docs = self._stage_batch(txn_id, commit_ts)
             try:
                 self._barrier()
             except Exception:
                 self.damaged = True
+                if self.shipper is not None:
+                    self.shipper.on_damaged()
                 raise
             # The inline barrier covered every staged batch, including
             # any a concurrent staged committer wrote before us; let
             # their wait_durable return without a second barrier.
             with self._group_cond:
-                self._durable_ticket = max(self._durable_ticket,
-                                           self._staged_ticket)
+                covered = self._staged_ticket
+                self._durable_ticket = max(self._durable_ticket, covered)
                 self._group_cond.notify_all()
+            if self.shipper is not None:
+                # Earlier staged batches became durable under our barrier;
+                # release them first so the stream stays in LSN order.
+                self.shipper.on_durable(covered)
+                self.shipper.on_batch(lsn, docs)
 
     def log_commit_staged(self, txn_id: int,
                           commit_ts: int | None = None) -> int:
@@ -206,18 +420,29 @@ class WriteAheadLog:
         until a barrier covering the returned ticket has completed.
         """
         with self._lock:
-            self._stage_batch(txn_id, commit_ts)
+            lsn, docs = self._stage_batch(txn_id, commit_ts)
             with self._group_cond:
                 self._staged_ticket += 1
-                return self._staged_ticket
+                ticket = self._staged_ticket
+            if self.shipper is not None:
+                # Parked (not pollable) until a barrier covers the ticket;
+                # staging under the log lock keeps the park in LSN order.
+                self.shipper.on_staged(ticket, lsn, docs)
+            return ticket
 
-    def _stage_batch(self, txn_id: int, commit_ts: int | None) -> None:
-        """Write one commit's batch onto fresh log pages (caller locks)."""
+    def _stage_batch(self, txn_id: int, commit_ts: int | None
+                     ) -> tuple[int | None, list[dict[str, Any]]]:
+        """Write one commit's batch onto fresh log pages (caller locks).
+
+        Returns ``(lsn, record docs)`` so the commit paths can hand the
+        batch to an attached shipper without re-reading the pages.
+        """
         doc: dict[str, Any] = {"t": REC_COMMIT, "txn": txn_id}
         if commit_ts is not None:
             doc["ts"] = commit_ts
         self._buffer(txn_id, doc)
         frames = self._pending.pop(txn_id)
+        docs = self._pending_docs.pop(txn_id)
         blob = b"".join(frames)
         try:
             size = self.pager.page_size
@@ -228,6 +453,7 @@ class WriteAheadLog:
             self.damaged = True
             raise
         self.flushes += 1
+        return commit_ts, docs
 
     def wait_durable(self, ticket: int) -> None:
         """Block until a barrier has covered ``ticket`` (group commit).
@@ -263,6 +489,8 @@ class WriteAheadLog:
                 self.damaged = True
                 self._flushing = False
                 self._group_cond.notify_all()
+            if self.shipper is not None:
+                self.shipper.on_damaged()
             raise
         with self._group_cond:
             self._flushing = False
@@ -271,6 +499,8 @@ class WriteAheadLog:
             self.group_commits += 1
             self.group_commit_batches += max(covered, 0)
             self._group_cond.notify_all()
+        if self.shipper is not None:
+            self.shipper.on_durable(target)
         if rec.enabled:
             rec.inc("wal.group_commits")
             rec.observe("wal.group_size", max(covered, 1))
@@ -299,6 +529,21 @@ class WriteAheadLog:
         """Drop a transaction's buffered records; nothing reaches the log."""
         with self._lock:
             self._pending.pop(txn_id, None)
+            self._pending_docs.pop(txn_id, None)
+
+    def attach_shipper(self, shipper: LogShipper) -> LogShipper:
+        """Attach a :class:`LogShipper`; batches committed from now on are
+        retained for followers. Use
+        :meth:`GeographicDatabase.enable_shipping` rather than calling
+        this directly — it seeds ``base_lsn`` from the current commit
+        timestamp under the commit lock."""
+        with self._lock:
+            if self.shipper is not None and self.shipper is not shipper:
+                raise ReplicationError(
+                    "a LogShipper is already attached to this log"
+                )
+            self.shipper = shipper
+        return shipper
 
     def _barrier(self) -> None:
         if self.sync_mode == "none":
@@ -406,6 +651,7 @@ class WriteAheadLog:
             "group_commit": self.group_commit,
             "group_commits": self.group_commits,
             "group_commit_batches": self.group_commit_batches,
+            "shipper": self.shipper.stats() if self.shipper else None,
         }
 
     def close(self) -> None:

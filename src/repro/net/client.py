@@ -9,22 +9,49 @@ collected explicitly with :meth:`poll_pushes`.
 
 The client is deliberately thread-unaware: one thread per client. The
 benchmark opens hundreds of them, each from its own worker thread.
+
+Reconnect policy: with ``reconnect=N`` the client survives a dropped
+connection by redialing (exponential backoff) up to N times per
+request — but it only ever *resends* requests whose kinds are
+idempotent (:data:`IDEMPOTENT_KINDS`): reads, liveness, replication
+pulls. A ``txn`` is never resent — the server may have committed it
+before the cut, and a blind retry would double-apply; callers see the
+transport error and decide. Connection-scoped state (sessions,
+subscriptions, an in-flight snapshot) dies with the old socket: the
+default session is cleared and must be reopened.
 """
 
 from __future__ import annotations
 
 import itertools
 import socket
+import time
 from typing import Any
 
 from ..errors import NetClientError, NetError, ProtocolError
 from .protocol import FrameDecoder, encode_frame
 
+#: request kinds that are safe to resend after a reconnect — they read
+#: or re-assert state, so a duplicate delivery is indistinguishable
+#: from a single one
+IDEMPOTENT_KINDS = frozenset({
+    "hello", "ping", "stats", "query",
+    "repl_poll", "repl_snapshot", "repl_status",
+    "subscribe", "unsubscribe",
+})
+
 
 class GISClient:
     """Synchronous connection to a :class:`~repro.net.server.GISServer`."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 reconnect: int = 0, reconnect_backoff: float = 0.05):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        #: max redial attempts per request (0 = fail fast)
+        self.reconnect = reconnect
+        self.reconnect_backoff = reconnect_backoff
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._decoder = FrameDecoder()
         self._ids = itertools.count(1)
@@ -32,6 +59,8 @@ class GISClient:
         #: push frames received so far (drained by :meth:`pop_pushes`)
         self.pushes: list[dict[str, Any]] = []
         self._closed = False
+        #: count of successful redials (observability for tests/benches)
+        self.reconnects = 0
         #: default session id, set by the first :meth:`open_session`
         self.session: str | None = None
 
@@ -44,9 +73,26 @@ class GISClient:
 
         Raises :class:`NetClientError` for an ``ok: false`` response and
         :class:`ProtocolError`/:class:`NetError` for transport trouble.
+        Transport failures on idempotent kinds redial and resend, up to
+        :attr:`reconnect` times (see the module docstring).
         """
         if self._closed:
             raise NetError("client is closed")
+        attempts = 0
+        while True:
+            try:
+                return self._request_once(kind, fields)
+            except (NetError, OSError) as exc:
+                if isinstance(exc, (NetClientError, ProtocolError)):
+                    raise
+                if kind not in IDEMPOTENT_KINDS \
+                        or attempts >= self.reconnect or self._closed:
+                    raise
+                attempts += 1
+                self._redial(attempts)
+
+    def _request_once(self, kind: str, fields: dict[str, Any]
+                      ) -> dict[str, Any]:
         request_id = next(self._ids)
         doc = {"id": request_id, "kind": kind}
         doc.update({k: v for k, v in fields.items() if v is not None})
@@ -70,6 +116,23 @@ class GISClient:
                     frame.get("error", "protocol violation")
                 )
             self._inbox.append(frame)   # response to someone else's id?
+
+    def _redial(self, attempt: int) -> None:
+        """Exponential-backoff reconnect; connection state starts over."""
+        time.sleep(self.reconnect_backoff * (2 ** (attempt - 1)))
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._decoder = FrameDecoder()
+        self._inbox.clear()
+        # sessions are per-connection server state; the old ones are
+        # being torn down server-side right now
+        self.session = None
+        self.reconnects += 1
 
     def _next_frame(self) -> dict[str, Any]:
         if self._inbox:
@@ -190,10 +253,13 @@ class GISClient:
         return self.request("event", session=self._sid(session),
                             op="close_window", window=window)
 
-    def query(self, schema: str, text: str, *,
-              use_cache: bool = True) -> dict[str, Any]:
+    def query(self, schema: str, text: str, *, use_cache: bool = True,
+              read_preference: str | None = None,
+              min_lsn: int | None = None) -> dict[str, Any]:
         return self.request("query", schema=schema, text=text,
-                            use_cache=None if use_cache else False)
+                            use_cache=None if use_cache else False,
+                            read_preference=read_preference,
+                            min_lsn=min_lsn)
 
     def render(self, window: str | None = None,
                session: str | None = None) -> str:
@@ -241,3 +307,22 @@ class GISClient:
 
     def ping(self) -> bool:
         return self.request("ping")["pong"]
+
+    # -- replication pulls (used by RemoteReplicationSource) -----------
+
+    def repl_snapshot(self, chunk: int = 0) -> dict[str, Any]:
+        """One chunk of a bootstrap snapshot (chunk 0 starts a new cut)."""
+        response = self.request("repl_snapshot", chunk=chunk)
+        return {k: response[k] for k in
+                ("snapshot", "chunk", "chunks", "total_objects", "lsn")}
+
+    def repl_poll(self, cursor: int,
+                  max_batches: int = 64) -> dict[str, Any]:
+        response = self.request("repl_poll", cursor=cursor,
+                                max_batches=max_batches)
+        return {k: response[k] for k in
+                ("batches", "lsn", "base_lsn", "snapshot_required")}
+
+    def repl_status(self) -> dict[str, Any]:
+        response = self.request("repl_status")
+        return {"lsn": response["lsn"], "status": response["status"]}

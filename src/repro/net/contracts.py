@@ -30,6 +30,9 @@ The kinds (see ``docs/SERVING.md`` for the full field tables):
 ``unsubscribe``  opt out again
 ``stats``        kernel + server statistics
 ``ping``         liveness probe
+``repl_snapshot`` one chunk of a replication bootstrap snapshot
+``repl_poll``    shipped WAL batches after a cursor LSN
+``repl_status``  leader + per-replica LSN/lag
 =============== ====================================================
 """
 
@@ -139,7 +142,12 @@ CONTRACTS: dict[str, Contract] = {
         Contract(
             "query",
             required={"schema": (str,), "text": (str,)},
-            optional={"session": (str,), "use_cache": (bool,)},
+            optional={
+                "session": (str,),
+                "use_cache": (bool,),
+                "read_preference": (str,),
+                "min_lsn": (int,),
+            },
         ),
         Contract(
             "render",
@@ -156,6 +164,13 @@ CONTRACTS: dict[str, Contract] = {
         Contract("unsubscribe", optional={"classes": (list,)}),
         Contract("stats"),
         Contract("ping"),
+        Contract("repl_snapshot", optional={"chunk": (int,)}),
+        Contract(
+            "repl_poll",
+            required={"cursor": (int,)},
+            optional={"max_batches": (int,)},
+        ),
+        Contract("repl_status"),
     ]
 }
 

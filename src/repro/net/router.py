@@ -55,7 +55,8 @@ def _jsonable(value: Any) -> Any:
 class ClientState:
     """Everything the server remembers about one connection."""
 
-    __slots__ = ("conn_id", "sessions", "subscriptions", "peer")
+    __slots__ = ("conn_id", "sessions", "subscriptions", "peer",
+                 "repl_snapshot")
 
     def __init__(self, conn_id: int, peer: str = "?"):
         self.conn_id = conn_id
@@ -65,6 +66,10 @@ class ClientState:
         #: class names whose committed mutations this connection wants
         #: pushed (may contain :data:`ALL_CLASSES`)
         self.subscriptions: set[str] = set()
+        #: in-flight chunked replication snapshot: (header doc, object
+        #: chunks); built on chunk 0, dropped after the last chunk so a
+        #: follower always assembles one consistent cut
+        self.repl_snapshot: tuple[dict[str, Any], list[list]] | None = None
 
     def close_sessions(self) -> int:
         """Shut down every session this connection still holds.
@@ -101,6 +106,9 @@ class Router:
             "unsubscribe": self._handle_unsubscribe,
             "stats": self._handle_stats,
             "ping": self._handle_ping,
+            "repl_snapshot": self._handle_repl_snapshot,
+            "repl_poll": self._handle_repl_poll,
+            "repl_status": self._handle_repl_status,
         }
 
     # ------------------------------------------------------------------
@@ -199,6 +207,8 @@ class Router:
         result = self.kernel.query(
             doc["schema"], doc["text"],
             use_cache=bool(doc.get("use_cache", True)),
+            read_preference=doc.get("read_preference", "leader"),
+            min_lsn=doc.get("min_lsn"),
         )
         report = result.report
         return make_response(
@@ -311,6 +321,67 @@ class Router:
 
     def _handle_ping(self, state: ClientState, doc: dict) -> dict:
         return make_response(doc["id"], pong=True)
+
+    # ------------------------------------------------------------------
+    # Replication: serve followers over the wire
+    # ------------------------------------------------------------------
+
+    #: objects per replication snapshot chunk — keeps every frame well
+    #: under the protocol's frame cap even for fat geometries
+    SNAPSHOT_CHUNK = 512
+
+    def _handle_repl_snapshot(self, state: ClientState, doc: dict) -> dict:
+        """One chunk of a bootstrap snapshot.
+
+        Chunk 0 enables shipping (so the snapshot's LSN is always inside
+        the shipper's retention window), takes one consistent cut, and
+        caches it on the connection; later chunks page through the cut's
+        objects. The cache is dropped after the last chunk — or replaced
+        whenever chunk 0 is requested again.
+        """
+        db = self.kernel.database
+        chunk = doc.get("chunk", 0)
+        if chunk == 0 or state.repl_snapshot is None:
+            db.enable_shipping()
+            full = db.replication_snapshot()
+            objects = full.pop("objects")
+            parts = [
+                objects[i:i + self.SNAPSHOT_CHUNK]
+                for i in range(0, len(objects), self.SNAPSHOT_CHUNK)
+            ] or [[]]
+            full["total_objects"] = len(objects)
+            state.repl_snapshot = (full, parts)
+        header, parts = state.repl_snapshot
+        if not 0 <= chunk < len(parts):
+            raise ProtocolError(
+                f"replication snapshot chunk {chunk} out of range "
+                f"(snapshot has {len(parts)} chunk(s))"
+            )
+        snapshot = dict(header) if chunk == 0 else {}
+        snapshot["objects"] = parts[chunk]
+        if chunk == len(parts) - 1:
+            state.repl_snapshot = None
+        return make_response(
+            doc["id"],
+            snapshot=snapshot,
+            chunk=chunk,
+            chunks=len(parts),
+            total_objects=header["total_objects"],
+            lsn=header["lsn"],
+        )
+
+    def _handle_repl_poll(self, state: ClientState, doc: dict) -> dict:
+        shipper = self.kernel.database.enable_shipping()
+        result = shipper.poll(doc["cursor"],
+                              max_batches=doc.get("max_batches", 64))
+        return make_response(doc["id"], **result)
+
+    def _handle_repl_status(self, state: ClientState, doc: dict) -> dict:
+        return make_response(
+            doc["id"],
+            lsn=self.kernel.database.replication_lsn,
+            status=_jsonable(self.kernel.replication_status()),
+        )
 
     # ------------------------------------------------------------------
     # Push fan-out

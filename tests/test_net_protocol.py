@@ -138,6 +138,9 @@ class TestContracts:
             "unsubscribe": {},
             "stats": {},
             "ping": {},
+            "repl_snapshot": {},
+            "repl_poll": {"cursor": 0},
+            "repl_status": {},
         }
         assert set(minimal) == set(CONTRACTS)
         for kind, fields in minimal.items():
