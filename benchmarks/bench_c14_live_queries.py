@@ -1,0 +1,311 @@
+"""Experiment C14 — live queries: delta maintenance vs re-execution.
+
+A dashboard of standing queries over a churning extent is the worst
+case for an invalidate-on-commit result cache: every commit moves the
+class version, every standing query misses, and the engine re-executes
+all of them from scratch. The live subsystem
+(:mod:`repro.core.live_queries`) instead patches each cached result
+with the commit's write-set and falls back to execution only when a
+delta is inapplicable (LIMIT horizon, closure change).
+
+Two questions, two oracles:
+
+* **Work avoided** — the same standing-query set maintained both ways
+  over the same seeded commit mix. We count actual engine executions.
+  Acceptance gate: invalidate-on-commit must execute at least **5x**
+  more full queries than the live path (registration executions
+  included).
+
+* **Exactness** — after every commit, every live result must be
+  byte-identical to a fresh engine execution: same oids in the same
+  order for ordered queries, identical projected rows, identical
+  aggregate rows (the mix aggregates the integer ``size`` attribute,
+  so sums are order-insensitive and the comparison is exact).
+
+A third section runs the push fan-out over the wire: two connections
+watch disjoint predicates while a writer churns rows matching only the
+first — every ``live_update`` frame must arrive at the connection whose
+result changed, and none at the other (the per-session delivery
+oracle).
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke step) shrinks the
+extent and commit counts and skips the ratio assertion.
+"""
+
+import os
+import random
+
+from repro.core.kernel import GISKernel
+from repro.geodb import GeographicDatabase, MemoryPager, QueryEngine
+from repro.geodb.query_language import parse_query
+from repro.net.client import GISClient
+from repro.net.server import ServerThread
+from repro.spatial import Point
+from repro.workloads import build_mix_schema
+from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA
+
+from _support import print_header, print_table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+EXTENT = 400 if QUICK else 2000
+COMMITS = 40 if QUICK else 240
+WIRE_COMMITS = 10 if QUICK else 40
+WORLD = 1000
+SEED = 20260808
+
+#: the standing dashboard: every shape the delta engine maintains
+STANDING = [
+    "select count(*), avg(size) from Feature where "
+    "within(location, bbox(0, 0, 250, 250))",
+    "select count(*), avg(size) from Feature where "
+    "within(location, bbox(500, 500, 750, 750))",
+    "select count(*), sum(size), min(size), max(size) from Feature "
+    "where size >= 48",
+    "select name, size from Feature where size >= 90",
+    "select name, size from Feature where size <= 3",
+    "select name, size from Feature order by desc size limit 10",
+    "select * from Feature where size >= 25 and size <= 30",
+    "select count(*) from Feature",
+]
+
+
+def make_db(name="c14") -> GeographicDatabase:
+    db = GeographicDatabase(name, pager=MemoryPager())
+    db.register_schema(build_mix_schema())
+    with db.transaction() as txn:
+        for i in range(EXTENT):
+            txn.insert(MIX_SCHEMA, MIX_CLASS, {
+                "name": f"f{i:05d}",
+                "size": (i * 7) % 97,
+                "location": Point((i * 13) % WORLD, (i * 29) % WORLD)
+                            if i % 50 else None,
+            }, oid=f"Feature#f{i:05d}")
+    return db
+
+
+class ExecCounter:
+    """Counts real engine executions behind a kernel's result cache."""
+
+    def __init__(self, cache):
+        self.cache = cache
+        self.count = 0
+        self._inner = cache.engine.execute
+
+    def __enter__(self):
+        def counting(schema_name, query):
+            self.count += 1
+            return self._inner(schema_name, query)
+
+        self.cache.engine.execute = counting
+        return self
+
+    def __exit__(self, *exc):
+        self.cache.engine.execute = self._inner
+        return False
+
+
+def churn_ops(rng, oids, serial):
+    """One commit's worth of mutations; returns (ops, new serial)."""
+    ops = []
+    for _ in range(rng.randint(1, 3)):
+        action = rng.random()
+        if action < 0.4:
+            serial += 1
+            oid = f"Feature#live{serial:05d}"
+            ops.append(("insert", oid, {
+                "name": f"live{serial:05d}",
+                "size": rng.randint(0, 96),
+                "location": Point(rng.randint(0, WORLD),
+                                  rng.randint(0, WORLD))
+                            if rng.random() < 0.9 else None,
+            }))
+            oids.append(oid)
+        elif action < 0.85 or len(oids) < 20:
+            ops.append(("update", rng.choice(oids), {
+                "size": rng.randint(0, 96)}))
+        else:
+            oid = rng.choice(oids)
+            oids.remove(oid)
+            ops.append(("delete", oid, None))
+    return ops, serial
+
+
+def apply_ops(kernel, ops):
+    with kernel.transaction() as txn:
+        for op, oid, values in ops:
+            if op == "insert":
+                txn.insert(MIX_SCHEMA, MIX_CLASS, values, oid=oid)
+            elif op == "update":
+                txn.update(oid, values)
+            else:
+                txn.delete(oid)
+
+
+def run_live() -> dict:
+    """Watches maintained by deltas; exactness checked every commit."""
+    db = make_db("c14-live")
+    oracle = QueryEngine(db)
+    kernel = GISKernel(db)
+    session = kernel.session(user="dash")
+    rng = random.Random(SEED)
+    oids = list(db.extent(MIX_SCHEMA, MIX_CLASS).oids())
+    mismatches = 0
+    with ExecCounter(kernel.query_cache) as counter:
+        watches = [(session.watch(MIX_SCHEMA, text), parse_query(text),
+                    text) for text in STANDING]
+        serial = 0
+        for _ in range(COMMITS):
+            ops, serial = churn_ops(rng, oids, serial)
+            apply_ops(kernel, ops)
+            for watch, query, text in watches:
+                fresh = oracle.execute(MIX_SCHEMA, query)
+                live = watch.result()
+                if "order by" in text:
+                    same = (live.oids() == fresh.oids()
+                            and live.rows == fresh.rows)
+                elif live.rows is not None:
+                    key = (None if query.aggregates
+                           else (lambda r: r["oid"]))
+                    same = sorted(live.oids()) == sorted(fresh.oids()) \
+                        and (live.rows == fresh.rows if key is None else
+                             sorted(live.rows, key=key)
+                             == sorted(fresh.rows, key=key))
+                else:
+                    same = sorted(live.oids()) == sorted(fresh.oids())
+                mismatches += 0 if same else 1
+        executions = counter.count
+    stats = kernel.live.stats()
+    kernel.shutdown()
+    return {
+        "executions": executions,
+        "deltas": stats["delta_applied"],
+        "fallbacks": stats["fallback_reexec"],
+        "pushes": stats["pushes"],
+        "mismatches": mismatches,
+    }
+
+
+def run_baseline() -> dict:
+    """Invalidate-on-commit: re-read every standing query per commit."""
+    db = make_db("c14-base")
+    kernel = GISKernel(db)
+    rng = random.Random(SEED)
+    oids = list(db.extent(MIX_SCHEMA, MIX_CLASS).oids())
+    queries = [parse_query(text) for text in STANDING]
+    with ExecCounter(kernel.query_cache) as counter:
+        for query in queries:            # the dashboard's first paint
+            kernel.query(MIX_SCHEMA, query)
+        serial = 0
+        for _ in range(COMMITS):
+            ops, serial = churn_ops(rng, oids, serial)
+            apply_ops(kernel, ops)
+            for query in queries:        # every commit repaints it all
+                kernel.query(MIX_SCHEMA, query)
+        executions = counter.count
+    cache_stats = kernel.query_cache.stats()
+    kernel.shutdown()
+    return {
+        "executions": executions,
+        "invalidations": cache_stats["invalidations"],
+        "hits": cache_stats["hits"],
+    }
+
+
+def run_wire() -> dict:
+    """Per-session delivery over TCP: pushes only where content changed."""
+    db = make_db("c14-wire")
+    kernel = GISKernel(db)
+    pushes_hot = pushes_cold = 0
+    final_rows = None
+    with ServerThread(kernel) as (host, port):
+        with GISClient(host, port) as hot, GISClient(host, port) as cold, \
+                GISClient(host, port) as writer:
+            hot.open_session(user="hot")
+            cold.open_session(user="cold")
+            hot_watch = hot.watch(
+                MIX_SCHEMA, "select count(*), sum(size) from Feature "
+                            "where size >= 200")
+            cold.watch(MIX_SCHEMA, "select name from Feature "
+                                   "where size >= 300 and size <= 250")
+            for i in range(WIRE_COMMITS):
+                # every commit lands in the hot watch, never the cold one
+                writer.insert(MIX_SCHEMA, MIX_CLASS,
+                              {"name": f"w{i:03d}", "size": 200 + i})
+            pushes_hot = len([p for p in hot.poll_pushes(timeout=2.0)
+                              if p["push"] == "live_update"])
+            pushes_cold = len([p for p in cold.poll_pushes(timeout=0.5)
+                               if p["push"] == "live_update"])
+            final = kernel.query(MIX_SCHEMA,
+                                 "select count(*), sum(size) from Feature "
+                                 "where size >= 200", use_cache=False)
+            final_rows = final.rows
+            assert hot_watch["count"] == 0
+    kernel.shutdown()
+    expected_sum = sum(200 + i for i in range(WIRE_COMMITS))
+    return {
+        "commits": WIRE_COMMITS,
+        "pushes_hot": pushes_hot,
+        "pushes_cold": pushes_cold,
+        "content_ok": final_rows == [{"count(*)": WIRE_COMMITS,
+                                      "sum(size)": expected_sum}],
+    }
+
+
+def test_c14_live_queries(capsys):
+    live = run_live()
+    baseline = run_baseline()
+    wire = run_wire()
+    ratio = baseline["executions"] / max(live["executions"], 1)
+
+    with capsys.disabled():
+        print_header("C14", "live queries: delta maintenance vs "
+                            "invalidate-on-commit")
+        print(f"\n{len(STANDING)} standing queries over {EXTENT} objects, "
+              f"{COMMITS} commits of churn:")
+        print_table(
+            ["strategy", "engine execs", "deltas", "fallbacks", "pushes"],
+            [
+                ["invalidate-on-commit", baseline["executions"],
+                 "-", "-", "-"],
+                ["live (delta)", live["executions"], live["deltas"],
+                 live["fallbacks"], live["pushes"]],
+            ],
+        )
+        print(f"\nre-execution ratio: {ratio:.1f}x fewer engine runs "
+              f"({baseline['executions']} vs {live['executions']})")
+        print(f"exactness: {live['mismatches']} mismatches across "
+              f"{COMMITS * len(STANDING)} per-commit comparisons")
+        print(f"\nwire delivery over {wire['commits']} hot commits: "
+              f"hot connection {wire['pushes_hot']} push(es), "
+              f"cold connection {wire['pushes_cold']}, "
+              f"content {'ok' if wire['content_ok'] else 'DIVERGED'}")
+
+    assert live["mismatches"] == 0, (
+        f"{live['mismatches']} live results diverged from fresh execution"
+    )
+    assert wire["pushes_cold"] == 0, "push delivered to an unchanged watch"
+    assert wire["content_ok"], "pushed result diverged from fresh execution"
+    if not QUICK:
+        assert ratio >= 5.0, (
+            f"delta maintenance saved only {ratio:.1f}x engine "
+            "executions, below the 5x gate"
+        )
+        assert wire["pushes_hot"] == wire["commits"], (
+            f"hot watch expected {wire['commits']} pushes, got "
+            f"{wire['pushes_hot']}"
+        )
+
+
+if __name__ == "__main__":
+    class _Capsys:
+        class _Ctx:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        def disabled(self):
+            return self._Ctx()
+
+    test_c14_live_queries(_Capsys())

@@ -25,6 +25,7 @@ Commands (also printed by ``help``)::
     trace [json|all]          span tree of the last interaction
     wal-status [json]         write-ahead log state (sync mode, counters)
     repl-status [json]        replication state (per-follower LSN and lag)
+    watch-status [json]       live queries: watches, deltas, fallbacks
     quit                      leave
 
 The loop is IO-parameterized (any line iterator in, any writer out), so
@@ -312,6 +313,29 @@ class CommandLoop:
                       f"  lag={replica['lag']}"
                       f"  applied={replica['applied_batches']}"
                       f"  resyncs={replica['resyncs']}")
+
+    def cmd_watch_status(self, rest: str) -> None:
+        """Report the kernel's live queries and their maintenance mix."""
+        live = self.session.kernel.live
+        status = {"summary": live.stats(), "watches": live.watch_status()}
+        if rest.strip() == "json":
+            self.emit(json.dumps(status, indent=2))
+            return
+        summary = status["summary"]
+        self.emit(f"  watches: {summary['watches']}"
+                  f"  standing queries: {summary['queries']}"
+                  f"  deltas: {summary['delta_applied']}"
+                  f"  re-execs: {summary['fallback_reexec']}"
+                  f"  pushes: {summary['pushes']}")
+        if not status["watches"]:
+            self.emit("  no live queries registered")
+            return
+        for row in status["watches"]:
+            self.emit(f"  {row['watch']} [{row['session']}]"
+                      f" {row['schema']}: {row['query']}")
+            self.emit(f"    rows={row['rows']}  deltas={row['deltas']}"
+                      f"  fallbacks={row['fallbacks']}"
+                      f"  last={row['last']}  pending={row['pending']}")
 
     def cmd_quit(self, rest: str) -> None:
         self._running = False

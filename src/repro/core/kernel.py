@@ -44,6 +44,7 @@ from ..uilib.library import InterfaceObjectLibrary
 from ..uilib.presentation import PresentationRegistry
 from .builder import GenericInterfaceBuilder
 from .customization import CustomizationDirective
+from .live_queries import LiveQueryManager
 from .query_cache import QueryResultCache
 from .rule_engine import CustomizationEngine
 
@@ -86,6 +87,7 @@ class GISKernel:
         self.presentations = presentations or PresentationRegistry()
         self.builder = GenericInterfaceBuilder(library, self.presentations)
         self.query_cache = QueryResultCache(database)
+        self.live = LiveQueryManager(self)
         self._sessions: dict[str, "GISSession"] = {}
         #: read replicas: name -> (follower db, its private result cache)
         self._replicas: dict[str, tuple[GeographicDatabase,
@@ -140,6 +142,7 @@ class GISKernel:
 
     def _detach(self, session: "GISSession") -> None:
         self._sessions.pop(session.session_id, None)
+        self.live.drop_session(session.session_id)
         self._gauge_sessions()
         if self._refresh_subscribed and not any(
             s.dispatcher.auto_refresh for s in self._sessions.values()
@@ -370,6 +373,7 @@ class GISKernel:
             "engine": self.engine.stats(),
             "events_published": self.database.bus.published_count,
             "query_cache": self.query_cache.stats(),
+            "live": self.live.stats(),
         }
 
     def shutdown(self) -> None:
@@ -384,6 +388,7 @@ class GISKernel:
             return
         for session in list(self._sessions.values()):
             session.shutdown()
+        self.live.shutdown()
         if self._refresh_subscribed:
             self.database.bus.unsubscribe(self._on_mutation)
             self._refresh_subscribed = False

@@ -153,6 +153,32 @@ class GISSession:
                                  min_lsn=min_lsn)
 
     # ------------------------------------------------------------------
+    # Live queries (delta-maintained standing results)
+    # ------------------------------------------------------------------
+
+    def watch(self, schema_name: str, query, callback=None):
+        """Register a standing query kept incrementally correct.
+
+        ``query`` is query-language text or a
+        :class:`~repro.geodb.query.Query`. Returns a
+        :class:`~repro.core.live_queries.Watch`: ``watch.result()`` is
+        the current maintained result, and every commit that actually
+        changes the result content appends a
+        :class:`~repro.core.live_queries.LiveUpdate` to
+        ``watch.updates`` (and invokes ``callback``, when given).
+        Commits that leave the content unchanged are silent. The watch
+        is released by :meth:`unwatch` or when the session shuts down.
+        """
+        if self._closed:
+            raise SessionError("session is shut down")
+        return self.kernel.live.watch(self, schema_name, query,
+                                      callback=callback)
+
+    def unwatch(self, watch) -> None:
+        """Release a standing query registered with :meth:`watch`."""
+        self.kernel.live.unregister(watch)
+
+    # ------------------------------------------------------------------
     # Customization installation
     # ------------------------------------------------------------------
 

@@ -45,6 +45,52 @@ from .transactions import Transaction, _Intent
 from .wal import REC_INTENT, LogShipper, WriteAheadLog, verify_envelope
 
 
+class WriteOp:
+    """One committed row operation: what happened, where, to which oid.
+
+    Deliberately value-free — consumers that need the row's current
+    state resolve the oid against the live extent, so the commit path
+    never copies pre/post images for observers.
+    """
+
+    __slots__ = ("op", "schema_name", "class_name", "oid")
+
+    def __init__(self, op: str, schema_name: str, class_name: str,
+                 oid: str):
+        self.op = op                  # "insert" | "update" | "delete"
+        self.schema_name = schema_name
+        self.class_name = class_name
+        self.oid = oid
+
+    def __repr__(self) -> str:          # pragma: no cover - debug aid
+        return (f"WriteOp({self.op} {self.schema_name}.{self.class_name}"
+                f" {self.oid})")
+
+
+class CommitWriteSet:
+    """The structured write-set of one committed transaction.
+
+    Built inside the commit critical section (so ``prev_versions`` is
+    exactly the per-class commit version each touched class had *before*
+    this commit bumped it to ``commit_ts``) and handed to write-set
+    listeners after the durability wait, on the committing thread.
+    Delta maintainers use ``prev_versions`` to decide whether a cached
+    result is contiguous with this commit or has missed one in between.
+    """
+
+    __slots__ = ("commit_ts", "ops", "prev_versions")
+
+    def __init__(self, commit_ts: int, ops: list[WriteOp],
+                 prev_versions: dict[tuple[str, str], int]):
+        self.commit_ts = commit_ts
+        self.ops = ops
+        #: (schema, class) -> class version immediately before this commit
+        self.prev_versions = prev_versions
+
+    def classes(self) -> set[tuple[str, str]]:
+        return set(self.prev_versions)
+
+
 class GeographicDatabase:
     """An object-oriented geographic DBMS instance.
 
@@ -92,6 +138,10 @@ class GeographicDatabase:
         #: class; drives planner-statistics refresh and query-result-
         #: cache invalidation (see repro.geodb.planner / core.query_cache)
         self._class_versions: dict[tuple[str, str], int] = {}
+        #: callables invoked with a :class:`CommitWriteSet` after every
+        #: commit's durability point (on the committing thread, outside
+        #: the commit lock); empty list = zero capture overhead
+        self._write_set_listeners: list[Callable[[CommitWriteSet], None]] = []
         #: lazily created planner statistics (repro.geodb.planner)
         self._statistics = None
         #: (schema, class) -> {"attr": ..., "grid": (gx, gy)} — classes
@@ -256,6 +306,25 @@ class GeographicDatabase:
         both refresh lazily after any commit touching the class.
         """
         return self._class_versions.get((schema_name, class_name), 0)
+
+    def add_write_set_listener(
+            self, listener: Callable[[CommitWriteSet], None]) -> None:
+        """Subscribe to structured per-commit write-sets.
+
+        Listeners run on the committing thread after the durability
+        wait, before the post-commit event-bus publish — commit order is
+        delivery order. Capture is only performed while at least one
+        listener is registered, so an idle database pays nothing.
+        """
+        if listener not in self._write_set_listeners:
+            self._write_set_listeners.append(listener)
+
+    def remove_write_set_listener(
+            self, listener: Callable[[CommitWriteSet], None]) -> None:
+        try:
+            self._write_set_listeners.remove(listener)
+        except ValueError:
+            pass
 
     @property
     def statistics(self):
@@ -1134,7 +1203,8 @@ class GeographicDatabase:
         ticket: int | None = None
         with rec.span("txn.commit", txn=txn.txn_id, intents=len(intents)):
             with self._commit_lock:
-                commit_ts, ticket = self._commit_locked(txn, intents, rec)
+                commit_ts, ticket, write_set_delta = self._commit_locked(
+                    txn, intents, rec)
             txn.commit_ts = commit_ts
             if txn._on_commit is not None:
                 txn._on_commit(commit_ts)
@@ -1145,6 +1215,12 @@ class GeographicDatabase:
             if ticket is not None and wait_durable:
                 self.wal.wait_durable(ticket)
                 ticket = None
+            # Write-set listeners (live query maintenance) run before
+            # the bus publish so a rule reacting to the commit already
+            # observes delta-maintained standing results.
+            if write_set_delta is not None:
+                for listener in list(self._write_set_listeners):
+                    listener(write_set_delta)
             # Phase 5: post-commit events for customization/refresh rules.
             # Outside the commit lock: subscribers only ever observe fully
             # committed versions, and refresh fan-out must not extend the
@@ -1168,12 +1244,13 @@ class GeographicDatabase:
         return ticket
 
     def _commit_locked(self, txn: Transaction, intents: list[_Intent],
-                       rec) -> tuple[int, int | None]:
+                       rec) -> tuple[int, int | None, CommitWriteSet | None]:
         """The serialized commit critical section.
 
-        Returns ``(commit_ts, durability_ticket)``; the ticket is
-        ``None`` when the WAL already ran its barrier inline (group
-        commit off, or no WAL attached)."""
+        Returns ``(commit_ts, durability_ticket, write_set_delta)``; the
+        ticket is ``None`` when the WAL already ran its barrier inline
+        (group commit off, or no WAL attached), and the delta is ``None``
+        unless write-set listeners are registered."""
         write_set = frozenset(intent.oid for intent in intents)
         # Phase 0: first-committer-wins validation. Any transaction that
         # committed after our snapshot and wrote one of our oids makes
@@ -1242,6 +1319,7 @@ class GeographicDatabase:
             self._seed_write_set(write_set, intents)
         undo: list[Callable[[], None]] = []
         ticket: int | None = None
+        write_set_delta: CommitWriteSet | None = None
         self._mutation_seq += 1
         try:
             with self.buffer.no_steal():
@@ -1281,6 +1359,19 @@ class GeographicDatabase:
             self._commit_ts = commit_ts
             if write_set:
                 self._commit_log.append((commit_ts, write_set))
+                if self._write_set_listeners:
+                    prev_versions: dict[tuple[str, str], int] = {}
+                    for intent in intents:
+                        key = (intent.schema_name, intent.class_name)
+                        if key not in prev_versions:
+                            prev_versions[key] = \
+                                self._class_versions.get(key, 0)
+                    write_set_delta = CommitWriteSet(
+                        commit_ts,
+                        [WriteOp(i.op, i.schema_name, i.class_name, i.oid)
+                         for i in intents],
+                        prev_versions,
+                    )
                 for intent in intents:
                     self._class_versions[
                         (intent.schema_name, intent.class_name)
@@ -1290,7 +1381,7 @@ class GeographicDatabase:
                     rec.gauge("mvcc.versions", self._mvcc.total_versions)
         finally:
             self._mutation_seq += 1
-        return commit_ts, ticket
+        return commit_ts, ticket, write_set_delta
 
     def _conflicting_oids(self, snapshot_ts: int,
                           write_set: frozenset[str]) -> set[str]:

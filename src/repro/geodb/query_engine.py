@@ -70,6 +70,16 @@ class QueryResult:
     def oids(self) -> list[str]:
         return [obj.oid for obj in self.objects]
 
+    def with_report(self, **extra: Any) -> "QueryResult":
+        """A shallow view sharing objects/rows but owning its report.
+
+        Cached results are shared, immutable objects; per-call metadata
+        (cache hit/miss, live-maintenance provenance) must not be
+        written into the shared report another caller already holds.
+        """
+        return QueryResult(self.query, self.objects, self.rows,
+                           {**self.report, **extra})
+
     def explain(self) -> str:
         """Human-readable plan summary (explanation mode, §2.2)."""
         r = self.report

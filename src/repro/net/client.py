@@ -302,6 +302,21 @@ class GISClient:
     def unsubscribe(self, classes: list[str] | None = None) -> list[str]:
         return self.request("unsubscribe", classes=classes)["subscribed"]
 
+    def watch(self, schema: str, text: str,
+              session: str | None = None) -> dict[str, Any]:
+        """Register a live query; the response is the initial snapshot.
+
+        Result changes arrive afterwards as ``live_update`` pushes
+        (collect with :meth:`poll_pushes`). Not idempotent: a resend
+        after a reconnect would register a second watch, and the old
+        one died with the old connection's sessions anyway.
+        """
+        return self.request("watch", session=self._sid(session),
+                            schema=schema, text=text)
+
+    def unwatch(self, watch: str) -> bool:
+        return self.request("unwatch", watch=watch)["released"]
+
     def stats(self) -> dict[str, Any]:
         return self.request("stats")["kernel"]
 

@@ -28,6 +28,8 @@ The kinds (see ``docs/SERVING.md`` for the full field tables):
 ``txn``          a batch of mutations committed as one transaction
 ``subscribe``    opt in to mutation pushes for a set of classes
 ``unsubscribe``  opt out again
+``watch``        register a live query; result changes are pushed
+``unwatch``      release a live query registration
 ``stats``        kernel + server statistics
 ``ping``         liveness probe
 ``repl_snapshot`` one chunk of a replication bootstrap snapshot
@@ -162,6 +164,12 @@ CONTRACTS: dict[str, Contract] = {
         ),
         Contract("subscribe", required={"classes": (list,)}),
         Contract("unsubscribe", optional={"classes": (list,)}),
+        Contract(
+            "watch",
+            required={"session": (str,), "schema": (str,),
+                      "text": (str,)},
+        ),
+        Contract("unwatch", required={"watch": (str,)}),
         Contract("stats"),
         Contract("ping"),
         Contract("repl_snapshot", optional={"chunk": (int,)}),

@@ -55,7 +55,7 @@ def _jsonable(value: Any) -> Any:
 class ClientState:
     """Everything the server remembers about one connection."""
 
-    __slots__ = ("conn_id", "sessions", "subscriptions", "peer",
+    __slots__ = ("conn_id", "sessions", "subscriptions", "watches", "peer",
                  "repl_snapshot")
 
     def __init__(self, conn_id: int, peer: str = "?"):
@@ -66,6 +66,10 @@ class ClientState:
         #: class names whose committed mutations this connection wants
         #: pushed (may contain :data:`ALL_CLASSES`)
         self.subscriptions: set[str] = set()
+        #: watch_id -> the live-query Watch this connection registered;
+        #: ``live_update`` pushes route by watch id, so a connection
+        #: only ever hears about its own watches
+        self.watches: dict[str, Any] = {}
         #: in-flight chunked replication snapshot: (header doc, object
         #: chunks); built on chunk 0, dropped after the last chunk so a
         #: follower always assembles one consistent cut
@@ -84,6 +88,9 @@ class ClientState:
                 closed += 1
             session.shutdown()
         self.sessions.clear()
+        # session.shutdown() already released the watches kernel-side
+        # (kernel._detach drops them); this just clears the routing map
+        self.watches.clear()
         return closed
 
 
@@ -104,6 +111,8 @@ class Router:
             "txn": self._handle_txn,
             "subscribe": self._handle_subscribe,
             "unsubscribe": self._handle_unsubscribe,
+            "watch": self._handle_watch,
+            "unwatch": self._handle_unwatch,
             "stats": self._handle_stats,
             "ping": self._handle_ping,
             "repl_snapshot": self._handle_repl_snapshot,
@@ -316,6 +325,35 @@ class Router:
         return make_response(doc["id"],
                              subscribed=sorted(state.subscriptions))
 
+    def _handle_watch(self, state: ClientState, doc: dict) -> dict:
+        """Register a live query on one of this connection's sessions.
+
+        The response carries the initial result snapshot; every commit
+        that changes the result afterwards arrives as a ``live_update``
+        push on this connection only.
+        """
+        session = self._session(state, doc)
+        watch = session.watch(doc["schema"], doc["text"])
+        state.watches[watch.watch_id] = watch
+        result = watch.result()
+        return make_response(
+            doc["id"],
+            watch=watch.watch_id,
+            session=session.session_id,
+            oids=result.oids(),
+            count=len(result),
+            rows=_jsonable(result.rows) if result.rows is not None else None,
+        )
+
+    def _handle_unwatch(self, state: ClientState, doc: dict) -> dict:
+        watch = state.watches.pop(doc["watch"], None)
+        if watch is None:
+            # unwatching twice (or after close_session) is legal
+            return make_response(doc["id"], released=False)
+        was_active = watch.active
+        watch.unwatch()
+        return make_response(doc["id"], released=was_active)
+
     def _handle_stats(self, state: ClientState, doc: dict) -> dict:
         return make_response(doc["id"], kernel=_jsonable(self.kernel.stats()))
 
@@ -421,4 +459,29 @@ class Router:
             session=event.session_id,
             sessions=interested,
             reason=reasons[0],
+        )]
+
+    def live_pushes_for(self, state: ClientState,
+                        update) -> list[dict[str, Any]]:
+        """The ``live_update`` push frames one result change owes this
+        connection.
+
+        Routing is by watch id: only the connection that registered the
+        watch hears about it, and (because the manager only notifies
+        when content changed) only when its result actually changed.
+        """
+        watch = state.watches.get(update.watch_id)
+        if watch is None or not watch.active:
+            return []
+        result = update.result
+        return [contracts.make_push(
+            "live_update",
+            watch=update.watch_id,
+            session=update.session_id,
+            schema=update.schema_name,
+            reason=update.reason,
+            oids=result.oids(),
+            count=len(result),
+            rows=_jsonable(result.rows) if result.rows is not None else None,
+            ts=update.commit_ts,
         )]

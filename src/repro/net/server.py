@@ -124,12 +124,14 @@ class GISServer:
         if not self._subscribed:
             self.kernel.database.bus.subscribe(self._on_mutation,
                                                kinds=MUTATION_KINDS)
+            self.kernel.live.add_listener(self._on_live_update)
             self._subscribed = True
 
     async def stop(self) -> None:
         """Stop accepting, drop every connection, release the bus."""
         if self._subscribed:
             self.kernel.database.bus.unsubscribe(self._on_mutation)
+            self.kernel.live.remove_listener(self._on_live_update)
             self._subscribed = False
         if self._server is not None:
             self._server.close()
@@ -317,26 +319,51 @@ class GISServer:
 
     def _fan_out(self, event: Event) -> None:
         """Loop-side: enqueue push frames for interested connections."""
-        rec = obs.RECORDER
         for conn in list(self._connections):
             if conn.closing:
                 continue
-            for push in self.router.pushes_for(conn.state, event):
-                frame = protocol.encode_frame(push)
-                try:
-                    conn.outbound.put_nowait(frame)
-                except asyncio.QueueFull:
-                    self.counters["pushes_dropped"] += 1
-                    if rec.enabled:
-                        rec.inc("net.push.dropped")
-                    if self.overflow == "disconnect":
-                        self.counters["overflow_disconnects"] += 1
-                        asyncio.ensure_future(self._close_connection(conn))
-                    break
-                else:
-                    self.counters["pushes_sent"] += 1
-                    if rec.enabled:
-                        rec.inc("net.push.events")
+            self._enqueue_pushes(
+                conn, self.router.pushes_for(conn.state, event),
+                "net.push.events")
+
+    def _on_live_update(self, update) -> None:
+        """Live-query manager listener; runs on the committing thread."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._fan_out_live, update)
+        except RuntimeError:    # loop shut down between check and call
+            return
+
+    def _fan_out_live(self, update) -> None:
+        """Loop-side: route one result change to its watching connection."""
+        for conn in list(self._connections):
+            if conn.closing:
+                continue
+            self._enqueue_pushes(
+                conn, self.router.live_pushes_for(conn.state, update),
+                "net.push.live")
+
+    def _enqueue_pushes(self, conn: _Connection,
+                        pushes: list[dict[str, Any]], metric: str) -> None:
+        rec = obs.RECORDER
+        for push in pushes:
+            frame = protocol.encode_frame(push)
+            try:
+                conn.outbound.put_nowait(frame)
+            except asyncio.QueueFull:
+                self.counters["pushes_dropped"] += 1
+                if rec.enabled:
+                    rec.inc("net.push.dropped")
+                if self.overflow == "disconnect":
+                    self.counters["overflow_disconnects"] += 1
+                    asyncio.ensure_future(self._close_connection(conn))
+                break
+            else:
+                self.counters["pushes_sent"] += 1
+                if rec.enabled:
+                    rec.inc(metric)
 
 
 class ServerThread:

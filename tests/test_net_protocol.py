@@ -136,6 +136,9 @@ class TestContracts:
             "txn": {"ops": [{"op": "delete", "oid": "Pole#1"}]},
             "subscribe": {"classes": ["Pole"]},
             "unsubscribe": {},
+            "watch": {"session": "s1", "schema": "phone_net",
+                      "text": "select * from Pole"},
+            "unwatch": {"watch": "w1"},
             "stats": {},
             "ping": {},
             "repl_snapshot": {},

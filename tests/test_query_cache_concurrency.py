@@ -200,8 +200,150 @@ class TestConvergence:
 
         stats = cache.stats()
         assert sum(totals) == 8 * 30
-        assert stats["hits"] + stats["misses"] == sum(totals)
+        assert stats["lookups"] == sum(totals)
+        assert stats["hits"] + stats["misses"] == stats["lookups"]
         assert stats["invalidations"] <= stats["misses"]
+        assert stats["coalesced"] <= stats["misses"]
         assert stats["entries"] <= cache.capacity
         # and the cache still answers correctly
         assert cached_count(cache) == fresh_count(cache)
+
+
+class TestPerCallReports:
+    def test_shared_result_is_never_mutated(self, db, cache):
+        """Concurrent lookups of the same entry each get their own
+        report: a thread reading ``report["cache"]`` can never observe
+        another thread's status written into a shared object."""
+        warm = cache.execute(MIX_SCHEMA, parse_query(QUERY_ALL))
+        assert warm.report["cache"] == "miss"
+        barrier = threading.Barrier(8)
+        results: list = []
+        lock = threading.Lock()
+
+        def reader():
+            barrier.wait()
+            for _ in range(50):
+                result = cache.execute(MIX_SCHEMA, parse_query(QUERY_ALL))
+                with lock:
+                    results.append(result)
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        assert len(results) == 8 * 50
+        assert all(r.report["cache"] == "hit" for r in results)
+        # the first miss's view still says miss — nobody rewrote it
+        assert warm.report["cache"] == "miss"
+        # all hits share the stored objects; none is the stored result
+        assert all(r.objects is warm.objects for r in results)
+        # the engine-built report itself carries no cache field
+        bypass = cache.engine.execute(MIX_SCHEMA, parse_query(QUERY_ALL))
+        assert "cache" not in bypass.report
+
+
+class TestSingleFlight:
+    def test_identical_misses_coalesce_to_one_execution(self, db, cache):
+        """N threads missing the same cold key at the same versions run
+        the query once; followers share the leader's result and are
+        counted both as misses and as coalesced."""
+        executions: list[int] = []
+        lock = threading.Lock()
+        inner = cache.engine.execute
+        release = threading.Event()
+
+        def slow_execute(schema_name, query):
+            with lock:
+                executions.append(1)
+            release.wait(timeout=30)    # hold followers in the flight
+            return inner(schema_name, query)
+
+        cache.engine.execute = slow_execute
+        barrier = threading.Barrier(6)
+        results: list = []
+        rlock = threading.Lock()
+
+        def racer(n):
+            barrier.wait()
+            if n == 0:
+                # give the followers time to pile onto the flight
+                threading.Timer(0.3, release.set).start()
+            result = cache.execute(MIX_SCHEMA, parse_query(QUERY_ALL))
+            with rlock:
+                results.append(result)
+
+        threads = [threading.Thread(target=racer, args=(n,))
+                   for n in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        cache.engine.execute = inner
+
+        assert len(executions) == 1, "coalescing must execute exactly once"
+        assert len(results) == 6
+        statuses = sorted(r.report["cache"] for r in results)
+        assert statuses == ["coalesced"] * 5 + ["miss"]
+        assert all(set(r.oids()) == set(results[0].oids()) for r in results)
+        stats = cache.stats()
+        assert stats["lookups"] == 6
+        assert stats["hits"] == 0 and stats["misses"] == 6
+        assert stats["coalesced"] == 5
+
+    def test_followers_survive_a_failing_leader(self, db, cache):
+        """A leader whose execution raises must not strand its
+        followers: they wake up and execute independently."""
+        inner = cache.engine.execute
+        entered = threading.Event()
+        proceed = threading.Event()
+        calls: list[int] = []
+        lock = threading.Lock()
+
+        def flaky_execute(schema_name, query):
+            with lock:
+                calls.append(1)
+                first = len(calls) == 1
+            if first:
+                entered.set()
+                proceed.wait(timeout=30)
+                raise RuntimeError("leader died")
+            return inner(schema_name, query)
+
+        cache.engine.execute = flaky_execute
+        errors: list[BaseException] = []
+        results: list = []
+        rlock = threading.Lock()
+
+        def leader():
+            try:
+                cache.execute(MIX_SCHEMA, parse_query(QUERY_ALL))
+            except RuntimeError as exc:
+                with rlock:
+                    errors.append(exc)
+
+        def follower():
+            entered.wait(timeout=30)
+            result = cache.execute(MIX_SCHEMA, parse_query(QUERY_ALL))
+            with rlock:
+                results.append(result)
+
+        lt = threading.Thread(target=leader)
+        fts = [threading.Thread(target=follower) for _ in range(3)]
+        lt.start()
+        for t in fts:
+            t.start()
+        # let the followers join the flight, then kill the leader
+        import time
+        time.sleep(0.2)
+        proceed.set()
+        lt.join(timeout=60)
+        for t in fts:
+            t.join(timeout=60)
+        cache.engine.execute = inner
+
+        assert len(errors) == 1     # the leader saw its own exception
+        assert len(results) == 3    # every follower still got an answer
+        assert all(r.report["cache"] == "miss" for r in results)
+        assert all(len(r) == 8 for r in results)

@@ -174,10 +174,15 @@ class TestQueryResultCache:
         first = cache.execute("phone_net", parse_query(self.QUERY))
         assert first.report["cache"] == "miss"
         second = cache.execute("phone_net", parse_query(self.QUERY))
-        assert second is first
+        # Per-call views share the (immutable) payload but own their
+        # report: a hit must not rewrite the report a prior caller holds.
+        assert second is not first
+        assert second.objects is first.objects
         assert second.report["cache"] == "hit"
-        assert cache.stats() == {"entries": 1, "capacity": 128, "hits": 1,
-                                 "misses": 1, "invalidations": 0}
+        assert first.report["cache"] == "miss"
+        assert cache.stats() == {"entries": 1, "capacity": 128,
+                                 "lookups": 2, "hits": 1, "misses": 1,
+                                 "invalidations": 0, "coalesced": 0}
 
     def test_commit_to_touched_class_invalidates(self, phone_db):
         cache = QueryResultCache(phone_db)
@@ -246,7 +251,7 @@ class TestKernelQueries:
             second = s2.query("phone_net",
                               "select * from Pole where pole_type = 1")
             assert second.report["cache"] == "hit"
-            assert second is first
+            assert second.objects is first.objects
             assert kernel.stats()["query_cache"]["hits"] == 1
 
     def test_session_commit_invalidates_for_all_sessions(self, phone_db):
