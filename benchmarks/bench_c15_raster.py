@@ -1,0 +1,273 @@
+"""Experiment C15 — tiled raster storage: windowed reads and crash safety.
+
+Two questions about the raster subsystem (docs/RASTER.md):
+
+* **Windowed-read efficiency** — the point of the tile directory is
+  that a viewport-sized read touches only the tiles its window
+  intersects. A 512x512 raster holds an 8x8 grid of 64-px level-0
+  tiles; a centered viewport covering 1/16 of the ground area must
+  read at most **1/8** of the tiles a full-level read touches (it
+  actually reads 4 of 64). The gate is structural (tile counters, not
+  wall clock), so it holds in quick mode too; the timing columns are
+  reported for context.
+
+* **Tile crash matrix** — a raster overwrite is a multi-page,
+  multi-tile WAL batch. Crashing the log 'disk' at every write index
+  of that batch — clean stop and torn page — and recovering must land
+  on exactly the pre-commit pixels or the fully-committed pixels,
+  byte-identical at every pyramid level, never a blend. A scalar
+  attribute committed alongside the pixels pins which state recovery
+  chose.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI smoke step) thins the
+crash matrix stride and skips the wall-clock commentary; the
+structural gates always run. ``REPRO_CRASH_MATRIX_QUICK=1`` thins the
+matrix alone.
+"""
+
+import os
+import time
+
+from repro.errors import CrashError
+from repro.geodb import (
+    RASTER,
+    TEXT,
+    Attribute,
+    FaultInjectingPager,
+    GeoClass,
+    GeographicDatabase,
+    MemoryPager,
+    Schema,
+    WriteAheadLog,
+)
+from repro.geodb.raster import DEFAULT_TILE, downsample, level_count
+from repro.spatial.geometry import BBox
+from repro.spatial.scale import Viewport
+from repro.workloads import synthetic_raster
+
+from _support import print_header, print_table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+CRASH_QUICK = QUICK or bool(os.environ.get("REPRO_CRASH_MATRIX_QUICK"))
+CRASH_STRIDE = 4 if CRASH_QUICK else 1
+
+SIDE = 512          # 8x8 grid of 64-px tiles at level 0
+CRASH_SIDE = 96     # 2x2 + 1 overview tile: small but multi-page
+
+
+def _schema() -> Schema:
+    schema = Schema("img")
+    schema.add_class(GeoClass("Scan", attributes=[
+        Attribute("name", TEXT, required=True),
+        Attribute("scan", RASTER),
+    ]))
+    return schema
+
+
+# ---------------------------------------------------------------------------
+# Windowed reads vs a full-level sweep
+# ---------------------------------------------------------------------------
+
+
+def run_windowed():
+    db = GeographicDatabase("c15", pager=MemoryPager(), buffer_capacity=256)
+    db.attach_wal(WriteAheadLog(MemoryPager(), sync_mode="none"))
+    db.register_schema(_schema())
+    extent = BBox(0.0, 0.0, float(SIDE), float(SIDE))
+    raster = synthetic_raster(SIDE, SIDE, seed=15, extent=extent)
+    with db.transaction() as txn:
+        oid = txn.insert("img", "Scan", {"name": "ortho", "scan": raster})
+    ref = db.get_object(oid).get("scan")
+    db.checkpoint()
+    db.buffer.clear()  # both reads start from a cold pool
+    store = db.raster_store
+
+    # the browsing context: a viewport zoomed 4x about the center —
+    # 1/16 of the ground area at a cell size that selects level 0
+    viewport = Viewport(extent, SIDE, SIDE).zoomed(4.0)
+
+    before = store.tile_reads
+    start = time.perf_counter()
+    window = store.read_window(ref, viewport.extent, viewport)
+    window_s = time.perf_counter() - start
+    window_tiles = store.tile_reads - before
+
+    before = store.tile_reads
+    start = time.perf_counter()
+    full = store.read_level(ref, window.level)
+    full_s = time.perf_counter() - start
+    full_tiles = store.tile_reads - before
+
+    # correctness alongside the counters: the window is the slice
+    level_pixels, lw, __ = downsample(raster.pixels, SIDE, SIDE,
+                                      window.level)
+    sliced = b"".join(
+        level_pixels[(window.y + row) * lw + window.x:
+                     (window.y + row) * lw + window.x + window.width]
+        for row in range(window.height)
+    )
+    assert window.pixels == sliced
+    assert full == level_pixels
+
+    return {
+        "level": window.level,
+        "window_tiles": window_tiles,
+        "full_tiles": full_tiles,
+        "window_ms": window_s * 1000.0,
+        "full_ms": full_s * 1000.0,
+        "fraction": window_tiles / full_tiles,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The tile crash matrix
+# ---------------------------------------------------------------------------
+
+
+def _crash_raster(seed):
+    return synthetic_raster(CRASH_SIDE, CRASH_SIDE, seed=seed,
+                            extent=BBox(0.0, 0.0, float(CRASH_SIDE),
+                                        float(CRASH_SIDE)))
+
+
+def _build_crashable():
+    heap_inner, wal_inner = MemoryPager(), MemoryPager()
+    wal_fault = FaultInjectingPager(wal_inner)
+    db = GeographicDatabase("c15-crash", pager=FaultInjectingPager(heap_inner),
+                            buffer_capacity=64)
+    db.register_schema(_schema())
+    db.attach_wal(WriteAheadLog(wal_fault, sync_mode="none"))
+    with db.transaction() as txn:
+        txn.insert("img", "Scan", {"name": "before",
+                                   "scan": _crash_raster(1)},
+                   oid="Scan#log")
+    db.checkpoint()
+    wal_fault.arm(None)
+    return db, heap_inner, wal_inner, wal_fault
+
+
+def _overwrite(db):
+    with db.transaction() as txn:
+        txn.update("Scan#log", {"name": "after", "scan": _crash_raster(2)})
+
+
+def _recovered_state(heap_inner, wal_inner):
+    db = GeographicDatabase("c15-crash", pager=heap_inner,
+                            buffer_capacity=64)
+    db.register_schema(_schema())
+    db.load_from_storage()
+    db.attach_wal(WriteAheadLog(wal_inner, sync_mode="none"))
+    db.recover()
+    obj = db.get_object("Scan#log")
+    ref = obj.get("scan")
+    levels = tuple(db.raster_store.read_level(ref, lv)
+                   for lv in range(ref.levels))
+    return obj.get("name"), levels
+
+
+def _pyramid(raster):
+    levels = level_count(raster.width, raster.height, DEFAULT_TILE)
+    return tuple(
+        downsample(raster.pixels, raster.width, raster.height, lv)[0]
+        for lv in range(levels)
+    )
+
+
+def run_crash_matrix(torn):
+    before_levels = _pyramid(_crash_raster(1))
+    after_levels = _pyramid(_crash_raster(2))
+
+    db, __, __, wal_fault = _build_crashable()
+    _overwrite(db)
+    budget = wal_fault.writes
+    assert budget >= 4, "the tile batch must span multiple WAL pages"
+
+    crashes = pre = post = 0
+    for n in range(0, budget, CRASH_STRIDE):
+        db, heap_inner, wal_inner, wal_fault = _build_crashable()
+        wal_fault.arm(n, torn=torn)
+        try:
+            _overwrite(db)
+        except CrashError:
+            crashes += 1
+        name, levels = _recovered_state(heap_inner, wal_inner)
+        if name == "after":
+            post += 1
+            assert levels == after_levels, (
+                f"crash at write {n} ({'torn' if torn else 'clean'}): "
+                "committed raster not byte-identical after recovery"
+            )
+        else:
+            pre += 1
+            assert name == "before" and levels == before_levels, (
+                f"crash at write {n} ({'torn' if torn else 'clean'}): "
+                "recovery left neither pre- nor post-commit pixels"
+            )
+    assert crashes > 0
+    return {
+        "mode": "torn" if torn else "clean",
+        "budget": budget,
+        "points": crashes,
+        "pre": pre,
+        "post": post,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The experiment
+# ---------------------------------------------------------------------------
+
+
+def test_c15_raster(capsys):
+    windowed = run_windowed()
+    matrix = [run_crash_matrix(torn) for torn in (False, True)]
+
+    with capsys.disabled():
+        print_header("C15", "tiled rasters: windowed reads and the tile "
+                            "crash matrix")
+        print(f"\n{SIDE}x{SIDE} raster, 64-px tiles, 1/16-area viewport "
+              f"at level {windowed['level']}:")
+        print_table(
+            ["read", "tiles", "ms"],
+            [["window", windowed["window_tiles"],
+              f"{windowed['window_ms']:.2f}"],
+             ["full level", windowed["full_tiles"],
+              f"{windowed['full_ms']:.2f}"]],
+        )
+        print(f"\nwindow touches {windowed['fraction']:.1%} of the tiles "
+              "(gate: <= 12.5%)")
+        print(f"\ntile crash matrix over a {CRASH_SIDE}x{CRASH_SIDE} "
+              f"overwrite (stride {CRASH_STRIDE}):")
+        print_table(
+            ["mode", "wal writes", "crash points", "pre-commit",
+             "committed"],
+            [[r["mode"], r["budget"], r["points"], r["pre"], r["post"]]
+             for r in matrix],
+        )
+        print("\nevery crash point recovered to byte-identical pixels "
+              "(all pyramid levels) or the clean pre-commit state")
+
+    # Acceptance: the tile directory must actually prune the read --
+    # a 1/16-area window may touch at most 1/8 of the level's tiles.
+    assert windowed["window_tiles"] * 8 <= windowed["full_tiles"], (
+        f"window read {windowed['window_tiles']} of "
+        f"{windowed['full_tiles']} tiles, beyond the 1/8 gate"
+    )
+    # The matrix gates are asserted inside run_crash_matrix; both modes
+    # must have exercised at least one genuine torn-prefix point.
+    assert all(r["points"] > 0 for r in matrix)
+
+
+if __name__ == "__main__":
+    class _Capsys:
+        class _Ctx:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        def disabled(self):
+            return self._Ctx()
+
+    test_c15_raster(_Capsys())

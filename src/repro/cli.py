@@ -21,12 +21,15 @@ Commands (also printed by ``help``)::
     render [window]           render one window (or the whole screen)
     explain <window>          why a window looks the way it does
     close <window>            close a window
+    html <path>               export the screen as a HTML page
     stats [json]              session statistics + live metrics registry
     trace [json|all]          span tree of the last interaction
     wal-status [json]         write-ahead log state (sync mode, counters)
     repl-status [json]        replication state (per-follower LSN and lag)
     watch-status [json]       live queries: watches, deltas, fallbacks
-    quit                      leave
+    raster-status [json]      tiled raster store (tiles, pyramid, reads)
+    help                      this command list
+    quit | exit               leave
 
 The loop is IO-parameterized (any line iterator in, any writer out), so
 the test suite drives it deterministically.
@@ -337,11 +340,68 @@ class CommandLoop:
                       f"  fallbacks={row['fallbacks']}"
                       f"  last={row['last']}  pending={row['pending']}")
 
+    def cmd_raster_status(self, rest: str) -> None:
+        """Report the tiled raster store (directory, pyramid, counters)."""
+        store = getattr(self.session.database, "_raster_store", None)
+        if store is None:
+            self.emit("no rasters stored (commit a Raster attribute first)")
+            return
+        status = store.status()
+        if rest.strip() == "json":
+            self.emit(json.dumps(status, indent=2))
+            return
+        self.emit(f"  rasters: {status['rasters']}"
+                  f"  tiles: {status['tiles']}"
+                  f"  tile pages: {status['tile_pages']}"
+                  f"  free pages: {status['free_pages']}")
+        self.emit(f"  tile size: {status['tile_size']}px")
+        for level, count in status["tiles_per_level"].items():
+            self.emit(f"    level {level}: {count} tiles")
+        self.emit(f"  tile reads: {status['tile_reads']}"
+                  f"  tile writes: {status['tile_writes']}"
+                  f"  window reads: {status['window_reads']}")
+
     def cmd_quit(self, rest: str) -> None:
         self._running = False
         self.emit("bye")
 
     cmd_exit = cmd_quit
+
+    # -- introspection (help/--help stay in sync with the dispatch table) -----
+
+    @classmethod
+    def command_names(cls) -> list[str]:
+        """Every dispatchable command, in dash form, sorted.
+
+        Derived from the ``cmd_*`` attributes :meth:`dispatch` resolves
+        against, so it cannot drift from the actual dispatch table.
+        """
+        return sorted(
+            name[len("cmd_"):].replace("_", "-")
+            for name in dir(cls) if name.startswith("cmd_")
+        )
+
+    @classmethod
+    def help_text(cls) -> str:
+        """The command listing ``help`` prints (one command per line)."""
+        return (__doc__
+                .split("Commands (also printed by ``help``)::", 1)[1]
+                .split("The loop is", 1)[0].strip("\n"))
+
+    @classmethod
+    def documented_command_names(cls) -> list[str]:
+        """Commands named in the help listing, in dash form, sorted."""
+        names: set[str] = set()
+        for line in cls.help_text().splitlines():
+            words = line.split()
+            if not words:
+                continue
+            # first token is a command; "a | b" lines document both
+            names.add(words[0])
+            for i, word in enumerate(words[:-1]):
+                if word == "|" and words[i + 1].isalpha():
+                    names.add(words[i + 1])
+        return sorted(names)
 
 
 def build_demo_session(user: str, category: str | None, application: str,
@@ -368,7 +428,11 @@ def build_demo_session(user: str, category: str | None, application: str,
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-browse",
-        description="interactive GIS interface browser (paper demo)")
+        description="interactive GIS interface browser (paper demo)",
+        # Every dash command is visible from --help, not only from the
+        # in-loop ``help`` command (kept in sync by tests/test_cli.py).
+        epilog="commands:\n" + CommandLoop.help_text(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--user", default="demo")
     parser.add_argument("--category", default=None)
     parser.add_argument("--application", default="browser")

@@ -86,6 +86,16 @@ class CrashError(StorageError):
     """
 
 
+class RasterError(StorageError):
+    """A tiled raster payload is malformed, missing or corrupt.
+
+    Raised by the raster tile codec (CRC mismatch, truncated frame),
+    by :class:`repro.geodb.raster.RasterStore` lookups of unknown
+    rasters/tiles, and by windowed reads over rasters without a ground
+    extent.
+    """
+
+
 class BufferError_(ReproError):
     """The buffer manager could not satisfy a pin/unpin request."""
 

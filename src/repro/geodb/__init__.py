@@ -9,6 +9,7 @@ from .types import (
     BOOLEAN,
     FLOAT,
     INTEGER,
+    RASTER,
     TEXT,
     AttributeType,
     BitmapType,
@@ -17,11 +18,19 @@ from .types import (
     GeometryType,
     IntegerType,
     ListType,
+    RasterType,
     ReferenceType,
     TextType,
     TupleType,
     scalar,
     type_from_description,
+)
+from .raster import (
+    DEFAULT_TILE,
+    Raster,
+    RasterRef,
+    RasterStore,
+    RasterWindow,
 )
 from .schema import Attribute, GeoClass, Method, Schema
 from .instances import Extent, GeoObject, fresh_oid
@@ -61,8 +70,10 @@ from .catalog import (
 __all__ = [
     "AttributeType", "IntegerType", "FloatType", "TextType", "BooleanType",
     "BitmapType", "GeometryType", "ReferenceType", "TupleType", "ListType",
-    "INTEGER", "FLOAT", "TEXT", "BOOLEAN", "BITMAP",
+    "RasterType",
+    "INTEGER", "FLOAT", "TEXT", "BOOLEAN", "BITMAP", "RASTER",
     "scalar", "type_from_description",
+    "Raster", "RasterRef", "RasterStore", "RasterWindow", "DEFAULT_TILE",
     "Attribute", "Method", "GeoClass", "Schema",
     "GeoObject", "Extent", "fresh_oid",
     "MemoryPager", "FilePager", "HeapFile", "RecordId", "PAGE_SIZE",

@@ -56,6 +56,10 @@ class BufferStats:
         }
 
 
+def _no_promotion(page_no: int) -> None:
+    """Hit-path promotion hook while a bulk_scan scope is active."""
+
+
 class _Frame:
     __slots__ = ("data", "dirty", "pins")
 
@@ -82,6 +86,12 @@ class BufferManager:
         self.stats = BufferStats()
         #: depth of nested no-steal scopes (dirty frames pinned in memory)
         self._no_steal = 0
+        #: depth of nested bulk-scan scopes (scan-resistant insertion)
+        self._bulk = 0
+        #: hit-path promotion hook: the bound OrderedDict move normally,
+        #: a no-op inside bulk_scan scopes — swapped rather than branched
+        #: so the hot hit path stays within the disabled-obs overhead gate
+        self._promote = self._frames.move_to_end
         #: called before a dirty frame is written back by eviction; the
         #: database points this at ``wal.force`` so staged (group-commit)
         #: log batches reach stable storage before the data pages they
@@ -133,6 +143,31 @@ class BufferManager:
         finally:
             self._no_steal -= 1
 
+    # -- scan resistance ---------------------------------------------------------
+
+    @contextmanager
+    def bulk_scan(self) -> Iterator["BufferManager"]:
+        """Scan-resistant caching for the duration of the block.
+
+        A one-shot sweep over many cold pages (a full raster level, a
+        table scan) would otherwise flush the hot working set out of a
+        pure-LRU pool: every swept page enters at the MRU end and each
+        one evicts a page that *will* be re-read. Inside this scope,
+        misses are inserted at the **LRU end** instead — the sweep
+        recycles its own frames and the hot set survives — and hits are
+        not promoted, so the sweep cannot launder its pages into the
+        hot end by touching them twice. Nesting is allowed; normal
+        promotion resumes when the outermost scope exits.
+        """
+        self._bulk += 1
+        self._promote = _no_promotion
+        try:
+            yield self
+        finally:
+            self._bulk -= 1
+            if not self._bulk:
+                self._promote = self._frames.move_to_end
+
     # -- pinning ---------------------------------------------------------------
 
     def pin(self, page_no: int) -> bytes:
@@ -163,7 +198,7 @@ class BufferManager:
             self.stats.hits += 1
             if rec.enabled:
                 rec.inc("buffer.hits")
-            self._frames.move_to_end(page_no)
+            self._promote(page_no)
             return self._frames[page_no]
         self.stats.misses += 1
         if rec.enabled:
@@ -171,6 +206,15 @@ class BufferManager:
         self._make_room()
         frame = _Frame(self.pager.read_page(page_no))
         self._frames[page_no] = frame
+        if self._bulk:
+            # Scan-resistant placement: the swept page becomes the next
+            # eviction victim instead of displacing the hot set.
+            self._frames.move_to_end(page_no, last=False)
+            self.stats.extra["bulk_reads"] = (
+                self.stats.extra.get("bulk_reads", 0) + 1
+            )
+            if rec.enabled:
+                rec.inc("buffer.bulk_reads")
         if rec.enabled:
             rec.gauge("buffer.resident_frames", len(self._frames))
         return frame
@@ -236,6 +280,8 @@ class BufferManager:
         self.flush()
         pinned = {no: f for no, f in self._frames.items() if f.pins > 0}
         self._frames = OrderedDict(pinned)
+        if not self._bulk:  # rebind: the old dict's bound method is stale
+            self._promote = self._frames.move_to_end
 
     def resident_pages(self) -> list[int]:
         """Page numbers currently cached, LRU-first."""

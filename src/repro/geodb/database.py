@@ -39,10 +39,12 @@ from .attr_index import HashIndex
 from .buffer import BufferManager
 from .instances import Extent, GeoObject
 from .mvcc import VersionStore
+from .raster import Raster, RasterStore
 from .schema import GeoClass, Schema
 from .storage import FilePager, HeapFile, MemoryPager, Pager, RecordId
 from .transactions import Transaction, _Intent
-from .wal import REC_INTENT, LogShipper, WriteAheadLog, verify_envelope
+from .wal import (REC_INTENT, REC_RASTER, LogShipper, WriteAheadLog,
+                  verify_envelope)
 
 
 class WriteOp:
@@ -151,6 +153,9 @@ class GeographicDatabase:
         #: (schema, class) -> cached ShardMap, keyed like planner stats
         #: on (class commit version, cardinality)
         self._shard_maps: dict[tuple[str, str], Any] = {}
+        #: lazily created tiled raster store (see repro.geodb.raster);
+        #: stays None until a raster payload is committed or adopted
+        self._raster_store: RasterStore | None = None
 
         # -- replication (leader/follower) ------------------------------
         #: True for follower instances created by :meth:`follow` — all
@@ -485,6 +490,41 @@ class GeographicDatabase:
 
         return Scenario(self, schema_name)
 
+    @property
+    def raster_store(self) -> RasterStore:
+        """The tiled raster store, created on first use.
+
+        Reads resolve :class:`~repro.geodb.raster.RasterRef` attribute
+        values through it (``db.raster_store.read_window(ref, bbox,
+        scale)``); writes never touch it directly — staging a
+        :class:`~repro.geodb.raster.Raster` payload in a transaction is
+        the only write path.
+        """
+        if self._raster_store is None:
+            self._raster_store = RasterStore(self)
+        return self._raster_store
+
+    def _stage_rasters(self, intents: list[_Intent]) -> list:
+        """Cut staged :class:`Raster` payloads into tile sets.
+
+        Runs at the top of the commit critical section, *before* the
+        intents are WAL-encoded: each payload is swapped for the
+        :class:`RasterRef` of its freshly staged tile set, so the intent
+        records (and every downstream consumer — heap records, MVCC
+        versions, replication) only ever see the descriptor. Pure
+        computation; no page is written until the apply phase.
+        """
+        writes = []
+        for intent in intents:
+            if intent.values is None:
+                continue
+            for name, value in intent.values.items():
+                if isinstance(value, Raster):
+                    write = self.raster_store.stage(value)
+                    intent.values[name] = write.ref
+                    writes.append(write)
+        return writes
+
     def checkpoint(self) -> int:
         """Flush dirty buffer frames, sync the pager, and reset the WAL.
 
@@ -507,6 +547,11 @@ class GeographicDatabase:
                 # WAL rule: staged (group-commit) batches must be on
                 # stable storage before the heap pages they cover.
                 self.wal.force()
+            if self._raster_store is not None:
+                # The tile directory rides the same flush+sync as the
+                # tile pages it references, so once the WAL truncates
+                # below, the durable heap is raster-complete.
+                self._raster_store.persist()
             flushed = self.buffer.flush()
             sync = getattr(self.pager, "sync", None)
             if callable(sync):
@@ -725,7 +770,14 @@ class GeographicDatabase:
         """
         touched: dict[str, tuple[str, str]] = {}
         for doc in records:
-            if doc.get("t") == REC_INTENT:
+            kind = doc.get("t")
+            if kind == REC_RASTER:
+                # Tile records precede the intents that reference them,
+                # so by the time an object's RasterRef is decoded its
+                # tiles are readable. No oid bookkeeping: tiles belong
+                # to the raster store, not to any extent.
+                self.raster_store.replay_tile(doc)
+            elif kind == REC_INTENT:
                 self._replay_intent(doc)
                 touched[doc["oid"]] = (doc["schema"], doc["class"])
         self._commit_ts = max(self._commit_ts, commit_ts)
@@ -847,6 +899,8 @@ class GeographicDatabase:
                     [s, c, {"attr": cfg["attr"], "grid": list(cfg["grid"])}]
                     for (s, c), cfg in self._shard_configs.items()
                 ],
+                "rasters": (self._raster_store.export()
+                            if self._raster_store is not None else []),
             }
 
     @classmethod
@@ -879,6 +933,9 @@ class GeographicDatabase:
         for schema_desc in doc.get("schemas", []):
             if schema_desc["name"] not in self._schemas:
                 self.register_schema(Schema.from_description(schema_desc))
+        # Tiles first: objects below may carry RasterRefs into them.
+        for tile_doc in doc.get("rasters", []):
+            self.raster_store.replay_tile(tile_doc)
         spatial_batches: dict[tuple[str, str, str], list] = {}
         for record in doc.get("objects", []):
             schema = self.get_schema_object(record["schema"])
@@ -1038,6 +1095,9 @@ class GeographicDatabase:
                 self._shard_maps.clear()
                 self.heap = HeapFile(self.pager)
                 self.heap.attach_buffer(self.buffer)
+                # Drop the raster directory with the rest of the state;
+                # the snapshot's tile docs rebuild it from scratch.
+                self._raster_store = None
                 installed = self._install_snapshot(snapshot)
             finally:
                 self._mutation_seq += 1
@@ -1307,9 +1367,15 @@ class GeographicDatabase:
         # the commit lock at begin, so no reader can exist that the
         # chain would need to protect.
         commit_ts = self._commit_ts + 1
+        # Raster payloads are cut into tile sets first, swapping each for
+        # its RasterRef, so the intents encoded below carry descriptors.
+        raster_writes = self._stage_rasters(intents)
         wal = self.wal
         if wal is not None:
             wal.log_begin(txn.txn_id)
+            for write in raster_writes:
+                for doc in write.wal_docs():
+                    wal.log_raster(txn.txn_id, doc)
             for intent in intents:
                 wal.log_intent(txn.txn_id, self._encode_intent(intent))
         other_snapshots = len(self._snapshots)
@@ -1324,6 +1390,8 @@ class GeographicDatabase:
         try:
             with self.buffer.no_steal():
                 try:
+                    for write in raster_writes:
+                        self.raster_store.apply(write, undo)
                     for intent in intents:
                         if intent.op == "insert":
                             self._apply_insert(intent, undo)
@@ -1659,6 +1727,9 @@ class GeographicDatabase:
         for rid, record in list(self.heap.scan()):
             if record.get("_catalog"):
                 continue
+            if record.get(RasterStore.DIRECTORY_MARKER):
+                self.raster_store.adopt(rid, record)
+                continue
             oid = record["oid"]
             if oid in self._locations:
                 continue  # already live (idempotent reload)
@@ -1712,6 +1783,8 @@ class GeographicDatabase:
             "buffer": self.stats_buffer(),
             "heap": self.heap.stats(),
             "mvcc": self._mvcc.stats(),
+            "rasters": (self._raster_store.status()
+                        if self._raster_store is not None else {}),
         }
 
     def stats_buffer(self) -> dict[str, Any]:

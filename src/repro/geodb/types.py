@@ -147,6 +147,51 @@ class BitmapType(AttributeType):
         return base64.b64decode(raw)
 
 
+class RasterType(AttributeType):
+    """A tiled, pyramid-structured raster attribute (image logs, scans).
+
+    Where :class:`BitmapType` inlines its bytes into the record — fine
+    for thumbnails, hopeless for a 4096x4096 scan — a raster attribute
+    stores only a :class:`~repro.geodb.raster.RasterRef` descriptor in
+    the record; the pixel data lives in dedicated tile pages managed by
+    :class:`~repro.geodb.raster.RasterStore`. Writers stage an in-memory
+    :class:`~repro.geodb.raster.Raster` payload; the commit path cuts it
+    into tiles and swaps the ref in before the intent is encoded.
+    """
+
+    tag = "raster"
+
+    def validate(self, value: Any, attr_name: str = "?") -> None:
+        from .raster import Raster, RasterRef  # local import: raster uses storage
+
+        if not isinstance(value, (Raster, RasterRef)):
+            raise TypeMismatchError(
+                f"attribute {attr_name!r} expects a Raster payload or "
+                f"RasterRef, got {type(value).__name__}"
+            )
+
+    def default(self) -> None:
+        return None  # raster attributes have no neutral value; stay unset
+
+    def encode(self, value: Any) -> dict[str, Any]:
+        from .raster import RasterRef
+
+        if not isinstance(value, RasterRef):
+            # A staged Raster payload must be swapped for its RasterRef
+            # by the commit path before any encode runs; reaching here
+            # means a write path skipped RasterStore staging.
+            raise TypeMismatchError(
+                "raster payloads must be committed through a transaction; "
+                f"cannot encode {type(value).__name__} directly"
+            )
+        return value.describe()
+
+    def decode(self, raw: Any) -> Any:
+        from .raster import RasterRef
+
+        return RasterRef.from_description(raw) if raw is not None else None
+
+
 class GeometryType(AttributeType):
     """A georeferenced attribute; optionally restricted to one geometry kind.
 
@@ -317,6 +362,7 @@ FLOAT = FloatType()
 TEXT = TextType()
 BOOLEAN = BooleanType()
 BITMAP = BitmapType()
+RASTER = RasterType()
 
 _SCALARS: dict[str, AttributeType] = {
     "integer": INTEGER,
@@ -332,6 +378,8 @@ def type_from_description(desc: dict[str, Any]) -> AttributeType:
     tag = desc.get("tag")
     if tag in _SCALARS:
         return _SCALARS[tag]
+    if tag == "raster":
+        return RASTER
     if tag == "geometry":
         return GeometryType(desc.get("subtype"))
     if tag == "reference":

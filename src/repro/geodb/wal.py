@@ -99,6 +99,9 @@ FRAME_HEADER = 8
 REC_BEGIN = "B"
 REC_INTENT = "I"
 REC_COMMIT = "C"
+#: redo record for one raster tile write (multi-page tile payloads ride
+#: the same batch as the object intents that reference them)
+REC_RASTER = "R"
 
 #: durability ladder for the commit-point barrier (cf. SQLite synchronous):
 #: ``fsync`` survives power loss, ``flush`` survives a process crash only
@@ -378,6 +381,17 @@ class WriteAheadLog:
         doc.update(intent_doc)
         self._buffer(txn_id, doc)
 
+    def log_raster(self, txn_id: int, tile_doc: dict[str, Any]) -> None:
+        """Record one raster tile write (base64 payload, identity header).
+
+        Logged before the tile's data pages are dirtied, like any other
+        intent: recovery replays the whole tile set or none of it, so a
+        crash can never surface a half-written raster.
+        """
+        doc = {"t": REC_RASTER, "txn": txn_id}
+        doc.update(tile_doc)
+        self._buffer(txn_id, doc)
+
     def log_commit(self, txn_id: int, commit_ts: int | None = None) -> None:
         """Force the transaction's batch to the log — the durability point.
 
@@ -604,7 +618,7 @@ class WriteAheadLog:
             kind, txn_id = doc.get("t"), doc.get("txn")
             if kind == REC_BEGIN:
                 open_txns[txn_id] = [doc]
-            elif kind == REC_INTENT:
+            elif kind in (REC_INTENT, REC_RASTER):
                 open_txns.setdefault(txn_id, []).append(doc)
             elif kind == REC_COMMIT:
                 records = open_txns.pop(txn_id, None)

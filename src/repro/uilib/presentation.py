@@ -140,6 +140,51 @@ def _image_widget(library, attr_name, value, **options):
                 value=f"[image {size} bytes]")
 
 
+def _raster_label(value, level: int) -> str:
+    lw, lh = value.level_dims(level)
+    return (f"[raster {value.rid} {value.width}x{value.height} "
+            f"@ level {level} ({lw}x{lh})]")
+
+
+def _raster_widget(library, attr_name, value, **options):
+    """Full-resolution raster presentation (duck-typed on RasterRef).
+
+    The widget carries only the descriptor text — pixel reads stay in
+    the database layer (``db.raster_store.read_window``); the format's
+    job is choosing *what* the context shows, per the paper's model.
+    """
+    if value is None:
+        return Text(f"attr_{attr_name}", label=attr_name, value="(no raster)")
+    if not hasattr(value, "level_dims"):
+        raise CustomizationError(
+            f"raster format for {attr_name!r} needs a RasterRef value, "
+            f"got {type(value).__name__}"
+        )
+    return Text(f"attr_{attr_name}", label=attr_name,
+                value=_raster_label(value, 0))
+
+
+def _raster_overview_widget(library, attr_name, value, **options):
+    """Coarse raster presentation for zoomed-out / browsing contexts.
+
+    With a ``scale`` option (a :class:`~repro.spatial.scale.MapScale`,
+    :class:`~repro.spatial.scale.Viewport` or explicit level int) the
+    pyramid level matches the display resolution; without one, the
+    coarsest level — an overview thumbnail — is shown.
+    """
+    if value is None:
+        return Text(f"attr_{attr_name}", label=attr_name, value="(no raster)")
+    if not hasattr(value, "level_for"):
+        raise CustomizationError(
+            f"raster_overview format for {attr_name!r} needs a RasterRef "
+            f"value, got {type(value).__name__}"
+        )
+    scale = options.get("scale")
+    level = value.level_for(scale) if scale is not None else value.levels - 1
+    return Text(f"attr_{attr_name}", label=attr_name,
+                value=_raster_label(value, level))
+
+
 def _null_widget(library, attr_name, value, **options):
     return None
 
@@ -176,6 +221,10 @@ class PresentationRegistry:
                             doc="composite of several source fields (§4)"),
             AttributeFormat("slider", _slider_widget, doc="bounded numeric"),
             AttributeFormat("image", _image_widget, doc="bitmap placeholder"),
+            AttributeFormat("raster", _raster_widget,
+                            doc="tiled raster at full resolution"),
+            AttributeFormat("raster_overview", _raster_overview_widget,
+                            doc="tiled raster at a scale-chosen pyramid level"),
             AttributeFormat("null", _null_widget, doc="hidden attribute"),
         ):
             self.register_attribute_format(fmt)

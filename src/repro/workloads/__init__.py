@@ -13,6 +13,14 @@ from .environment import (
     populate_environment,
     register_environment_methods,
 )
+from .image_logs import (
+    IMAGE_LOG_PROGRAM,
+    ImageLogParams,
+    build_image_log_database,
+    build_image_log_schema,
+    populate_image_logs,
+    synthetic_raster,
+)
 from .session_pool import SessionPool, browsing_contexts
 from .txn_mix import (
     MixOutcome,
@@ -40,6 +48,12 @@ __all__ = [
     "build_environment_database",
     "populate_environment",
     "register_environment_methods",
+    "IMAGE_LOG_PROGRAM",
+    "ImageLogParams",
+    "build_image_log_schema",
+    "build_image_log_database",
+    "populate_image_logs",
+    "synthetic_raster",
     "SessionPool",
     "browsing_contexts",
     "MixOutcome",

@@ -1,0 +1,136 @@
+"""Synthetic image-log workload: raster attributes over survey sites.
+
+Real geo front-ends carry bitmap payloads far larger than a page —
+scanned utility plans, well image logs, orthophoto patches (see the
+GeoSlicer-style scenarios in PAPERS.md). This workload builds an
+``image_logs`` schema whose ``ImageLog`` class pairs a point location
+with a tiled :class:`~repro.geodb.raster.Raster` attribute, populates a
+deterministic survey grid, and ships a customization program whose
+presentation rule renders the raster as a coarse overview when the
+context is zoomed out — the paper's per-context customization mechanism
+applied to pyramid level selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geodb.database import GeographicDatabase
+from ..geodb.raster import Raster
+from ..geodb.schema import Attribute, GeoClass, Schema
+from ..geodb.types import INTEGER, RASTER, TEXT, GeometryType
+from ..spatial.geometry import BBox, Point
+
+
+def synthetic_raster(width: int, height: int, seed: int = 0,
+                     extent: BBox | None = None) -> Raster:
+    """A deterministic test-pattern raster (no RNG, reproducible bytes).
+
+    The pattern mixes two spatial frequencies plus the seed so distinct
+    rasters differ byte-wise while staying cheap to generate and easy to
+    eyeball in a hex dump.
+    """
+    pixels = bytearray(width * height)
+    pos = 0
+    for y in range(height):
+        base = (y * 31 + seed * 97) & 0xFF
+        for x in range(width):
+            pixels[pos] = (base + x * 13 + ((x * y) >> 3)) & 0xFF
+            pos += 1
+    return Raster(width, height, bytes(pixels), extent=extent)
+
+
+def build_image_log_schema() -> Schema:
+    """The ``image_logs`` schema: survey sites with raster scans."""
+    schema = Schema("image_logs",
+                    doc="survey sites carrying tiled raster scans")
+    schema.add_class(GeoClass(
+        "Site",
+        attributes=[
+            Attribute("site_name", TEXT, required=True),
+            Attribute("location", GeometryType("point"), required=True),
+        ],
+        doc="surveyed field sites",
+    ))
+    schema.add_class(GeoClass(
+        "ImageLog",
+        attributes=[
+            Attribute("log_name", TEXT, required=True),
+            Attribute("site", TEXT),
+            Attribute("sequence", INTEGER),
+            Attribute("footprint", GeometryType("point"), required=True),
+            Attribute("scan", RASTER),
+        ],
+        doc="one scanned image log, stored as pyramid tiles",
+    ))
+    return schema
+
+
+@dataclass(frozen=True)
+class ImageLogParams:
+    """Generator knobs (defaults keep the dataset test-suite sized)."""
+
+    sites: int = 3
+    logs_per_site: int = 2
+    raster_width: int = 256
+    raster_height: int = 256
+    cell_size: float = 500.0
+    seed: int = 1997
+
+
+def populate_image_logs(db: GeographicDatabase,
+                        params: ImageLogParams = ImageLogParams(),
+                        schema_name: str = "image_logs") -> dict[str, int]:
+    """Populate an (already schema-registered) database; returns counts.
+
+    Each log's raster is georeferenced to its site's grid cell, so
+    windowed reads and viewport-driven level selection are meaningful.
+    """
+    logs = 0
+    with db.transaction() as txn:
+        for s in range(params.sites):
+            x0 = s * params.cell_size
+            txn.insert(schema_name, "Site", {
+                "site_name": f"site-{s}",
+                "location": Point(x0 + params.cell_size / 2,
+                                  params.cell_size / 2),
+            })
+            for i in range(params.logs_per_site):
+                cell = BBox(x0, 0.0, x0 + params.cell_size, params.cell_size)
+                txn.insert(schema_name, "ImageLog", {
+                    "log_name": f"log-{s}-{i}",
+                    "site": f"site-{s}",
+                    "sequence": i,
+                    "footprint": Point(x0 + params.cell_size / 2,
+                                       params.cell_size / 2),
+                    "scan": synthetic_raster(
+                        params.raster_width, params.raster_height,
+                        seed=params.seed + s * 10 + i, extent=cell),
+                })
+                logs += 1
+    return {"Site": params.sites, "ImageLog": logs}
+
+
+def build_image_log_database(params: ImageLogParams = ImageLogParams(),
+                             name: str = "GEO") -> GeographicDatabase:
+    """Create, register and populate a ready-to-browse database."""
+    db = GeographicDatabase(name)
+    db.register_schema(build_image_log_schema())
+    populate_image_logs(db, params)
+    return db
+
+
+#: Customization program for the image-log application: surveyors
+#: browsing the atlas get a coarse raster overview (the store picks the
+#: pyramid level from the display scale), while the site name stays a
+#: plain text widget — per-context raster presentation, paper-style.
+IMAGE_LOG_PROGRAM = """
+-- image-log atlas: coarse raster overviews for browsing surveyors
+for user surveyor application atlas
+schema image_logs display as Null
+class ImageLog display
+    presentation as pointFormat
+    instances
+        display attribute scan as raster_overview
+        display attribute log_name as text
+"""

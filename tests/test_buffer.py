@@ -190,6 +190,125 @@ class TestNoSteal:
             assert 0 not in manager.resident_pages()
 
 
+class TestBulkScan:
+    """Scan-resistant insertion: a one-shot sweep (a raster level read,
+    a table scan) must not flush the hot working set out of the pool."""
+
+    def _warm(self, manager, pages=(0, 1, 2), rounds=2):
+        for __ in range(rounds):
+            for no in pages:
+                manager.read_page(no)
+
+    def test_sweep_inside_bulk_scan_preserves_hot_set(self):
+        __, manager = make(capacity=4, pages=16)
+        self._warm(manager)
+        hits_before = manager.stats.hits
+        with manager.bulk_scan():
+            for no in range(3, 16):          # 13 cold pages through 1 frame
+                manager.read_page(no)
+        assert manager.stats.extra["bulk_reads"] == 13
+        assert {0, 1, 2} <= set(manager.resident_pages())
+        # the hot set survives the sweep: re-reads are pure hits and the
+        # vector hit ratio keeps climbing instead of collapsing
+        misses_before = manager.stats.misses
+        ratio_before = manager.stats.hit_ratio
+        self._warm(manager, rounds=1)
+        assert manager.stats.misses == misses_before
+        assert manager.stats.hits == hits_before + 3
+        assert manager.stats.hit_ratio > ratio_before
+
+    def test_plain_lru_sweep_destroys_hot_set(self):
+        """Contrast case: the same sweep without the hint evicts the hot
+        set — this is the failure mode ``bulk_scan`` exists to prevent."""
+        __, manager = make(capacity=4, pages=16)
+        self._warm(manager)
+        for no in range(3, 16):
+            manager.read_page(no)
+        assert not ({0, 1, 2} & set(manager.resident_pages()))
+        misses_before = manager.stats.misses
+        self._warm(manager, rounds=1)        # all cold again
+        assert manager.stats.misses == misses_before + 3
+
+    def test_bulk_hits_do_not_promote(self):
+        """Touching a swept page twice must not launder it into the hot
+        end: inside the scope hits skip LRU promotion."""
+        __, manager = make(capacity=4, pages=16)
+        self._warm(manager, rounds=1)
+        with manager.bulk_scan():
+            manager.read_page(3)             # miss: parked at the LRU end
+            manager.read_page(3)             # hit: stays parked
+            manager.read_page(4)             # miss: evicts 3, not the hot set
+        assert 3 not in manager.resident_pages()
+        assert {0, 1, 2} <= set(manager.resident_pages())
+
+    def test_nested_scopes_resume_promotion_at_outermost_exit(self):
+        __, manager = make(capacity=4, pages=16)
+        with manager.bulk_scan():
+            with manager.bulk_scan():
+                manager.read_page(0)
+            manager.read_page(1)             # still scan-resistant
+        assert manager.stats.extra["bulk_reads"] == 2
+        self._warm(manager, pages=(0, 1, 2, 3), rounds=1)
+        manager.read_page(0)                 # normal promotion again
+        manager.read_page(4)                 # LRU eviction takes 1, not 0
+        assert 0 in manager.resident_pages()
+
+    def test_bulk_reads_reported_to_registry(self, obs_recorder):
+        __, manager = make(capacity=2, pages=6)
+        with manager.bulk_scan():
+            for no in range(6):
+                manager.read_page(no)
+        assert obs_recorder.registry.counter_value("buffer.bulk_reads") == 6
+
+    def test_raster_level_sweep_keeps_vector_pages_hot(self):
+        """End-to-end regression: ``RasterStore.read_level`` sweeps its
+        tile pages under ``bulk_scan``, so a whole-level read through a
+        small pool leaves the (vector) record pages resident."""
+        from repro.geodb import (
+            RASTER,
+            TEXT,
+            Attribute,
+            GeoClass,
+            GeographicDatabase,
+            MemoryPager,
+            WriteAheadLog,
+        )
+        from repro.spatial.geometry import BBox
+        from repro.workloads import synthetic_raster
+
+        db = GeographicDatabase("GEO", pager=MemoryPager(),
+                                buffer_capacity=6)
+        db.attach_wal(WriteAheadLog(MemoryPager(), sync_mode="none"))
+        schema = db.create_schema("img")
+        schema.add_class(GeoClass("Scan", attributes=[
+            Attribute("name", TEXT, required=True),
+            Attribute("scan", RASTER),
+        ]))
+        raster = synthetic_raster(128, 128, seed=3,
+                                  extent=BBox(0.0, 0.0, 128.0, 128.0))
+        with db.transaction() as txn:
+            oid = txn.insert("img", "Scan", {"name": "s", "scan": raster})
+        ref = db.get_object(oid).get("scan")
+        db.checkpoint()
+        db.buffer.clear()                    # start cold: commit's no-steal
+        tile_pages = {page_no                # scope left the pool overfull
+                      for pages in db.raster_store._tiles.values()
+                      for page_no in pages}
+        hot = [page_no for page_no in range(db.pager.page_count)
+               if page_no not in tile_pages][:3]
+        assert hot and len(tile_pages) > db.buffer.capacity
+        for page_no in hot:                  # warm the record pages
+            db.buffer.read_page(page_no)
+        assert db.raster_store.read_level(ref, 0) is not None
+        assert db.buffer.stats.extra.get("bulk_reads", 0) >= len(tile_pages) // 2
+        misses_before = db.buffer.stats.misses
+        for page_no in hot:
+            db.buffer.read_page(page_no)
+        assert db.buffer.stats.misses == misses_before, (
+            "raster level sweep evicted the hot record pages"
+        )
+
+
 class TestObservabilityCounters:
     """The buffer reports its cache behavior through the obs registry."""
 

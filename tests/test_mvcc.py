@@ -23,9 +23,22 @@ from repro.errors import (
     TransactionError,
     WALError,
 )
-from repro.geodb import GeographicDatabase, MemoryPager, WriteAheadLog
+from repro.geodb import (
+    RASTER,
+    TEXT,
+    Attribute,
+    GeoClass,
+    GeographicDatabase,
+    MemoryPager,
+    WriteAheadLog,
+)
 from repro.geodb.transactions import _Intent
-from repro.workloads import build_mix_schema, commit_with_retries
+from repro.spatial.geometry import BBox
+from repro.workloads import (
+    build_mix_schema,
+    commit_with_retries,
+    synthetic_raster,
+)
 from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA
 
 
@@ -232,6 +245,96 @@ class TestCommitWithRetries:
     def test_body_errors_propagate_and_abort(self, db):
         with pytest.raises(ObjectNotFoundError):
             commit_with_retries(db, lambda txn: txn.delete("Feature#nope"))
+
+
+# ---------------------------------------------------------------------------
+# Raster attributes under MVCC
+# ---------------------------------------------------------------------------
+
+
+def _raster_db():
+    database = GeographicDatabase("mvcc-raster", pager=MemoryPager())
+    database.attach_wal(WriteAheadLog(MemoryPager(), sync_mode="none"))
+    schema = database.create_schema("img")
+    schema.add_class(GeoClass("Scan", attributes=[
+        Attribute("name", TEXT, required=True),
+        Attribute("scan", RASTER),
+    ]))
+    database.raster_store.tile = 16
+    return database
+
+
+def _scan(seed):
+    return synthetic_raster(32, 32, seed=seed,
+                            extent=BBox(0.0, 0.0, 32.0, 32.0))
+
+
+class TestRasterSnapshots:
+    """Rasters are copy-on-write (an overwrite commits a *new* tile set
+    under a fresh rid), so MVCC snapshot reads extend to pixels: an old
+    snapshot's RasterRef keeps resolving to the old tiles byte-for-byte
+    while newer transactions see the replacement."""
+
+    def test_reader_sees_precommit_raster_during_overwrite(self):
+        db = _raster_db()
+        old = _scan(1)
+        with db.transaction() as txn:
+            txn.insert("img", "Scan", {"name": "s", "scan": old},
+                       oid="Scan#s")
+        reader = db.transaction()
+        old_ref = reader.read("Scan#s")["scan"]
+        # a concurrent writer overwrites the scan and commits
+        new = _scan(2)
+        with db.transaction() as writer:
+            writer.update("Scan#s", {"scan": new})
+        # the reader's snapshot still answers with the old descriptor
+        # AND the old pixels — at every pyramid level
+        ref_again = reader.read("Scan#s")["scan"]
+        assert ref_again == old_ref
+        assert db.raster_store.read_level(old_ref, 0) == old.pixels
+        reader.abort()
+        # a fresh snapshot sees the replacement, under a different rid
+        with db.transaction() as after:
+            new_ref = after.read("Scan#s")["scan"]
+            after.abort()
+        assert new_ref.rid != old_ref.rid
+        assert db.raster_store.read_level(new_ref, 0) == new.pixels
+
+    def test_first_committer_wins_on_conflicting_tile_writes(self):
+        db = _raster_db()
+        with db.transaction() as txn:
+            txn.insert("img", "Scan", {"name": "s", "scan": _scan(1)},
+                       oid="Scan#s")
+        tiles_before = dict(db.raster_store._tiles)
+        rasters_before = dict(db.raster_store._rasters)
+
+        loser = db.transaction()
+        loser.update("Scan#s", {"scan": _scan(7)})
+        winner_pixels = _scan(8)
+        with db.transaction() as winner:
+            winner.update("Scan#s", {"scan": winner_pixels})
+        with pytest.raises(TransactionConflictError):
+            loser.commit()
+        assert loser.state.value == "aborted"
+        # the winner's tiles landed; the loser staged nothing into the
+        # store (conflicts are detected before tile staging begins)
+        ref = db.get_object("Scan#s").get("scan")
+        assert db.raster_store.read_level(ref, 0) == winner_pixels.pixels
+        store_rids = set(db.raster_store._rasters)
+        assert store_rids == set(rasters_before) | {ref.rid}
+        winner_keys = {key for key in db.raster_store._tiles
+                       if key.startswith(f"{ref.rid}/")}
+        assert set(db.raster_store._tiles) == \
+            set(tiles_before) | winner_keys
+
+    def test_aborted_transaction_stages_no_tiles(self):
+        db = _raster_db()
+        tiles_before = dict(db.raster_store._tiles)
+        txn = db.transaction()
+        txn.insert("img", "Scan", {"name": "s", "scan": _scan(3)})
+        txn.abort()
+        assert db.raster_store._tiles == tiles_before
+        assert db.raster_store.status()["tile_writes"] == 0
 
 
 # ---------------------------------------------------------------------------

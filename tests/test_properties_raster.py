@@ -1,0 +1,229 @@
+"""Property-based tests for the tiled raster subsystem.
+
+Random rasters prove the invariants the ISSUE pins:
+
+* tile codec round-trip is byte-identical (and CRC catches corruption),
+* committing through a transaction and reading back level 0 is the
+  identity,
+* a windowed read equals slicing the full bitmap at every pyramid level,
+* point-sampled downsampling is compositional (idempotence),
+* the directory's tile count matches the ceil-grid arithmetic.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import RasterError
+from repro.geodb import (
+    RASTER,
+    TEXT,
+    Attribute,
+    GeoClass,
+    GeographicDatabase,
+    MemoryPager,
+    Raster,
+    WriteAheadLog,
+)
+from repro.geodb.raster import (
+    decode_tile,
+    downsample,
+    encode_tile,
+    level_count,
+    slice_tile,
+    tile_grid,
+)
+from repro.spatial.geometry import BBox
+
+dims = st.integers(min_value=1, max_value=150)
+
+
+@st.composite
+def rasters(draw, max_side=150):
+    w = draw(st.integers(min_value=1, max_value=max_side))
+    h = draw(st.integers(min_value=1, max_value=max_side))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    pixels = bytes((x * 13 + y * 31 + seed) & 0xFF
+                   for y in range(h) for x in range(w))
+    return Raster(w, h, pixels, extent=BBox(0.0, 0.0, float(w), float(h)))
+
+
+def raster_db(tile: int = 16) -> GeographicDatabase:
+    """A WAL-attached in-memory database with one raster class.
+
+    A small tile size keeps hypothesis examples multi-tile without
+    megabyte bitmaps.
+    """
+    db = GeographicDatabase("GEO", pager=MemoryPager())
+    db.wal = WriteAheadLog(MemoryPager())
+    schema = db.create_schema("img")
+    schema.add_class(GeoClass("Scan", attributes=[
+        Attribute("name", TEXT, required=True),
+        Attribute("scan", RASTER),
+    ]))
+    db.raster_store.tile = tile
+    return db
+
+
+def store_raster(db, raster):
+    with db.transaction() as txn:
+        oid = txn.insert("img", "Scan", {"name": "s", "scan": raster})
+    return oid, db.get_object(oid).get("scan")
+
+
+class TestTileCodec:
+    @given(st.binary(min_size=0, max_size=5000),
+           st.integers(min_value=0, max_value=9),
+           st.integers(min_value=0, max_value=99))
+    def test_roundtrip_byte_identity(self, data, level, index):
+        doc = decode_tile(encode_tile("r7", level, index, data))
+        assert doc["data"] == data
+        assert (doc["rid"], doc["lv"], doc["ix"]) == ("r7", level, index)
+
+    @given(st.binary(min_size=1, max_size=500), st.data())
+    def test_corruption_is_detected(self, data, draw):
+        blob = bytearray(encode_tile("r1", 0, 0, data))
+        # flip one bit inside the payload (the CRC covers exactly it)
+        victim = len(blob) - 1 - draw.draw(
+            st.integers(min_value=0, max_value=len(data) - 1))
+        blob[victim] ^= 0x40
+        with pytest.raises(RasterError):
+            decode_tile(bytes(blob))
+
+    @given(st.binary(min_size=0, max_size=200),
+           st.integers(min_value=1, max_value=20))
+    def test_truncation_is_detected(self, data, cut):
+        blob = encode_tile("r1", 0, 0, data)
+        with pytest.raises(RasterError):
+            decode_tile(blob[:max(0, len(blob) - cut)])
+
+
+class TestPyramidMath:
+    @given(rasters(max_side=80), st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_downsample_idempotence(self, raster, j, k):
+        """downsample(downsample(p, j), k) == downsample(p, j + k)."""
+        once, w1, h1 = downsample(raster.pixels, raster.width,
+                                  raster.height, j)
+        twice, w2, h2 = downsample(once, w1, h1, k)
+        direct, wd, hd = downsample(raster.pixels, raster.width,
+                                    raster.height, j + k)
+        assert (twice, w2, h2) == (direct, wd, hd)
+
+    @given(dims, dims, st.integers(min_value=1, max_value=64))
+    def test_coarsest_level_fits_one_tile(self, w, h, tile):
+        levels = level_count(w, h, tile)
+        step = 1 << (levels - 1)
+        assert max(1, math.ceil(w / step)) <= tile
+        assert max(1, math.ceil(h / step)) <= tile
+        if levels > 1:  # the previous level genuinely did not fit
+            prev = 1 << (levels - 2)
+            assert max(math.ceil(w / prev), math.ceil(h / prev)) > tile
+
+    @given(rasters(max_side=60), st.integers(min_value=1, max_value=16),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_slice_tile_reassembles(self, raster, tile, data):
+        cols, rows = tile_grid(raster.width, raster.height, tile)
+        tx = data.draw(st.integers(min_value=0, max_value=cols - 1))
+        ty = data.draw(st.integers(min_value=0, max_value=rows - 1))
+        part = slice_tile(raster.pixels, raster.width, raster.height,
+                          tile, tx, ty)
+        tw = min(tile, raster.width - tx * tile)
+        th = min(tile, raster.height - ty * tile)
+        assert len(part) == tw * th
+        for row in range(th):
+            start = (ty * tile + row) * raster.width + tx * tile
+            assert part[row * tw:(row + 1) * tw] == \
+                raster.pixels[start:start + tw]
+
+
+class TestStoreRoundTrip:
+    @given(rasters())
+    @settings(max_examples=25, deadline=None)
+    def test_level0_read_is_identity(self, raster):
+        db = raster_db()
+        __, ref = store_raster(db, raster)
+        assert db.raster_store.read_level(ref, 0) == raster.pixels
+
+    @given(rasters(max_side=100))
+    @settings(max_examples=20, deadline=None)
+    def test_every_level_equals_downsample(self, raster):
+        db = raster_db()
+        __, ref = store_raster(db, raster)
+        for level in range(ref.levels):
+            expected, lw, lh = downsample(raster.pixels, raster.width,
+                                          raster.height, level)
+            assert ref.level_dims(level) == (lw, lh)
+            assert db.raster_store.read_level(ref, level) == expected
+
+    @given(rasters(max_side=100))
+    @settings(max_examples=25, deadline=None)
+    def test_tile_count_accounting(self, raster):
+        db = raster_db()
+        __, ref = store_raster(db, raster)
+        tile = ref.tile
+        expected = sum(
+            math.ceil(max(1, math.ceil(raster.width / (1 << lv))) / tile)
+            * math.ceil(max(1, math.ceil(raster.height / (1 << lv))) / tile)
+            for lv in range(ref.levels)
+        )
+        assert ref.total_tiles() == expected
+        status = db.raster_store.status()
+        assert status["tiles"] == expected
+        assert status["tile_writes"] == expected
+
+
+class TestWindowedReads:
+    @given(rasters(max_side=100), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_window_equals_full_bitmap_slice_at_every_level(self, raster,
+                                                            data):
+        """read_window == slicing the whole level bitmap, for all levels."""
+        db = raster_db()
+        __, ref = store_raster(db, raster)
+        # a random positive-area ground window inside the extent
+        x0 = data.draw(st.floats(min_value=0.0, max_value=raster.width - 0.5))
+        y0 = data.draw(st.floats(min_value=0.0,
+                                 max_value=raster.height - 0.5))
+        x1 = data.draw(st.floats(min_value=x0 + 0.5,
+                                 max_value=float(raster.width)))
+        y1 = data.draw(st.floats(min_value=y0 + 0.5,
+                                 max_value=float(raster.height)))
+        window = BBox(x0, y0, x1, y1)
+        for level in range(ref.levels):
+            got = db.raster_store.read_window(ref, window, level)
+            assert got.level == level
+            assert got.width > 0 and got.height > 0
+            full, lw, lh = downsample(raster.pixels, raster.width,
+                                      raster.height, level)
+            sliced = b"".join(
+                full[(got.y + row) * lw + got.x:
+                     (got.y + row) * lw + got.x + got.width]
+                for row in range(got.height)
+            )
+            assert got.pixels == sliced
+
+    @given(rasters(max_side=60))
+    @settings(max_examples=15, deadline=None)
+    def test_full_extent_window_is_whole_level(self, raster):
+        db = raster_db()
+        __, ref = store_raster(db, raster)
+        got = db.raster_store.read_window(ref, ref.bbox(), 0)
+        assert (got.x, got.y) == (0, 0)
+        assert (got.width, got.height) == (raster.width, raster.height)
+        assert got.pixels == raster.pixels
+
+    @given(rasters(max_side=40))
+    @settings(max_examples=10, deadline=None)
+    def test_disjoint_window_is_empty(self, raster):
+        db = raster_db()
+        __, ref = store_raster(db, raster)
+        far = BBox(raster.width + 10.0, raster.height + 10.0,
+                   raster.width + 20.0, raster.height + 20.0)
+        got = db.raster_store.read_window(ref, far, 0)
+        assert got.pixels == b"" and got.width == 0 and got.height == 0

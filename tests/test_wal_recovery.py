@@ -19,13 +19,25 @@ import pytest
 
 from repro.errors import CrashError, ObjectNotFoundError, WALError
 from repro.geodb import (
+    RASTER,
+    TEXT,
+    Attribute,
     FaultInjectingPager,
+    GeoClass,
     GeographicDatabase,
     MemoryPager,
+    Schema,
     TxnState,
     WriteAheadLog,
 )
-from repro.workloads import build_mix_schema, run_transaction_mix, snapshot_state
+from repro.geodb.raster import downsample
+from repro.spatial.geometry import BBox
+from repro.workloads import (
+    build_mix_schema,
+    run_transaction_mix,
+    snapshot_state,
+    synthetic_raster,
+)
 from repro.workloads.txn_mix import MIX_CLASS, MIX_SCHEMA
 
 QUICK = bool(os.environ.get("REPRO_CRASH_MATRIX_QUICK"))
@@ -572,6 +584,148 @@ def test_crash_matrix_concurrent_group_committers(torn):
         # heap_disk and truncated the log; the reopen reads it back)
         again = _recover(heap_disk, wal_inner)
         assert snapshot_state(again) == snapshot_state(recovered)
+    assert crashes > 0
+
+
+# ---------------------------------------------------------------------------
+# The tile crash matrix (multi-page raster commits)
+# ---------------------------------------------------------------------------
+
+RASTER_SIDE = 96  # with the 64-px default tile: 2x2 tiles @ L0 + 1 @ L1
+
+
+def _raster_schema() -> Schema:
+    schema = Schema("img")
+    schema.add_class(GeoClass("Scan", attributes=[
+        Attribute("name", TEXT, required=True),
+        Attribute("scan", RASTER),
+    ]))
+    return schema
+
+
+def _scan_raster(seed):
+    return synthetic_raster(RASTER_SIDE, RASTER_SIDE, seed=seed,
+                            extent=BBox(0.0, 0.0, float(RASTER_SIDE),
+                                        float(RASTER_SIDE)))
+
+
+def _build_raster_crashable():
+    """A raster database over fault-wrapped 'disks', base scan durable."""
+    heap_inner, wal_inner = MemoryPager(), MemoryPager()
+    heap_fault = FaultInjectingPager(heap_inner)
+    wal_fault = FaultInjectingPager(wal_inner)
+    db = GeographicDatabase("img", pager=heap_fault, buffer_capacity=64)
+    db.register_schema(_raster_schema())
+    db.attach_wal(WriteAheadLog(wal_fault, sync_mode="none"))
+    with db.transaction() as txn:
+        txn.insert("img", "Scan", {"name": "before", "scan": _scan_raster(5)},
+                   oid="Scan#log")
+    db.checkpoint()
+    heap_fault.arm(None)
+    wal_fault.arm(None)
+    return db, heap_inner, wal_inner, heap_fault, wal_fault
+
+
+def _overwrite_scan(db):
+    """The crashable transaction: replace the scan (a multi-page, multi-
+    tile batch — every tile rides the WAL commit) plus a scalar update
+    whose visibility must stay atomic with the pixels."""
+    with db.transaction() as txn:
+        txn.update("Scan#log", {"name": "after", "scan": _scan_raster(9)})
+
+
+def _recover_raster(heap_inner, wal_inner):
+    db = GeographicDatabase("img", pager=heap_inner, buffer_capacity=64)
+    db.register_schema(_raster_schema())
+    db.load_from_storage()
+    db.attach_wal(WriteAheadLog(wal_inner, sync_mode="none"))
+    db.recover()
+    return db
+
+
+def _assert_raster_state(db, raster):
+    """Every pyramid level reads back byte-identical to ``raster``."""
+    ref = db.get_object("Scan#log").get("scan")
+    assert (ref.width, ref.height) == (raster.width, raster.height)
+    for level in range(ref.levels):
+        expected, lw, lh = downsample(raster.pixels, raster.width,
+                                      raster.height, level)
+        assert ref.level_dims(level) == (lw, lh)
+        assert db.raster_store.read_level(ref, level) == expected, (
+            f"level {level} pixels diverge after recovery"
+        )
+
+
+@pytest.mark.parametrize("torn", [False, True], ids=["clean", "torn"])
+def test_tile_commit_crash_matrix_wal_writes(torn):
+    """Crash on every WAL write index of a multi-page tile commit.
+
+    The overwrite transaction carries five tiles (2x2 level-0 grid plus
+    the level-1 overview), each tile blob spanning heap pages and the
+    whole batch spanning several WAL pages. Wherever the crash lands —
+    clean stop or torn page — recovery must land on exactly the
+    pre-commit raster or the fully-committed one, byte-identical at
+    every pyramid level, and never on a half-written blend. The scalar
+    ``name`` update committed alongside the pixels pins which of the
+    two states recovery chose.
+    """
+    db, __, __, __, wal_fault = _build_raster_crashable()
+    _overwrite_scan(db)
+    budget = wal_fault.writes
+    # the batch really is multi-page: base64 tile payloads alone exceed
+    # several WAL pages, so the matrix has genuine torn-prefix points
+    assert budget >= 4
+    before, after = _scan_raster(5), _scan_raster(9)
+
+    crashes = 0
+    for n in range(0, budget, STRIDE):
+        db, heap_inner, wal_inner, __, wal_fault = _build_raster_crashable()
+        wal_fault.arm(n, torn=torn)
+        with pytest.raises(CrashError):
+            _overwrite_scan(db)
+        crashes += 1
+        recovered = _recover_raster(heap_inner, wal_inner)
+        name = recovered.get_object("Scan#log").get("name")
+        assert name in ("before", "after")
+        _assert_raster_state(recovered, after if name == "after" else before)
+        # stability: a second reopen of the same disks changes nothing
+        again = _recover_raster(heap_inner, wal_inner)
+        assert again.get_object("Scan#log").get("name") == name
+        _assert_raster_state(again, after if name == "after" else before)
+    assert crashes > 0
+
+    # Sanity: armed past the budget the overwrite completes, and the
+    # committed pixels survive recovery verbatim.
+    db, heap_inner, wal_inner, __, wal_fault = _build_raster_crashable()
+    wal_fault.arm(budget + 1, torn=torn)
+    _overwrite_scan(db)
+    recovered = _recover_raster(heap_inner, wal_inner)
+    assert recovered.get_object("Scan#log").get("name") == "after"
+    _assert_raster_state(recovered, after)
+
+
+def test_tile_commit_crash_matrix_heap_writes():
+    """Crash on every heap write index of the post-commit checkpoint:
+    the WAL replays the tile batch, losing nothing."""
+    db, __, __, heap_fault, __ = _build_raster_crashable()
+    _overwrite_scan(db)
+    db.checkpoint()
+    budget = heap_fault.writes
+    assert budget > 0
+    after = _scan_raster(9)
+
+    crashes = 0
+    for n in range(0, budget, STRIDE):
+        db, heap_inner, wal_inner, heap_fault, __ = _build_raster_crashable()
+        _overwrite_scan(db)
+        heap_fault.arm(n)
+        try:
+            db.checkpoint()
+        except CrashError:
+            crashes += 1
+        recovered = _recover_raster(heap_inner, wal_inner)
+        assert recovered.get_object("Scan#log").get("name") == "after"
+        _assert_raster_state(recovered, after)
     assert crashes > 0
 
 
