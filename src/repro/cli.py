@@ -28,6 +28,7 @@ Commands (also printed by ``help``)::
     repl-status [json]        replication state (per-follower LSN and lag)
     watch-status [json]       live queries: watches, deltas, fallbacks
     raster-status [json]      tiled raster store (tiles, pyramid, reads)
+    column-status [json]      columnar scan caches (sizes, versions, hit ratios)
     help                      this command list
     quit | exit               leave
 
@@ -360,6 +361,29 @@ class CommandLoop:
         self.emit(f"  tile reads: {status['tile_reads']}"
                   f"  tile writes: {status['tile_writes']}"
                   f"  window reads: {status['window_reads']}")
+
+    def cmd_column_status(self, rest: str) -> None:
+        """Report the columnar scan caches (sizes, versions, hit ratios)."""
+        cache = getattr(self.session.database, "_column_cache", None)
+        if cache is None:
+            self.emit("no column caches built (run an analysis query first)")
+            return
+        status = cache.status()
+        if rest.strip() == "json":
+            self.emit(json.dumps(status, indent=2))
+            return
+        summary = status["summary"]
+        ratio = summary["hit_ratio"]
+        self.emit(f"  classes: {summary['classes']}"
+                  f"  rows: {summary['rows']}"
+                  f"  columns: {summary['columns']}")
+        self.emit(f"  builds: {summary['builds']}"
+                  f"  hits: {summary['hits']}"
+                  f"  invalidations: {summary['invalidations']}"
+                  f"  hit ratio: {'n/a' if ratio is None else ratio}")
+        for row in status["classes"]:
+            self.emit(f"  {row['schema']}.{row['class']} v{row['version']}:"
+                      f" {row['rows']} rows, {row['columns']} column(s)")
 
     def cmd_quit(self, rest: str) -> None:
         self._running = False

@@ -41,6 +41,7 @@ from .database import GeographicDatabase
 from .mvcc import Version, VersionStore
 from .replication import LocalReplicationSource, RemoteReplicationSource
 from .sharding import Shard, ShardMap, build_shard_map
+from .columns import ClassColumns, ColumnCache
 from .transactions import Transaction, TxnState
 from .query import (
     And,
@@ -83,6 +84,7 @@ __all__ = [
     "Version", "VersionStore",
     "LocalReplicationSource", "RemoteReplicationSource",
     "Shard", "ShardMap", "build_shard_map",
+    "ClassColumns", "ColumnCache",
     "Predicate", "Comparison", "SpatialPredicate", "WithinDistance",
     "And", "Or", "Not", "TruePredicate", "Query", "RelateMask",
     "QueryEngine", "QueryResult",

@@ -146,6 +146,10 @@ class GeographicDatabase:
         self._write_set_listeners: list[Callable[[CommitWriteSet], None]] = []
         #: lazily created planner statistics (repro.geodb.planner)
         self._statistics = None
+        #: lazily created columnar scan cache (repro.geodb.columns);
+        #: entries self-invalidate on class-version bumps, but snapshot
+        #: installs must clear it explicitly (same versions, new objects)
+        self._column_cache = None
         #: (schema, class) -> {"attr": ..., "grid": (gx, gy)} — classes
         #: whose extents are spatially partitioned for scatter-gather
         #: query execution (see repro.geodb.sharding)
@@ -340,6 +344,15 @@ class GeographicDatabase:
             self._statistics = Statistics(self)
         return self._statistics
 
+    @property
+    def column_cache(self):
+        """The columnar scan cache (:class:`~repro.geodb.columns.ColumnCache`)."""
+        if self._column_cache is None:
+            from .columns import ColumnCache
+
+            self._column_cache = ColumnCache(self)
+        return self._column_cache
+
     # ------------------------------------------------------------------
     # Spatial index access
     # ------------------------------------------------------------------
@@ -356,6 +369,26 @@ class GeographicDatabase:
         if key not in self._spatial:
             self._spatial[key] = RTree(max_entries=16)
         return self._spatial[key]
+
+    def rebuild_spatial_index(self, schema_name: str, class_name: str,
+                              attr: str) -> RTree:
+        """Rebuild one R-tree wholesale by STR bulk-loading the extent.
+
+        An index grown by per-commit quadratic-split inserts drifts
+        toward overlapping nodes; STR packing rebuilds it with tight,
+        non-overlapping leaves in O(n log n). Searches over the rebuilt
+        tree return the same entries (order aside) — this is an
+        administrative optimization, not a semantic change.
+        """
+        index = self.spatial_index(schema_name, class_name, attr)
+        entries = [
+            (obj.geometry(attr).bbox(), obj.oid)
+            for obj in self.extent(schema_name, class_name)
+            if obj.geometry(attr) is not None
+        ]
+        rebuilt = RTree.bulk_load(entries, max_entries=index.max_entries)
+        self._spatial[(schema_name, class_name, attr)] = rebuilt
+        return rebuilt
 
     # -- attribute (hash) indexes -----------------------------------------
 
@@ -928,8 +961,6 @@ class GeographicDatabase:
     def _install_snapshot(self, doc: dict[str, Any]) -> int:
         """Adopt a snapshot document's schemas and objects (caller is a
         fresh or just-reset follower)."""
-        from ..spatial.rtree import bulk_load
-
         for schema_desc in doc.get("schemas", []):
             if schema_desc["name"] not in self._schemas:
                 self.register_schema(Schema.from_description(schema_desc))
@@ -964,7 +995,7 @@ class GeographicDatabase:
                     index.insert(obj.get(attr), obj.oid)
             self._refs_add(obj)
         for key, entries in spatial_batches.items():
-            self._spatial[key] = bulk_load(entries, max_entries=16)
+            self._spatial[key] = RTree.bulk_load(entries, max_entries=16)
         for schema_name, class_name, version in doc.get("class_versions", []):
             self._class_versions[(schema_name, class_name)] = version
         for schema_name, class_name, cfg in doc.get("shard_configs", []):
@@ -972,6 +1003,11 @@ class GeographicDatabase:
                 "attr": cfg["attr"], "grid": tuple(cfg["grid"]),
             }
         self._shard_maps.clear()
+        # A resync can install versions identical to what a stale column
+        # snapshot was stamped with, while the objects are brand new —
+        # the version check alone cannot catch that, so drop the cache.
+        if self._column_cache is not None:
+            self._column_cache.invalidate()
         self._commit_ts = doc["lsn"]
         return len(doc.get("objects", []))
 
@@ -1092,6 +1128,7 @@ class GeographicDatabase:
                 self._mvcc._chains.clear()
                 self._commit_log.clear()
                 self._statistics = None
+                self._column_cache = None
                 self._shard_maps.clear()
                 self.heap = HeapFile(self.pager)
                 self.heap.attach_buffer(self.buffer)
@@ -1717,7 +1754,6 @@ class GeographicDatabase:
         restored object keeps its record id. Returns the number of objects
         restored. Catalog documents are skipped.
         """
-        from ..spatial.rtree import bulk_load
         from .instances import ensure_oid_counter_above
 
         loaded = 0
@@ -1766,8 +1802,8 @@ class GeographicDatabase:
         for key, entries in spatial_batches.items():
             existing = list(self._spatial[key].items()) \
                 if key in self._spatial else []
-            self._spatial[key] = bulk_load(existing + entries,
-                                           max_entries=16)
+            self._spatial[key] = RTree.bulk_load(existing + entries,
+                                                 max_entries=16)
         if max_suffix:
             ensure_oid_counter_above(max_suffix)
         return loaded

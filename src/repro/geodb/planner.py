@@ -75,10 +75,11 @@ class ClassPlan:
     """The chosen access path for one class of a query's closure."""
 
     __slots__ = ("class_name", "kind", "index", "est_cost", "est_rows",
-                 "reason")
+                 "reason", "columns", "columns_reason")
 
     def __init__(self, class_name: str, kind: str, index: str | None,
-                 est_cost: float, est_rows: float, reason: str = ""):
+                 est_cost: float, est_rows: float, reason: str = "",
+                 columns: bool = False, columns_reason: str = ""):
         self.class_name = class_name
         self.kind = kind
         #: index identity (``rtree(Cls.attr)`` / ``hash(Cls.attr)``), or None
@@ -87,16 +88,26 @@ class ClassPlan:
         self.est_rows = est_rows
         #: why this path won (or why an index was not usable)
         self.reason = reason
+        #: whether this class scans the columnar path (set eligible by
+        #: the planner, downgraded by the engine if the column set
+        #: cannot be used at execution time — see docs/COLUMNS.md)
+        self.columns = columns
+        #: why the row path was used when ``columns`` is False
+        self.columns_reason = columns_reason
 
     def describe(self) -> dict[str, Any]:
-        return {
+        described = {
             "class": self.class_name,
             "plan": self.kind,
             "index": self.index,
             "est_cost": round(self.est_cost, 2),
             "est_rows": round(self.est_rows, 2),
             "reason": self.reason,
+            "columns": self.columns,
         }
+        if not self.columns and self.columns_reason:
+            described["columns_reason"] = self.columns_reason
+        return described
 
     def __repr__(self) -> str:
         return (f"<ClassPlan {self.class_name}: {self.kind}"
@@ -204,23 +215,33 @@ class Statistics:
         #: (schema, class) -> ClassStats
         self._cache: dict[tuple[str, str], ClassStats] = {}
 
-    def for_class(self, schema_name: str, class_name: str) -> ClassStats:
+    def for_class(self, schema_name: str, class_name: str,
+                  schema=None) -> ClassStats:
         key = (schema_name, class_name)
         db = self._db
         version = db.class_version(schema_name, class_name)
-        cardinality = len(db.extent(schema_name, class_name))
+        if schema is None:
+            cardinality = len(db.extent(schema_name, class_name))
+        else:
+            # Batched callers (snapshot) have already validated the
+            # schema/class pair — probe the extent table directly
+            # instead of re-walking the catalog per class.
+            extent = db._extents.get(key)
+            cardinality = 0 if extent is None else len(extent)
         cached = self._cache.get(key)
         if cached is not None and cached.version == version \
                 and cached.cardinality == cardinality:
             return cached
-        stats = self._compute(schema_name, class_name, version, cardinality)
+        stats = self._compute(schema_name, class_name, version, cardinality,
+                              schema=schema)
         self._cache[key] = stats
         return stats
 
     def _compute(self, schema_name: str, class_name: str, version: int,
-                 cardinality: int) -> ClassStats:
+                 cardinality: int, schema=None) -> ClassStats:
         db = self._db
-        schema = db.get_schema_object(schema_name)
+        if schema is None:
+            schema = db.get_schema_object(schema_name)
         spatial: dict[str, dict[str, Any]] = {}
         hash_: dict[str, dict[str, Any]] = {}
         for attr in schema.effective_attributes(class_name):
@@ -253,6 +274,9 @@ class Statistics:
 
         Computes fresh snapshots for every class of the named schema (or
         all schemas), so the export reflects the current commit state.
+        Batched: the schema object is fetched once per schema and passed
+        through, so each class costs one extent/version probe instead of
+        a catalog walk plus an extent validation of its own.
         """
         db = self._db
         out: dict[str, Any] = {}
@@ -260,7 +284,7 @@ class Statistics:
         for name in names:
             schema = db.get_schema_object(name)
             out[name] = {
-                cls: self.for_class(name, cls).describe()
+                cls: self.for_class(name, cls, schema=schema).describe()
                 for cls in schema.class_names()
             }
         return out
@@ -432,6 +456,13 @@ class QueryPlanner:
                 # extent is empty, or no row has geometry set): the full
                 # scan is the only correct path and already selected.
                 pass
+        # Column eligibility: full and hash scans visit rows the column
+        # snapshot covers one-for-one; an index scan's candidate set
+        # comes from the R-tree, which has no column-side equivalent.
+        if best.kind in (FULL_SCAN, HASH_SCAN):
+            best.columns = True
+        else:
+            best.columns_reason = "index scan"
         return best
 
     def _attr_is_spatial(self, schema_name: str, class_name: str,

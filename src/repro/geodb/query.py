@@ -22,6 +22,17 @@ lowercased *once per query* instead of once per row. The interpreted
 compilation fallback for predicate subclasses that do not override
 ``compile``; both paths implement identical semantics (unresolvable
 paths and uncomparable values are non-matches, never errors).
+
+For column-eligible scans there is a third form:
+:meth:`Predicate.compile_columns` fuses the predicate tree into a
+**column kernel** — ``rows -> surviving rows`` over the position lists
+of a :class:`~repro.geodb.columns.ClassColumns` snapshot. Kernels never
+touch a :class:`~repro.geodb.instances.GeoObject`: comparisons run as
+list comprehensions over pre-resolved value columns, conjunctions
+narrow the row list term by term, and spatial predicates reject on a
+packed bbox column before evaluating any geometry. Semantics are
+identical to the row closures by construction (the property suite in
+``tests/test_properties_columns.py`` pins the equivalence).
 """
 
 from __future__ import annotations
@@ -127,6 +138,27 @@ class Predicate:
 
         return fallback
 
+    def compile_columns(self, geo_class: GeoClass, columns):
+        """A fused column kernel: ``rows -> surviving row positions``.
+
+        ``columns`` is a :class:`~repro.geodb.columns.ClassColumns`
+        snapshot; the returned kernel takes an iterable of row positions
+        and returns the order-preserved subsequence that satisfies the
+        predicate. Column lookups happen here, at compile time, so
+        kernels are safe to run from scatter worker threads.
+
+        The base implementation evaluates the row closure against the
+        aligned object snapshot, so predicate subclasses defined outside
+        this module stay correct on the column path too.
+        """
+        row_match = self.compile(geo_class)
+        objects = columns.objects
+
+        def fallback(rows):
+            return [i for i in rows if row_match(objects[i])]
+
+        return fallback
+
     def spatial_prefilter(self) -> "tuple[str, BBox] | None":
         """``(attr_name, bbox)`` usable as an index prefilter, or None.
 
@@ -187,6 +219,27 @@ _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "in": lambda a, b: a in b,
     "like": lambda a, b: isinstance(a, str) and isinstance(b, str) and b.lower() in a.lower(),
 }
+
+
+def _bbox_overlap_kernel(boxes, min_x, min_y, max_x, max_y):
+    """``rows -> rows`` whose packed bbox interacts with the window.
+
+    Conservative pre-reject for contact-requiring spatial kernels: a
+    geometry can only satisfy such a relation when its bounds touch the
+    probe bounds (inclusive edges), so dropping the rest never changes
+    the answer. Rows without a geometry (``box is None``) are dropped
+    too — the row closures return False for them unconditionally.
+    """
+
+    def pre(rows):
+        return [
+            i for i in rows
+            if (box := boxes[i]) is not None
+            and box[0] <= max_x and box[2] >= min_x
+            and box[1] <= max_y and box[3] >= min_y
+        ]
+
+    return pre
 
 
 class Comparison(Predicate):
@@ -268,6 +321,78 @@ class Comparison(Predicate):
 
         return compare
 
+    def compile_columns(self, geo_class: GeoClass, columns):
+        value = self.value
+        column = columns.path_column(self.path, geo_class)
+        if self.op == "like":
+            if not isinstance(value, str):
+                return lambda rows: []
+            needle = value.lower()
+
+            def like(rows):
+                return [
+                    i for i in rows
+                    if isinstance((actual := column[i]), str)
+                    and needle in actual.lower()
+                ]
+
+            return like
+
+        plain = "." not in self.path
+        if plain and self.op == "=":
+            # Plain columns never hold MISSING (the accessor always
+            # resolves), so ==/!= run as bare comprehensions — same
+            # unguarded semantics as the row path's inlined eq/ne.
+            return lambda rows: [i for i in rows if column[i] == value]
+        if plain and self.op == "!=":
+            return lambda rows: [i for i in rows if column[i] != value]
+
+        op = _OPS[self.op]
+        # Fast path: an unguarded comprehension with the comparison
+        # inlined (ordering ops) or one call per row (dotted =/!=, in).
+        # A TypeError — None or a mixed-type value meeting an ordering
+        # op — aborts the comprehension and re-runs the guarded loop,
+        # which skips exactly the rows the row path's ``matches`` skips.
+        if self.op == "<":
+            def fast(rows):
+                return [i for i in rows
+                        if (a := column[i]) is not MISSING and a < value]
+        elif self.op == "<=":
+            def fast(rows):
+                return [i for i in rows
+                        if (a := column[i]) is not MISSING and a <= value]
+        elif self.op == ">":
+            def fast(rows):
+                return [i for i in rows
+                        if (a := column[i]) is not MISSING and a > value]
+        elif self.op == ">=":
+            def fast(rows):
+                return [i for i in rows
+                        if (a := column[i]) is not MISSING and a >= value]
+        else:
+            def fast(rows):
+                return [i for i in rows
+                        if (a := column[i]) is not MISSING and op(a, value)]
+
+        def kernel(rows):
+            try:
+                return fast(rows)
+            except TypeError:
+                out = []
+                append = out.append
+                for i in rows:
+                    actual = column[i]
+                    if actual is MISSING:
+                        continue
+                    try:
+                        if op(actual, value):
+                            append(i)
+                    except TypeError:
+                        continue
+                return out
+
+        return kernel
+
     def equality_prefilter(self) -> tuple[str, list] | None:
         if "." in self.path:
             return None
@@ -316,6 +441,26 @@ class SpatialPredicate(Predicate):
             return relation(geom, probe)
 
         return spatial
+
+    def compile_columns(self, geo_class: GeoClass, columns):
+        probe = self.probe
+        relation = PREDICATES[self.relation]
+        geoms, boxes = columns.geometry_column(self.attr)
+        if self.relation == "disjoint":
+            # Disjointness cannot be bbox-prefiltered; evaluate exactly
+            # (non-Geometry values never match, like the row closure).
+            return lambda rows: [
+                i for i in rows
+                if boxes[i] is not None and relation(geoms[i], probe)
+            ]
+        pbox = probe.bbox()
+        pre = _bbox_overlap_kernel(boxes, pbox.min_x, pbox.min_y,
+                                   pbox.max_x, pbox.max_y)
+
+        def kernel(rows):
+            return [i for i in pre(rows) if relation(geoms[i], probe)]
+
+        return kernel
 
     def spatial_prefilter(self) -> tuple[str, BBox] | None:
         # Everything but 'disjoint' implies bbox interaction with the probe.
@@ -370,6 +515,28 @@ class RelateMask(Predicate):
 
         return relate
 
+    def compile_columns(self, geo_class: GeoClass, columns):
+        from ..spatial.de9im import relate_with_mask
+
+        probe, mask = self.probe, self.mask
+        geoms, boxes = columns.geometry_column(self.attr)
+
+        def exact(rows):
+            return [
+                i for i in rows
+                if boxes[i] is not None
+                and relate_with_mask(geoms[i], probe, mask)
+            ]
+
+        # Only masks that demand interior/boundary contact may reject on
+        # bounds — the same condition spatial_prefilter() uses.
+        if self.spatial_prefilter() is None:
+            return exact
+        pbox = probe.bbox()
+        pre = _bbox_overlap_kernel(boxes, pbox.min_x, pbox.min_y,
+                                   pbox.max_x, pbox.max_y)
+        return lambda rows: exact(pre(rows))
+
     def spatial_prefilter(self) -> tuple[str, BBox] | None:
         # A mask requiring any interior/boundary intersection implies the
         # bboxes interact; masks that *permit* disjointness cannot be
@@ -412,6 +579,24 @@ class WithinDistance(Predicate):
 
         return within
 
+    def compile_columns(self, geo_class: GeoClass, columns):
+        probe, radius = self.probe, self.radius
+        geoms, boxes = columns.geometry_column(self.attr)
+        # Bounds further than `radius` from the probe bounds (per axis)
+        # cannot hold a geometry within `radius` — the same expansion
+        # the R-tree prefilter uses.
+        pbox = probe.bbox().expanded(radius)
+        pre = _bbox_overlap_kernel(boxes, pbox.min_x, pbox.min_y,
+                                   pbox.max_x, pbox.max_y)
+
+        def kernel(rows):
+            return [
+                i for i in pre(rows)
+                if geometry_distance(geoms[i], probe) <= radius
+            ]
+
+        return kernel
+
     def spatial_prefilter(self) -> tuple[str, BBox] | None:
         return (self.attr, self.probe.bbox().expanded(self.radius))
 
@@ -439,6 +624,22 @@ class And(Predicate):
                 if not part(obj):
                     return False
             return True
+
+        return conjunction
+
+    def compile_columns(self, geo_class: GeoClass, columns):
+        compiled = [p.compile_columns(geo_class, columns)
+                    for p in self.parts]
+
+        def conjunction(rows):
+            # Fusion: each term narrows the survivor list of the last,
+            # so later (often costlier) terms see only the rows that
+            # still matter.
+            for kernel in compiled:
+                rows = kernel(rows)
+                if not rows:
+                    return []
+            return rows
 
         return conjunction
 
@@ -483,6 +684,21 @@ class Or(Predicate):
 
         return disjunction
 
+    def compile_columns(self, geo_class: GeoClass, columns):
+        compiled = [p.compile_columns(geo_class, columns)
+                    for p in self.parts]
+
+        def disjunction(rows):
+            rows = list(rows)
+            keep: set = set()
+            for kernel in compiled:
+                keep.update(kernel(rows))
+                if len(keep) == len(rows):
+                    break
+            return [i for i in rows if i in keep]
+
+        return disjunction
+
     def describe(self) -> str:
         return "(" + " or ".join(p.describe() for p in self.parts) + ")"
 
@@ -498,6 +714,16 @@ class Not(Predicate):
         inner = self.inner.compile(geo_class)
         return lambda obj: not inner(obj)
 
+    def compile_columns(self, geo_class: GeoClass, columns):
+        inner = self.inner.compile_columns(geo_class, columns)
+
+        def negation(rows):
+            rows = list(rows)
+            matched = set(inner(rows))
+            return [i for i in rows if i not in matched]
+
+        return negation
+
     def describe(self) -> str:
         return f"not {self.inner.describe()}"
 
@@ -510,6 +736,9 @@ class TruePredicate(Predicate):
 
     def compile(self, geo_class: GeoClass) -> Callable[[GeoObject], bool]:
         return match_all
+
+    def compile_columns(self, geo_class: GeoClass, columns):
+        return lambda rows: list(rows)
 
     def describe(self) -> str:
         return "true"

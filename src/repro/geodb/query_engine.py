@@ -17,6 +17,20 @@ The engine evaluates a :class:`repro.geodb.query.Query` against a
 3. **Shape** — ordering, limiting and projection/aggregation, all
    through the same compiled accessors.
 
+Full and hash scans additionally run **columnar** when the class's
+version-stamped column snapshot (:mod:`repro.geodb.columns`) is fresh:
+the predicate compiles to a fused column kernel
+(:meth:`~repro.geodb.query.Predicate.compile_columns`) that selects row
+positions without touching a single :class:`GeoObject`, and shaping
+reads the columns directly, constructing objects only for survivors.
+The engine always answers at the **latest committed state** — MVCC
+snapshot readers and mid-transaction overlays resolve through
+``Transaction.query``/``read`` and never reach this module — so the
+only runtime hazards are a mid-apply commit (the seqlock makes the
+build bail out) and index scans (whose candidates come from the
+R-tree); both fall back to the row path, recorded truthfully in the
+per-class plan report (``columns: true/false`` plus a reason).
+
 When a closure class's extent is partitioned into shards
 (:meth:`~repro.geodb.database.GeographicDatabase.shard_extent`), the
 engine switches to **scatter-gather**: the planner prunes the shard set
@@ -38,6 +52,7 @@ from __future__ import annotations
 
 import heapq
 from concurrent.futures import ThreadPoolExecutor
+from itertools import repeat
 from typing import Any
 
 from .. import obs
@@ -54,12 +69,14 @@ class QueryResult:
     """Rows plus the execution report."""
 
     def __init__(self, query: Query, objects: list[GeoObject],
-                 rows: list[dict[str, Any]] | None, report: dict[str, Any]):
+                 rows: list[dict[str, Any]] | None, report: dict[str, Any],
+                 _oids: list[str] | None = None):
         self.query = query
         self.objects = objects
         #: projected rows when the query had a projection, else None
         self.rows = rows
         self.report = report
+        self._oids = _oids
 
     def __len__(self) -> int:
         return len(self.objects)
@@ -68,7 +85,16 @@ class QueryResult:
         return iter(self.rows if self.rows is not None else self.objects)
 
     def oids(self) -> list[str]:
-        return [obj.oid for obj in self.objects]
+        """Matching oids, computed once per result.
+
+        Results are shared immutable snapshots (the kernel result cache
+        hands the same object to every hit) and live-query maintenance
+        re-reads the oid set on every delta, so the list is cached on
+        first call instead of rebuilt per call.
+        """
+        if self._oids is None:
+            self._oids = [obj.oid for obj in self.objects]
+        return self._oids
 
     def with_report(self, **extra: Any) -> "QueryResult":
         """A shallow view sharing objects/rows but owning its report.
@@ -78,7 +104,7 @@ class QueryResult:
         written into the shared report another caller already holds.
         """
         return QueryResult(self.query, self.objects, self.rows,
-                           {**self.report, **extra})
+                           {**self.report, **extra}, _oids=self._oids)
 
     def explain(self) -> str:
         """Human-readable plan summary (explanation mode, §2.2)."""
@@ -99,6 +125,13 @@ class QueryResult:
                        f"rows ~{class_plan['est_rows']})")
             if class_plan.get("reason"):
                 detail += f" — {class_plan['reason']}"
+            if "columns" in class_plan:
+                if class_plan["columns"]:
+                    detail += " [columns]"
+                elif class_plan.get("columns_reason"):
+                    detail += f" [rows: {class_plan['columns_reason']}]"
+                else:
+                    detail += " [rows]"
             lines.append(detail)
         if r.get("scatter"):
             scatter = r["scatter"]
@@ -116,7 +149,7 @@ class QueryEngine:
     """Executes queries against one database."""
 
     def __init__(self, database: GeographicDatabase,
-                 scatter_workers: int = 0):
+                 scatter_workers: int = 0, use_columns: bool = True):
         self.database = database
         self.planner = QueryPlanner(database)
         #: thread-pool width for scatter sub-queries; 0/1 = sequential.
@@ -124,6 +157,9 @@ class QueryEngine:
         #: only pays off when candidate fetch releases the GIL or the
         #: host has cores to spare.
         self.scatter_workers = scatter_workers
+        #: columnar execution switch — False forces the row path on
+        #: every scan (benchmark baselines, equivalence tests)
+        self.use_columns = use_columns
 
     def execute(self, schema_name: str, query: Query) -> QueryResult:
         rec = obs.RECORDER
@@ -167,18 +203,48 @@ class QueryEngine:
                                          equality, matcher)
 
         candidates = 0
-        matches: list[GeoObject] = []
+        #: per-plan outcome, in plan order — ("cols", columns, selected
+        #: row positions) or ("rows", matched objects)
+        parts: list[tuple] = []
+        all_columns = True
         for class_plan in plans:
+            selected = self._column_select(schema_name, class_plan,
+                                           equality, query, geo_class,
+                                           matcher)
+            if selected is not None:
+                columns, row_sel, examined = selected
+                candidates += examined
+                parts.append(("cols", columns, row_sel))
+                continue
+            all_columns = False
             objects = self._class_candidates(schema_name, class_plan,
                                              prefilter, equality)
             candidates += len(objects)
             if matcher is match_all:
-                matches.extend(objects)
+                parts.append(("rows", list(objects)))
             else:
                 # filter() keeps the per-candidate loop in C.
-                matches.extend(filter(matcher, objects))
+                parts.append(("rows", list(filter(matcher, objects))))
 
         report = self._report(plans, candidates)
+        if all_columns:
+            # Every class went columnar: shape directly over columns,
+            # constructing objects only for surviving rows.
+            return self._shape_columns(
+                query, geo_class,
+                [(columns, row_sel) for __, columns, row_sel in parts],
+                report)
+
+        # Mixed (or pure-row) closure: materialize columnar survivors
+        # into the match list and shape through the row path.
+        matches: list[GeoObject] = []
+        for part in parts:
+            if part[0] == "cols":
+                __, columns, row_sel = part
+                objects = columns.objects
+                matches.extend(objects[i] for i in row_sel)
+            else:
+                matches.extend(part[1])
         if query.aggregates:
             # aggregates reduce the full matching set; limit is moot
             rows = [self._aggregate(matches, geo_class, query)]
@@ -190,6 +256,61 @@ class QueryEngine:
         rows = self._project(matches, geo_class, query)
         report["matches"] = len(matches)
         return QueryResult(query, matches, rows, report)
+
+    def _column_select(self, schema_name: str, class_plan: ClassPlan,
+                       equality, query: Query, geo_class: GeoClass,
+                       matcher):
+        """Run one class plan's selection over its column snapshot.
+
+        Returns ``(columns, selected row positions, candidates
+        examined)``, or ``None`` after downgrading the plan to the row
+        path — ``class_plan.columns``/``columns_reason`` always end up
+        describing what actually happened.
+        """
+        if not class_plan.columns:
+            return None
+        rec = obs.RECORDER
+        if not self.use_columns:
+            class_plan.columns = False
+            class_plan.columns_reason = "columns disabled"
+            if rec.enabled:
+                rec.inc("query.columns.fallback", reason="disabled")
+            return None
+        db = self.database
+        columns = db.column_cache.for_class(schema_name,
+                                            class_plan.class_name)
+        if columns is None:
+            class_plan.columns = False
+            class_plan.columns_reason = "commit in flight"
+            if rec.enabled:
+                rec.inc("query.columns.fallback",
+                        reason="commit-in-flight")
+            return None
+        if class_plan.kind == HASH_SCAN:
+            attr, values = equality
+            index = db.attribute_index(schema_name, class_plan.class_name,
+                                       attr)
+            if len(values) == 1:
+                oids = index.lookup_view(values[0])
+            else:
+                oids = index.lookup_many(values)
+            # Same candidate order as the row path: fetch_objects over
+            # sorted oids, absent members skipped.
+            row_of = columns.row_of
+            rows: Any = [row for oid in sorted(oids)
+                         if (row := row_of.get(oid)) is not None]
+        else:
+            rows = range(columns.cardinality)
+        if matcher is match_all:
+            selected = list(rows)
+        else:
+            kernel = self._compile_columns(query, geo_class, columns)
+            selected = kernel(rows)
+        return columns, selected, len(rows)
+
+    def _compile_columns(self, query: Query, geo_class: GeoClass, columns):
+        """The query's fused column kernel for one column snapshot."""
+        return query.where.compile_columns(geo_class, columns)
 
     def _class_candidates(self, schema_name: str, class_plan: ClassPlan,
                           prefilter, equality):
@@ -225,19 +346,70 @@ class QueryEngine:
         merge locally sorted runs (k-way, via :func:`heapq.merge`),
         aggregates combine per-unit partial states, and plain queries
         concatenate in unit order.
+
+        Sharded classes with a fresh column snapshot refine their
+        shards as **column slices**: the kernel is compiled once per
+        class (here, on the gather thread), each shard's oid list maps
+        to row positions, and only survivors materialize — the per-unit
+        results are identical to per-shard fetch + row refine.
         """
         db = self.database
+        rec = obs.RECORDER
         units: list[list[GeoObject]] = []
         candidates = 0
         for class_plan in plans:
+            selected = self._column_select(schema_name, class_plan,
+                                           equality, query, geo_class,
+                                           matcher)
+            if selected is not None:
+                columns, row_sel, examined = selected
+                candidates += examined
+                objects = columns.objects
+                units.append([objects[i] for i in row_sel])
+                continue
             objects = self._class_candidates(schema_name, class_plan,
                                              prefilter, equality)
             candidates += len(objects)
             units.append(list(objects) if matcher is match_all
                          else list(filter(matcher, objects)))
 
+        # Column slices for the sharded classes: one snapshot + one
+        # compiled kernel per class, shared by all of its shard tasks
+        # (kernels close over pre-built columns, so worker threads only
+        # read). The report entry records the per-class outcome.
+        scatter_entries: list[ClassPlan] = []
+        class_slices: dict[str, tuple] = {}
+        for shard_plan in shard_plans:
+            entry = shard_plan.as_class_plan()
+            columns = db.column_cache.for_class(
+                schema_name, shard_plan.class_name) if self.use_columns \
+                else None
+            if columns is not None:
+                kernel = None if matcher is match_all else \
+                    self._compile_columns(query, geo_class, columns)
+                class_slices[shard_plan.class_name] = (columns, kernel)
+                entry.columns = True
+            else:
+                entry.columns_reason = ("commit in flight"
+                                        if self.use_columns
+                                        else "columns disabled")
+                if rec.enabled:
+                    rec.inc("query.columns.fallback",
+                            reason="commit-in-flight" if self.use_columns
+                            else "disabled")
+            scatter_entries.append(entry)
+
         def run_shard(task):
             class_name, shard = task
+            slice_ = class_slices.get(class_name)
+            if slice_ is not None:
+                columns, kernel = slice_
+                row_of = columns.row_of
+                rows = [row for oid in shard.oids
+                        if (row := row_of.get(oid)) is not None]
+                selected = rows if kernel is None else kernel(rows)
+                objects = columns.objects
+                return len(rows), [objects[i] for i in selected]
             objects = db.fetch_objects(schema_name, class_name, shard.oids)
             matched = list(objects) if matcher is match_all \
                 else list(filter(matcher, objects))
@@ -256,11 +428,7 @@ class QueryEngine:
             candidates += examined
             units.append(matched)
 
-        report = self._report(
-            plans + [shard_plan.as_class_plan()
-                     for shard_plan in shard_plans],
-            candidates,
-        )
+        report = self._report(plans + scatter_entries, candidates)
         report["plan"] = SCATTER
         report["scatter"] = {
             "classes": [shard_plan.describe() for shard_plan in shard_plans],
@@ -268,7 +436,6 @@ class QueryEngine:
             "pruned": sum(shard_plan.pruned for shard_plan in shard_plans),
             "workers": workers,
         }
-        rec = obs.RECORDER
         if rec.enabled:
             rec.inc("query.scatter.shards", amount=len(tasks))
             rec.inc("query.scatter.merges")
@@ -464,6 +631,145 @@ class QueryEngine:
             row: dict[str, Any] = {"oid": obj.oid}
             for path, accessor in accessors:
                 value = accessor(obj)
+                row[path] = None if value is MISSING else value
+            rows.append(row)
+        return rows
+
+    # -- columnar shaping ------------------------------------------------------
+
+    def _shape_columns(self, query: Query, geo_class: GeoClass,
+                       parts: list[tuple], report: dict[str, Any]
+                       ) -> QueryResult:
+        """Shape an all-columnar selection straight from the columns.
+
+        ``parts`` holds one ``(columns, selected row positions)`` pair
+        per closure class, in plan order. Ordering, aggregation and
+        projection read value columns; objects are referenced only for
+        the rows that survive selection (and limit, for ordered
+        queries' projections). Output is byte-identical to the row
+        shapes — same key tuples, same empty-input conventions, same
+        error text on uncomparable order keys.
+        """
+        if query.aggregates:
+            rows = [self._aggregate_columns(parts, geo_class, query)]
+            matches = [columns.objects[i]
+                       for columns, selected in parts for i in selected]
+            report["matches"] = len(matches)
+            return QueryResult(query, matches, rows, report)
+        if query.order_by:
+            pairs = self._order_columns(parts, geo_class, query)
+        else:
+            pairs = [(columns, i)
+                     for columns, selected in parts for i in selected]
+            if query.limit is not None:
+                pairs = pairs[: query.limit]
+        matches = [columns.objects[i] for columns, i in pairs]
+        rows = self._project_columns(pairs, geo_class, query)
+        report["matches"] = len(matches)
+        return QueryResult(query, matches, rows, report)
+
+    def _order_columns(self, parts: list[tuple], geo_class: GeoClass,
+                       query: Query) -> list[tuple]:
+        """Sort selected ``(columns, row)`` pairs by the order column.
+
+        The key tuples are exactly :meth:`_order_key`'s — ``(value is
+        None, value, oid)`` with MISSING folded to None — and the oid
+        tiebreak makes the ordering total, so a multi-class sort equals
+        the row path's sort over the concatenated matches. A ``limit``
+        switches the full sort to a heap top-k (same total order, so
+        the same prefix) and is applied before the pairs are rebuilt.
+        """
+        path = query.order_by
+        descending = path.startswith("-")
+        if descending:
+            path = path[1:]
+        # Decorated flat tuples sorted without a key function: oids are
+        # unique, so the trailing (part, row) fields never reach the
+        # comparison — they only carry the payload through the sort.
+        keyed = []
+        for part, (columns, selected) in enumerate(parts):
+            column = columns.path_column(path, geo_class)
+            oids = columns.oids
+            if len(selected) == columns.cardinality and not any(
+                    v is None or v is MISSING for v in column):
+                # Unfiltered scan, no null keys: decorate at C speed.
+                keyed.extend(zip(repeat(False), column, oids,
+                                 repeat(part), range(len(column))))
+                continue
+            append = keyed.append
+            for i in selected:
+                value = column[i]
+                if value is MISSING or value is None:
+                    append((True, None, oids[i], part, i))
+                else:
+                    append((False, value, oids[i], part, i))
+        limit = query.limit
+        try:
+            if limit is not None and 0 <= limit < len(keyed):
+                keyed = (heapq.nlargest if descending else
+                         heapq.nsmallest)(limit, keyed)
+            else:
+                keyed.sort(reverse=descending)
+        except TypeError as exc:
+            raise QueryError(
+                f"order by {query.order_by!r}: values are not comparable ({exc})"
+            ) from exc
+        part_columns = [columns for columns, __ in parts]
+        return [(part_columns[entry[3]], entry[4]) for entry in keyed]
+
+    def _aggregate_columns(self, parts: list[tuple], geo_class: GeoClass,
+                           query: Query) -> dict[str, Any]:
+        """:meth:`_aggregate` over columns — no per-row accessor calls."""
+        row: dict[str, Any] = {}
+        #: path -> non-null value list, shared across aggregate ops
+        #: (min/max/avg over one path scan the column once, not thrice)
+        values_by_path: dict[str, list] = {}
+        for op, path in query.aggregates or ():
+            label = f"{op}({path or '*'})"
+            if op == "count" and path is None:
+                row[label] = sum(len(selected) for __, selected in parts)
+                continue
+            values = values_by_path.get(path)
+            if values is None:
+                values = values_by_path[path] = []
+                for columns, selected in parts:
+                    column = columns.path_column(path, geo_class)
+                    values.extend(
+                        v for i in selected
+                        if (v := column[i]) is not MISSING and v is not None)
+            if op == "count":
+                row[label] = len(values)
+            elif not values:
+                row[label] = None
+            elif op == "min":
+                row[label] = min(values)
+            elif op == "max":
+                row[label] = max(values)
+            elif op == "sum":
+                row[label] = sum(values)
+            else:  # avg
+                row[label] = sum(values) / len(values)
+        return row
+
+    def _project_columns(self, pairs: list[tuple], geo_class: GeoClass,
+                         query: Query) -> list[dict[str, Any]] | None:
+        """:meth:`_project` over columns for surviving (post-limit) rows."""
+        if query.projection is None:
+            return None
+        #: id(columns) -> (oid column, [(path, value column)])
+        resolved: dict[int, tuple] = {}
+        rows = []
+        for columns, i in pairs:
+            entry = resolved.get(id(columns))
+            if entry is None:
+                entry = (columns.oids,
+                         [(path, columns.path_column(path, geo_class))
+                          for path in query.projection])
+                resolved[id(columns)] = entry
+            oids, path_columns = entry
+            row: dict[str, Any] = {"oid": oids[i]}
+            for path, column in path_columns:
+                value = column[i]
                 row[path] = None if value is MISSING else value
             rows.append(row)
         return rows

@@ -318,6 +318,87 @@ class RTree:
             else:
                 self._reinsert_subtree(payload)
 
+    # -- bulk loading ---------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, entries: list[tuple[BBox, Any]],
+                  max_entries: int = 8,
+                  min_entries: int | None = None) -> "RTree":
+        """Build a packed R-tree with Sort-Tile-Recursive (STR) loading.
+
+        For static datasets (a loaded map layer, a snapshot install, a
+        recovery replay) STR packs nodes full and tiles them spatially:
+        sort by x-center, slice into vertical slabs, sort each slab by
+        y-center, chunk into nodes. The same procedure then packs each
+        upper level until one root remains. Build time is O(n log n) and
+        both build and query beat incremental quadratic-split insertion.
+
+        The resulting tree supports subsequent inserts/deletes normally.
+        A chunking step never leaves a node under ``min_entries`` (the
+        tail chunk borrows from its neighbour), so all structural
+        invariants hold — ``check_invariants()`` passes on the result.
+        """
+        import math
+
+        from .. import obs
+
+        tree = cls(max_entries=max_entries, min_entries=min_entries)
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.inc("rtree.bulk_loads")
+        if not entries:
+            return tree
+
+        min_fill = tree.min_entries
+
+        def chunk(items: list, size: int) -> list[list]:
+            """Split into chunks of ``size``; rebalance an undersized tail."""
+            out = [items[i: i + size] for i in range(0, len(items), size)]
+            if len(out) >= 2 and len(out[-1]) < min_fill:
+                need = min_fill - len(out[-1])
+                out[-1] = out[-2][-need:] + out[-1]
+                out[-2] = out[-2][:-need]
+            return out
+
+        def tile(items: list, key_box) -> list[list]:
+            """STR tiling: x-sorted slabs, then y-sorted chunks per slab."""
+            node_count = math.ceil(len(items) / max_entries)
+            slab_count = max(1, math.ceil(math.sqrt(node_count)))
+            slab_size = max(max_entries,
+                            math.ceil(len(items) / slab_count))
+            by_x = sorted(items, key=lambda it: key_box(it).center()[0])
+            groups: list[list] = []
+            for start in range(0, len(by_x), slab_size):
+                slab = sorted(by_x[start: start + slab_size],
+                              key=lambda it: key_box(it).center()[1])
+                groups.extend(chunk(slab, max_entries))
+            # a slab boundary can still strand an undersized group
+            if len(groups) >= 2 and len(groups[-1]) < min_fill:
+                need = min_fill - len(groups[-1])
+                groups[-1] = groups[-2][-need:] + groups[-1]
+                groups[-2] = groups[-2][:-need]
+            return groups
+
+        # Pack the leaf level.
+        level: list[_Node] = []
+        for group in tile(list(entries), key_box=lambda e: e[0]):
+            leaf = _Node(leaf=True)
+            leaf.entries = list(group)
+            level.append(leaf)
+        # Pack upper levels until a single node remains.
+        while len(level) > 1:
+            next_level: list[_Node] = []
+            for group in tile(level, key_box=lambda n: n.bbox()):
+                parent = _Node(leaf=False)
+                parent.entries = [(child.bbox(), child) for child in group]
+                for child in group:
+                    child.parent = parent
+                next_level.append(parent)
+            level = next_level
+        tree._root = level[0]
+        tree._size = len(entries)
+        return tree
+
     # -- diagnostics ----------------------------------------------------------
 
     def check_invariants(self) -> None:
@@ -361,73 +442,8 @@ class RTree:
 
 
 def bulk_load(entries: list[tuple[BBox, Any]], max_entries: int = 8) -> RTree:
-    """Build a packed R-tree with Sort-Tile-Recursive (STR) loading.
-
-    For static datasets (a loaded map layer) STR packs nodes full and
-    tiles them spatially: sort by x-center, slice into vertical slabs,
-    sort each slab by y-center, chunk into nodes. The same procedure then
-    packs each upper level until one root remains. Build time is
-    O(n log n) and query performance beats incremental insertion.
-
-    The resulting tree supports subsequent inserts/deletes normally. A
-    chunking step never leaves a node under ``min_entries`` (the tail
-    chunk borrows from its neighbour), so all structural invariants hold.
-    """
-    import math
-
-    tree = RTree(max_entries=max_entries)
-    if not entries:
-        return tree
-
-    min_entries = tree.min_entries
-
-    def chunk(items: list, size: int) -> list[list]:
-        """Split into chunks of ``size``; rebalance an undersized tail."""
-        out = [items[i : i + size] for i in range(0, len(items), size)]
-        if len(out) >= 2 and len(out[-1]) < min_entries:
-            need = min_entries - len(out[-1])
-            out[-1] = out[-2][-need:] + out[-1]
-            out[-2] = out[-2][:-need]
-        return out
-
-    def tile(items: list, key_box) -> list[list]:
-        """STR tiling: x-sorted slabs, then y-sorted chunks within each."""
-        node_count = math.ceil(len(items) / max_entries)
-        slab_count = max(1, math.ceil(math.sqrt(node_count)))
-        slab_size = max(max_entries,
-                        math.ceil(len(items) / slab_count))
-        by_x = sorted(items, key=lambda it: key_box(it).center()[0])
-        groups: list[list] = []
-        for start in range(0, len(by_x), slab_size):
-            slab = sorted(by_x[start : start + slab_size],
-                          key=lambda it: key_box(it).center()[1])
-            groups.extend(chunk(slab, max_entries))
-        # a slab boundary can still strand an undersized group
-        if len(groups) >= 2 and len(groups[-1]) < min_entries:
-            need = min_entries - len(groups[-1])
-            groups[-1] = groups[-2][-need:] + groups[-1]
-            groups[-2] = groups[-2][:-need]
-        return groups
-
-    # Pack the leaf level.
-    level: list[_Node] = []
-    for group in tile(list(entries), key_box=lambda e: e[0]):
-        leaf = _Node(leaf=True)
-        leaf.entries = list(group)
-        level.append(leaf)
-    # Pack upper levels until a single node remains.
-    while len(level) > 1:
-        next_level: list[_Node] = []
-        for group in tile(level, key_box=lambda n: n.bbox()):
-            parent = _Node(leaf=False)
-            parent.entries = [(child.bbox(), child) for child in group]
-            for child in group:
-                child.parent = parent
-            next_level.append(parent)
-        level = next_level
-    tree._root = level[0]
-    tree._size = len(entries)
-    return tree
+    """Module-level alias for :meth:`RTree.bulk_load` (back-compat)."""
+    return RTree.bulk_load(entries, max_entries=max_entries)
 
 
 def naive_search(

@@ -263,6 +263,33 @@ class TestRasterStatusCommand:
         assert status["tiles"] == status["tile_writes"] > 0
 
 
+class TestColumnStatusCommand:
+    def test_without_caches(self, loop_io):
+        loop, output = loop_io
+        loop.run(["column-status"])
+        assert "no column caches built" in text_of(output)
+
+    def test_after_queries_and_json(self, loop_io):
+        import json
+
+        loop, output = loop_io
+        loop.run(["connect phone_net",
+                  "query select * from Pole where pole_type = 1",
+                  "query select * from Pole where install_year > 1950",
+                  "column-status"])
+        text = text_of(output)
+        assert "classes: 1" in text
+        assert "builds: 1" in text
+        assert "hits: 1" in text
+        assert "phone_net.Pole v" in text
+        output.clear()
+        loop.run(["column-status json"])
+        status = json.loads(text_of(output))
+        assert status["summary"]["classes"] == 1
+        assert status["summary"]["hit_ratio"] == 0.5
+        assert status["classes"][0]["class"] == "Pole"
+
+
 class TestHelpStaysInSyncWithDispatch:
     """Satellite regression: every dash command the loop dispatches must
     appear in the ``help``/argparse listing, and vice versa. A new

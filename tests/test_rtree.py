@@ -223,3 +223,45 @@ class TestSTRBulkLoad:
             window = BBox(x, y, x + 150, y + 150)
             assert sorted(tree.search(window)) == sorted(
                 naive_search(entries, window))
+
+
+class TestBulkLoadClassmethod:
+    """``RTree.bulk_load`` is the canonical STR entry point; the module
+    function is a thin wrapper kept for callers that import it."""
+
+    def test_classmethod_matches_insert_built_tree(self):
+        entries = make_entries(500, seed=30)
+        packed = RTree.bulk_load(entries, max_entries=8)
+        packed.check_invariants()
+        incremental = RTree(max_entries=8)
+        for box, item in entries:
+            incremental.insert(box, item)
+        window = BBox(50, 50, 600, 600)
+        assert sorted(packed.search(window)) == sorted(
+            incremental.search(window))
+
+    def test_min_entries_parameter_respected(self):
+        entries = make_entries(200, seed=31)
+        tree = RTree.bulk_load(entries, max_entries=10, min_entries=3)
+        assert tree.max_entries == 10
+        assert tree.min_entries == 3
+        tree.check_invariants()
+
+    def test_module_function_delegates(self):
+        entries = make_entries(64, seed=32)
+        via_module = bulk_load(entries, max_entries=8)
+        via_class = RTree.bulk_load(entries, max_entries=8)
+        window = BBox(0, 0, 1000, 1000)
+        assert sorted(via_module.search(window)) == sorted(
+            via_class.search(window))
+
+    def test_bulk_load_counter(self):
+        from repro import obs
+
+        recorder = obs.enable(registry=obs.MetricsRegistry())
+        try:
+            RTree.bulk_load(make_entries(10, seed=33))
+            RTree.bulk_load([])        # empty builds count too
+            assert recorder.registry.counter_value("rtree.bulk_loads") == 2
+        finally:
+            obs.disable()
